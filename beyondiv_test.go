@@ -1,0 +1,79 @@
+package beyondiv
+
+import (
+	"strings"
+	"testing"
+
+	"beyondiv/internal/iv"
+)
+
+func TestAnalyzeQuickstart(t *testing.T) {
+	prog, err := Analyze(`
+j = 0
+L1: for i = 1 to n {
+    j = j + i
+    a[j] = a[j - 1]
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := prog.ClassificationReport()
+	for _, want := range []string{"loop L1", "i2 = (L1, 1, 1)", "j2 = (L1, 0, 1/2, 1/2)"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("classification report missing %q:\n%s", want, rep)
+		}
+	}
+	dep := prog.DependenceReport()
+	if !strings.Contains(dep, "dep") {
+		t.Errorf("dependence report empty:\n%s", dep)
+	}
+}
+
+func TestAnalyzeError(t *testing.T) {
+	if _, err := Analyze("for i = { }"); err == nil {
+		t.Error("expected a parse error")
+	}
+}
+
+func TestSkipDependences(t *testing.T) {
+	prog, err := AnalyzeWith("L1: for i = 1 to n { a[i] = 0 }", Options{SkipDependences: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Deps != nil || prog.DependenceReport() != "" {
+		t.Error("dependence analysis should be skipped")
+	}
+}
+
+func TestProgramRun(t *testing.T) {
+	prog, err := Analyze("s = 0\nL1: for i = 1 to n { s = s + i }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(map[string]int64{"n": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalars["s"] != 55 {
+		t.Errorf("s = %d, want 55", res.Scalars["s"])
+	}
+}
+
+func TestPublicAccessors(t *testing.T) {
+	prog, err := Analyze("L1: for i = 1 to 10 { a[i] = 0 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := prog.IV.LoopByLabel("L1")
+	if l == nil {
+		t.Fatal("L1 missing")
+	}
+	if tc, ok := prog.IV.TripCount(l).Const(); !ok || tc != 10 {
+		t.Errorf("trip count = %v", prog.IV.TripCount(l))
+	}
+	i2 := prog.IV.ValueByName("i2")
+	if c := prog.IV.ClassOf(l, i2); c.Kind != iv.Linear {
+		t.Errorf("i2 = %s", c)
+	}
+}

@@ -1,0 +1,63 @@
+package beyondiv
+
+import (
+	"testing"
+
+	"beyondiv/internal/paper"
+	"beyondiv/internal/progen"
+)
+
+// TestDeterministicReports: analyzing the same program repeatedly must
+// render byte-identical reports — map iteration order must never leak
+// into classifications, dependence lists, or π-blocks.
+func TestDeterministicReports(t *testing.T) {
+	srcs := []string{
+		progen.MixedClasses(4),
+		progen.NestedLoops(3),
+		progen.DepWorkload(7),
+	}
+	for _, p := range paper.Corpus {
+		srcs = append(srcs, p.Source)
+	}
+	for _, src := range srcs {
+		var firstCls, firstDeps string
+		for round := 0; round < 3; round++ {
+			prog, err := Analyze(src)
+			if err != nil {
+				t.Fatalf("%v\n%s", err, src)
+			}
+			cls := prog.ClassificationReport()
+			deps := prog.DependenceReport()
+			if round == 0 {
+				firstCls, firstDeps = cls, deps
+				continue
+			}
+			if cls != firstCls {
+				t.Fatalf("classification report differs between runs for:\n%s\n--- first ---\n%s\n--- now ---\n%s", src, firstCls, cls)
+			}
+			if deps != firstDeps {
+				t.Fatalf("dependence report differs between runs for:\n%s\n--- first ---\n%s\n--- now ---\n%s", src, firstDeps, deps)
+			}
+		}
+	}
+}
+
+// TestDeterministicDOTAndJSON: machine-readable outputs are stable too.
+func TestDeterministicDOTAndJSON(t *testing.T) {
+	src := progen.DepWorkload(11)
+	var firstDot string
+	for round := 0; round < 3; round++ {
+		prog, err := Analyze(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dot := prog.Deps.DOT()
+		if round == 0 {
+			firstDot = dot
+			continue
+		}
+		if dot != firstDot {
+			t.Fatalf("DOT output differs between runs:\n%s", src)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Relaxation: the use case that motivates §4.2. Stencil codes ping-pong
+// between two buffer planes, selecting them with flip-flop variables
+// (a swap, or j = 3 - j). A compiler that proves the selectors are
+// *periodic with known distinct rings* can show that a write through
+// one selector never collides with a read through the other in the
+// same sweep: the `=` direction translates to a distance ≡ 1 (mod 2)
+// constraint (§6, loop L22), so consecutive sweeps — not iterations
+// within a sweep — are the only carriers of the dependence.
+//
+// Run with:
+//
+//	go run ./examples/relaxation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"beyondiv"
+	"beyondiv/internal/depend"
+)
+
+const program = `
+cur = 1
+old = 2
+L1: for sweep = 1 to 12 {
+    // Sweep bookkeeping subscripted directly by the selectors: the
+    // paper's A(2j) = A(2k) pattern.
+    state[2 * cur] = state[2 * old] + sweep
+    // The stencil itself; the plane rows are selected by cur/old.
+    L2: for i = 1 to 48 {
+        plane[cur * 64 + i] = plane[old * 64 + i] + 1
+    }
+    t = cur
+    cur = old
+    old = t
+}
+`
+
+func main() {
+	prog, err := beyondiv.Analyze(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== classifications (cur/old: one periodic family, period 2) ==")
+	fmt.Print(prog.ClassificationReport())
+
+	fmt.Println("\n== dependences ==")
+	fmt.Print(prog.DependenceReport())
+
+	// The payoff on the selector-subscripted accesses: every flow/anti
+	// dependence on `state` carries distance ≡ 1 (mod 2) — no
+	// same-sweep conflict, successive sweeps chain as expected.
+	sameSweepSafe := true
+	for _, d := range prog.Deps.Deps {
+		if d.Src.Array != "state" || d.Kind == depend.Output {
+			continue
+		}
+		if d.Modulus != 2 || d.Residue != 1 {
+			sameSweepSafe = false
+		}
+		for _, dir := range d.Dirs {
+			if dir&depend.DirEQ != 0 {
+				sameSweepSafe = false
+			}
+		}
+	}
+	if sameSweepSafe {
+		fmt.Println("\n=> state[]: reads and writes are provably one sweep apart (distance ≡ 1 mod 2).")
+	} else {
+		fmt.Println("\n=> unexpected same-sweep conflict on state[]")
+	}
+
+	// The plane[] subscripts mix the periodic selector into an affine
+	// subscript; slot enumeration proves the two planes never alias
+	// within a sweep either.
+	planeSafe := true
+	for _, d := range prog.Deps.Deps {
+		if d.Src.Array != "plane" || d.Kind == depend.Output {
+			continue
+		}
+		for _, dir := range d.Dirs[:1] {
+			if dir&depend.DirEQ != 0 {
+				planeSafe = false
+			}
+		}
+	}
+	if planeSafe {
+		fmt.Println("=> plane[]: the flip-selected rows never alias within a sweep; the")
+		fmt.Println("   inner stencil loop parallelizes.")
+	} else {
+		fmt.Println("=> unexpected same-sweep plane conflict")
+	}
+
+	// Execute the sweeps to watch the ping-pong.
+	res, err := prog.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writes := map[string]int{}
+	for _, w := range res.Writes {
+		writes[w.Array]++
+	}
+	fmt.Printf("\nafter 12 sweeps over w=48: %d plane writes, %d state writes, cur=%d old=%d\n",
+		writes["plane"], writes["state"], res.Scalars["cur"], res.Scalars["old"])
+}

@@ -1,0 +1,93 @@
+package beyondiv
+
+import (
+	"testing"
+
+	"beyondiv/internal/interp"
+	"beyondiv/internal/parse"
+)
+
+// Fuzz targets. `go test` runs the seed corpus as ordinary tests;
+// `go test -fuzz FuzzAnalyze` explores further. The invariant under
+// fuzzing is "no panic, and anything that parses also analyzes".
+
+var fuzzSeeds = []string{
+	"",
+	"i = 1",
+	"for i = 1 to n { a[i] = a[i-1] }",
+	"loop { i = i + 1\nif i > 3 { exit } }",
+	"while x < 9 { x = x * 2 }",
+	"if a > 1 { b = 2 } else { b = 3 }",
+	"j = 1\nk = 2\nfor t = 1 to n { x = j\nj = k\nk = x }",
+	"for i = 1 to n { for j = 1 to i { s = s + 1 } }",
+	"m = 0\nfor i = 1 to 9 { m = 3 * m + 2 * i + 1 }",
+	"x = 2 ** 3 ** 2",
+	"for i = -3 to -1 by -0 { a[-i] = 0 }",
+	"L:loop{exit}",
+	"a[a[a[1]]] = a[a[2]]",
+	"i=1;;;;j=2",
+	"for i = 1 to 3 { exit }",
+	"x = 1 +",  // parse error
+	"} {",      // parse error
+	"\x00\xff", // scanner garbage
+}
+
+// FuzzAnalyze throws arbitrary bytes at the full pipeline.
+func FuzzAnalyze(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return
+		}
+		prog, err := Analyze(src)
+		if err != nil {
+			return // parse/verify errors are fine; panics are not
+		}
+		_ = prog.ClassificationReport()
+		_ = prog.DependenceReport()
+	})
+}
+
+// FuzzInterpreters checks that any program that parses runs identically
+// under the AST and SSA interpreters (within a small budget).
+func FuzzInterpreters(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 {
+			return
+		}
+		file, err := parse.File(src)
+		if err != nil {
+			return
+		}
+		cfg := interp.Config{Params: map[string]int64{"n": 6, "m": 9}, MaxSteps: 20_000}
+		ra, errA := interp.RunAST(file, cfg)
+
+		prog, err := AnalyzeWith(src, Options{SkipDependences: true})
+		if err != nil {
+			t.Fatalf("parsed but did not analyze: %v", err)
+		}
+		rs, errB := interp.RunSSA(prog.SSA, cfg)
+		if errA == interp.ErrStepLimit || errB == interp.ErrStepLimit {
+			return // budgets are metered differently; inconclusive
+		}
+		if (errA != nil) != (errB != nil) {
+			t.Fatalf("interpreter errors diverge: ast=%v ssa=%v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if len(ra.Writes) != len(rs.Writes) {
+			t.Fatalf("write traces diverge: %d vs %d", len(ra.Writes), len(rs.Writes))
+		}
+		for i := range ra.Writes {
+			if ra.Writes[i] != rs.Writes[i] {
+				t.Fatalf("write %d diverges: %v vs %v", i, ra.Writes[i], rs.Writes[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module beyondiv
+
+go 1.22

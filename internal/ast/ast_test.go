@@ -1,0 +1,113 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"beyondiv/internal/token"
+)
+
+func ident(n string) *Ident { return &Ident{Name: n} }
+func num(v int64) *Num      { return &Num{Value: v} }
+
+func TestExprString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{num(42), "42"},
+		{ident("x"), "x"},
+		{&Bin{Op: token.PLUS, X: ident("a"), Y: num(1)}, "a + 1"},
+		// Precedence parentheses.
+		{&Bin{Op: token.STAR, X: &Bin{Op: token.PLUS, X: ident("a"), Y: ident("b")}, Y: num(2)}, "(a + b) * 2"},
+		{&Bin{Op: token.PLUS, X: ident("a"), Y: &Bin{Op: token.STAR, X: ident("b"), Y: num(2)}}, "a + b * 2"},
+		// Left-associativity: a - (b - c) keeps parentheses.
+		{&Bin{Op: token.MINUS, X: ident("a"), Y: &Bin{Op: token.MINUS, X: ident("b"), Y: ident("c")}}, "a - (b - c)"},
+		{&Bin{Op: token.MINUS, X: &Bin{Op: token.MINUS, X: ident("a"), Y: ident("b")}, Y: ident("c")}, "a - b - c"},
+		// Right-associative exponent.
+		{&Bin{Op: token.POW, X: num(2), Y: &Bin{Op: token.POW, X: num(3), Y: num(2)}}, "2 ** 3 ** 2"},
+		{&Bin{Op: token.POW, X: &Bin{Op: token.POW, X: num(2), Y: num(3)}, Y: num(2)}, "(2 ** 3) ** 2"},
+		{&Unary{Op: token.MINUS, X: ident("x")}, "-x"},
+		{&Index{Name: "a", Sub: &Bin{Op: token.MINUS, X: ident("i"), Y: num(1)}}, "a[i - 1]"},
+		{&Bin{Op: token.LE, X: ident("i"), Y: ident("n")}, "i <= n"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFileString(t *testing.T) {
+	f := &File{Stmts: []Stmt{
+		&Assign{LHS: ident("i"), RHS: num(0)},
+		&For{
+			Label: "L1", Var: ident("i"), Lo: num(1), Hi: ident("n"), Step: num(2),
+			Body: &Block{Stmts: []Stmt{
+				&If{
+					Cond: &Bin{Op: token.GT, X: &Index{Name: "a", Sub: ident("i")}, Y: num(0)},
+					Then: &Block{Stmts: []Stmt{&Exit{}}},
+					Else: &Block{Stmts: []Stmt{&Assign{LHS: &Index{Name: "b", Sub: ident("i")}, RHS: ident("i")}}},
+				},
+			}},
+		},
+		&While{Cond: &Bin{Op: token.LT, X: ident("x"), Y: num(9)}, Body: &Block{Stmts: []Stmt{
+			&Assign{LHS: ident("x"), RHS: &Bin{Op: token.STAR, X: ident("x"), Y: num(2)}},
+		}}},
+		&Loop{Body: &Block{Stmts: []Stmt{&Exit{}}}},
+	}}
+	got := f.String()
+	for _, want := range []string{
+		"i = 0", "L1: for i = 1 to n by 2 {", "if a[i] > 0 {", "exit",
+		"} else {", "b[i] = i", "while x < 9 {", "x = x * 2", "loop {",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("printed file missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	f := &File{Stmts: []Stmt{
+		&If{
+			Cond: &Bin{Op: token.GT, X: ident("x"), Y: num(0)},
+			Then: &Block{Stmts: []Stmt{&Assign{LHS: ident("y"), RHS: num(1)}}},
+		},
+	}}
+	// Pruning at the If skips everything under it.
+	seen := 0
+	Walk(f, func(n Node) bool {
+		seen++
+		_, isIf := n.(*If)
+		return !isIf
+	})
+	if seen != 2 { // File + If
+		t.Errorf("visited %d nodes with pruning, want 2", seen)
+	}
+	// Without pruning we see the whole tree.
+	seen = 0
+	Walk(f, func(n Node) bool { seen++; return true })
+	if seen < 7 {
+		t.Errorf("visited %d nodes, want the full tree", seen)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	p := token.Pos{Line: 2, Col: 5}
+	n := &Num{Value: 1, ValPos: p}
+	if n.Pos() != p {
+		t.Error("Num.Pos wrong")
+	}
+	b := &Bin{Op: token.PLUS, X: n, Y: num(2)}
+	if b.Pos() != p {
+		t.Error("Bin.Pos should come from X")
+	}
+	empty := &File{}
+	if empty.Pos().Line != 1 {
+		t.Error("empty file position should default to 1:1")
+	}
+}
+
+func TestWalkNil(t *testing.T) {
+	Walk(nil, func(Node) bool { t.Error("fn called for nil"); return true })
+}

@@ -1,0 +1,301 @@
+package cfgbuild
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beyondiv/internal/ir"
+	"beyondiv/internal/parse"
+	"beyondiv/internal/progen"
+)
+
+func build(t *testing.T, src string) *Result {
+	t.Helper()
+	f, err := parse.File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(f)
+}
+
+// checkWellFormed verifies CFG invariants: edge symmetry, terminators
+// consistent with successor counts, all blocks reachable, and exactly
+// one exit block.
+func checkWellFormed(t *testing.T, f *ir.Func) {
+	t.Helper()
+	inBlocks := map[*ir.Block]bool{}
+	for _, b := range f.Blocks {
+		inBlocks[b] = true
+	}
+	if !inBlocks[f.Entry] || !inBlocks[f.Exit] {
+		t.Fatal("entry or exit missing from block list")
+	}
+	exits := 0
+	for _, b := range f.Blocks {
+		switch b.Kind {
+		case ir.BlockPlain:
+			if len(b.Succs) != 1 {
+				t.Errorf("%s (plain) has %d successors", b, len(b.Succs))
+			}
+		case ir.BlockIf:
+			if len(b.Succs) != 2 {
+				t.Errorf("%s (if) has %d successors", b, len(b.Succs))
+			}
+			if b.Control == nil || !b.Control.Op.IsCompare() {
+				t.Errorf("%s (if) control is %v", b, b.Control)
+			}
+		case ir.BlockExit:
+			exits++
+			if len(b.Succs) != 0 {
+				t.Errorf("%s (exit) has successors", b)
+			}
+		}
+		for _, s := range b.Succs {
+			if !inBlocks[s] {
+				t.Errorf("%s -> pruned block %s", b, s)
+			}
+			if s.PredIndexOf(b) < 0 {
+				t.Errorf("%s -> %s but not in preds", b, s)
+			}
+		}
+		for _, p := range b.Preds {
+			if !inBlocks[p] {
+				t.Errorf("%s has pruned pred %s", b, p)
+			}
+			found := false
+			for _, s := range p.Succs {
+				if s == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s has pred %s without matching succ", b, p)
+			}
+		}
+		for _, v := range b.Values {
+			if v.Block != b {
+				t.Errorf("value %s claims block %s but lives in %s", v, v.Block, b)
+			}
+		}
+	}
+	if exits != 1 {
+		t.Errorf("%d exit blocks, want 1", exits)
+	}
+	// Every block is reachable, except possibly Exit (an infinite loop
+	// keeps Exit in the list with no predecessors).
+	minReach := len(f.Blocks)
+	if len(f.Exit.Preds) == 0 {
+		minReach--
+	}
+	if got := len(f.Postorder()); got < minReach {
+		t.Errorf("unreachable blocks survive: %d reachable of %d", got, len(f.Blocks))
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	r := build(t, "i = 1\nj = i + 2\n")
+	checkWellFormed(t, r.Func)
+	if len(r.Loops) != 0 {
+		t.Errorf("loops = %v, want none", r.Loops)
+	}
+	// Entry: Const, StoreVar, LoadVar, Const, Add, StoreVar.
+	ops := []ir.Op{}
+	for _, v := range r.Func.Entry.Values {
+		ops = append(ops, v.Op)
+	}
+	want := []ir.Op{ir.OpConst, ir.OpStoreVar, ir.OpLoadVar, ir.OpConst, ir.OpAdd, ir.OpStoreVar}
+	if len(ops) != len(want) {
+		t.Fatalf("entry ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("entry ops = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	r := build(t, "for i = 1 to n { a[i] = 0 }\n")
+	checkWellFormed(t, r.Func)
+	if len(r.Loops) != 1 {
+		t.Fatalf("loops = %v", r.Loops)
+	}
+	h := r.Loops[0].Header
+	if h.Kind != ir.BlockIf {
+		t.Fatalf("header kind = %v", h.Kind)
+	}
+	if h.Control.Op != ir.OpLeq {
+		t.Errorf("stay condition = %s, want Leq", h.Control.Op)
+	}
+	if r.Loops[0].Var != "i" {
+		t.Errorf("loop var = %q", r.Loops[0].Var)
+	}
+	// Header must have two preds: preheader and latch.
+	if len(h.Preds) != 2 {
+		t.Errorf("header preds = %d, want 2", len(h.Preds))
+	}
+}
+
+func TestForNegativeStep(t *testing.T) {
+	r := build(t, "for i = n to 1 by -2 { a[i] = 0 }\n")
+	checkWellFormed(t, r.Func)
+	h := r.Loops[0].Header
+	if h.Control.Op != ir.OpGeq {
+		t.Errorf("stay condition for negative step = %s, want Geq", h.Control.Op)
+	}
+}
+
+func TestLoopWithExit(t *testing.T) {
+	r := build(t, "i = 0\nloop {\n i = i + 1\n if i > 100 { exit }\n}\nj = i\n")
+	checkWellFormed(t, r.Func)
+	if len(r.Loops) != 1 {
+		t.Fatalf("loops = %v", r.Loops)
+	}
+	h := r.Loops[0].Header
+	// Back edge: some block in the loop jumps to the header.
+	if len(h.Preds) < 2 {
+		t.Errorf("header should have preheader + latch preds, got %d", len(h.Preds))
+	}
+}
+
+func TestInfiniteLoopPrunesAfter(t *testing.T) {
+	// No exit: code after the loop is unreachable and must be pruned.
+	r := build(t, "loop { i = i + 1 }\nj = 5\n")
+	checkWellFormed(t, r.Func)
+	for _, b := range r.Func.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpConst && v.Const == 5 {
+				t.Error("unreachable statement after infinite loop survived pruning")
+			}
+		}
+	}
+}
+
+func TestExitOutsideLoop(t *testing.T) {
+	r := build(t, "i = 1\nexit\nj = 2\n")
+	checkWellFormed(t, r.Func)
+}
+
+func TestIfElseDiamond(t *testing.T) {
+	r := build(t, "if x > 0 { k = 1 } else { k = 2 }\nm = k\n")
+	checkWellFormed(t, r.Func)
+	// Expect a join block with 2 preds.
+	found := false
+	for _, b := range r.Func.Blocks {
+		if b.Comment == "if.join" && len(b.Preds) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no 2-pred join block found")
+	}
+}
+
+func TestNestedLoopsBuild(t *testing.T) {
+	r := build(t, `
+k = 0
+L17: loop {
+    i = 1
+    L18: loop {
+        k = k + 2
+        if i > 100 { exit }
+        i = i + 1
+    }
+    k = k + 2
+    if k > 1000 { exit }
+}
+`)
+	checkWellFormed(t, r.Func)
+	if len(r.Loops) != 2 {
+		t.Fatalf("loops = %+v", r.Loops)
+	}
+	if r.Loops[0].Label != "L17" || r.Loops[1].Label != "L18" {
+		t.Errorf("labels = %q, %q", r.Loops[0].Label, r.Loops[1].Label)
+	}
+}
+
+func TestCopyForScalarToScalar(t *testing.T) {
+	r := build(t, "j = i\n")
+	copies := 0
+	for _, v := range r.Func.Entry.Values {
+		if v.Op == ir.OpCopy {
+			copies++
+		}
+	}
+	if copies != 1 {
+		t.Errorf("got %d Copy values, want 1", copies)
+	}
+}
+
+func TestWhileShape(t *testing.T) {
+	r := build(t, "while i < n { i = i * 2 }\n")
+	checkWellFormed(t, r.Func)
+	if len(r.Loops) != 1 || r.Loops[0].Var != "" {
+		t.Fatalf("loops = %+v", r.Loops)
+	}
+	if r.Loops[0].Header.Kind != ir.BlockIf {
+		t.Error("while header should be a conditional block")
+	}
+}
+
+func TestLabelSynthesis(t *testing.T) {
+	r := build(t, "loop { exit }\nwhile i < n { i = i + 1 }\n")
+	if r.Loops[0].Label != "L1" || r.Loops[1].Label != "L2" {
+		t.Errorf("labels = %q, %q; want L1, L2", r.Loops[0].Label, r.Loops[1].Label)
+	}
+}
+
+func TestQuickRandomProgramsWellFormed(t *testing.T) {
+	gen := progen.New()
+	prop := func(seed int64) bool {
+		src := gen.Program(seed)
+		file, err := parse.File(src)
+		if err != nil {
+			return false
+		}
+		r := Build(file)
+		// Reuse the checker via a throwaway T is not possible; do the
+		// cheap core checks inline.
+		inBlocks := map[*ir.Block]bool{}
+		for _, b := range r.Func.Blocks {
+			inBlocks[b] = true
+		}
+		for _, b := range r.Func.Blocks {
+			switch b.Kind {
+			case ir.BlockPlain:
+				if len(b.Succs) != 1 {
+					return false
+				}
+			case ir.BlockIf:
+				if len(b.Succs) != 2 {
+					return false
+				}
+			case ir.BlockExit:
+				if len(b.Succs) != 0 {
+					return false
+				}
+			}
+			for _, s := range b.Succs {
+				if !inBlocks[s] || s.PredIndexOf(b) < 0 {
+					return false
+				}
+			}
+		}
+		return len(r.Func.Postorder()) == len(r.Func.Blocks)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	src := progen.StraightLineLoop(200)
+	file, err := parse.File(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(file)
+	}
+}

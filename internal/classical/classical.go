@@ -1,0 +1,411 @@
+// Package classical implements the baseline the paper argues against:
+// classical induction-variable detection over the pre-SSA CFG, in the
+// style of Aho/Sethi/Ullman and Cocke/Kennedy ([ASU86], [CK77]):
+//
+//  1. basic induction variables found by scanning every store in the
+//     loop for the shape v = v ± inv;
+//  2. derived induction variables j = c·i ± d found by iterating to a
+//     fixpoint (each round may enable the next — the paper's complaint
+//     that classical analysis is iterative while the SSA algorithm is a
+//     single pass);
+//  3. separate ad hoc pattern recognizers for wrap-around variables
+//     (v = iv as the only store, used before it) and flip-flop
+//     variables (v = inv - v), the "special case analysis" of §7.
+//
+// The unified-vs-classical benchmark (experiment E17) measures this
+// package against internal/iv on identical inputs; the correctness
+// tests check that, where both claim a linear IV, the steps agree.
+package classical
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/dom"
+	"beyondiv/internal/ir"
+	"beyondiv/internal/loops"
+)
+
+// Kind is the classical classification of a variable in a loop.
+type Kind int
+
+// Kinds.
+const (
+	None Kind = iota
+	Basic
+	Derived
+	WrapAround
+	FlipFlop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Basic:
+		return "basic"
+	case Derived:
+		return "derived"
+	case WrapAround:
+		return "wrap-around"
+	case FlipFlop:
+		return "flip-flop"
+	}
+	return "none"
+}
+
+// IV is one classical finding: variable Var in Loop, with Step set for
+// basic IVs and (Factor, Base, Offset) for derived j = Factor·base ± d.
+type IV struct {
+	Loop *loops.Loop
+	Var  string
+	Kind Kind
+	// Step is the constant per-iteration increment of a basic IV.
+	Step int64
+	// Base names the IV a derived variable scales (j = Factor·Base + Offset).
+	Base           string
+	Factor, Offset int64
+	// Rounds records in which fixpoint round a derived IV was found
+	// (1-based), for the iterative-cost measurements.
+	Round int
+}
+
+func (v *IV) String() string {
+	switch v.Kind {
+	case Basic:
+		return fmt.Sprintf("%s: basic step %d", v.Var, v.Step)
+	case Derived:
+		return fmt.Sprintf("%s: derived %d*%s%+d (round %d)", v.Var, v.Factor, v.Base, v.Offset, v.Round)
+	case WrapAround:
+		return fmt.Sprintf("%s: wrap-around of %s", v.Var, v.Base)
+	case FlipFlop:
+		return fmt.Sprintf("%s: flip-flop", v.Var)
+	}
+	return v.Var + ": none"
+}
+
+// Result maps each loop to its findings.
+type Result struct {
+	Forest *loops.Forest
+	ByLoop map[*loops.Loop][]*IV
+	// Rounds is the total number of fixpoint rounds executed across all
+	// loops (≥1 per loop), the paper's iteration-count complaint made
+	// measurable.
+	Rounds int
+}
+
+// Report renders the findings deterministically.
+func (r *Result) Report() string {
+	var sb strings.Builder
+	for _, l := range r.Forest.InnerToOuter() {
+		fmt.Fprintf(&sb, "loop %s:\n", l.Label)
+		ivs := append([]*IV(nil), r.ByLoop[l]...)
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Var < ivs[j].Var })
+		for _, v := range ivs {
+			fmt.Fprintf(&sb, "  %s\n", v)
+		}
+	}
+	return sb.String()
+}
+
+// Find returns the finding for a variable in a loop, or nil.
+func (r *Result) Find(l *loops.Loop, name string) *IV {
+	for _, v := range r.ByLoop[l] {
+		if v.Var == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// Analyze runs the baseline over a freshly lowered (pre-SSA) program.
+func Analyze(res *cfgbuild.Result) *Result {
+	f := res.Func
+	tree := dom.New(f)
+	forest := loops.Analyze(f, tree)
+	labels := map[*ir.Block]string{}
+	for _, li := range res.Loops {
+		labels[li.Header] = li.Label
+	}
+	forest.AttachLabels(labels)
+
+	out := &Result{Forest: forest, ByLoop: map[*loops.Loop][]*IV{}}
+	for _, l := range forest.InnerToOuter() {
+		out.analyzeLoop(f, tree, l)
+	}
+	return out
+}
+
+// store is one scalar assignment inside the loop.
+type store struct {
+	val *ir.Value // the StoreVar
+	rhs *ir.Value
+}
+
+func (r *Result) analyzeLoop(f *ir.Func, tree *dom.Tree, l *loops.Loop) {
+	// unconditional reports whether a store runs on every iteration: its
+	// block dominates every latch. Classical IV detection requires this
+	// (a conditionally executed i = i + 1 is not an induction variable).
+	unconditional := func(st store) bool {
+		for _, latch := range l.Latches {
+			if !tree.Dominates(st.val.Block, latch) {
+				return false
+			}
+		}
+		return len(l.Latches) > 0
+	}
+
+	// Gather stores per variable; note variables stored in inner loops
+	// too (they vary, so they are not invariant here).
+	storesOf := map[string][]store{}
+	variesInLoop := map[string]bool{}
+	for _, b := range l.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpStoreVar {
+				variesInLoop[v.Var] = true
+				if r.Forest.InnermostContaining(b) == l {
+					storesOf[v.Var] = append(storesOf[v.Var], store{val: v, rhs: v.Args[0]})
+				} else {
+					// Stored in a nested loop: disqualified here.
+					storesOf[v.Var] = append(storesOf[v.Var], store{val: v, rhs: nil})
+				}
+			}
+		}
+	}
+	invariant := func(name string) bool { return !variesInLoop[name] }
+
+	found := map[string]*IV{}
+
+	// Pass 1: basic induction variables — every store is v = v ± const
+	// with constant net step per... classically, textbooks require all
+	// stores of the form v = v + c; the combined step is their path sum
+	// only in straight-line code, so conservatively require exactly one
+	// store.
+	names := make([]string, 0, len(storesOf))
+	for name := range storesOf {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sts := storesOf[name]
+		if len(sts) != 1 || sts[0].rhs == nil || !unconditional(sts[0]) {
+			continue
+		}
+		if step, ok := matchSelfIncrement(sts[0].rhs, name, invariant); ok {
+			found[name] = &IV{Loop: l, Var: name, Kind: Basic, Step: step}
+		}
+	}
+
+	// Pass 2: derived IVs to a fixpoint.
+	round := 0
+	for {
+		round++
+		r.Rounds++
+		changed := false
+		for _, name := range names {
+			if found[name] != nil {
+				continue
+			}
+			sts := storesOf[name]
+			if len(sts) != 1 || sts[0].rhs == nil || !unconditional(sts[0]) {
+				continue
+			}
+			base, factor, offset, ok := matchLinearOf(sts[0].rhs, invariant, func(n string) bool {
+				fv := found[n]
+				return fv != nil && (fv.Kind == Basic || fv.Kind == Derived)
+			})
+			if ok && base != name {
+				found[name] = &IV{Loop: l, Var: name, Kind: Derived, Base: base, Factor: factor, Offset: offset, Round: round}
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Pass 3 (ad hoc): wrap-around — single store v = iv (a plain copy
+	// of an induction variable) with some use of v before the store.
+	for _, name := range names {
+		if found[name] != nil {
+			continue
+		}
+		sts := storesOf[name]
+		if len(sts) != 1 || sts[0].rhs == nil {
+			continue
+		}
+		if src, ok := matchCopyOfIV(sts[0].rhs, found); ok {
+			if usedBefore(f, l, name, sts[0].val) {
+				found[name] = &IV{Loop: l, Var: name, Kind: WrapAround, Base: src}
+			}
+		}
+	}
+
+	// Pass 4 (ad hoc): flip-flops — single store v = inv - v.
+	for _, name := range names {
+		if found[name] != nil {
+			continue
+		}
+		sts := storesOf[name]
+		if len(sts) != 1 || sts[0].rhs == nil {
+			continue
+		}
+		if matchFlipFlop(sts[0].rhs, name, invariant) {
+			found[name] = &IV{Loop: l, Var: name, Kind: FlipFlop}
+		}
+	}
+
+	for _, name := range names {
+		if iv := found[name]; iv != nil {
+			r.ByLoop[l] = append(r.ByLoop[l], iv)
+		}
+	}
+}
+
+// matchSelfIncrement matches v = v + c, v = c + v, v = v - c with c a
+// constant or invariant-constant expression; returns the constant step.
+func matchSelfIncrement(rhs *ir.Value, name string, invariant func(string) bool) (int64, bool) {
+	load := func(v *ir.Value) bool { return v.Op == ir.OpLoadVar && v.Var == name }
+	switch rhs.Op {
+	case ir.OpAdd:
+		if load(rhs.Args[0]) {
+			if c, ok := constValue(rhs.Args[1]); ok {
+				return c, true
+			}
+		}
+		if load(rhs.Args[1]) {
+			if c, ok := constValue(rhs.Args[0]); ok {
+				return c, true
+			}
+		}
+	case ir.OpSub:
+		if load(rhs.Args[0]) {
+			if c, ok := constValue(rhs.Args[1]); ok {
+				return -c, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// constValue folds constant expression trees (no loads).
+func constValue(v *ir.Value) (int64, bool) {
+	switch v.Op {
+	case ir.OpConst:
+		return v.Const, true
+	case ir.OpNeg:
+		c, ok := constValue(v.Args[0])
+		return -c, ok
+	case ir.OpAdd, ir.OpSub, ir.OpMul:
+		a, ok1 := constValue(v.Args[0])
+		b, ok2 := constValue(v.Args[1])
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch v.Op {
+		case ir.OpAdd:
+			return a + b, true
+		case ir.OpSub:
+			return a - b, true
+		default:
+			return a * b, true
+		}
+	}
+	return 0, false
+}
+
+// matchLinearOf matches rhs = c1*base ± c2 (or base ± c2, c1*base) for
+// base an already-found IV; constants only (the classical formulation).
+func matchLinearOf(rhs *ir.Value, invariant func(string) bool, isIV func(string) bool) (base string, factor, offset int64, ok bool) {
+	// base load
+	if rhs.Op == ir.OpLoadVar && isIV(rhs.Var) {
+		return rhs.Var, 1, 0, true
+	}
+	switch rhs.Op {
+	case ir.OpMul:
+		if rhs.Args[0].Op == ir.OpLoadVar && isIV(rhs.Args[0].Var) {
+			if c, okc := constValue(rhs.Args[1]); okc {
+				return rhs.Args[0].Var, c, 0, true
+			}
+		}
+		if rhs.Args[1].Op == ir.OpLoadVar && isIV(rhs.Args[1].Var) {
+			if c, okc := constValue(rhs.Args[0]); okc {
+				return rhs.Args[1].Var, c, 0, true
+			}
+		}
+	case ir.OpAdd, ir.OpSub:
+		sign := int64(1)
+		if rhs.Op == ir.OpSub {
+			sign = -1
+		}
+		if b, f, o, okl := matchLinearOf(rhs.Args[0], invariant, isIV); okl {
+			if c, okc := constValue(rhs.Args[1]); okc {
+				return b, f, o + sign*c, true
+			}
+		}
+		if rhs.Op == ir.OpAdd {
+			if b, f, o, okl := matchLinearOf(rhs.Args[1], invariant, isIV); okl {
+				if c, okc := constValue(rhs.Args[0]); okc {
+					return b, f, o + c, true
+				}
+			}
+		}
+	}
+	return "", 0, 0, false
+}
+
+// matchCopyOfIV matches rhs = load(iv).
+func matchCopyOfIV(rhs *ir.Value, found map[string]*IV) (string, bool) {
+	v := rhs
+	for v.Op == ir.OpCopy {
+		v = v.Args[0]
+	}
+	if v.Op == ir.OpLoadVar {
+		if fv := found[v.Var]; fv != nil && (fv.Kind == Basic || fv.Kind == Derived || fv.Kind == WrapAround) {
+			return v.Var, true
+		}
+	}
+	return "", false
+}
+
+// matchFlipFlop matches rhs = c - load(v).
+func matchFlipFlop(rhs *ir.Value, name string, invariant func(string) bool) bool {
+	if rhs.Op != ir.OpSub {
+		return false
+	}
+	if _, ok := constValue(rhs.Args[0]); !ok {
+		return false
+	}
+	return rhs.Args[1].Op == ir.OpLoadVar && rhs.Args[1].Var == name
+}
+
+// usedBefore reports whether variable name is loaded somewhere in the
+// loop before the given store in program order (block ID, then value
+// position) — the ad hoc "value from the previous iteration observable"
+// check of the wrap-around pattern.
+func usedBefore(f *ir.Func, l *loops.Loop, name string, st *ir.Value) bool {
+	pos := func(v *ir.Value) [2]int {
+		return [2]int{v.Block.ID, indexIn(v.Block, v)}
+	}
+	sp := pos(st)
+	for _, b := range l.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpLoadVar && v.Var == name {
+				p := pos(v)
+				if p[0] < sp[0] || (p[0] == sp[0] && p[1] < sp[1]) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func indexIn(b *ir.Block, v *ir.Value) int {
+	for i, w := range b.Values {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}

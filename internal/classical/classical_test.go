@@ -1,0 +1,307 @@
+package classical
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/ir"
+	"beyondiv/internal/iv"
+	"beyondiv/internal/loops"
+	"beyondiv/internal/parse"
+	"beyondiv/internal/progen"
+	"beyondiv/internal/rational"
+)
+
+func analyzeSrc(t *testing.T, src string) *Result {
+	t.Helper()
+	file, err := parse.File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(cfgbuild.Build(file))
+}
+
+func loopByLabel(r *Result, label string) *loops.Loop {
+	for _, l := range r.Forest.Loops {
+		if l.Label == label {
+			return l
+		}
+	}
+	return nil
+}
+
+func TestBasicIV(t *testing.T) {
+	r := analyzeSrc(t, `
+i = 0
+L1: loop {
+    i = i + 3
+    if i > 100 { exit }
+}
+`)
+	l := loopByLabel(r, "L1")
+	f := r.Find(l, "i")
+	if f == nil || f.Kind != Basic || f.Step != 3 {
+		t.Errorf("i = %v, want basic step 3", f)
+	}
+}
+
+func TestBasicDecrement(t *testing.T) {
+	r := analyzeSrc(t, "i = 100\nL1: loop { i = i - 2\nif i < 0 { exit } }")
+	f := r.Find(loopByLabel(r, "L1"), "i")
+	if f == nil || f.Kind != Basic || f.Step != -2 {
+		t.Errorf("i = %v, want basic step -2", f)
+	}
+}
+
+func TestDerivedChain(t *testing.T) {
+	// j derives from z; d derives from j. Since the scan visits names
+	// alphabetically, d is examined before j exists and must wait for
+	// the second fixpoint round — the iterative cost the paper removes.
+	r := analyzeSrc(t, `
+L1: for z = 1 to n {
+    j = 2 * z + 1
+    d = j + 5
+    b[d] = 0
+}
+`)
+	l := loopByLabel(r, "L1")
+	j := r.Find(l, "j")
+	if j == nil || j.Kind != Derived || j.Base != "z" || j.Factor != 2 || j.Offset != 1 {
+		t.Errorf("j = %v, want derived 2*z+1", j)
+	}
+	d := r.Find(l, "d")
+	if d == nil || d.Kind != Derived || d.Base != "j" || d.Offset != 5 {
+		t.Errorf("d = %v, want derived j+5", d)
+	}
+	if d.Round <= j.Round {
+		t.Errorf("d found in round %d, j in %d: chain should need an extra round", d.Round, j.Round)
+	}
+	if r.Rounds < 3 {
+		t.Errorf("rounds = %d, want >= 3 (two productive + one quiescent)", r.Rounds)
+	}
+}
+
+func TestWrapAroundPattern(t *testing.T) {
+	r := analyzeSrc(t, `
+iml = n
+L9: for i = 1 to n {
+    a[i] = a[iml]
+    iml = i
+}
+`)
+	f := r.Find(loopByLabel(r, "L9"), "iml")
+	if f == nil || f.Kind != WrapAround || f.Base != "i" {
+		t.Errorf("iml = %v, want wrap-around of i", f)
+	}
+}
+
+func TestFlipFlopPattern(t *testing.T) {
+	r := analyzeSrc(t, `
+j = 1
+L12: for it = 1 to n {
+    a[j] = it
+    j = 3 - j
+}
+`)
+	f := r.Find(loopByLabel(r, "L12"), "j")
+	if f == nil || f.Kind != FlipFlop {
+		t.Errorf("j = %v, want flip-flop", f)
+	}
+}
+
+// TestClassicalMissesWhatSSAFinds documents the baseline's gaps: equal
+// conditional increments (Figure 3), mutual pairs (L2), and periodic
+// rotations are beyond the pattern matcher but inside the unified
+// algorithm.
+func TestClassicalMissesWhatSSAFinds(t *testing.T) {
+	// Figure 3: two conditional stores; the classical matcher wants one.
+	r := analyzeSrc(t, `
+i = 1
+L8: loop {
+    if a[i] > 0 { i = i + 2 } else { i = i + 2 }
+    if i > n { exit }
+}
+`)
+	if f := r.Find(loopByLabel(r, "L8"), "i"); f != nil {
+		t.Errorf("classical unexpectedly classified conditional i: %v", f)
+	}
+
+	// Mutual pair j = i + c / i = j + k: neither is self-incrementing.
+	r = analyzeSrc(t, `
+j = n
+L2: loop {
+    i = j + 2
+    j = i + 3
+    if j > m { exit }
+}
+`)
+	l := loopByLabel(r, "L2")
+	if f := r.Find(l, "i"); f != nil && f.Kind == Basic {
+		t.Errorf("classical found mutual i as basic: %v", f)
+	}
+}
+
+// TestAgreementWithUnified: wherever the classical matcher claims a
+// basic IV, the SSA classifier's header φ for that variable is linear
+// with the same step.
+func TestAgreementWithUnified(t *testing.T) {
+	srcs := []string{
+		"i = 0\nL1: loop { i = i + 3\nif i > 100 { exit } }",
+		"i = 100\nL1: loop { i = i - 7\nif i < 0 { exit } }",
+		progen.StraightLineLoop(10),
+		progen.MixedClasses(2),
+	}
+	for _, src := range srcs {
+		checkAgreement(t, src)
+	}
+}
+
+func checkAgreement(t *testing.T, src string) {
+	t.Helper()
+	file, err := parse.File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := Analyze(cfgbuild.Build(file))
+
+	ua, err := iv.AnalyzeProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, list := range cr.ByLoop {
+		ul := ua.LoopByLabel(l.Label)
+		if ul == nil {
+			t.Fatalf("loop %s missing from unified analysis", l.Label)
+		}
+		for _, f := range list {
+			if f.Kind != Basic {
+				continue
+			}
+			phi := headerPhiOf(ua, ul, f.Var)
+			if phi == nil {
+				continue // variable's φ pruned (dead); nothing to compare
+			}
+			cls := ua.ClassOf(ul, phi)
+			if cls.Kind != iv.Linear {
+				t.Errorf("%s in %s: classical basic but unified %s\n%s", f.Var, l.Label, cls, src)
+				continue
+			}
+			if s, ok := cls.Step.ConstVal(); !ok || !s.Equal(rational.FromInt(f.Step)) {
+				t.Errorf("%s in %s: classical step %d, unified %s", f.Var, l.Label, f.Step, cls.Step)
+			}
+		}
+	}
+}
+
+func headerPhiOf(a *iv.Analysis, l *loops.Loop, name string) *ir.Value {
+	for _, v := range l.Header.Values {
+		if v.Op == ir.OpPhi && a.SSA.VarOf[v] == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// TestQuickAgreement runs the agreement check over random programs.
+func TestQuickAgreement(t *testing.T) {
+	gen := progen.New()
+	prop := func(seed int64) bool {
+		src := gen.Program(seed)
+		file, err := parse.File(src)
+		if err != nil {
+			return false
+		}
+		cr := Analyze(cfgbuild.Build(file))
+		ua, err := iv.AnalyzeProgram(src)
+		if err != nil {
+			return false
+		}
+		for l, list := range cr.ByLoop {
+			ul := ua.LoopByLabel(l.Label)
+			if ul == nil {
+				return false
+			}
+			for _, f := range list {
+				if f.Kind != Basic {
+					continue
+				}
+				phi := headerPhiOf(ua, ul, f.Var)
+				if phi == nil {
+					continue
+				}
+				cls := ua.ClassOf(ul, phi)
+				if cls.Kind != iv.Linear {
+					t.Logf("seed %d: %s basic vs %s\n%s", seed, f.Var, cls, src)
+					return false
+				}
+				if s, ok := cls.Step.ConstVal(); !ok || !s.Equal(rational.FromInt(f.Step)) {
+					t.Logf("seed %d: step mismatch for %s\n%s", seed, f.Var, src)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkClassical(b *testing.B) {
+	file, err := parse.File(progen.MixedClasses(10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Analyze(cfgbuild.Build(file))
+	}
+}
+
+// TestCoverageComparison pins the paper's qualitative claim (E17a in
+// EXPERIMENTS.md): on a workload exercising every behaviour class, the
+// unified SSA classifier covers strictly more than the classical
+// matcher, which sees only basic/derived/wrap-around/flip-flop shapes.
+func TestCoverageComparison(t *testing.T) {
+	src := progen.MixedClasses(10)
+
+	file, err := parse.File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := Analyze(cfgbuild.Build(file))
+	classicalFound := 0
+	for _, list := range cr.ByLoop {
+		classicalFound += len(list)
+	}
+
+	ua, err := iv.AnalyzeProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unifiedKinds := map[iv.Class]int{}
+	unifiedFound := 0
+	for _, l := range ua.Forest.Loops {
+		for v, c := range ua.LoopClassifications(l) {
+			if v.Name == "" || c.Kind == iv.Unknown {
+				continue
+			}
+			unifiedFound++
+			unifiedKinds[c.Kind]++
+		}
+	}
+
+	if classicalFound >= unifiedFound {
+		t.Errorf("classical found %d, unified %d — unified must cover strictly more",
+			classicalFound, unifiedFound)
+	}
+	// The unified side must include every extended class the workload
+	// plants; the classical side cannot see these at all.
+	for _, k := range []iv.Class{iv.Polynomial, iv.Geometric, iv.Periodic, iv.Monotonic} {
+		if unifiedKinds[k] == 0 {
+			t.Errorf("unified analysis missing class %s on the mixed workload", k)
+		}
+	}
+	t.Logf("coverage: classical %d findings; unified %d (%v)", classicalFound, unifiedFound, unifiedKinds)
+}

@@ -1,0 +1,306 @@
+// Package depend implements the data dependence testing of §6: for each
+// pair of subscripted references to the same array it constructs a
+// dependence equation from the induction-variable classifications and
+// decides whether integer solutions exist within the loop bounds,
+// refining by direction vector.
+//
+// Beyond the classical affine tests (GCD, Banerjee bounds with direction
+// constraints, and exact enumeration of small iteration spaces), the
+// tester exploits the paper's extended classes:
+//
+//   - wrap-around subscripts shift onto their post-warm-up induction
+//     sequence, and the dependence is flagged as holding only after the
+//     wrap-around order's iterations (§6);
+//   - periodic subscripts of one family with distinct ring values
+//     translate an `=` solution on the family into a ≠ / modular
+//     distance constraint on the iterations (§6, loop L22);
+//   - monotonic subscripts of one family give (=) directions when
+//     strict and (≤) when not (§6 and Figure 10).
+package depend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"beyondiv/internal/ir"
+	"beyondiv/internal/iv"
+	"beyondiv/internal/loops"
+)
+
+// Access is one array reference.
+type Access struct {
+	Value *ir.Value // LoadElem or StoreElem
+	Array string
+	Write bool
+	Loop  *loops.Loop // innermost enclosing loop (nil outside loops)
+	// Order is the access's program position for intra-iteration
+	// ordering.
+	Order int
+}
+
+// String renders e.g. "a[i2] (write at b3)".
+func (ac *Access) String() string {
+	kind := "read"
+	if ac.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("%s[%s] (%s %s)", ac.Array, ac.Value.Args[0], kind, ac.Value)
+}
+
+// Dir is a set of iteration-order relations between source and sink.
+type Dir uint8
+
+// Direction bits.
+const (
+	DirLT Dir = 1 << iota // source iteration strictly before sink
+	DirEQ                 // same iteration
+	DirGT                 // source iteration after sink (only in unordered summaries)
+)
+
+// All is the uninformative direction.
+const DirAll = DirLT | DirEQ | DirGT
+
+// String renders the direction in the paper's notation.
+func (d Dir) String() string {
+	switch d {
+	case DirLT:
+		return "<"
+	case DirEQ:
+		return "="
+	case DirGT:
+		return ">"
+	case DirLT | DirEQ:
+		return "<="
+	case DirGT | DirEQ:
+		return ">="
+	case DirLT | DirGT:
+		return "!="
+	case DirAll:
+		return "*"
+	case 0:
+		return "none"
+	}
+	return "?"
+}
+
+// Kind distinguishes dependence sorts.
+type Kind int
+
+// Dependence kinds.
+const (
+	Flow   Kind = iota // write then read
+	Anti               // read then write
+	Output             // write then write
+	Input              // read then read (reported only on request)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	case Input:
+		return "input"
+	}
+	return "?"
+}
+
+// Dependence records one dependence from Src to Dst (Src executes
+// first).
+type Dependence struct {
+	Src, Dst *Access
+	Kind     Kind
+	// Loops is the common nest, outermost first; Dirs has one entry per
+	// loop.
+	Loops []*loops.Loop
+	Dirs  []Dir
+	// AfterIterations > 0 flags a wrap-around participant: the relation
+	// holds only from that iteration on (§6).
+	AfterIterations int
+	// Modulus/Residue, when Modulus > 1, constrain the innermost-loop
+	// distance: dst_iter - src_iter ≡ Residue (mod Modulus). Produced by
+	// periodic families (§6, L22).
+	Modulus, Residue int
+	// Distance, when non-nil, is the exact constant iteration distance
+	// (dst - src) per common loop — the distance vector the paper's
+	// L23/L24 discussion works with. Only set when every loop's
+	// distance is a single constant (strong-SIV shapes).
+	Distance []int64
+	// Equation is the printable dependence equation, e.g.
+	// "1 + h = 2 + 2·h'".
+	Equation string
+	// Method names the decision procedure that admitted the dependence.
+	Method string
+}
+
+// String renders one dependence line.
+func (d *Dependence) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s dep: %s -> %s", d.Kind, d.Src, d.Dst)
+	if len(d.Dirs) > 0 {
+		parts := make([]string, len(d.Dirs))
+		for i, dir := range d.Dirs {
+			parts[i] = dir.String()
+		}
+		fmt.Fprintf(&sb, " directions (%s)", strings.Join(parts, ", "))
+	}
+	if d.Distance != nil {
+		parts := make([]string, len(d.Distance))
+		for i, v := range d.Distance {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(&sb, " distance (%s)", strings.Join(parts, ", "))
+	}
+	if d.AfterIterations > 0 {
+		fmt.Fprintf(&sb, " [after %d iterations]", d.AfterIterations)
+	}
+	if d.Modulus > 1 {
+		fmt.Fprintf(&sb, " [distance ≡ %d mod %d]", d.Residue, d.Modulus)
+	}
+	if d.Method != "" {
+		fmt.Fprintf(&sb, " {%s}", d.Method)
+	}
+	return sb.String()
+}
+
+// Result is the dependence analysis of a program.
+type Result struct {
+	Analysis *iv.Analysis
+	Accesses []*Access
+	Deps     []*Dependence
+	// Independent counts pairs proven dependence-free.
+	Independent int
+}
+
+// Options configure the analysis.
+type Options struct {
+	// IncludeInput reports read-read dependences too.
+	IncludeInput bool
+	// MaxExact bounds the iteration-space size enumerated exactly.
+	MaxExact int
+}
+
+func (o Options) maxExact() int {
+	if o.MaxExact > 0 {
+		return o.MaxExact
+	}
+	return 1 << 16
+}
+
+// Analyze runs dependence testing over every array-reference pair.
+func Analyze(a *iv.Analysis, opts Options) *Result {
+	r := &Result{Analysis: a}
+	r.collectAccesses()
+
+	byArray := map[string][]*Access{}
+	for _, ac := range r.Accesses {
+		byArray[ac.Array] = append(byArray[ac.Array], ac)
+	}
+	arrays := make([]string, 0, len(byArray))
+	for name := range byArray {
+		arrays = append(arrays, name)
+	}
+	sort.Strings(arrays)
+
+	tester := &tester{a: a, opts: opts}
+	for _, name := range arrays {
+		list := byArray[name]
+		for i := 0; i < len(list); i++ {
+			for j := i; j < len(list); j++ {
+				if i == j && !list[i].Write {
+					continue
+				}
+				if !list[i].Write && !list[j].Write && !opts.IncludeInput {
+					continue
+				}
+				deps, independent := tester.testPair(list[i], list[j])
+				r.Deps = append(r.Deps, deps...)
+				if independent {
+					r.Independent++
+				}
+			}
+		}
+	}
+	return r
+}
+
+func (r *Result) collectAccesses() {
+	// Value IDs are assigned during lowering in source order, which is
+	// exactly intra-iteration execution order — block IDs are not (an
+	// else block is created after its join), and reverse postorder
+	// interleaves sibling structures.
+	for _, b := range r.Analysis.SSA.Func.Blocks {
+		for _, v := range b.Values {
+			switch v.Op {
+			case ir.OpLoadElem, ir.OpStoreElem:
+				r.Accesses = append(r.Accesses, &Access{
+					Value: v,
+					Array: v.Var,
+					Write: v.Op == ir.OpStoreElem,
+					Loop:  r.Analysis.Forest.InnermostContaining(b),
+					Order: v.ID,
+				})
+			}
+		}
+	}
+	sort.Slice(r.Accesses, func(i, j int) bool { return r.Accesses[i].Order < r.Accesses[j].Order })
+}
+
+// Report renders all dependences in a stable order.
+func (r *Result) Report() string {
+	var sb strings.Builder
+	for _, d := range r.Deps {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%d dependences, %d pairs independent\n", len(r.Deps), r.Independent)
+	return sb.String()
+}
+
+// commonLoops returns the loops enclosing both accesses, outermost
+// first.
+func commonLoops(a, b *Access) []*loops.Loop {
+	anc := map[*loops.Loop]bool{}
+	for l := a.Loop; l != nil; l = l.Parent {
+		anc[l] = true
+	}
+	var out []*loops.Loop
+	for l := b.Loop; l != nil; l = l.Parent {
+		if anc[l] {
+			out = append(out, l)
+		}
+	}
+	// Collected inner→outer; reverse.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Stats summarizes a dependence analysis: counts per kind and per
+// decision method, for reporting and regression tracking.
+type Stats struct {
+	ByKind   map[Kind]int
+	ByMethod map[string]int
+	Total    int
+	// Exact counts dependences with a full distance vector.
+	Exact int
+}
+
+// Stats computes the summary.
+func (r *Result) Stats() Stats {
+	s := Stats{ByKind: map[Kind]int{}, ByMethod: map[string]int{}}
+	for _, d := range r.Deps {
+		s.Total++
+		s.ByKind[d.Kind]++
+		s.ByMethod[d.Method]++
+		if d.Distance != nil {
+			s.Exact++
+		}
+	}
+	return s
+}

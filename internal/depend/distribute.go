@@ -1,0 +1,190 @@
+package depend
+
+import (
+	"sort"
+
+	"beyondiv/internal/ir"
+	"beyondiv/internal/loops"
+	"beyondiv/internal/scc"
+)
+
+// Loop distribution — the first transformation the paper's introduction
+// motivates ("loop distribution and loop interchanging") — partitions a
+// loop's statements into π-blocks: the strongly connected components of
+// the statement-level dependence graph. Components can be split into
+// separate loops and run in their topological order; a component of one
+// store with no self dependence is a parallel/vector candidate.
+//
+// Statements here are the loop's array stores; each store's backward
+// slice (the in-loop values feeding it) defines what it reads. Edges
+// come from two sources:
+//
+//   - memory dependences between accesses of two slices (from the §6
+//     tester, including the extended-class results);
+//   - loop-carried scalar recurrences: a unit that consumes a header
+//     φ of the loop depends on every unit that computes the value
+//     carried into it.
+
+// PiBlock is one strongly connected component of the statement
+// dependence graph.
+type PiBlock struct {
+	// Stores are the component's array stores, in program order.
+	Stores []*ir.Value
+	// Cyclic reports whether the component contains a dependence cycle
+	// (it must stay a loop; acyclic blocks of one store vectorize).
+	Cyclic bool
+}
+
+// PiBlocks partitions loop l's stores into π-blocks, returned in a
+// legal execution order (every dependence points forward or stays
+// within a block).
+func PiBlocks(r *Result, l *loops.Loop) []PiBlock {
+	f := r.Analysis.SSA.Func
+
+	// Units: the stores inside l, in program order.
+	var stores []*ir.Value
+	for _, b := range f.Blocks {
+		if !l.Contains(b) {
+			continue
+		}
+		for _, v := range b.Values {
+			if v.Op == ir.OpStoreElem {
+				stores = append(stores, v)
+			}
+		}
+	}
+	if len(stores) == 0 {
+		return nil
+	}
+	unitOf := map[*ir.Value]int{}
+	for i, st := range stores {
+		unitOf[st] = i
+	}
+
+	// Backward slices, restricted to values inside l.
+	slices := make([]map[*ir.Value]bool, len(stores))
+	for i, st := range stores {
+		slices[i] = map[*ir.Value]bool{}
+		var walk func(v *ir.Value)
+		walk = func(v *ir.Value) {
+			if slices[i][v] || !l.ContainsValue(v) {
+				return
+			}
+			slices[i][v] = true
+			// A header φ is what the unit *reads this iteration*; its
+			// carried argument belongs to whoever computes it (the
+			// producer/consumer edges below), not to this slice —
+			// walking through it would drag the whole recurrence,
+			// including the loop counter's latch, into every unit.
+			if v.Op == ir.OpPhi && v.Block == l.Header {
+				return
+			}
+			for _, a := range v.Args {
+				walk(a)
+			}
+		}
+		walk(st)
+	}
+	inSlice := func(unit int, v *ir.Value) bool { return slices[unit][v] }
+
+	// Edges.
+	edges := make([]map[int]bool, len(stores))
+	for i := range edges {
+		edges[i] = map[int]bool{}
+	}
+	addEdge := func(a, b int) { edges[a][b] = true }
+
+	// Memory dependences: src unit(s) -> dst unit(s).
+	unitsTouching := func(v *ir.Value) []int {
+		var out []int
+		for i := range stores {
+			if inSlice(i, v) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, d := range r.Deps {
+		if d.Kind == Input {
+			continue
+		}
+		if !insideLoop(l, d.Src) || !insideLoop(l, d.Dst) {
+			continue
+		}
+		for _, a := range unitsTouching(d.Src.Value) {
+			for _, b := range unitsTouching(d.Dst.Value) {
+				addEdge(a, b)
+			}
+		}
+	}
+
+	// Carried scalar recurrences through l's header φs.
+	for _, v := range l.Header.Values {
+		if v.Op != ir.OpPhi {
+			continue
+		}
+		_, carried := headerPhiSplit(l, v)
+		var producers, consumers []int
+		for i := range stores {
+			if inSlice(i, v) {
+				consumers = append(consumers, i)
+			}
+			for _, c := range carried {
+				if inSlice(i, c) {
+					producers = append(producers, i)
+					break
+				}
+			}
+		}
+		for _, p := range producers {
+			for _, c := range consumers {
+				addEdge(p, c)
+			}
+		}
+	}
+
+	// π-blocks: SCCs, popped successors-first; reverse for execution
+	// order (sources before sinks).
+	comps := scc.Components(len(stores), func(i int) []int {
+		out := make([]int, 0, len(edges[i]))
+		for j := range edges[i] {
+			out = append(out, j)
+		}
+		sort.Ints(out)
+		return out
+	})
+	var blocks []PiBlock
+	for i := len(comps) - 1; i >= 0; i-- {
+		comp := comps[i]
+		sort.Ints(comp)
+		pb := PiBlock{}
+		for _, u := range comp {
+			pb.Stores = append(pb.Stores, stores[u])
+		}
+		pb.Cyclic = len(comp) > 1 || edges[comp[0]][comp[0]]
+		blocks = append(blocks, pb)
+	}
+	return blocks
+}
+
+// insideLoop reports whether the access sits anywhere inside l.
+func insideLoop(l *loops.Loop, ac *Access) bool {
+	for q := ac.Loop; q != nil; q = q.Parent {
+		if q == l {
+			return true
+		}
+	}
+	return false
+}
+
+// headerPhiSplit separates a header φ's entry and carried arguments.
+func headerPhiSplit(l *loops.Loop, phi *ir.Value) (entry *ir.Value, carried []*ir.Value) {
+	for i, arg := range phi.Args {
+		if l.Contains(phi.Block.Preds[i]) {
+			carried = append(carried, arg)
+		} else {
+			entry = arg
+		}
+	}
+	return entry, carried
+}

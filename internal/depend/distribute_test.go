@@ -1,0 +1,157 @@
+package depend
+
+import (
+	"testing"
+)
+
+func piBlocks(t *testing.T, src, label string) []PiBlock {
+	t.Helper()
+	r := analyze(t, src)
+	l := r.Analysis.LoopByLabel(label)
+	if l == nil {
+		t.Fatalf("loop %s missing", label)
+	}
+	return PiBlocks(r, l)
+}
+
+// TestDistributeForward: a forward-carried dependence splits into two
+// ordered π-blocks — the loop distributes.
+func TestDistributeForward(t *testing.T) {
+	blocks := piBlocks(t, `
+L1: for i = 1 to 40 {
+    a[i] = b[i] + 1
+    c[i] = a[i - 1] * 2
+}
+`, "L1")
+	if len(blocks) != 2 {
+		t.Fatalf("π-blocks = %d, want 2", len(blocks))
+	}
+	// The a-producing block must come first.
+	if blocks[0].Stores[0].Var != "a" || blocks[1].Stores[0].Var != "c" {
+		t.Errorf("order = %s, %s; want a then c", blocks[0].Stores[0].Var, blocks[1].Stores[0].Var)
+	}
+	for _, b := range blocks {
+		if b.Cyclic {
+			t.Errorf("no cycles expected: %+v", b)
+		}
+	}
+}
+
+// TestDistributeCycle: mutual recurrences fuse into one cyclic π-block.
+func TestDistributeCycle(t *testing.T) {
+	blocks := piBlocks(t, `
+L1: for i = 1 to 40 {
+    a[i] = b[i - 1]
+    b[i] = a[i - 1]
+}
+`, "L1")
+	if len(blocks) != 1 {
+		t.Fatalf("π-blocks = %d, want 1 fused block", len(blocks))
+	}
+	if !blocks[0].Cyclic || len(blocks[0].Stores) != 2 {
+		t.Errorf("block = %+v, want cyclic with both stores", blocks[0])
+	}
+}
+
+// TestDistributeScalarRecurrence: a store tied to a scalar sum stays
+// separate from an unrelated store, but carries its own cycle.
+func TestDistributeScalarRecurrence(t *testing.T) {
+	blocks := piBlocks(t, `
+s = 0
+L1: for i = 1 to 40 {
+    s = s + a[i]
+    b[i] = a[i]
+    c[i] = s
+}
+`, "L1")
+	if len(blocks) != 2 {
+		t.Fatalf("π-blocks = %d, want 2:\n%+v", len(blocks), blocks)
+	}
+	// b is independent; c consumes the s recurrence (self edge).
+	var bBlock, cBlock *PiBlock
+	for i := range blocks {
+		for _, st := range blocks[i].Stores {
+			switch st.Var {
+			case "b":
+				bBlock = &blocks[i]
+			case "c":
+				cBlock = &blocks[i]
+			}
+		}
+	}
+	if bBlock == nil || cBlock == nil || bBlock == cBlock {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+	if bBlock.Cyclic {
+		t.Error("b's block must be acyclic (vectorizable)")
+	}
+	if !cBlock.Cyclic {
+		t.Error("c's block carries the s recurrence")
+	}
+}
+
+// TestDistributeSelfRecurrence: a[i] = a[i-1] is one cyclic block.
+func TestDistributeSelfRecurrence(t *testing.T) {
+	blocks := piBlocks(t, `
+L1: for i = 1 to 40 {
+    a[i] = a[i - 1] + 1
+}
+`, "L1")
+	if len(blocks) != 1 || !blocks[0].Cyclic {
+		t.Fatalf("blocks = %+v, want one cyclic", blocks)
+	}
+}
+
+// TestDistributeIndependent: unrelated stores split fully, none cyclic,
+// and the loop counter does not serialize them.
+func TestDistributeIndependent(t *testing.T) {
+	blocks := piBlocks(t, `
+L1: for i = 1 to 40 {
+    a[i] = i
+    b[i] = 2 * i
+    c[i] = 3 * i
+}
+`, "L1")
+	if len(blocks) != 3 {
+		t.Fatalf("π-blocks = %d, want 3:\n%+v", len(blocks), blocks)
+	}
+	for _, b := range blocks {
+		if b.Cyclic {
+			t.Errorf("counter-only block must be acyclic: %+v", b)
+		}
+	}
+}
+
+// TestDistributeAntiOrder: an anti dependence (read before write in a
+// later iteration... here loop-independent ordering) still orders the
+// blocks source-first.
+func TestDistributeAntiOrder(t *testing.T) {
+	blocks := piBlocks(t, `
+L1: for i = 1 to 40 {
+    b[i] = a[i + 1]
+    a[i] = c[i]
+}
+`, "L1")
+	if len(blocks) != 2 {
+		t.Fatalf("π-blocks = %d, want 2", len(blocks))
+	}
+	// The read of a (into b) must stay before the write of a.
+	if blocks[0].Stores[0].Var != "b" || blocks[1].Stores[0].Var != "a" {
+		t.Errorf("order = %s then %s, want b then a",
+			blocks[0].Stores[0].Var, blocks[1].Stores[0].Var)
+	}
+}
+
+// TestDistributeEmpty: a loop without stores yields no blocks.
+func TestDistributeEmpty(t *testing.T) {
+	blocks := piBlocks(t, `
+s = 0
+L1: for i = 1 to 40 {
+    s = s + i
+}
+b[1] = s
+`, "L1")
+	if blocks != nil {
+		t.Errorf("blocks = %+v, want none", blocks)
+	}
+}

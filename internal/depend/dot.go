@@ -1,0 +1,79 @@
+package depend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the dependence graph in Graphviz syntax: one node per
+// array access (labelled with the array and subscript), one edge per
+// dependence, annotated with kind, direction vector, distance, and the
+// §6 extensions (wrap-around flags, periodic residues).
+//
+//	depclass -dot prog | dot -Tsvg > deps.svg
+func (r *Result) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph dependences {\n")
+	sb.WriteString("    rankdir=LR;\n")
+	sb.WriteString("    node [shape=box, fontname=\"monospace\"];\n")
+
+	// Nodes, deterministic order.
+	accs := append([]*Access(nil), r.Accesses...)
+	sort.Slice(accs, func(i, j int) bool { return accs[i].Order < accs[j].Order })
+	id := map[*Access]string{}
+	for i, ac := range accs {
+		name := fmt.Sprintf("n%d", i)
+		id[ac] = name
+		kind := "read"
+		shape := "box"
+		if ac.Write {
+			kind = "write"
+			shape = "box, style=bold"
+		}
+		loop := ""
+		if ac.Loop != nil {
+			loop = " in " + ac.Loop.Label
+		}
+		fmt.Fprintf(&sb, "    %s [label=\"%s[%s]\\n%s%s\", shape=%s];\n",
+			name, ac.Array, ac.Value.Args[0], kind, loop, shape)
+	}
+
+	colors := map[Kind]string{
+		Flow:   "black",
+		Anti:   "red",
+		Output: "blue",
+		Input:  "gray",
+	}
+	for _, d := range r.Deps {
+		label := d.Kind.String()
+		if len(d.Dirs) > 0 {
+			parts := make([]string, len(d.Dirs))
+			for i, dir := range d.Dirs {
+				parts[i] = dir.String()
+			}
+			label += " (" + strings.Join(parts, ",") + ")"
+		}
+		if d.Distance != nil {
+			parts := make([]string, len(d.Distance))
+			for i, v := range d.Distance {
+				parts[i] = fmt.Sprintf("%d", v)
+			}
+			label += " d=(" + strings.Join(parts, ",") + ")"
+		}
+		if d.Modulus > 1 {
+			label += fmt.Sprintf(" mod %d ≡ %d", d.Modulus, d.Residue)
+		}
+		if d.AfterIterations > 0 {
+			label += fmt.Sprintf(" after %d", d.AfterIterations)
+		}
+		style := ""
+		if d.Method == "assumed" {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&sb, "    %s -> %s [label=\"%s\", color=%s%s];\n",
+			id[d.Src], id[d.Dst], label, colors[d.Kind], style)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,183 @@
+package depend
+
+import (
+	"fmt"
+
+	"beyondiv/internal/loops"
+)
+
+// This file implements the transformation legality questions §6 says the
+// dependence information is for ("This information is critical to many
+// optimization algorithms"): loop parallelization, loop interchange, and
+// the unimodular (skew + interchange) formulation the paper's closing
+// remarks cite ([KMW67], [W0186], [WL91], [Ban91]).
+
+// CarriedBy reports whether dependence d is carried by loop l: the
+// direction entry for l admits < (or >) at the outermost non-= level.
+func (d *Dependence) CarriedBy(l *loops.Loop) bool {
+	for i, dl := range d.Loops {
+		if dl == l {
+			// Carried here only if every outer level admits =, and this
+			// level admits an inequality.
+			for j := 0; j < i; j++ {
+				if d.Dirs[j]&DirEQ == 0 {
+					return false // carried strictly further out
+				}
+			}
+			return d.Dirs[i]&(DirLT|DirGT) != 0
+		}
+	}
+	return false
+}
+
+// Parallelizable reports whether loop l's iterations can run
+// concurrently: no flow/anti/output dependence is carried by l. The
+// blocking dependences are returned for diagnostics.
+func Parallelizable(r *Result, l *loops.Loop) (bool, []*Dependence) {
+	var blocking []*Dependence
+	for _, d := range r.Deps {
+		if d.Kind == Input {
+			continue
+		}
+		if d.CarriedBy(l) {
+			blocking = append(blocking, d)
+		}
+	}
+	return len(blocking) == 0, blocking
+}
+
+// InterchangeLegal reports whether the perfectly nested pair
+// (outer, inner) may be interchanged: illegal exactly when some
+// dependence has direction (<, >) — it would become (>, <), i.e. flow
+// backwards — the situation §6.1 shows normalization manufactures for
+// L23/L24.
+func InterchangeLegal(r *Result, outer, inner *loops.Loop) (bool, []*Dependence) {
+	var blocking []*Dependence
+	for _, d := range r.Deps {
+		if d.Kind == Input {
+			continue
+		}
+		oi, ii := -1, -1
+		for k, l := range d.Loops {
+			if l == outer {
+				oi = k
+			}
+			if l == inner {
+				ii = k
+			}
+		}
+		if oi < 0 || ii < 0 {
+			continue
+		}
+		if d.Dirs[oi]&DirLT != 0 && d.Dirs[ii]&DirGT != 0 {
+			blocking = append(blocking, d)
+		}
+	}
+	return len(blocking) == 0, blocking
+}
+
+// Unimodular2 is a 2×2 integer matrix T acting on 2-deep iteration
+// vectors; legality of the transformed nest requires every dependence
+// distance vector δ to keep T·δ lexicographically positive ([WL91],
+// [Ban91] as cited in §6.1).
+type Unimodular2 [2][2]int64
+
+// Interchange and Skew are the two generators used by the paper's
+// discussion: loop interchange and inner-loop skewing by factor f.
+var Interchange = Unimodular2{{0, 1}, {1, 0}}
+
+// Skew returns the transformation adding f times the outer counter to
+// the inner one (wavefront transformation, [W0186]).
+func Skew(f int64) Unimodular2 {
+	return Unimodular2{{1, 0}, {f, 1}}
+}
+
+// Mul composes transformations (t then u: u·t).
+func (t Unimodular2) Mul(u Unimodular2) Unimodular2 {
+	var out Unimodular2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			out[i][j] = u[i][0]*t[0][j] + u[i][1]*t[1][j]
+		}
+	}
+	return out
+}
+
+// Det returns the determinant; ±1 for a unimodular matrix.
+func (t Unimodular2) Det() int64 { return t[0][0]*t[1][1] - t[0][1]*t[1][0] }
+
+// Apply transforms a distance vector.
+func (t Unimodular2) Apply(d [2]int64) [2]int64 {
+	return [2]int64{
+		t[0][0]*d[0] + t[0][1]*d[1],
+		t[1][0]*d[0] + t[1][1]*d[1],
+	}
+}
+
+// String renders the matrix on one line.
+func (t Unimodular2) String() string {
+	return fmt.Sprintf("[[%d %d] [%d %d]]", t[0][0], t[0][1], t[1][0], t[1][1])
+}
+
+// lexPositive reports δ ≻ 0 (or δ = 0, which is loop-independent and
+// always fine).
+func lexPositive(d [2]int64) bool {
+	if d[0] != 0 {
+		return d[0] > 0
+	}
+	return d[1] >= 0
+}
+
+// DistanceVectors2 collects the exact 2-level distance vectors of the
+// dependences spanning the (outer, inner) nest; ok is false when some
+// dependence has no exact distance (legality must then be judged from
+// directions, which Unimodular legality cannot do in general).
+func DistanceVectors2(r *Result, outer, inner *loops.Loop) (out [][2]int64, ok bool) {
+	for _, d := range r.Deps {
+		if d.Kind == Input {
+			continue
+		}
+		oi, ii := -1, -1
+		for k, l := range d.Loops {
+			if l == outer {
+				oi = k
+			}
+			if l == inner {
+				ii = k
+			}
+		}
+		if oi < 0 || ii < 0 {
+			continue
+		}
+		if d.Distance == nil {
+			return nil, false
+		}
+		out = append(out, [2]int64{d.Distance[oi], d.Distance[ii]})
+	}
+	return out, true
+}
+
+// UnimodularLegal reports whether T keeps every distance vector
+// lexicographically nonnegative.
+func UnimodularLegal(t Unimodular2, dists [][2]int64) bool {
+	for _, d := range dists {
+		if !lexPositive(t.Apply(d)) {
+			return false
+		}
+	}
+	return true
+}
+
+// FindSkewedInterchange searches for the smallest skew factor f ≥ 0
+// such that interchange-after-skew is legal — the "loop skewing and
+// loop interchanging as a single transformation" of §6.1. Returns the
+// composite matrix. maxF bounds the search.
+func FindSkewedInterchange(dists [][2]int64, maxF int64) (Unimodular2, bool) {
+	for f := int64(0); f <= maxF; f++ {
+		t := Skew(f).Mul(Interchange)
+		if UnimodularLegal(t, dists) {
+			return t, true
+		}
+	}
+	return Unimodular2{}, false
+}

@@ -1,0 +1,163 @@
+package depend
+
+import (
+	"testing"
+)
+
+// TestParallelizable: a[i] = a[i] + 1 has no carried dependence; the
+// recurrence a[i] = a[i-1] does.
+func TestParallelizable(t *testing.T) {
+	r := analyze(t, `
+L1: for i = 1 to 40 {
+    a[i] = a[i] + 1
+}
+`)
+	l := r.Analysis.LoopByLabel("L1")
+	if ok, blocking := Parallelizable(r, l); !ok {
+		t.Errorf("independent loop not parallelizable: %v", blocking)
+	}
+
+	r = analyze(t, `
+L1: for i = 1 to 40 {
+    a[i] = a[i - 1] + 1
+}
+`)
+	l = r.Analysis.LoopByLabel("L1")
+	if ok, blocking := Parallelizable(r, l); ok || len(blocking) == 0 {
+		t.Error("recurrence must block parallelization")
+	}
+}
+
+// TestParallelizablePack: the §4.4 pack loop with a strictly monotonic
+// index has only the loop-independent (=) flow on b — the loop
+// parallelizes, the paper's PACK-intrinsic observation.
+func TestParallelizablePack(t *testing.T) {
+	r := analyze(t, `
+k = 0
+L15: for i = 1 to n {
+    if a[i] > 0 {
+        k = k + 1
+        b[k] = a[i]
+        e[i] = b[k]
+    }
+}
+`)
+	l := r.Analysis.LoopByLabel("L15")
+	if ok, blocking := Parallelizable(r, l); !ok {
+		t.Errorf("pack loop should parallelize (scatter): %v", blocking)
+	}
+}
+
+// TestInterchange reproduces §6.1's punchline: the wavefront recurrence
+// with distances (1,0)+(0,1) interchanges legally, while a (<,>)
+// dependence — what normalization manufactures — blocks it.
+func TestInterchange(t *testing.T) {
+	r := analyze(t, `
+L1: for i = 1 to 8 {
+    L2: for j = 1 to 8 {
+        a[i * 100 + j] = a[i * 100 + j - 100] + a[i * 100 + j - 1]
+    }
+}
+`)
+	outer := r.Analysis.LoopByLabel("L1")
+	inner := r.Analysis.LoopByLabel("L2")
+	if ok, blocking := InterchangeLegal(r, outer, inner); !ok {
+		t.Errorf("wavefront interchange should be legal: %v", blocking)
+	}
+
+	// A true (<, >) dependence: with subscript 100i - j, a read offset
+	// of -101 is hit from (i+1, j-1) — distance (1, -1).
+	r = analyze(t, `
+L1: for i = 1 to 8 {
+    L2: for j = 1 to 8 {
+        a[i * 100 - j] = a[i * 100 - j - 101] + 1
+    }
+}
+`)
+	outer = r.Analysis.LoopByLabel("L1")
+	inner = r.Analysis.LoopByLabel("L2")
+	if ok, _ := InterchangeLegal(r, outer, inner); ok {
+		t.Errorf("(<, >) dependence must block interchange:\n%s", r.Report())
+	}
+	// And the single-transformation fix: skew by 1, then interchange.
+	dists, okD := DistanceVectors2(r, outer, inner)
+	if !okD {
+		t.Fatalf("no exact distances:\n%s", r.Report())
+	}
+	if tm, okT := FindSkewedInterchange(dists, 4); !okT {
+		t.Error("skewed interchange should repair (1,-1)")
+	} else if tm == Interchange {
+		t.Error("plain interchange cannot be the answer here")
+	}
+}
+
+// TestUnimodularSkewedInterchange: a (1, -1) distance blocks plain
+// interchange but skew-by-1 then interchange is legal — "loop skewing
+// and loop interchanging as a single transformation" (§6.1).
+func TestUnimodularSkewedInterchange(t *testing.T) {
+	dists := [][2]int64{{1, -1}}
+	if UnimodularLegal(Interchange, dists) {
+		t.Error("plain interchange must be illegal for (1,-1)")
+	}
+	tm, ok := FindSkewedInterchange(dists, 4)
+	if !ok {
+		t.Fatal("no legal skew found")
+	}
+	if got := tm.Apply([2]int64{1, -1}); !(got[0] > 0 || (got[0] == 0 && got[1] >= 0)) {
+		t.Errorf("transformed distance %v not lex positive", got)
+	}
+	if tm.Det() != -1 && tm.Det() != 1 {
+		t.Errorf("determinant = %d, want ±1", tm.Det())
+	}
+
+	// The wavefront pair needs no skew at all.
+	tm2, ok := FindSkewedInterchange([][2]int64{{1, 0}, {0, 1}}, 4)
+	if !ok || tm2 != Interchange {
+		t.Errorf("wavefront should interchange with f=0, got %v (%v)", tm2, ok)
+	}
+}
+
+// TestUnimodularFromAnalysis wires the pieces end to end: extract exact
+// distance vectors from the L23 rectangular nest and check interchange
+// legality through the matrix machinery.
+func TestUnimodularFromAnalysis(t *testing.T) {
+	r := analyze(t, `
+L23: for i = 1 to 9 {
+    L24: for j = 1 to 9 {
+        a[i * 1000 + j] = a[i * 1000 + j - 1000]
+    }
+}
+`)
+	outer := r.Analysis.LoopByLabel("L23")
+	inner := r.Analysis.LoopByLabel("L24")
+	dists, ok := DistanceVectors2(r, outer, inner)
+	if !ok || len(dists) == 0 {
+		t.Fatalf("no exact distances: %v %v", dists, ok)
+	}
+	for _, d := range dists {
+		if d != [2]int64{1, 0} {
+			t.Errorf("distance = %v, want (1, 0)", d)
+		}
+	}
+	if !UnimodularLegal(Interchange, dists) {
+		t.Error("(1,0) should interchange legally")
+	}
+}
+
+// TestMatrixOps covers the algebra helpers.
+func TestMatrixOps(t *testing.T) {
+	if Interchange.Det() != -1 {
+		t.Error("interchange det")
+	}
+	if Skew(3).Det() != 1 {
+		t.Error("skew det")
+	}
+	// Skew then interchange: rows swapped after adding 3i to j.
+	tm := Skew(3).Mul(Interchange)
+	if got := tm.Apply([2]int64{1, 0}); got != [2]int64{3, 1} {
+		t.Errorf("composite apply = %v", got)
+	}
+	if tm.String() == "" {
+		t.Error("empty string rendering")
+	}
+}

@@ -1,0 +1,358 @@
+package depend
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"beyondiv/internal/interp"
+	"beyondiv/internal/ir"
+	"beyondiv/internal/iv"
+	"beyondiv/internal/loops"
+	"beyondiv/internal/progen"
+)
+
+// The dependence oracle executes the program, records every array
+// access with its cell and iteration vector, and checks that each
+// observed conflict (two accesses to one cell, at least one write) is
+// covered by a reported dependence whose direction vector, modular
+// constraint, and wrap-around flag admit the observed pair. A conflict
+// with no covering dependence is a soundness bug.
+
+type event struct {
+	access *Access
+	index  int64
+	iters  map[*loops.Loop]int64
+	seq    int
+}
+
+func runDepOracle(t *testing.T, src string, params map[string]int64) {
+	t.Helper()
+	a, err := iv.AnalyzeProgram(src)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	r := Analyze(a, Options{})
+
+	byValue := map[*ir.Value]*Access{}
+	for _, ac := range r.Accesses {
+		byValue[ac.Value] = ac
+	}
+
+	iter := map[*loops.Loop]int64{}
+	curVals := map[*ir.Value]int64{}
+	var events []event
+	seq := 0
+
+	hooks := interp.Hooks{
+		OnBlock: func(b *ir.Block) {
+			for _, l := range a.Forest.Loops {
+				if l.Header == b {
+					iter[l]++
+				}
+				if l.Preheader() == b {
+					iter[l] = -1
+				}
+			}
+		},
+		OnEval: func(v *ir.Value, val int64) {
+			curVals[v] = val
+			ac, ok := byValue[v]
+			if !ok {
+				return
+			}
+			snap := map[*loops.Loop]int64{}
+			for l := ac.Loop; l != nil; l = l.Parent {
+				snap[l] = iter[l]
+			}
+			seq++
+			events = append(events, event{
+				access: ac,
+				index:  curVals[v.Args[0]],
+				iters:  snap,
+				seq:    seq,
+			})
+		},
+	}
+	if _, err := interp.RunSSAHooked(a.SSA, interp.Config{Params: params, MaxSteps: 200_000}, hooks); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	checkCoverage(t, src, a, r, events)
+}
+
+var depOracleParams = map[string]int64{"n": 9, "m": 25, "c": 2, "k": 3}
+
+// TestDepOracleCurated covers the §6 examples and assorted access
+// patterns.
+func TestDepOracleCurated(t *testing.T) {
+	corpus := []string{
+		// L21.
+		"i = 0\nj = 3\nL21: loop { i = i + 1\na[i] = a[j - 1]\nj = j + 2\nif i > 40 { exit } }",
+		// L22 periodic.
+		"j = 1\nk = 2\nL22: for it = 1 to n { a[2 * j] = a[2 * k]\ntemp = j\nj = k\nk = temp }",
+		// Rotation of three.
+		"j = 1\nk = 2\nl = 3\nL13: for it = 1 to n { a[j] = a[k] + a[l]\nt = j\nj = k\nk = l\nl = t }",
+		// Pack loop (Figure 10).
+		"k = 0\nL15: for i = 1 to n { f[k] = a[i]\nif a[i] > 0 { k = k + 1\nb[k] = a[i]\ne[i] = b[k] }\ng[i] = f[k] }",
+		// Wrap-around (L9).
+		"iml = n\nL9: for i = 1 to n { a[i] = a[iml] + 1\niml = i }",
+		// Classic affine shapes.
+		"L1: for i = 1 to 30 { a[i] = a[i - 1] + 1 }",
+		"L1: for i = 1 to 30 { a[i] = a[i] + 1 }",
+		"L1: for i = 1 to 30 { a[2 * i] = a[2 * i + 1] }",
+		"L1: for i = 1 to 30 { a[31 - i] = a[i] }",
+		"L1: for i = 1 to 10 { a[5] = a[5] + i }",
+		// Nests.
+		"L23: for i = 1 to 9 { L24: for j = 1 to 9 { a[i * 100 + j] = a[i * 100 + j - 100] } }",
+		"L23: for i = 1 to 9 { L24: for j = i + 1 to 9 { a[i * 100 + j] = a[i * 100 + j - 100] } }",
+		// Triangular with quadratic subscripts (falls back to assumed).
+		"s = 0\nL1: for i = 1 to 9 { L2: for j = 1 to i { s = s + 1\na[s] = a[s - 1] } }",
+		// Cross-loop.
+		"L1: for i = 1 to 10 { a[i] = i }\nL2: for j = 5 to 15 { b[j] = a[j] }",
+		// Symbolic bounds.
+		"L1: for i = 1 to n { a[i] = a[i + 1] }",
+		"L1: for i = 1 to n { a[i] = a[i + n] }",
+		// Boundary iterations: the increment above a mid-loop exit test
+		// runs count+1 times, and the only conflicts sit at that final
+		// pass (regression tests for the per-access iteration bounds).
+		"i = 0\nL1: loop { i = i + 1\na[i] = a[40] + 1\nif i > 39 { exit } }",
+		"i = 0\nL1: loop { i = i + 1\na[40] = a[i]\nif i > 39 { exit } }",
+		"i = 0\nL1: loop { i = i + 1\nif i > 20 { exit }\na[i] = a[21] }",
+		// Multi-exit loops bounded only by a §5.2 maximum trip count.
+		"i = 0\nL1: loop { i = i + 1\na[i] = a[i + 30]\nif a[i] > 2 { exit }\nif i > 25 { exit } }",
+		// Composite periodic+affine subscripts (plane selectors).
+		"cur = 1\nold = 2\nL1: for sweep = 1 to 6 { L2: for i = 1 to 10 { plane[cur * 16 + i] = plane[old * 16 + i] + 1 }\nt = cur\ncur = old\nold = t }",
+		"cur = 1\nold = 2\nL1: for sweep = 1 to 6 { L2: for i = 1 to 10 { plane[cur * 16 + i] = plane[old * 16 + i + 1] + 1 }\ncur = 3 - cur\nold = 3 - old }",
+		// Polynomial and geometric subscripts (closed-form evaluation).
+		"j = 0\nL1: for i = 1 to 12 { j = j + i\na[j] = a[j] + 1 }",
+		"j = 0\nL1: for i = 1 to 12 { j = j + i\na[j] = i\nb[i] = a[6] }",
+		"x = 1\nL1: for i = 1 to 10 { x = x * 2\na[x] = a[8] + 1 }",
+		"j = 0\nL1: for i = 1 to 10 { j = j + i\na[j] = a[j - 1] }",
+	}
+	for _, src := range corpus {
+		runDepOracle(t, src, depOracleParams)
+	}
+}
+
+// TestDepOracleGrid sweeps stride/offset combinations through the exact
+// and GCD paths.
+func TestDepOracleGrid(t *testing.T) {
+	for _, sa := range []int{1, 2, 3} {
+		for _, sb := range []int{1, 2, 3} {
+			for _, off := range []int{-3, -1, 0, 1, 2, 5} {
+				src := fmt.Sprintf(
+					"L1: for i = 1 to 12 { a[%d * i] = a[%d * i + %d] }", sa, sb, off)
+				runDepOracle(t, src, depOracleParams)
+			}
+		}
+	}
+}
+
+// TestDepOracleTwoLoops sweeps 2-D shapes.
+func TestDepOracleTwoLoops(t *testing.T) {
+	shapes := []string{
+		"L1: for i = 1 to 6 { L2: for j = 1 to 6 { a[%d * i + j] = a[%d * i + j + %d] } }",
+	}
+	for _, shape := range shapes {
+		for _, ca := range []int{6, 7} {
+			for _, off := range []int{-7, -1, 0, 1, 6} {
+				src := fmt.Sprintf(shape, ca, ca, off)
+				runDepOracle(t, src, depOracleParams)
+			}
+		}
+	}
+}
+
+// TestQuickDepOracle runs the coverage oracle over randomly generated
+// programs: every observed memory conflict in any generated loop nest
+// must be admitted by a reported dependence.
+func TestQuickDepOracle(t *testing.T) {
+	gen := progen.New()
+	params := map[string]int64{"n": 7, "m": 11, "x": 2, "y": -1, "i": 1, "j": 2, "k": 3, "l": 4, "t": 5}
+	count := 0
+	for seed := int64(0); count < 250 && seed < 4000; seed++ {
+		src := gen.Program(seed)
+		if !strings.Contains(src, "[") {
+			continue // no array accesses: nothing to check
+		}
+		count++
+		runDepOracleLenient(t, src, params)
+		if t.Failed() {
+			t.Fatalf("seed %d failed", seed)
+		}
+	}
+	if count < 100 {
+		t.Fatalf("only %d programs had arrays", count)
+	}
+}
+
+// runDepOracleLenient is runDepOracle tolerating interpreter step
+// limits (generated programs may spin).
+func runDepOracleLenient(t *testing.T, src string, params map[string]int64) {
+	t.Helper()
+	a, err := iv.AnalyzeProgram(src)
+	if err != nil {
+		t.Fatalf("analyze: %v\n%s", err, src)
+	}
+	r := Analyze(a, Options{})
+
+	byValue := map[*ir.Value]*Access{}
+	for _, ac := range r.Accesses {
+		byValue[ac.Value] = ac
+	}
+	iter := map[*loops.Loop]int64{}
+	curVals := map[*ir.Value]int64{}
+	var events []event
+	overflow := false
+
+	hooks := interp.Hooks{
+		OnBlock: func(b *ir.Block) {
+			for _, l := range a.Forest.Loops {
+				if l.Header == b {
+					iter[l]++
+				}
+				if l.Preheader() == b {
+					iter[l] = -1
+				}
+			}
+		},
+		OnEval: func(v *ir.Value, val int64) {
+			curVals[v] = val
+			ac, ok := byValue[v]
+			if !ok || overflow {
+				return
+			}
+			if len(events) > 4000 {
+				overflow = true
+				return
+			}
+			snap := map[*loops.Loop]int64{}
+			for l := ac.Loop; l != nil; l = l.Parent {
+				snap[l] = iter[l]
+			}
+			events = append(events, event{access: ac, index: curVals[v.Args[0]], iters: snap})
+		},
+	}
+	if _, err := interp.RunSSAHooked(a.SSA, interp.Config{Params: params, MaxSteps: 60_000}, hooks); err != nil {
+		return // step limit: skip
+	}
+	if overflow {
+		return
+	}
+	checkCoverage(t, src, a, r, events)
+}
+
+// checkCoverage is the shared coverage check over recorded events.
+func checkCoverage(t *testing.T, src string, a *iv.Analysis, r *Result, events []event) {
+	t.Helper()
+	wrapOrder := func(ac *Access) int {
+		if ac.Loop == nil {
+			return 0
+		}
+		cls := a.ClassOf(ac.Loop, ac.Value.Args[0])
+		if cls.Kind == iv.WrapAround {
+			return cls.Order
+		}
+		return 0
+	}
+	covered := func(e1, e2 event) bool {
+		for _, d := range r.Deps {
+			if d.Src != e1.access || d.Dst != e2.access {
+				continue
+			}
+			ok := true
+			for i, l := range d.Loops {
+				h1, ok1 := e1.iters[l]
+				h2, ok2 := e2.iters[l]
+				if !ok1 || !ok2 {
+					ok = false
+					break
+				}
+				var rel Dir
+				switch {
+				case h1 < h2:
+					rel = DirLT
+				case h1 == h2:
+					rel = DirEQ
+				default:
+					rel = DirGT
+				}
+				if d.Dirs[i]&rel == 0 {
+					ok = false
+					break
+				}
+				if d.Modulus > 1 && i == len(d.Loops)-1 {
+					if int((h2-h1)%int64(d.Modulus)+int64(d.Modulus))%d.Modulus != d.Residue {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	cells := map[string][]event{}
+	for _, e := range events {
+		key := fmt.Sprintf("%s@%d", e.access.Array, e.index)
+		cells[key] = append(cells[key], e)
+	}
+	misses := 0
+	for key, evs := range cells {
+		for i := 0; i < len(evs); i++ {
+			for j := i + 1; j < len(evs); j++ {
+				e1, e2 := evs[i], evs[j]
+				if !e1.access.Write && !e2.access.Write {
+					continue
+				}
+				tol := false
+				for _, e := range []event{e1, e2} {
+					if o := wrapOrder(e.access); o > 0 && e.access.Loop != nil && e.iters[e.access.Loop] < int64(o) {
+						tol = true
+					}
+				}
+				if tol {
+					continue
+				}
+				if !covered(e1, e2) {
+					misses++
+					if misses <= 3 {
+						t.Errorf("uncovered conflict on %s: %s (iters %v) then %s (iters %v)\nprogram:\n%s\ndeps:\n%s",
+							key, e1.access, e1.iters, e2.access, e2.iters, src, r.Report())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuickDepOracleWorkloads stresses the decision paths with
+// generated IV-shaped subscripts: affine strides, wrap-arounds,
+// periodic selectors, monotonic packs, polynomial accumulators.
+func TestQuickDepOracleWorkloads(t *testing.T) {
+	params := map[string]int64{"n": 7}
+	for seed := int64(0); seed < 200; seed++ {
+		src := progen.DepWorkload(seed)
+		runDepOracleLenient(t, src, params)
+		if t.Failed() {
+			t.Fatalf("seed %d failed", seed)
+		}
+	}
+}
+
+// TestDepOracleBranches targets intra-iteration ordering across
+// branches and joins (regression for the Access.Order fix).
+func TestDepOracleBranches(t *testing.T) {
+	corpus := []string{
+		"L1: for i = 1 to 20 { if a[i] > 0 { c[i] = 1 } else { d[i] = i }\ne[i] = d[i] }",
+		"L1: for i = 1 to 20 { if a[i] > 0 { d[i] = 1 } else { d[i] = 2 }\ne[i] = d[i] }",
+		"L1: for i = 1 to 20 { x = d[i]\nif a[i] > 0 { d[i] = x + 1 } else { d[i + 1] = x } }",
+		"L1: for i = 1 to 12 { if a[i] > 0 { w[i] = i } \nif a[i + 1] > 0 { z[i] = w[i - 1] } }",
+	}
+	for _, src := range corpus {
+		runDepOracle(t, src, depOracleParams)
+	}
+}

@@ -1,0 +1,142 @@
+package dom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/ir"
+	"beyondiv/internal/parse"
+	"beyondiv/internal/progen"
+)
+
+// slowPostDominates: a postdominates b iff removing a makes Exit
+// unreachable from b (or a == b), for blocks that can reach Exit.
+func slowPostDominates(f *ir.Func, a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	seen := map[*ir.Block]bool{a: true}
+	var stack []*ir.Block
+	if b != a {
+		stack = append(stack, b)
+		seen[b] = true
+	}
+	reached := false
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == f.Exit {
+			reached = true
+			break
+		}
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return !reached
+}
+
+// canReachExit without removals.
+func canReachExit(f *ir.Func, b *ir.Block) bool {
+	seen := map[*ir.Block]bool{b: true}
+	stack := []*ir.Block{b}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == f.Exit {
+			return true
+		}
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func checkPostAgainstOracle(t *testing.T, src string) {
+	t.Helper()
+	file, err := parse.File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cfgbuild.Build(file).Func
+	pt := NewPost(f)
+	for _, a := range f.Blocks {
+		for _, b := range f.Blocks {
+			if !canReachExit(f, a) || !canReachExit(f, b) {
+				continue // tree leaves these unrelated; oracle undefined
+			}
+			want := slowPostDominates(f, a, b)
+			if got := pt.Dominates(a, b); got != want {
+				t.Errorf("PostDominates(%s,%s) = %v, oracle %v in\n%s", a, b, got, want, f)
+			}
+		}
+	}
+}
+
+func TestPostDominatorsBasic(t *testing.T) {
+	checkPostAgainstOracle(t, "i = 1\nif x > 0 { i = 2 } else { i = 3 }\nj = i\n")
+	checkPostAgainstOracle(t, "for i = 1 to n { if a[i] > 0 { k = k + 1 } }\n")
+	checkPostAgainstOracle(t, "i = 0\nloop { i = i + 1\nif i > 10 { exit }\nj = j + 1 }\n")
+}
+
+func TestPostDominatorsConditional(t *testing.T) {
+	// The join block postdominates both branches; the then-block
+	// postdominates nothing but itself.
+	file := parse.MustParse("if x > 0 { k = 1 } else { k = 2 }\nm = k\n")
+	f := cfgbuild.Build(file).Func
+	pt := NewPost(f)
+	var then, els, join *ir.Block
+	for _, b := range f.Blocks {
+		switch b.Comment {
+		case "if.then":
+			then = b
+		case "if.else":
+			els = b
+		case "if.join":
+			join = b
+		}
+	}
+	if !pt.Dominates(join, then) || !pt.Dominates(join, els) {
+		t.Error("join must postdominate both branches")
+	}
+	if pt.Dominates(then, f.Entry) {
+		t.Error("a branch must not postdominate the entry")
+	}
+	if !pt.Dominates(f.Exit, f.Entry) {
+		t.Error("exit postdominates everything that reaches it")
+	}
+}
+
+func TestQuickPostDominatorOracle(t *testing.T) {
+	gen := progen.New()
+	prop := func(seed int64) bool {
+		file, err := parse.File(gen.Program(seed))
+		if err != nil {
+			return false
+		}
+		f := cfgbuild.Build(file).Func
+		pt := NewPost(f)
+		for _, a := range f.Blocks {
+			for _, b := range f.Blocks {
+				if !canReachExit(f, a) || !canReachExit(f, b) {
+					continue
+				}
+				if pt.Dominates(a, b) != slowPostDominates(f, a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

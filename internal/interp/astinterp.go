@@ -1,0 +1,242 @@
+package interp
+
+import (
+	"fmt"
+
+	"beyondiv/internal/ast"
+	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/token"
+)
+
+// RunAST executes the program with the reference AST interpreter.
+func RunAST(file *ast.File, cfg Config) (*Result, error) {
+	in := &astInterp{
+		cfg:   cfg,
+		env:   map[string]int64{},
+		mem:   newMemory(cfg.arrays()),
+		limit: cfg.maxSteps(),
+	}
+	err := in.stmts(file.Stmts)
+	if err == errLoopExit {
+		// `exit` outside any loop ends the program, matching cfgbuild.
+		err = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Scalars: in.env, Writes: in.mem.trace}, nil
+}
+
+// errLoopExit is the sentinel unwinding an `exit` statement to the
+// innermost loop (or the whole program).
+var errLoopExit = fmt.Errorf("interp: loop exit")
+
+type astInterp struct {
+	cfg   Config
+	env   map[string]int64
+	mem   *memory
+	steps int
+	limit int
+}
+
+func (in *astInterp) tick() error {
+	in.steps++
+	if in.steps > in.limit {
+		return ErrStepLimit
+	}
+	return nil
+}
+
+func (in *astInterp) readScalar(name string) int64 {
+	if v, ok := in.env[name]; ok {
+		return v
+	}
+	v := in.cfg.Params[name]
+	// Materialize so the final environment lists referenced params,
+	// mirroring SSA Param values.
+	in.env[name] = v
+	return v
+}
+
+func (in *astInterp) stmts(list []ast.Stmt) error {
+	for _, s := range list {
+		if err := in.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *astInterp) stmt(s ast.Stmt) error {
+	if err := in.tick(); err != nil {
+		return err
+	}
+	switch v := s.(type) {
+	case *ast.Assign:
+		val, err := in.expr(v.RHS)
+		if err != nil {
+			return err
+		}
+		switch lhs := v.LHS.(type) {
+		case *ast.Ident:
+			in.env[lhs.Name] = val
+		case *ast.Index:
+			idx, err := in.expr(lhs.Sub)
+			if err != nil {
+				return err
+			}
+			in.mem.store(lhs.Name, idx, val)
+		}
+		return nil
+
+	case *ast.For:
+		lo, err := in.expr(v.Lo)
+		if err != nil {
+			return err
+		}
+		in.env[v.Var.Name] = lo
+		stayGeq := v.Step != nil && cfgbuild.ConstStepSign(v.Step) < 0
+		for {
+			if err := in.tick(); err != nil {
+				return err
+			}
+			hi, err := in.expr(v.Hi)
+			if err != nil {
+				return err
+			}
+			cur := in.readScalar(v.Var.Name)
+			stay := cur <= hi
+			if stayGeq {
+				stay = cur >= hi
+			}
+			if !stay {
+				return nil
+			}
+			if err := in.stmts(v.Body.Stmts); err != nil {
+				if err == errLoopExit {
+					return nil
+				}
+				return err
+			}
+			step := int64(1)
+			if v.Step != nil {
+				step, err = in.expr(v.Step)
+				if err != nil {
+					return err
+				}
+			}
+			in.env[v.Var.Name] = in.readScalar(v.Var.Name) + step
+		}
+
+	case *ast.Loop:
+		for {
+			if err := in.tick(); err != nil {
+				return err
+			}
+			if err := in.stmts(v.Body.Stmts); err != nil {
+				if err == errLoopExit {
+					return nil
+				}
+				return err
+			}
+		}
+
+	case *ast.While:
+		for {
+			if err := in.tick(); err != nil {
+				return err
+			}
+			c, err := in.expr(v.Cond)
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				return nil
+			}
+			if err := in.stmts(v.Body.Stmts); err != nil {
+				if err == errLoopExit {
+					return nil
+				}
+				return err
+			}
+		}
+
+	case *ast.If:
+		c, err := in.expr(v.Cond)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return in.stmts(v.Then.Stmts)
+		}
+		if v.Else != nil {
+			return in.stmts(v.Else.Stmts)
+		}
+		return nil
+
+	case *ast.Exit:
+		return errLoopExit
+
+	case *ast.Block:
+		return in.stmts(v.Stmts)
+	}
+	panic(fmt.Sprintf("interp: unknown statement %T", s))
+}
+
+func (in *astInterp) expr(e ast.Expr) (int64, error) {
+	if err := in.tick(); err != nil {
+		return 0, err
+	}
+	switch v := e.(type) {
+	case *ast.Num:
+		return v.Value, nil
+	case *ast.Ident:
+		return in.readScalar(v.Name), nil
+	case *ast.Index:
+		idx, err := in.expr(v.Sub)
+		if err != nil {
+			return 0, err
+		}
+		return in.mem.load(v.Name, idx), nil
+	case *ast.Unary:
+		x, err := in.expr(v.X)
+		if err != nil {
+			return 0, err
+		}
+		return -x, nil
+	case *ast.Bin:
+		x, err := in.expr(v.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := in.expr(v.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case token.PLUS:
+			return x + y, nil
+		case token.MINUS:
+			return x - y, nil
+		case token.STAR:
+			return x * y, nil
+		case token.SLASH:
+			return evalDiv(x, y), nil
+		case token.POW:
+			return evalExp(x, y), nil
+		case token.LT:
+			return compare("<", x, y), nil
+		case token.LE:
+			return compare("<=", x, y), nil
+		case token.GT:
+			return compare(">", x, y), nil
+		case token.GE:
+			return compare(">=", x, y), nil
+		case token.EQ:
+			return compare("==", x, y), nil
+		case token.NE:
+			return compare("!=", x, y), nil
+		}
+	}
+	panic(fmt.Sprintf("interp: unknown expression %T", e))
+}

@@ -1,0 +1,341 @@
+// Package ir defines the intermediate representation the analyses run on:
+// a control-flow graph of basic blocks holding tuple instructions.
+//
+// The instruction set follows the paper's Figure 2: AD (add), SB
+// (subtract), MP (multiply), DV (divide), EX (exponentiate), NG (negate),
+// PH (φ-function), LD/ST (loads and stores), and LT (literal), extended
+// with comparisons for branch conditions, Copy for direct scalar moves
+// (so that families of variables remain visible, as in the paper's
+// examples), and Param for symbolic inputs such as `n`.
+//
+// Before SSA construction, scalar accesses appear as LoadVar/StoreVar
+// instructions; SSA renaming (internal/ssa) removes them, introducing Phi
+// values and rewriting uses to refer to definitions directly, which is
+// the "SSA graph" the classifier traverses.
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"beyondiv/internal/token"
+)
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. The two-letter names in comments are the paper's Figure 2
+// mnemonics.
+const (
+	OpInvalid Op = iota
+
+	OpConst // LT: integer literal; Aux.Const
+	OpParam // symbolic program input (read before any write); Aux.Var
+
+	OpAdd // AD: Args[0] + Args[1]
+	OpSub // SB: Args[0] - Args[1]
+	OpMul // MP: Args[0] * Args[1]
+	OpDiv // DV: Args[0] / Args[1] (truncated integer division)
+	OpExp // EX: Args[0] ** Args[1]
+	OpNeg // NG: -Args[0]
+
+	OpPhi  // PH: one argument per predecessor, in predecessor order
+	OpCopy // direct scalar move x = y; kept so families stay visible
+
+	OpLoadVar  // scalar load (pre-SSA only); Aux.Var
+	OpStoreVar // scalar store (pre-SSA only); Aux.Var, Args[0] = value
+
+	OpLoadElem  // LD indexed: Aux.Var, Args[0] = subscript
+	OpStoreElem // ST indexed: Aux.Var, Args[0] = subscript, Args[1] = value
+
+	OpLess    // Args[0] <  Args[1] (1 or 0)
+	OpLeq     // Args[0] <= Args[1]
+	OpGreater // Args[0] >  Args[1]
+	OpGeq     // Args[0] >= Args[1]
+	OpEq      // Args[0] == Args[1]
+	OpNeq     // Args[0] != Args[1]
+)
+
+var opNames = [...]string{
+	OpInvalid:   "Invalid",
+	OpConst:     "Const",
+	OpParam:     "Param",
+	OpAdd:       "Add",
+	OpSub:       "Sub",
+	OpMul:       "Mul",
+	OpDiv:       "Div",
+	OpExp:       "Exp",
+	OpNeg:       "Neg",
+	OpPhi:       "Phi",
+	OpCopy:      "Copy",
+	OpLoadVar:   "LoadVar",
+	OpStoreVar:  "StoreVar",
+	OpLoadElem:  "LoadElem",
+	OpStoreElem: "StoreElem",
+	OpLess:      "Less",
+	OpLeq:       "Leq",
+	OpGreater:   "Greater",
+	OpGeq:       "Geq",
+	OpEq:        "Eq",
+	OpNeq:       "Neq",
+}
+
+// String returns the opcode mnemonic.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", int(op))
+}
+
+// IsCompare reports whether op is a relational operator.
+func (op Op) IsCompare() bool { return op >= OpLess && op <= OpNeq }
+
+// IsArith reports whether op is an arithmetic operator.
+func (op Op) IsArith() bool { return op >= OpAdd && op <= OpNeg }
+
+// Value is one instruction; it names the value it computes. Stores
+// compute their stored value (the paper: "a store always takes the
+// classification of the value being stored").
+type Value struct {
+	ID    int
+	Op    Op
+	Args  []*Value
+	Block *Block
+	Const int64  // OpConst only
+	Var   string // variable or array name for Param/Load*/Store*
+	Name  string // SSA name like "i2", assigned by renaming; may be empty
+	Pos   token.Pos
+}
+
+// ArgIndexOf returns the position of arg within v.Args, or -1.
+func (v *Value) ArgIndexOf(arg *Value) int {
+	for i, a := range v.Args {
+		if a == arg {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReplaceArg substitutes every occurrence of old in v.Args with new.
+func (v *Value) ReplaceArg(old, new *Value) {
+	for i, a := range v.Args {
+		if a == old {
+			v.Args[i] = new
+		}
+	}
+}
+
+// String renders the value reference (its SSA name if set, else vNN).
+func (v *Value) String() string {
+	if v == nil {
+		return "<nil>"
+	}
+	if v.Name != "" {
+		return v.Name
+	}
+	return fmt.Sprintf("v%d", v.ID)
+}
+
+// LongString renders the full defining instruction.
+func (v *Value) LongString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s = %s", v, v.Op)
+	switch v.Op {
+	case OpConst:
+		fmt.Fprintf(&sb, " %d", v.Const)
+	case OpParam, OpLoadVar:
+		fmt.Fprintf(&sb, " %s", v.Var)
+	case OpStoreVar, OpLoadElem, OpStoreElem:
+		fmt.Fprintf(&sb, " %s", v.Var)
+	}
+	for _, a := range v.Args {
+		fmt.Fprintf(&sb, " %s", a)
+	}
+	return sb.String()
+}
+
+// BlockKind says how a block transfers control.
+type BlockKind uint8
+
+// Block kinds.
+const (
+	BlockPlain BlockKind = iota // one successor, unconditional
+	BlockIf                     // two successors: taken (Succs[0]) if Control != 0
+	BlockExit                   // no successors: program end
+)
+
+// Block is a basic block.
+type Block struct {
+	ID      int
+	Kind    BlockKind
+	Values  []*Value
+	Control *Value // condition for BlockIf
+	Succs   []*Block
+	Preds   []*Block
+	Comment string // diagnostic label: "loop.header", "if.then", ...
+}
+
+// AddEdge links b -> s, maintaining both adjacency lists.
+func (b *Block) AddEdge(s *Block) {
+	b.Succs = append(b.Succs, s)
+	s.Preds = append(s.Preds, b)
+}
+
+// PredIndexOf returns the position of p in b.Preds, or -1. Phi arguments
+// are ordered to match Preds, so this is the φ-argument slot for values
+// flowing in from p.
+func (b *Block) PredIndexOf(p *Block) int {
+	for i, q := range b.Preds {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// String returns "bNN".
+func (b *Block) String() string { return fmt.Sprintf("b%d", b.ID) }
+
+// Func is a whole program in CFG form. Entry has no predecessors; Exit
+// is the unique BlockExit block.
+type Func struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+
+	nextValueID int
+	nextBlockID int
+}
+
+// NewFunc returns an empty function.
+func NewFunc() *Func { return &Func{} }
+
+// NewBlock appends a fresh block of the given kind.
+func (f *Func) NewBlock(kind BlockKind) *Block {
+	b := &Block{ID: f.nextBlockID, Kind: kind}
+	f.nextBlockID++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewValue appends a fresh value to block b.
+func (f *Func) NewValue(b *Block, op Op, args ...*Value) *Value {
+	v := &Value{ID: f.nextValueID, Op: op, Args: args, Block: b}
+	f.nextValueID++
+	b.Values = append(b.Values, v)
+	return v
+}
+
+// NumValues returns an upper bound on value IDs (suitable for dense
+// value-indexed tables).
+func (f *Func) NumValues() int { return f.nextValueID }
+
+// NumBlocks returns an upper bound on block IDs.
+func (f *Func) NumBlocks() int { return f.nextBlockID }
+
+// String renders the function with blocks in ID order.
+func (f *Func) String() string {
+	var sb strings.Builder
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:", b)
+		if b.Comment != "" {
+			fmt.Fprintf(&sb, " ; %s", b.Comment)
+		}
+		if len(b.Preds) > 0 {
+			sb.WriteString(" ; preds:")
+			for _, p := range b.Preds {
+				fmt.Fprintf(&sb, " %s", p)
+			}
+		}
+		sb.WriteByte('\n')
+		for _, v := range b.Values {
+			fmt.Fprintf(&sb, "    %s\n", v.LongString())
+		}
+		switch b.Kind {
+		case BlockPlain:
+			if len(b.Succs) > 0 {
+				fmt.Fprintf(&sb, "    -> %s\n", b.Succs[0])
+			}
+		case BlockIf:
+			fmt.Fprintf(&sb, "    if %s -> %s else %s\n", b.Control, b.Succs[0], b.Succs[1])
+		case BlockExit:
+			sb.WriteString("    end\n")
+		}
+	}
+	return sb.String()
+}
+
+// Postorder returns the blocks reachable from Entry in postorder.
+func (f *Func) Postorder() []*Block {
+	seen := make([]bool, f.NumBlocks())
+	var order []*Block
+	var walk func(*Block)
+	// Iterative DFS to keep deep CFGs off the call stack.
+	type frame struct {
+		b    *Block
+		next int
+	}
+	walk = func(root *Block) {
+		stack := []frame{{b: root}}
+		seen[root.ID] = true
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			if fr.next < len(fr.b.Succs) {
+				s := fr.b.Succs[fr.next]
+				fr.next++
+				if !seen[s.ID] {
+					seen[s.ID] = true
+					stack = append(stack, frame{b: s})
+				}
+				continue
+			}
+			order = append(order, fr.b)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	walk(f.Entry)
+	return order
+}
+
+// ReversePostorder returns reachable blocks in reverse postorder, the
+// canonical iteration order for forward dataflow.
+func (f *Func) ReversePostorder() []*Block {
+	po := f.Postorder()
+	for i, j := 0, len(po)-1; i < j; i, j = i+1, j-1 {
+		po[i], po[j] = po[j], po[i]
+	}
+	return po
+}
+
+// Values returns all values of all blocks, in block ID then program
+// order. The slice is freshly allocated.
+func (f *Func) Values() []*Value {
+	var out []*Value
+	for _, b := range f.Blocks {
+		out = append(out, b.Values...)
+	}
+	return out
+}
+
+// VarNames returns the sorted set of scalar variable names referenced by
+// LoadVar/StoreVar/Param values.
+func (f *Func) VarNames() []string {
+	set := map[string]bool{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			switch v.Op {
+			case OpLoadVar, OpStoreVar, OpParam:
+				set[v.Var] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

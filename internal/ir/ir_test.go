@@ -1,0 +1,162 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		OpAdd: "Add", OpSub: "Sub", OpMul: "Mul", OpDiv: "Div",
+		OpExp: "Exp", OpNeg: "Neg", OpPhi: "Phi", OpConst: "Const",
+		OpLoadElem: "LoadElem", OpStoreElem: "StoreElem",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%d.String() = %s, want %s", op, op, want)
+		}
+	}
+	if Op(200).String() == "" {
+		t.Error("unknown op should still render")
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	for _, op := range []Op{OpLess, OpLeq, OpGreater, OpGeq, OpEq, OpNeq} {
+		if !op.IsCompare() {
+			t.Errorf("%s should be a compare", op)
+		}
+		if op.IsArith() {
+			t.Errorf("%s should not be arith", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpSub, OpMul, OpDiv, OpExp, OpNeg} {
+		if !op.IsArith() {
+			t.Errorf("%s should be arith", op)
+		}
+		if op.IsCompare() {
+			t.Errorf("%s should not be a compare", op)
+		}
+	}
+	if OpPhi.IsArith() || OpPhi.IsCompare() {
+		t.Error("Phi is neither arith nor compare")
+	}
+}
+
+func TestBuildAndPrint(t *testing.T) {
+	f := NewFunc()
+	entry := f.NewBlock(BlockPlain)
+	f.Entry = entry
+	exit := f.NewBlock(BlockExit)
+	f.Exit = exit
+	entry.AddEdge(exit)
+
+	c := f.NewValue(entry, OpConst)
+	c.Const = 42
+	p := f.NewValue(entry, OpParam)
+	p.Var = "n"
+	p.Name = "n1"
+	add := f.NewValue(entry, OpAdd, c, p)
+	add.Name = "x1"
+
+	s := f.String()
+	for _, want := range []string{"b0:", "Const 42", "n1 = Param n", "x1 = Add", "-> b1", "end"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed func missing %q:\n%s", want, s)
+		}
+	}
+	if add.LongString() != "x1 = Add v0 n1" {
+		t.Errorf("LongString = %q", add.LongString())
+	}
+}
+
+func TestArgHelpers(t *testing.T) {
+	f := NewFunc()
+	b := f.NewBlock(BlockPlain)
+	a := f.NewValue(b, OpConst)
+	c := f.NewValue(b, OpConst)
+	add := f.NewValue(b, OpAdd, a, a)
+	if add.ArgIndexOf(a) != 0 {
+		t.Error("ArgIndexOf wrong")
+	}
+	if add.ArgIndexOf(c) != -1 {
+		t.Error("ArgIndexOf should miss")
+	}
+	add.ReplaceArg(a, c)
+	if add.Args[0] != c || add.Args[1] != c {
+		t.Error("ReplaceArg must replace all occurrences")
+	}
+}
+
+func TestEdgesAndPredIndex(t *testing.T) {
+	f := NewFunc()
+	a := f.NewBlock(BlockIf)
+	b := f.NewBlock(BlockPlain)
+	c := f.NewBlock(BlockPlain)
+	a.AddEdge(b)
+	a.AddEdge(c)
+	b.AddEdge(c)
+	if c.PredIndexOf(a) != 0 || c.PredIndexOf(b) != 1 {
+		t.Errorf("pred indices wrong: %d %d", c.PredIndexOf(a), c.PredIndexOf(b))
+	}
+	if b.PredIndexOf(c) != -1 {
+		t.Error("non-pred should be -1")
+	}
+}
+
+func TestPostorder(t *testing.T) {
+	// entry -> a -> exit, entry -> exit: postorder places entry last.
+	f := NewFunc()
+	entry := f.NewBlock(BlockIf)
+	f.Entry = entry
+	a := f.NewBlock(BlockPlain)
+	exit := f.NewBlock(BlockExit)
+	f.Exit = exit
+	entry.AddEdge(a)
+	entry.AddEdge(exit)
+	a.AddEdge(exit)
+
+	po := f.Postorder()
+	if len(po) != 3 || po[len(po)-1] != entry {
+		t.Errorf("postorder = %v", po)
+	}
+	rpo := f.ReversePostorder()
+	if rpo[0] != entry {
+		t.Errorf("rpo = %v", rpo)
+	}
+}
+
+func TestVarNames(t *testing.T) {
+	f := NewFunc()
+	b := f.NewBlock(BlockPlain)
+	for _, name := range []string{"z", "a", "m", "a"} {
+		v := f.NewValue(b, OpStoreVar)
+		v.Var = name
+	}
+	got := f.VarNames()
+	want := []string{"a", "m", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("VarNames = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("VarNames = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValuesAndCounts(t *testing.T) {
+	f := NewFunc()
+	b1 := f.NewBlock(BlockPlain)
+	b2 := f.NewBlock(BlockExit)
+	f.Entry, f.Exit = b1, b2
+	b1.AddEdge(b2)
+	f.NewValue(b1, OpConst)
+	f.NewValue(b2, OpConst)
+	if got := len(f.Values()); got != 2 {
+		t.Errorf("Values() len = %d", got)
+	}
+	if f.NumValues() != 2 || f.NumBlocks() != 2 {
+		t.Errorf("counts = %d, %d", f.NumValues(), f.NumBlocks())
+	}
+}

@@ -1,0 +1,132 @@
+package iv
+
+import (
+	"testing"
+
+	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/ir"
+	"beyondiv/internal/loops"
+	"beyondiv/internal/parse"
+	"beyondiv/internal/sccp"
+	"beyondiv/internal/ssa"
+)
+
+func analyzeOpts(t *testing.T, src string, opts Options) *Analysis {
+	t.Helper()
+	file, err := parse.File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cfgbuild.Build(file)
+	info := ssa.Build(res.Func)
+	forest := loops.Analyze(res.Func, info.Dom)
+	labels := map[*ir.Block]string{}
+	for _, li := range res.Loops {
+		labels[li.Header] = li.Label
+	}
+	forest.AttachLabels(labels)
+	return AnalyzeWithOptions(info, forest, sccp.Run(info), opts)
+}
+
+const l14Src = `
+j = 1
+m = 0
+L14: for i = 1 to n {
+    j = j + i
+    m = 3 * m + 2 * i + 1
+}
+`
+
+// TestAblationClosedForms: without the §4.3 machinery, kinds and orders
+// survive but coefficients disappear.
+func TestAblationClosedForms(t *testing.T) {
+	a := analyzeOpts(t, l14Src, Options{DisableClosedForms: true})
+	l := a.LoopByLabel("L14")
+	j2 := a.ClassOf(l, a.ValueByName("j2"))
+	if j2.Kind != Polynomial || j2.Order != 2 {
+		t.Fatalf("j2 = %s, want order-2 polynomial", j2)
+	}
+	if j2.Coeffs != nil {
+		t.Error("coefficients should be ablated away")
+	}
+	m2 := a.ClassOf(l, a.ValueByName("m2"))
+	if m2.Kind != Geometric || m2.Base != 3 || m2.Coeffs != nil {
+		t.Errorf("m2 = %s, want coefficient-free geometric base 3", m2)
+	}
+	// Control: full analysis has them.
+	full := analyzeOpts(t, l14Src, Options{})
+	if full.ClassOf(full.LoopByLabel("L14"), full.ValueByName("j2")).Coeffs == nil {
+		t.Error("full analysis lost its coefficients")
+	}
+}
+
+const fig7Src = `
+k = 0
+L17: loop {
+    i = 1
+    L18: loop {
+        k = k + 2
+        if i > 100 { exit }
+        i = i + 1
+    }
+    k = k + 2
+    if k > 100000 { exit }
+}
+`
+
+// TestAblationExitValues: without §5.3, the outer nested family
+// disappears while the inner one survives.
+func TestAblationExitValues(t *testing.T) {
+	a := analyzeOpts(t, fig7Src, Options{DisableExitValues: true})
+	inner := a.ClassOf(a.LoopByLabel("L18"), a.ValueByName("k3"))
+	if inner.Kind != Linear {
+		t.Errorf("inner k3 = %s, should survive the ablation", inner)
+	}
+	outer := a.ClassOf(a.LoopByLabel("L17"), a.ValueByName("k2"))
+	if outer.Kind != Unknown {
+		t.Errorf("outer k2 = %s, want unknown without exit values", outer)
+	}
+	full := analyzeOpts(t, fig7Src, Options{})
+	if full.ClassOf(full.LoopByLabel("L17"), full.ValueByName("k2")).Kind != Linear {
+		t.Error("full analysis should classify the outer family")
+	}
+}
+
+// TestAblationNoSCCP: without constant propagation, closed forms with
+// propagated starts degrade to symbolic.
+func TestAblationNoSCCP(t *testing.T) {
+	// The start flows through arithmetic, so only constant propagation
+	// can prove it (a bare copy would be folded by leafExpr already).
+	src := `
+start = 1
+j = start + 1
+L1: for i = 1 to n {
+    j = j + i
+}
+`
+	file, err := parse.File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cfgbuild.Build(file)
+	info := ssa.Build(res.Func)
+	forest := loops.Analyze(res.Func, info.Dom)
+	labels := map[*ir.Block]string{}
+	for _, li := range res.Loops {
+		labels[li.Header] = li.Label
+	}
+	forest.AttachLabels(labels)
+
+	bare := Analyze(info, forest, nil) // no sccp
+	l := bare.Forest.Loops[0]
+	j2 := bare.ClassOf(l, bare.ValueByName("j2"))
+	if j2.Kind != Polynomial || j2.Coeffs != nil {
+		t.Errorf("without sccp j2 = %s, want coefficient-free polynomial", j2)
+	}
+
+	full := analyzeOpts(t, src, Options{})
+	fj2 := full.ClassOf(full.LoopByLabel("L1"), full.ValueByName("j2"))
+	if fj2.Coeffs == nil {
+		t.Errorf("with sccp j2 = %s, want exact coefficients", fj2)
+	}
+}

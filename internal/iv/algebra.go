@@ -1,0 +1,501 @@
+package iv
+
+import (
+	"beyondiv/internal/ir"
+	"beyondiv/internal/loops"
+	"beyondiv/internal/rational"
+)
+
+// This file implements the "algebra of types and operators" of §5.1:
+// how classifications combine under the IR's operators. It is used both
+// for trivial SSA-graph nodes (non-cyclic values) and for evaluating the
+// cumulative effect of a strongly connected region.
+
+func unknown() *Classification { return &Classification{Kind: Unknown} }
+
+func invariant(l *loops.Loop, e *Expr) *Classification {
+	return &Classification{Kind: Invariant, Loop: l, Expr: e}
+}
+
+// numPoly views a classification as a numeric polynomial coefficient
+// vector over h (index k = coefficient of h^k), when possible.
+func numPoly(c *Classification) ([]rational.Rat, bool) {
+	switch c.Kind {
+	case Invariant:
+		if v, ok := c.Expr.ConstVal(); ok {
+			return []rational.Rat{v}, true
+		}
+	case Linear:
+		if i, s, ok := c.LinearConst(); ok {
+			return []rational.Rat{i, s}, true
+		}
+	case Polynomial:
+		if c.Coeffs != nil {
+			return c.Coeffs, true
+		}
+	}
+	return nil, false
+}
+
+// canonPoly builds the canonical classification for a numeric polynomial
+// coefficient vector: invariant for degree 0, linear for degree 1, and
+// Polynomial above.
+func canonPoly(l *loops.Loop, coeffs []rational.Rat) *Classification {
+	// Trim trailing zeros.
+	n := len(coeffs)
+	for n > 0 && coeffs[n-1].IsZero() {
+		n--
+	}
+	coeffs = coeffs[:n]
+	switch n {
+	case 0:
+		return invariant(l, IntExpr(0))
+	case 1:
+		return invariant(l, ConstExpr(coeffs[0]))
+	case 2:
+		return &Classification{Kind: Linear, Loop: l, Init: ConstExpr(coeffs[0]), Step: ConstExpr(coeffs[1])}
+	default:
+		cp := append([]rational.Rat(nil), coeffs...)
+		return &Classification{Kind: Polynomial, Loop: l, Order: n - 1, Coeffs: cp}
+	}
+}
+
+func addPolyVec(a, b []rational.Rat) []rational.Rat {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]rational.Rat, n)
+	zero := rational.FromInt(0)
+	for i := range out {
+		x, y := zero, zero
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		out[i] = x.Add(y)
+	}
+	return out
+}
+
+func mulPolyVec(a, b []rational.Rat) []rational.Rat {
+	out := make([]rational.Rat, len(a)+len(b)-1)
+	zero := rational.FromInt(0)
+	for i := range out {
+		out[i] = zero
+	}
+	for i, x := range a {
+		for j, y := range b {
+			out[i+j] = out[i+j].Add(x.Mul(y))
+		}
+	}
+	return out
+}
+
+func polyVecValid(a []rational.Rat) bool {
+	for _, r := range a {
+		if !r.Valid() {
+			return false
+		}
+	}
+	return true
+}
+
+// addCls implements classification addition.
+func addCls(l *loops.Loop, x, y *Classification) *Classification {
+	if x.Kind == Unknown || y.Kind == Unknown {
+		return unknown()
+	}
+	// Numeric closed forms add exactly.
+	if px, okx := numPoly(x); okx {
+		if py, oky := numPoly(y); oky {
+			sum := addPolyVec(px, py)
+			if polyVecValid(sum) {
+				return canonPoly(l, sum)
+			}
+			return unknown()
+		}
+	}
+	// Geometric + polynomial-like (numeric).
+	if x.Kind == Geometric || y.Kind == Geometric {
+		return addGeometric(l, x, y)
+	}
+	switch {
+	case x.Kind == Invariant && y.Kind == Invariant:
+		return invariant(l, AddExpr(x.Expr, y.Expr))
+	case x.Kind == Linear && y.Kind == Invariant:
+		return &Classification{Kind: Linear, Loop: l, Init: AddExpr(x.Init, y.Expr), Step: x.Step}
+	case x.Kind == Invariant && y.Kind == Linear:
+		return addCls(l, y, x)
+	case x.Kind == Linear && y.Kind == Linear:
+		init, step := AddExpr(x.Init, y.Init), AddExpr(x.Step, y.Step)
+		if init == nil || step == nil {
+			return unknown()
+		}
+		return &Classification{Kind: Linear, Loop: l, Init: init, Step: step}
+	case x.Kind == Polynomial && (y.Kind == Invariant || y.Kind == Linear || y.Kind == Polynomial):
+		ord := x.Order
+		if y.Kind == Polynomial && y.Order > ord {
+			ord = y.Order
+		}
+		return &Classification{Kind: Polynomial, Loop: l, Order: ord}
+	case y.Kind == Polynomial:
+		return addCls(l, y, x)
+	case x.Kind == WrapAround && y.Kind == Invariant:
+		inner := addCls(l, x.Inner, y)
+		if inner.Kind == Unknown {
+			return unknown()
+		}
+		return &Classification{Kind: WrapAround, Loop: l, Order: x.Order, Init: AddExpr(x.Init, y.Expr), Inner: inner}
+	case x.Kind == Invariant && y.Kind == WrapAround:
+		return addCls(l, y, x)
+	case x.Kind == Monotonic && y.Kind == Invariant:
+		return &Classification{Kind: Monotonic, Loop: l, Dir: x.Dir, Strict: x.Strict, HeadPhi: x.HeadPhi}
+	case x.Kind == Invariant && y.Kind == Monotonic:
+		return addCls(l, y, x)
+	case x.Kind == Monotonic && y.Kind == Monotonic && x.Dir == y.Dir:
+		return &Classification{Kind: Monotonic, Loop: l, Dir: x.Dir, Strict: x.Strict || y.Strict}
+	case x.Kind == Monotonic && y.Kind == Linear:
+		// monotonic + IV stays monotonic when the IV moves the same way.
+		if s, ok := y.Step.ConstVal(); ok {
+			if s.IsZero() {
+				return &Classification{Kind: Monotonic, Loop: l, Dir: x.Dir, Strict: x.Strict, HeadPhi: x.HeadPhi}
+			}
+			if (s.Sign() > 0) == (x.Dir > 0) {
+				return &Classification{Kind: Monotonic, Loop: l, Dir: x.Dir, Strict: true, HeadPhi: x.HeadPhi}
+			}
+		}
+		return unknown()
+	case x.Kind == Linear && y.Kind == Monotonic:
+		return addCls(l, y, x)
+	case x.Kind == Periodic && y.Kind == Invariant:
+		out := &Classification{Kind: Periodic, Loop: l, Period: x.Period, Phase: x.Phase, HeadPhi: x.HeadPhi}
+		for _, in := range x.Initials {
+			out.Initials = append(out.Initials, AddExpr(in, y.Expr))
+		}
+		return out
+	case x.Kind == Invariant && y.Kind == Periodic:
+		return addCls(l, y, x)
+	}
+	return unknown()
+}
+
+// addGeometric adds when at least one side is a numeric geometric form.
+func addGeometric(l *loops.Loop, x, y *Classification) *Classification {
+	gx, gy := x, y
+	if gx.Kind != Geometric {
+		gx, gy = gy, gx
+	}
+	if gx.Coeffs == nil {
+		// Order-only geometric: class is preserved by adding
+		// polynomial-like values.
+		if gy.Kind == Invariant || gy.Kind == Linear || gy.Kind == Polynomial ||
+			(gy.Kind == Geometric && gy.Base == gx.Base) {
+			return &Classification{Kind: Geometric, Loop: l, Base: gx.Base}
+		}
+		return unknown()
+	}
+	if gy.Kind == Geometric {
+		if gy.Base != gx.Base || gy.Coeffs == nil {
+			return unknown()
+		}
+		sum := addPolyVec(gx.Coeffs, gy.Coeffs)
+		gc := gx.GeoCoeff.Add(gy.GeoCoeff)
+		if !polyVecValid(sum) || !gc.Valid() {
+			return unknown()
+		}
+		if gc.IsZero() {
+			return canonPoly(l, sum)
+		}
+		return &Classification{Kind: Geometric, Loop: l, Base: gx.Base, Coeffs: sum, GeoCoeff: gc}
+	}
+	py, ok := numPoly(gy)
+	if !ok {
+		return unknown()
+	}
+	sum := addPolyVec(gx.Coeffs, py)
+	if !polyVecValid(sum) {
+		return unknown()
+	}
+	return &Classification{Kind: Geometric, Loop: l, Base: gx.Base, Coeffs: sum, GeoCoeff: gx.GeoCoeff}
+}
+
+// negCls negates a classification.
+func negCls(l *loops.Loop, x *Classification) *Classification {
+	minusOne := rational.FromInt(-1)
+	switch x.Kind {
+	case Invariant:
+		return invariant(l, ScaleExpr(x.Expr, minusOne))
+	case Linear:
+		init, step := ScaleExpr(x.Init, minusOne), ScaleExpr(x.Step, minusOne)
+		if init == nil || step == nil {
+			return unknown()
+		}
+		return &Classification{Kind: Linear, Loop: l, Init: init, Step: step}
+	case Polynomial:
+		out := &Classification{Kind: Polynomial, Loop: l, Order: x.Order}
+		if x.Coeffs != nil {
+			out.Coeffs = make([]rational.Rat, len(x.Coeffs))
+			for i, c := range x.Coeffs {
+				out.Coeffs[i] = c.Neg()
+			}
+		}
+		return out
+	case Geometric:
+		out := &Classification{Kind: Geometric, Loop: l, Base: x.Base}
+		if x.Coeffs != nil {
+			out.Coeffs = make([]rational.Rat, len(x.Coeffs))
+			for i, c := range x.Coeffs {
+				out.Coeffs[i] = c.Neg()
+			}
+			out.GeoCoeff = x.GeoCoeff.Neg()
+		}
+		return out
+	case Monotonic:
+		return &Classification{Kind: Monotonic, Loop: l, Dir: -x.Dir, Strict: x.Strict, HeadPhi: x.HeadPhi}
+	case WrapAround:
+		inner := negCls(l, x.Inner)
+		if inner.Kind == Unknown {
+			return unknown()
+		}
+		return &Classification{Kind: WrapAround, Loop: l, Order: x.Order, Init: ScaleExpr(x.Init, minusOne), Inner: inner}
+	case Periodic:
+		out := &Classification{Kind: Periodic, Loop: l, Period: x.Period, Phase: x.Phase, HeadPhi: x.HeadPhi}
+		for _, in := range x.Initials {
+			out.Initials = append(out.Initials, ScaleExpr(in, minusOne))
+		}
+		return out
+	}
+	return unknown()
+}
+
+// subCls implements x - y.
+func subCls(l *loops.Loop, x, y *Classification) *Classification {
+	return addCls(l, x, negCls(l, y))
+}
+
+// mulCls implements multiplication.
+func mulCls(l *loops.Loop, x, y *Classification) *Classification {
+	if x.Kind == Unknown || y.Kind == Unknown {
+		return unknown()
+	}
+	// Exact polynomial product when both sides are numeric.
+	if px, okx := numPoly(x); okx {
+		if py, oky := numPoly(y); oky {
+			prod := mulPolyVec(px, py)
+			if polyVecValid(prod) {
+				return canonPoly(l, prod)
+			}
+			return unknown()
+		}
+	}
+	// Constant scaling.
+	if c, ok := constOf(x); ok {
+		return scaleCls(l, y, c)
+	}
+	if c, ok := constOf(y); ok {
+		return scaleCls(l, x, c)
+	}
+	if x.Kind == Invariant && y.Kind == Invariant {
+		return invariant(l, MulExpr(x.Expr, y.Expr)) // nil Expr when not affine
+	}
+	return unknown()
+}
+
+func constOf(x *Classification) (rational.Rat, bool) {
+	if x.Kind != Invariant {
+		return rational.NaR, false
+	}
+	return x.Expr.ConstVal()
+}
+
+// scaleCls multiplies a classification by a rational constant.
+func scaleCls(l *loops.Loop, x *Classification, c rational.Rat) *Classification {
+	if c.IsZero() {
+		return invariant(l, IntExpr(0))
+	}
+	if c.Equal(rational.FromInt(1)) {
+		return x
+	}
+	switch x.Kind {
+	case Invariant:
+		return invariant(l, ScaleExpr(x.Expr, c))
+	case Linear:
+		init, step := ScaleExpr(x.Init, c), ScaleExpr(x.Step, c)
+		if init == nil || step == nil {
+			return unknown()
+		}
+		return &Classification{Kind: Linear, Loop: l, Init: init, Step: step}
+	case Polynomial:
+		out := &Classification{Kind: Polynomial, Loop: l, Order: x.Order}
+		if x.Coeffs != nil {
+			out.Coeffs = make([]rational.Rat, len(x.Coeffs))
+			for i, k := range x.Coeffs {
+				out.Coeffs[i] = k.Mul(c)
+			}
+		}
+		return out
+	case Geometric:
+		out := &Classification{Kind: Geometric, Loop: l, Base: x.Base}
+		if x.Coeffs != nil {
+			out.Coeffs = make([]rational.Rat, len(x.Coeffs))
+			for i, k := range x.Coeffs {
+				out.Coeffs[i] = k.Mul(c)
+			}
+			out.GeoCoeff = x.GeoCoeff.Mul(c)
+		}
+		return out
+	case Monotonic:
+		dir := x.Dir
+		if c.Sign() < 0 {
+			dir = -dir
+		}
+		return &Classification{Kind: Monotonic, Loop: l, Dir: dir, Strict: x.Strict, HeadPhi: x.HeadPhi}
+	case Periodic:
+		out := &Classification{Kind: Periodic, Loop: l, Period: x.Period, Phase: x.Phase, HeadPhi: x.HeadPhi}
+		for _, in := range x.Initials {
+			out.Initials = append(out.Initials, ScaleExpr(in, c))
+		}
+		return out
+	}
+	return unknown()
+}
+
+// divCls implements truncated integer division: only constant folding
+// and invariant/invariant are safe (dividing an IV truncates
+// differently at each iteration).
+func divCls(l *loops.Loop, x, y *Classification) *Classification {
+	cx, okx := constOf(x)
+	cy, oky := constOf(y)
+	if okx && oky {
+		xi, ok1 := cx.Int()
+		yi, ok2 := cy.Int()
+		if ok1 && ok2 {
+			if yi == 0 {
+				return invariant(l, IntExpr(0))
+			}
+			return invariant(l, IntExpr(xi/yi))
+		}
+	}
+	if x.Kind == Invariant && y.Kind == Invariant {
+		return invariant(l, nil)
+	}
+	return unknown()
+}
+
+// expCls implements exponentiation: constant folding,
+// invariant-to-invariant, and the geometric case b ** iv — e.g.
+// x = 2 ** i with i = (L, i0, s) is the geometric sequence
+// 2^i0 · (2^s)^h.
+func expCls(l *loops.Loop, x, y *Classification) *Classification {
+	cx, okx := constOf(x)
+	cy, oky := constOf(y)
+	if okx && oky {
+		xi, ok1 := cx.Int()
+		yi, ok2 := cy.Int()
+		if ok1 && ok2 {
+			if yi < 0 {
+				return invariant(l, IntExpr(0))
+			}
+			out := int64(1)
+			for ; yi > 0; yi-- {
+				out *= xi
+			}
+			return invariant(l, IntExpr(out))
+		}
+	}
+	if okx && y.Kind == Linear {
+		if base, isInt := cx.Int(); isInt && base >= 1 {
+			if i0, s, ok := y.LinearConst(); ok {
+				i0v, okI := i0.Int()
+				sv, okS := s.Int()
+				// Keep the exponents in safe integer territory.
+				if okI && okS && i0v >= 0 && i0v <= 40 && sv >= 0 && sv <= 40 {
+					newBase := rational.FromInt(base).Pow(int(sv))
+					coeff := rational.FromInt(base).Pow(int(i0v))
+					nb, okB := newBase.Int()
+					if okB && coeff.Valid() {
+						if nb == 1 {
+							return invariant(l, ConstExpr(coeff))
+						}
+						return &Classification{
+							Kind: Geometric, Loop: l, Base: nb,
+							Coeffs: []rational.Rat{rational.FromInt(0)}, GeoCoeff: coeff,
+						}
+					}
+				}
+			}
+		}
+	}
+	if x.Kind == Invariant && y.Kind == Invariant {
+		return invariant(l, nil)
+	}
+	return unknown()
+}
+
+// combine dispatches a binary operator over two classifications.
+func combine(l *loops.Loop, op ir.Op, x, y *Classification) *Classification {
+	switch op {
+	case ir.OpAdd:
+		return addCls(l, x, y)
+	case ir.OpSub:
+		return subCls(l, x, y)
+	case ir.OpMul:
+		return mulCls(l, x, y)
+	case ir.OpDiv:
+		return divCls(l, x, y)
+	case ir.OpExp:
+		return expCls(l, x, y)
+	case ir.OpLess, ir.OpLeq, ir.OpGreater, ir.OpGeq, ir.OpEq, ir.OpNeq:
+		if x.Kind == Invariant && y.Kind == Invariant {
+			return invariant(l, nil)
+		}
+		return unknown()
+	}
+	return unknown()
+}
+
+// sameClassification reports whether two classifications are
+// interchangeable (used when merging at non-header φs).
+func sameClassification(x, y *Classification) bool {
+	if x.Kind != y.Kind {
+		return false
+	}
+	switch x.Kind {
+	case Invariant:
+		return x.Expr != nil && x.Expr.Equal(y.Expr)
+	case Linear:
+		return x.Init.Equal(y.Init) && x.Step.Equal(y.Step)
+	default:
+		return false
+	}
+}
+
+// boundsOf returns known constant lower and upper bounds of a
+// classification's value over all iterations h ≥ 0; hasLo/hasHi report
+// whether each bound exists. Used by the monotonic SCR rules to bound
+// conditional increments (paper §4.4).
+func boundsOf(c *Classification) (lo, hi rational.Rat, hasLo, hasHi bool) {
+	switch c.Kind {
+	case Invariant:
+		if v, ok := c.Expr.ConstVal(); ok {
+			return v, v, true, true
+		}
+	case Linear:
+		init, step, ok := c.LinearConst()
+		if !ok {
+			return lo, hi, false, false
+		}
+		switch step.Sign() {
+		case 0:
+			return init, init, true, true
+		case 1:
+			return init, rational.NaR, true, false
+		default:
+			return rational.NaR, init, false, true
+		}
+	}
+	return lo, hi, false, false
+}

@@ -1,0 +1,530 @@
+package iv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"beyondiv/internal/ir"
+	"beyondiv/internal/loops"
+	"beyondiv/internal/scc"
+	"beyondiv/internal/sccp"
+	"beyondiv/internal/ssa"
+)
+
+// Analysis is the induction-variable classification of a whole program.
+type Analysis struct {
+	SSA    *ssa.Info
+	Forest *loops.Forest
+	Consts *sccp.Result
+
+	opts   Options
+	byLoop map[*loops.Loop]map[*ir.Value]*Classification
+	trips  map[*loops.Loop]*TripCount
+	exits  map[*ir.Value]exitInfo // exit-value cache (empty entries cached too)
+}
+
+// Options toggle parts of the analysis off, for the ablation studies in
+// EXPERIMENTS.md. The zero value enables everything.
+type Options struct {
+	// DisableClosedForms skips the §4.3 simulation + Vandermonde solve:
+	// polynomial/geometric classes keep their kind and order but lose
+	// their rational coefficients.
+	DisableClosedForms bool
+	// DisableExitValues skips §5.3's exit-value propagation: values
+	// computed by inner loops look unknown to the enclosing loop, so
+	// nested families (Figures 7-9) disappear.
+	DisableExitValues bool
+}
+
+// Analyze classifies every scalar in every loop, innermost first
+// (paper §5.3). The sccp result may be nil; constants then stay
+// symbolic.
+func Analyze(info *ssa.Info, forest *loops.Forest, consts *sccp.Result) *Analysis {
+	return AnalyzeWithOptions(info, forest, consts, Options{})
+}
+
+// AnalyzeWithOptions is Analyze with ablation switches.
+func AnalyzeWithOptions(info *ssa.Info, forest *loops.Forest, consts *sccp.Result, opts Options) *Analysis {
+	a := &Analysis{
+		SSA:    info,
+		Forest: forest,
+		Consts: consts,
+		opts:   opts,
+		byLoop: map[*loops.Loop]map[*ir.Value]*Classification{},
+		trips:  map[*loops.Loop]*TripCount{},
+		exits:  map[*ir.Value]exitInfo{},
+	}
+	for _, l := range forest.InnerToOuter() {
+		a.analyzeLoop(l)
+		a.trips[l] = a.computeTripCount(l)
+	}
+	return a
+}
+
+// ClassOf returns the classification of v with respect to loop l.
+// Values defined inside nested loops are seen through their exit values;
+// values defined outside l are invariant.
+func (a *Analysis) ClassOf(l *loops.Loop, v *ir.Value) *Classification {
+	if m := a.byLoop[l]; m != nil {
+		if c, ok := m[v]; ok {
+			return c
+		}
+	}
+	return a.classOfOperand(l, v)
+}
+
+// TripCount returns the trip count information for l.
+func (a *Analysis) TripCount(l *loops.Loop) *TripCount { return a.trips[l] }
+
+// Loops returns the classification map of one loop (direct members
+// only); the map must not be modified.
+func (a *Analysis) LoopClassifications(l *loops.Loop) map[*ir.Value]*Classification {
+	return a.byLoop[l]
+}
+
+// classOfOperand classifies a value used from loop l but not defined
+// directly in it.
+func (a *Analysis) classOfOperand(l *loops.Loop, v *ir.Value) *Classification {
+	inner := a.Forest.InnermostContaining(v.Block)
+	switch {
+	case inner == l:
+		// Defined directly in l but missing from the map (unreachable
+		// from the classification graph): unknown.
+		if m := a.byLoop[l]; m != nil {
+			if c, ok := m[v]; ok {
+				return c
+			}
+		}
+		return unknown()
+	case inner != nil && l != nil && l.ContainsLoop(inner):
+		// Defined in a nested loop: visible only through its exit value.
+		e := a.exitValue(v)
+		if e.expr == nil {
+			return unknown()
+		}
+		// Prove the symbolic trip-count guards in this loop's context.
+		for _, g := range e.guards {
+			lo, _, hasLo, _ := boundsOf(a.exprClass(l, g))
+			if !hasLo || lo.Sign() < 0 {
+				return unknown()
+			}
+		}
+		return a.exprClass(l, e.expr)
+	default:
+		// Defined outside l: loop-invariant.
+		return a.leafClass(l, v)
+	}
+}
+
+// leafClass classifies a loop-external value: a constant when sccp
+// proved one, a symbolic invariant atom otherwise.
+func (a *Analysis) leafClass(l *loops.Loop, v *ir.Value) *Classification {
+	if a.Consts != nil {
+		if c, ok := a.Consts.Const(v); ok {
+			return invariant(l, IntExpr(c))
+		}
+	}
+	if v.Op == ir.OpConst {
+		return invariant(l, IntExpr(v.Const))
+	}
+	return invariant(l, VarExpr(v))
+}
+
+// leafExpr is the affine form of a loop-external value. Copy chains are
+// chased so that reports read like the paper's ("(L7, n1, c1+k1)" rather
+// than the copy j1 of n1).
+func (a *Analysis) leafExpr(v *ir.Value) *Expr {
+	for v.Op == ir.OpCopy {
+		v = v.Args[0]
+	}
+	if a.Consts != nil {
+		if c, ok := a.Consts.Const(v); ok {
+			return IntExpr(c)
+		}
+	}
+	if v.Op == ir.OpConst {
+		return IntExpr(v.Const)
+	}
+	return VarExpr(v)
+}
+
+// exprClass folds an affine Expr into a classification in loop l by
+// summing the classifications of its terms.
+func (a *Analysis) exprClass(l *loops.Loop, e *Expr) *Classification {
+	if e == nil {
+		return unknown()
+	}
+	acc := invariant(l, ConstExpr(e.Const))
+	// Deterministic order.
+	terms := make([]*ir.Value, 0, len(e.Terms))
+	for v := range e.Terms {
+		terms = append(terms, v)
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].ID < terms[j].ID })
+	for _, v := range terms {
+		c := a.ClassOf(l, v)
+		acc = addCls(l, acc, scaleCls(l, c, e.Terms[v]))
+		if acc.Kind == Unknown {
+			return acc
+		}
+	}
+	return acc
+}
+
+// invariantExprOf returns the affine form of an invariant classification,
+// falling back to the defining value itself as an opaque atom.
+func invariantExprOf(c *Classification, v *ir.Value) *Expr {
+	if c.Expr != nil {
+		return c.Expr
+	}
+	return VarExpr(v)
+}
+
+// ---- per-loop SSA graph ----
+
+// node is one vertex of a loop's SSA graph: either an operation of the
+// loop body, or a synthetic exit-value node standing for an inner-loop
+// value seen from this loop (paper §5.3).
+type node struct {
+	v      *ir.Value
+	exit   bool    // synthetic exit-value node
+	expr   *Expr   // exit value (exit nodes only); nil = unknown
+	guards []*Expr // nonnegativity obligations for expr (exit nodes)
+	succ   []int
+}
+
+type loopCtx struct {
+	a      *Analysis
+	l      *loops.Loop
+	nodes  []node
+	idx    map[*ir.Value]int // direct member values
+	exitI  map[*ir.Value]int // inner-loop values -> exit node
+	cls    []*Classification
+	exitOK map[int]bool // guard-check memo for exit nodes
+	// sccStamp/curStamp implement allocation-free SCC membership tests.
+	sccStamp []int
+	curStamp int
+	// famOffsets/famState are the linear-family solver's reusable side
+	// tables (entries are reset per component).
+	famOffsets []*Expr
+	famState   []uint8
+	// storedArrays caches which arrays the loop writes (for the §5.1
+	// invariant-load rule); nil until first use.
+	storedArrays map[string]bool
+}
+
+// arrayStoredIn reports whether the loop (including nested loops)
+// writes the named array.
+func (ctx *loopCtx) arrayStoredIn(name string) bool {
+	if ctx.storedArrays == nil {
+		ctx.storedArrays = map[string]bool{}
+		for _, b := range ctx.l.Blocks {
+			for _, v := range b.Values {
+				if v.Op == ir.OpStoreElem {
+					ctx.storedArrays[v.Var] = true
+				}
+			}
+		}
+	}
+	return ctx.storedArrays[name]
+}
+
+// exprClsLocal folds an affine Expr into a classification using the
+// in-flight per-node classifications (Tarjan pop order guarantees the
+// terms an exit node depends on are classified before it pops).
+func (ctx *loopCtx) exprClsLocal(e *Expr) *Classification {
+	if e == nil {
+		return unknown()
+	}
+	acc := invariant(ctx.l, ConstExpr(e.Const))
+	terms := make([]*ir.Value, 0, len(e.Terms))
+	for v := range e.Terms {
+		terms = append(terms, v)
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].ID < terms[j].ID })
+	for _, v := range terms {
+		acc = addCls(ctx.l, acc, scaleCls(ctx.l, ctx.operandCls(v), e.Terms[v]))
+		if acc.Kind == Unknown {
+			return acc
+		}
+	}
+	return acc
+}
+
+// checkedExit returns an exit node's expression once its trip-count
+// guards are proven nonnegative in this loop's context, else nil.
+func (ctx *loopCtx) checkedExit(id int) *Expr {
+	n := ctx.nodes[id]
+	if !n.exit || n.expr == nil {
+		return n.expr
+	}
+	if ok, seen := ctx.exitOK[id]; seen {
+		if !ok {
+			return nil
+		}
+		return n.expr
+	}
+	ok := true
+	for _, g := range n.guards {
+		lo, _, hasLo, _ := boundsOf(ctx.exprClsLocal(g))
+		if !hasLo || lo.Sign() < 0 {
+			ok = false
+			break
+		}
+	}
+	ctx.exitOK[id] = ok
+	if !ok {
+		return nil
+	}
+	return n.expr
+}
+
+func (a *Analysis) analyzeLoop(l *loops.Loop) {
+	ctx := &loopCtx{a: a, l: l, idx: map[*ir.Value]int{}, exitI: map[*ir.Value]int{}, exitOK: map[int]bool{}}
+
+	// Direct members: values in blocks whose innermost loop is l.
+	for _, b := range l.Blocks {
+		if a.Forest.InnermostContaining(b) != l {
+			continue
+		}
+		for _, v := range b.Values {
+			ctx.idx[v] = len(ctx.nodes)
+			ctx.nodes = append(ctx.nodes, node{v: v})
+		}
+	}
+
+	// Edges; a worklist because exit nodes appear while wiring.
+	for i := 0; i < len(ctx.nodes); i++ {
+		n := &ctx.nodes[i]
+		if n.exit {
+			if n.expr != nil {
+				terms := make([]*ir.Value, 0, len(n.expr.Terms))
+				for t := range n.expr.Terms {
+					terms = append(terms, t)
+				}
+				sort.Slice(terms, func(x, y int) bool { return terms[x].ID < terms[y].ID })
+				for _, t := range terms {
+					if id, ok := ctx.edgeTarget(t); ok {
+						n.succ = append(n.succ, id)
+					}
+				}
+				n = &ctx.nodes[i] // edgeTarget may grow ctx.nodes
+			}
+			continue
+		}
+		for _, arg := range n.v.Args {
+			if id, ok := ctx.edgeTarget(arg); ok {
+				ctx.nodes[i].succ = append(ctx.nodes[i].succ, id)
+			}
+		}
+	}
+
+	ctx.cls = make([]*Classification, len(ctx.nodes))
+	comps := scc.Components(len(ctx.nodes), func(i int) []int { return ctx.nodes[i].succ })
+	for _, comp := range comps {
+		if scc.IsTrivial(comp, func(i int) []int { return ctx.nodes[i].succ }) {
+			ctx.cls[comp[0]] = ctx.classifyTrivial(comp[0])
+		} else {
+			ctx.classifySCR(comp)
+		}
+	}
+
+	out := make(map[*ir.Value]*Classification, len(ctx.idx))
+	for v, id := range ctx.idx {
+		c := ctx.cls[id]
+		if c == nil {
+			c = unknown()
+		}
+		out[v] = c
+	}
+	a.byLoop[l] = out
+}
+
+// edgeTarget resolves an operand to a graph node, creating exit-value
+// nodes for inner-loop operands. Loop-external operands are leaves
+// (no edge).
+func (ctx *loopCtx) edgeTarget(arg *ir.Value) (int, bool) {
+	if id, ok := ctx.idx[arg]; ok {
+		return id, true
+	}
+	inner := ctx.a.Forest.InnermostContaining(arg.Block)
+	if inner == nil || !ctx.l.ContainsLoop(inner) || inner == ctx.l {
+		return 0, false // external leaf
+	}
+	if id, ok := ctx.exitI[arg]; ok {
+		return id, true
+	}
+	id := len(ctx.nodes)
+	ctx.exitI[arg] = id
+	ei := ctx.a.exitValue(arg)
+	ctx.nodes = append(ctx.nodes, node{v: arg, exit: true, expr: ei.expr, guards: ei.guards})
+	return id, true
+}
+
+// operandCls classifies an operand of a node: another node's (already
+// computed) classification, or a leaf.
+func (ctx *loopCtx) operandCls(arg *ir.Value) *Classification {
+	if id, ok := ctx.idx[arg]; ok {
+		if ctx.cls[id] != nil {
+			return ctx.cls[id]
+		}
+		return unknown()
+	}
+	if id, ok := ctx.exitI[arg]; ok {
+		if ctx.cls[id] != nil {
+			return ctx.cls[id]
+		}
+		return unknown()
+	}
+	return ctx.a.leafClass(ctx.l, arg)
+}
+
+// operandExprInvariant returns the affine form of an operand required to
+// be invariant; nil when the operand varies in the loop.
+func (ctx *loopCtx) operandExprInvariant(arg *ir.Value) *Expr {
+	c := ctx.operandCls(arg)
+	if c.Kind != Invariant {
+		return nil
+	}
+	return invariantExprOf(c, arg)
+}
+
+// isHeaderPhi reports whether node id is a φ at this loop's header.
+func (ctx *loopCtx) isHeaderPhi(id int) bool {
+	n := ctx.nodes[id]
+	return !n.exit && n.v.Op == ir.OpPhi && n.v.Block == ctx.l.Header
+}
+
+// classifyTrivial classifies an acyclic node using the operator algebra
+// (§5.1) and the wrap-around rule (§4.1).
+func (ctx *loopCtx) classifyTrivial(id int) *Classification {
+	n := ctx.nodes[id]
+	l := ctx.l
+	if n.exit {
+		return ctx.exprClsLocal(ctx.checkedExit(id))
+	}
+	v := n.v
+	switch v.Op {
+	case ir.OpConst:
+		return invariant(l, IntExpr(v.Const))
+	case ir.OpParam:
+		return invariant(l, VarExpr(v))
+	case ir.OpCopy:
+		return ctx.operandCls(v.Args[0])
+	case ir.OpStoreElem:
+		return ctx.operandCls(v.Args[1])
+	case ir.OpLoadElem:
+		// §5.1: "if the address is invariant ... the load is classified
+		// as invariant". With no memory SSA the rule is sound exactly
+		// when the loop never stores to the array at all; the loaded
+		// value is then one fixed cell for the whole loop execution.
+		if sub := ctx.operandCls(v.Args[0]); sub.Kind == Invariant && !ctx.arrayStoredIn(v.Var) {
+			return invariant(l, VarExpr(v))
+		}
+		return unknown()
+	case ir.OpNeg:
+		return negCls(l, ctx.operandCls(v.Args[0]))
+	case ir.OpPhi:
+		if v.Block == l.Header {
+			return ctx.classifyTrivialHeaderPhi(v)
+		}
+		// A join φ outside any cycle: all incoming classifications must
+		// agree.
+		first := ctx.operandCls(v.Args[0])
+		for _, arg := range v.Args[1:] {
+			if !sameClassification(first, ctx.operandCls(arg)) {
+				return unknown()
+			}
+		}
+		return first
+	default:
+		if v.Op.IsArith() || v.Op.IsCompare() {
+			return combine(l, v.Op, ctx.operandCls(v.Args[0]), ctx.operandCls(v.Args[1]))
+		}
+		return unknown()
+	}
+}
+
+// classifyTrivialHeaderPhi handles a loop-header φ that is not part of
+// any cycle: the carried value comes from elsewhere, so the φ is a
+// wrap-around variable (paper §4.1) — or a plain induction variable if
+// the initial value happens to fit the carried sequence.
+func (ctx *loopCtx) classifyTrivialHeaderPhi(v *ir.Value) *Classification {
+	l := ctx.l
+	initArg, carriedArgs := splitPhiArgs(l, v)
+	if initArg == nil || len(carriedArgs) == 0 {
+		return unknown()
+	}
+	carried := ctx.operandCls(carriedArgs[0])
+	for _, other := range carriedArgs[1:] {
+		if !sameClassification(carried, ctx.operandCls(other)) {
+			return unknown()
+		}
+	}
+	init := ctx.a.leafExpr(initArg)
+
+	switch carried.Kind {
+	case Invariant:
+		ce := invariantExprOf(carried, carriedArgs[0])
+		if init.Equal(ce) {
+			return invariant(l, init)
+		}
+		return &Classification{Kind: WrapAround, Loop: l, Order: 1, Init: init, Inner: carried, HeadPhi: v}
+	case Linear:
+		// φ(h) = init for h = 0, carried(h-1) after: if init fits the
+		// sequence (init == carried.Init - step) the φ is itself linear.
+		if fit := SubExpr(carried.Init, carried.Step); fit != nil && fit.Equal(init) {
+			return &Classification{Kind: Linear, Loop: l, Init: init, Step: carried.Step, HeadPhi: v}
+		}
+		return &Classification{Kind: WrapAround, Loop: l, Order: 1, Init: init, Inner: carried, HeadPhi: v}
+	case WrapAround:
+		return &Classification{Kind: WrapAround, Loop: l, Order: carried.Order + 1, Init: init, Inner: carried.Inner, HeadPhi: v}
+	case Polynomial, Geometric, Periodic, Monotonic:
+		return &Classification{Kind: WrapAround, Loop: l, Order: 1, Init: init, Inner: carried, HeadPhi: v}
+	default:
+		return unknown()
+	}
+}
+
+// splitPhiArgs separates a header φ's arguments into the loop-entry
+// value and the loop-carried values.
+func splitPhiArgs(l *loops.Loop, phi *ir.Value) (init *ir.Value, carried []*ir.Value) {
+	for i, arg := range phi.Args {
+		if l.Contains(phi.Block.Preds[i]) {
+			carried = append(carried, arg)
+		} else {
+			if init != nil && init != arg {
+				return nil, nil // multiple distinct entry values
+			}
+			init = arg
+		}
+	}
+	return init, carried
+}
+
+// Report renders every loop's classifications, innermost first, in a
+// stable textual form (used by cmd/ivclass and the tests).
+func (a *Analysis) Report() string {
+	var sb strings.Builder
+	for _, l := range a.Forest.InnerToOuter() {
+		fmt.Fprintf(&sb, "loop %s (depth %d)", l.Label, l.Depth)
+		if tc := a.trips[l]; tc != nil {
+			fmt.Fprintf(&sb, " trip=%s", tc)
+		}
+		sb.WriteByte('\n')
+		m := a.byLoop[l]
+		vals := make([]*ir.Value, 0, len(m))
+		for v := range m {
+			if v.Name == "" {
+				continue // unnamed temporaries stay out of the report
+			}
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].ID < vals[j].ID })
+		for _, v := range vals {
+			fmt.Fprintf(&sb, "  %s = %s\n", v, m[v])
+		}
+	}
+	return sb.String()
+}

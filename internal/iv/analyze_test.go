@@ -1,0 +1,890 @@
+package iv
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"beyondiv/internal/ir"
+	"beyondiv/internal/progen"
+	"beyondiv/internal/rational"
+)
+
+func analyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	a, err := AnalyzeProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// classOf fetches the classification of a named SSA value in a labeled
+// loop.
+func classOf(t *testing.T, a *Analysis, loop, val string) *Classification {
+	t.Helper()
+	l := a.LoopByLabel(loop)
+	if l == nil {
+		t.Fatalf("loop %s not found", loop)
+	}
+	v := a.ValueByName(val)
+	if v == nil {
+		t.Fatalf("value %s not found in\n%s", val, a.SSA.Func)
+	}
+	return a.ClassOf(l, v)
+}
+
+func wantString(t *testing.T, got interface{ String() string }, want string) {
+	t.Helper()
+	if got.String() != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+// TestPaperSection2 covers the introductory examples L1, L2, L3/L4.
+func TestPaperSection2(t *testing.T) {
+	// L1: a basic induction variable i = (L1, i0+k, k).
+	a := analyze(t, `
+i = i0
+L1: loop {
+    i = i + k
+    if i > n { exit }
+}
+`)
+	wantString(t, classOf(t, a, "L1", "i2"), "(L1, i01, k1)")
+	wantString(t, classOf(t, a, "L1", "i3"), "(L1, i01 + k1, k1)")
+
+	// L2: mutually-defined induction variables i = j+c, j = i+k.
+	a = analyze(t, `
+j = n
+L2: loop {
+    i = j + c
+    j = i + k
+    if j > m { exit }
+}
+`)
+	wantString(t, classOf(t, a, "L2", "i1"), "(L2, n1 + c1, c1 + k1)")
+	// (j's preheader copy of n is chased to n1, as in Figure 1.)
+	wantString(t, classOf(t, a, "L2", "j3"), "(L2, n1 + c1 + k1, c1 + k1)")
+
+	// L3/L4: a multiloop induction variable; j's step in L4 is the
+	// outer IV i, and its initial value references i as a symbol.
+	a = analyze(t, `
+i = 0
+L3: loop {
+    i = i + 1
+    j = i
+    L4: loop {
+        j = j + i
+        if j > m { exit }
+    }
+    if i > n { exit }
+}
+`)
+	j := classOf(t, a, "L4", "j3")
+	if j.Kind != Linear {
+		t.Fatalf("j3 in L4 = %s, want linear", j)
+	}
+	if _, ok := j.Step.SingleTerm(); !ok {
+		t.Errorf("j3 step = %s, want the single outer value i3", j.Step)
+	}
+	// i itself is linear in the outer loop.
+	wantString(t, classOf(t, a, "L3", "i3"), "(L3, 1, 1)")
+}
+
+// TestFigure1 reproduces Figure 1/2: the family j2 = (L7, j1, c+k).
+func TestFigure1(t *testing.T) {
+	a := analyze(t, `
+j = n
+L7: loop {
+    i = j + c
+    j = i + k
+    if j > m { exit }
+}
+`)
+	// Copy chains are chased: the initial value prints as n1, exactly
+	// the paper's (L7, n1, c1+k1).
+	wantString(t, classOf(t, a, "L7", "j2"), "(L7, n1, c1 + k1)")
+	wantString(t, classOf(t, a, "L7", "i1"), "(L7, n1 + c1, c1 + k1)")
+	wantString(t, classOf(t, a, "L7", "j3"), "(L7, n1 + c1 + k1, c1 + k1)")
+	// All three share one family anchor.
+	head := classOf(t, a, "L7", "j2").HeadPhi
+	if head == nil || classOf(t, a, "L7", "i1").HeadPhi != head || classOf(t, a, "L7", "j3").HeadPhi != head {
+		t.Error("family members must share the header φ")
+	}
+}
+
+// TestFigure3 reproduces Figure 3: equal increments on both branches of
+// a conditional keep the family linear: i2 = (L8, 1, 2), the branch
+// values and the join φ all (L8, 3, 2).
+func TestFigure3(t *testing.T) {
+	a := analyze(t, `
+i = 1
+L8: loop {
+    if a[i] > 0 {
+        i = i + 2
+    } else {
+        i = i + 2
+    }
+    if i > n { exit }
+}
+`)
+	wantString(t, classOf(t, a, "L8", "i2"), "(L8, 1, 2)")
+	wantString(t, classOf(t, a, "L8", "i3"), "(L8, 3, 2)")
+	wantString(t, classOf(t, a, "L8", "i4"), "(L8, 3, 2)")
+	wantString(t, classOf(t, a, "L8", "i5"), "(L8, 3, 2)")
+}
+
+// TestFigure3Unequal is the contrast case: different increments on the
+// two branches make the variable monotonic, not linear (Figure 6).
+func TestFigure3Unequal(t *testing.T) {
+	a := analyze(t, `
+k = 0
+L16: for i = 1 to n {
+    if a[i] > 0 {
+        k = k + 1
+    } else {
+        k = k + 2
+    }
+}
+`)
+	k2 := classOf(t, a, "L16", "k2")
+	if k2.Kind != Monotonic || k2.Dir != 1 || !k2.Strict {
+		t.Errorf("k2 = %s, want strictly increasing monotonic", k2)
+	}
+}
+
+// TestFigure4 reproduces Figure 4: j2 is a first-order wrap-around of
+// the IV i, and k2 (one more φ away) is second-order.
+func TestFigure4(t *testing.T) {
+	a := analyze(t, `
+j = n
+k = n
+i = 1
+L10: loop {
+    a[k] = a[j] + 1
+    k = j
+    j = i
+    i = i + 1
+    if i > m { exit }
+}
+`)
+	j2 := classOf(t, a, "L10", "j2")
+	if j2.Kind != WrapAround || j2.Order != 1 {
+		t.Fatalf("j2 = %s, want order-1 wrap-around", j2)
+	}
+	if j2.Inner.Kind != Linear {
+		t.Errorf("j2 inner = %s, want linear", j2.Inner)
+	}
+	k2 := classOf(t, a, "L10", "k2")
+	if k2.Kind != WrapAround || k2.Order != 2 {
+		t.Fatalf("k2 = %s, want order-2 wrap-around", k2)
+	}
+}
+
+// TestWrapAroundBecomesIV reproduces §4.1's refinement: when the initial
+// value fits the induction sequence (j1 = 0 before a loop carrying
+// j = i with i = (L, 1, 1)), the wrap-around is exactly the IV
+// (L10, 0, 1).
+func TestWrapAroundBecomesIV(t *testing.T) {
+	a := analyze(t, `
+j = 0
+i = 1
+L10: loop {
+    a[j] = i
+    j = i
+    i = i + 1
+    if i > m { exit }
+}
+`)
+	wantString(t, classOf(t, a, "L10", "j2"), "(L10, 0, 1)")
+}
+
+// TestFigure5 reproduces Figure 5: the rotation t=j, j=k, k=l, l=t is a
+// periodic family with period 3 (t is a copy inside the ring; its
+// header φ is dead and pruned, exactly the "t2 not in the SCR" remark).
+func TestFigure5(t *testing.T) {
+	a := analyze(t, `
+j = 1
+k = 2
+l = 3
+L13: for it = 1 to n {
+    t = j
+    j = k
+    k = l
+    l = t
+    a[j] = a[k] + a[l]
+}
+`)
+	for _, name := range []string{"j2", "k2", "l2"} {
+		c := classOf(t, a, "L13", name)
+		if c.Kind != Periodic || c.Period != 3 {
+			t.Errorf("%s = %s, want periodic period 3", name, c)
+		}
+	}
+	// Distinct phases for the three header φs.
+	phases := map[int]bool{}
+	for _, name := range []string{"j2", "k2", "l2"} {
+		phases[classOf(t, a, "L13", name).Phase] = true
+	}
+	if len(phases) != 3 {
+		t.Errorf("phases not distinct: %v", phases)
+	}
+	// The ring's initial values are the three entry values.
+	c := classOf(t, a, "L13", "j2")
+	if len(c.Initials) != 3 {
+		t.Fatalf("initials = %v", c.Initials)
+	}
+	got := map[string]bool{}
+	for _, e := range c.Initials {
+		got[e.String()] = true
+	}
+	if !got["1"] || !got["2"] || !got["3"] {
+		t.Errorf("initials = %v, want {1,2,3}", c.Initials)
+	}
+}
+
+// TestFlipFlopSwap reproduces L11: a two-variable swap is periodic with
+// period 2.
+func TestFlipFlopSwap(t *testing.T) {
+	a := analyze(t, `
+j = 1
+jold = 2
+L11: for it = 1 to n {
+    a[j] = a[jold]
+    jtemp = jold
+    jold = j
+    j = jtemp
+}
+`)
+	j2 := classOf(t, a, "L11", "j2")
+	if j2.Kind != Periodic || j2.Period != 2 {
+		t.Errorf("j2 = %s, want periodic period 2", j2)
+	}
+	jo := classOf(t, a, "L11", "jold2")
+	if jo.Kind != Periodic || jo.Period != 2 || jo.Phase == j2.Phase {
+		t.Errorf("jold2 = %s, want the other phase of the pair", jo)
+	}
+}
+
+// TestFlipFlopArithmetic reproduces L12: j = 3 - j is a flip-flop,
+// classified periodic period 2 with closed form 3/2 + (init-3/2)(-1)^h.
+func TestFlipFlopArithmetic(t *testing.T) {
+	a := analyze(t, `
+j = 1
+jold = 2
+L12: for it = 1 to n {
+    a[j] = a[jold]
+    j = 3 - j
+    jold = 3 - jold
+}
+`)
+	j2 := classOf(t, a, "L12", "j2")
+	if j2.Kind != Periodic || j2.Period != 2 {
+		t.Fatalf("j2 = %s, want periodic period 2", j2)
+	}
+	// Closed form: base -1 with coefficients 3/2 and geo part -1/2.
+	if j2.Base != -1 || j2.Coeffs == nil {
+		t.Fatalf("j2 closed form missing: %s", j2)
+	}
+	if v, ok := j2.PolyEval(0); !ok || !v.Equal(rational.FromInt(1)) {
+		t.Errorf("j2(0) = %s, want 1", v)
+	}
+	if v, ok := j2.PolyEval(1); !ok || !v.Equal(rational.FromInt(2)) {
+		t.Errorf("j2(1) = %s, want 2", v)
+	}
+	if v, ok := j2.PolyEval(2); !ok || !v.Equal(rational.FromInt(1)) {
+		t.Errorf("j2(2) = %s, want 1", v)
+	}
+}
+
+// TestL14ClosedForms reproduces the §4.3 table: with j=k=l=1, m=0 and
+// i = (L14, 1, 1):
+//
+//	j (stored value) : 2, 4, 7, 11  = (h² + 3h + 4)/2
+//	k (stored value) : 4, 9, 17, 29 = (h³ + 6h² + 23h + 24)/6
+//	l (stored value) : 3, 7, 15, 31 = 2^(h+2) - 1
+//	m (stored value) : 3, 14, 49    = 2·3^(h+1) - h - 3
+func TestL14ClosedForms(t *testing.T) {
+	a := analyze(t, `
+j = 1
+k = 1
+l = 1
+m = 0
+L14: for i = 1 to n {
+    j = j + i
+    k = k + j + 1
+    l = l * 2 + 1
+    m = 3 * m + 2 * i + 1
+}
+`)
+	wantString(t, classOf(t, a, "L14", "i2"), "(L14, 1, 1)")
+	// j3 = (h² + 3h + 4)/2 -> coefficients (2, 3/2, 1/2).
+	wantString(t, classOf(t, a, "L14", "j3"), "(L14, 2, 3/2, 1/2)")
+	// k3 = (h³ + 6h² + 23h + 24)/6 -> (4, 23/6, 1, 1/6); this is the
+	// exact matrix-inversion example worked in the paper.
+	wantString(t, classOf(t, a, "L14", "k3"), "(L14, 4, 23/6, 1, 1/6)")
+	// l3 = 2^(h+2) - 1 -> base 2, poly part -1, geo coefficient 4.
+	wantString(t, classOf(t, a, "L14", "l3"), "(L14, base 2: -1 | 4)")
+	// m3 = 2·3^(h+1) - h - 3 -> base 3, poly part (-3, -1), geo 6.
+	wantString(t, classOf(t, a, "L14", "m3"), "(L14, base 3: -3, -1 | 6)")
+	// And the φ values, one iteration earlier.
+	wantString(t, classOf(t, a, "L14", "j2"), "(L14, 1, 1/2, 1/2)")
+	wantString(t, classOf(t, a, "L14", "m2"), "(L14, base 3: -2, -1 | 2)")
+
+	// Verify each closed form against the recurrence for 8 iterations.
+	j, k, l, m := int64(1), int64(1), int64(1), int64(0)
+	for h := int64(0); h < 8; h++ {
+		i := h + 1
+		j, k, l, m = j+i, k+(j+i)+1, l*2+1, 3*m+2*i+1
+		for name, want := range map[string]int64{"j3": j, "k3": k, "l3": l, "m3": m} {
+			got, ok := classOf(t, a, "L14", name).PolyEval(h)
+			if !ok || !got.Equal(rational.FromInt(want)) {
+				t.Errorf("%s(%d) = %s, want %d", name, h, got, want)
+			}
+		}
+	}
+}
+
+// TestGeometricM is the §4.3 worked example m = 3*m + 2*i + 1 from 0:
+// first values 0, 3, 14, 49 and no quadratic term.
+func TestGeometricM(t *testing.T) {
+	a := analyze(t, `
+m = 0
+L14: for i = 1 to n {
+    m = 3 * m + 2 * i + 1
+}
+`)
+	m2 := classOf(t, a, "L14", "m2")
+	if m2.Kind != Geometric || m2.Base != 3 {
+		t.Fatalf("m2 = %s, want geometric base 3", m2)
+	}
+	// m(h) = 2·3^h - h - 2: coefficients (-2, -1), geo 2; the quadratic
+	// term vanishes, as the paper notes.
+	wantString(t, m2, "(L14, base 3: -2, -1 | 2)")
+	for h, want := range []int64{0, 3, 14, 49, 156} {
+		got, ok := m2.PolyEval(int64(h))
+		if !ok || !got.Equal(rational.FromInt(want)) {
+			t.Errorf("m2(%d) = %s, want %d", h, got, want)
+		}
+	}
+}
+
+// TestFigure6 reproduces Figure 6: increments of 1 or 2 every iteration
+// give strict monotonicity for every member.
+func TestFigure6(t *testing.T) {
+	a := analyze(t, `
+k = 0
+L16: loop {
+    if a[k] > 0 {
+        k = k + 1
+    } else {
+        k = k + 2
+    }
+    if k > n { exit }
+}
+`)
+	for _, name := range []string{"k2", "k3", "k4", "k5"} {
+		c := classOf(t, a, "L16", name)
+		if c.Kind != Monotonic || c.Dir != 1 || !c.Strict {
+			t.Errorf("%s = %s, want strictly increasing", name, c)
+		}
+	}
+}
+
+// TestMonotonicPack reproduces the L15 pack loop (§4.4 and Figure 10):
+// the conditionally incremented k is monotonic; the incremented member
+// k3 is strictly monotonic; the merge φ and header φ are not strict.
+func TestMonotonicPack(t *testing.T) {
+	a := analyze(t, `
+k = 0
+L15: for i = 1 to n {
+    if a[i] > 0 {
+        k = k + 1
+        b[k] = a[i]
+    }
+}
+`)
+	k2 := classOf(t, a, "L15", "k2")
+	if k2.Kind != Monotonic || k2.Dir != 1 || k2.Strict {
+		t.Errorf("k2 = %s, want non-strict increasing", k2)
+	}
+	k3 := classOf(t, a, "L15", "k3")
+	if k3.Kind != Monotonic || !k3.Strict {
+		t.Errorf("k3 = %s, want strictly increasing (paper Figure 10)", k3)
+	}
+	k4 := classOf(t, a, "L15", "k4")
+	if k4.Kind != Monotonic || k4.Strict {
+		t.Errorf("k4 = %s, want non-strict increasing", k4)
+	}
+}
+
+// TestMonotonicDecreasing covers the symmetric direction.
+func TestMonotonicDecreasing(t *testing.T) {
+	a := analyze(t, `
+k = 1000
+L1: for i = 1 to n {
+    if a[i] > 0 {
+        k = k - 3
+    } else {
+        k = k - 1
+    }
+}
+`)
+	k2 := classOf(t, a, "L1", "k2")
+	if k2.Kind != Monotonic || k2.Dir != -1 || !k2.Strict {
+		t.Errorf("k2 = %s, want strictly decreasing", k2)
+	}
+}
+
+// TestMonotonicByIV: k += i with i ≥ 1 is polynomial on the
+// unconditional path, but monotonic when conditional.
+func TestMonotonicByIV(t *testing.T) {
+	a := analyze(t, `
+k = 0
+L1: for i = 1 to n {
+    if a[i] > 0 {
+        k = k + i
+    }
+}
+`)
+	k2 := classOf(t, a, "L1", "k2")
+	if k2.Kind != Monotonic || k2.Dir != 1 || k2.Strict {
+		t.Errorf("k2 = %s, want non-strict increasing", k2)
+	}
+}
+
+// TestMixedDirectionsNotMonotonic: +1 on one branch, -1 on the other is
+// not classifiable.
+func TestMixedDirectionsNotMonotonic(t *testing.T) {
+	a := analyze(t, `
+k = 0
+L1: for i = 1 to n {
+    if a[i] > 0 {
+        k = k + 1
+    } else {
+        k = k - 1
+    }
+}
+`)
+	if c := classOf(t, a, "L1", "k2"); c.Kind != Unknown {
+		t.Errorf("k2 = %s, want unknown", c)
+	}
+}
+
+// TestFigures7and8 reproduces the nested example: inner trip count 100,
+// inner family k3 = (L18, k2, 2), k4 = (L18, k2+2, 2), and after exit
+// values (k6 = k2 + 101·2, i4 = i1 + 100·1) the outer family
+// k2 = (L17, 0, 204).
+func TestFigures7and8(t *testing.T) {
+	a := analyze(t, `
+k = 0
+L17: loop {
+    i = 1
+    L18: loop {
+        k = k + 2
+        if i > 100 { exit }
+        i = i + 1
+    }
+    k = k + 2
+    if k > 100000 { exit }
+}
+`)
+	// Inner loop.
+	if tc, ok := a.TripCount(a.LoopByLabel("L18")).Const(); !ok || tc != 100 {
+		t.Fatalf("L18 trip count = %v, want 100", a.TripCount(a.LoopByLabel("L18")))
+	}
+	inner := classOf(t, a, "L18", "k3")
+	if inner.Kind != Linear || inner.Step.String() != "2" {
+		t.Errorf("k3 = %s, want (L18, k2, 2)", inner)
+	}
+	// Exit values (paper Figure 8): k4's exit value is k2 + 202 and
+	// i3's is 101.
+	k4 := a.ValueByName("k4")
+	if e := a.exitValue(k4); e.expr == nil || e.expr.String() != "202 + k2" {
+		t.Errorf("exit value of k4 = %s, want 202 + k2", e.expr)
+	}
+	i3 := a.ValueByName("i3")
+	if e := a.exitValue(i3); e.expr == nil || e.expr.String() != "101" {
+		t.Errorf("exit value of i3 = %s, want 101", e.expr)
+	}
+	// Outer loop: k2 = (L17, 0, 204).
+	wantString(t, classOf(t, a, "L17", "k2"), "(L17, 0, 204)")
+	wantString(t, classOf(t, a, "L17", "k5"), "(L17, 204, 204)")
+}
+
+// TestFigure9Triangular reproduces the triangular nest (the [EHLP92]
+// case §5.3 calls "found to be so difficult"): the outer family is
+// quadratic. Deriving from the printed initial values 0, 1, 2 (see
+// DESIGN.md): j2 = (L19, 0, 1, 1), j3 = (L19, 1, 2, 1).
+func TestFigure9Triangular(t *testing.T) {
+	a := analyze(t, `
+j = 0
+L19: for i = 1 to n {
+    j = j + i
+    L20: for k = 1 to i {
+        j = j + 1
+    }
+}
+`)
+	// Inner loop: j4 = (L20, j3, 1) with symbolic trip count i.
+	tc := a.TripCount(a.LoopByLabel("L20"))
+	if tc.State != TripFinite || tc.Expr == nil {
+		t.Fatalf("L20 trip count = %s, want symbolic i", tc)
+	}
+	if _, ok := tc.Expr.SingleTerm(); !ok {
+		t.Errorf("L20 trip count = %s, want a single symbolic term", tc)
+	}
+	j4 := classOf(t, a, "L20", "j4")
+	if j4.Kind != Linear || j4.Step.String() != "1" {
+		t.Errorf("j4 = %s, want (L20, j3, 1)", j4)
+	}
+	// Outer loop: the quadratic family.
+	wantString(t, classOf(t, a, "L19", "j2"), "(L19, 0, 1, 1)")
+	wantString(t, classOf(t, a, "L19", "j3"), "(L19, 1, 2, 1)")
+	// Cross-check dynamically: j2(h) = h + h².
+	j := int64(0)
+	for h := int64(0); h < 6; h++ {
+		got, ok := classOf(t, a, "L19", "j2").PolyEval(h)
+		if !ok || !got.Equal(rational.FromInt(j)) {
+			t.Errorf("j2(%d) = %s, want %d", h, got, j)
+		}
+		i := h + 1
+		j = j + i + i // explicit increment plus i inner iterations
+	}
+}
+
+// TestPureTriangular is the variant without the explicit j = j + i,
+// whose header φ is the half-square (L19, 0, 1/2, 1/2).
+func TestPureTriangular(t *testing.T) {
+	a := analyze(t, `
+j = 0
+L19: for i = 1 to n {
+    L20: for k = 1 to i {
+        j = j + 1
+    }
+}
+`)
+	wantString(t, classOf(t, a, "L19", "j2"), "(L19, 0, 1/2, 1/2)")
+}
+
+// TestTripCountTable reproduces the §5.2 conversion table: each
+// comparison direction and polarity, plus the zero/infinite cases.
+func TestTripCountTable(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		// for-loop: hi - lo + 1 iterations.
+		{"L1: for i = 1 to 10 { a[i] = 0 }", "10"},
+		{"L1: for i = 3 to 10 { a[i] = 0 }", "8"},
+		{"L1: for i = 1 to 10 by 2 { a[i] = 0 }", "5"},
+		{"L1: for i = 1 to 9 by 2 { a[i] = 0 }", "5"},
+		{"L1: for i = 10 to 1 by -3 { a[i] = 0 }", "4"},
+		// exit with > (true branch exits). The count is the number of
+		// times the test chooses to stay (§5.2): the increment above
+		// the test runs count+1 times.
+		{"i = 1\nL1: loop { i = i + 1\nif i > 100 { exit } }", "99"},
+		// exit with >=.
+		{"i = 1\nL1: loop { i = i + 1\nif i >= 100 { exit } }", "98"},
+		// exit with < on a decreasing variable.
+		{"i = 100\nL1: loop { i = i - 2\nif i < 0 { exit } }", "50"},
+		// exit with <=.
+		{"i = 100\nL1: loop { i = i - 2\nif i <= 0 { exit } }", "49"},
+		// zero-trip for loop.
+		{"L1: for i = 5 to 1 { a[i] = 0 }", "0"},
+		// no exit at all.
+		{"L1: loop { i = i + 1 }", "infinite"},
+		// growing away from the bound.
+		{"i = 1\nL1: loop { i = i + 1\nif i < 0 { exit } }", "infinite"},
+		// symbolic bound.
+		{"L1: for i = 1 to n { a[i] = 0 }", "n1"},
+		// symbolic with division.
+		{"L1: for i = 1 to n by 2 { a[i] = 0 }", "ceil((n1)/2)"},
+	}
+	for _, c := range cases {
+		a := analyze(t, c.src)
+		tc := a.TripCount(a.LoopByLabel("L1"))
+		if tc.String() != c.want {
+			t.Errorf("trip count of\n%s\n= %s, want %s", c.src, tc, c.want)
+		}
+	}
+}
+
+// TestTripCountRuntime checks constant trip counts against actual
+// executed iterations for a grid of loop shapes.
+func TestTripCountRuntime(t *testing.T) {
+	for lo := int64(-3); lo <= 3; lo++ {
+		for hi := int64(-3); hi <= 6; hi++ {
+			for _, by := range []int64{1, 2, 3, -1, -2} {
+				src := ""
+				if by == 1 {
+					src = sprintf("c = 0\nL1: for i = %d to %d { c = c + 1 }", lo, hi)
+				} else {
+					src = sprintf("c = 0\nL1: for i = %d to %d by %d { c = c + 1 }", lo, hi, by)
+				}
+				a := analyze(t, src)
+				tc, ok := a.TripCount(a.LoopByLabel("L1")).Const()
+				if !ok {
+					t.Fatalf("non-constant trip count for %s", src)
+				}
+				want := int64(0)
+				if by > 0 {
+					for i := lo; i <= hi; i += by {
+						want++
+					}
+				} else {
+					for i := lo; i >= hi; i += by {
+						want++
+					}
+				}
+				if tc != want {
+					t.Errorf("%s: trip = %d, want %d", src, tc, want)
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantThroughLoop: a value never modified in the loop is
+// invariant even with a (pruned or surviving) φ.
+func TestInvariantThroughLoop(t *testing.T) {
+	a := analyze(t, `
+x = n + 5
+L1: for i = 1 to n {
+    a[i] = x
+}
+`)
+	l := a.LoopByLabel("L1")
+	x1 := a.ValueByName("x1")
+	c := a.ClassOf(l, x1)
+	if c.Kind != Invariant {
+		t.Errorf("x1 = %s, want invariant", c)
+	}
+}
+
+// TestConditionalResetUnknown: reassigning from a constant on one branch
+// breaks every classification.
+func TestConditionalResetUnknown(t *testing.T) {
+	a := analyze(t, `
+k = 0
+L1: for i = 1 to n {
+    k = k + 1
+    if a[i] > 0 {
+        k = 0
+    }
+}
+`)
+	if c := classOf(t, a, "L1", "k2"); c.Kind != Unknown {
+		t.Errorf("k2 = %s, want unknown", c)
+	}
+}
+
+// TestDoubling: i = i + i is geometric with base 2.
+func TestDoubling(t *testing.T) {
+	a := analyze(t, `
+i = 1
+L1: loop {
+    i = i + i
+    if i > n { exit }
+}
+`)
+	i2 := classOf(t, a, "L1", "i2")
+	if i2.Kind != Geometric || i2.Base != 2 {
+		t.Fatalf("i2 = %s, want geometric base 2", i2)
+	}
+	wantString(t, i2, "(L1, base 2: 0 | 1)") // exactly 2^h
+}
+
+// TestSymbolicInitPolynomial: a polynomial whose initial value is a
+// parameter keeps its order even without coefficients.
+func TestSymbolicInitPolynomial(t *testing.T) {
+	a := analyze(t, `
+j = n
+L1: for i = 1 to 10 {
+    j = j + i
+}
+`)
+	j2 := classOf(t, a, "L1", "j2")
+	if j2.Kind != Polynomial || j2.Order != 2 {
+		t.Fatalf("j2 = %s, want order-2 polynomial", j2)
+	}
+	if j2.Coeffs != nil {
+		t.Error("coefficients should be unknown for a symbolic start")
+	}
+}
+
+// TestProductOfIVs: x = i*i outside any cycle is a quadratic via the
+// operator algebra.
+func TestProductOfIVs(t *testing.T) {
+	a := analyze(t, `
+L1: for i = 1 to n {
+    x = i * i
+    a[x] = 0
+}
+`)
+	x1 := classOf(t, a, "L1", "x1")
+	// i = (L1,1,1), so i*i = 1 + 2h + h².
+	wantString(t, x1, "(L1, 1, 2, 1)")
+}
+
+// TestCopyChainsShareFamily: copies join the family of their source.
+func TestCopyChainsShareFamily(t *testing.T) {
+	a := analyze(t, `
+L1: for i = 1 to n {
+    j = i
+    k = j
+    a[k] = 0
+}
+`)
+	wantString(t, classOf(t, a, "L1", "j1"), "(L1, 1, 1)")
+	wantString(t, classOf(t, a, "L1", "k1"), "(L1, 1, 1)")
+}
+
+// TestReportStable: the report contains one entry per named value and
+// mentions each loop.
+func TestReportStable(t *testing.T) {
+	a := analyze(t, `
+k = 0
+L17: for i = 1 to n {
+    L18: for j = 1 to i {
+        k = k + 1
+    }
+}
+`)
+	rep := a.Report()
+	for _, want := range []string{"loop L17", "loop L18", "k2", "i2", "j2"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+// TestDeepNestStress: classification over deep nests stays correct and
+// tractable (the shared counter of an n-deep triangular nest is an
+// order-n polynomial at the top level).
+func TestDeepNestStress(t *testing.T) {
+	for depth := 2; depth <= 6; depth++ {
+		a, err := AnalyzeProgram(progenNested(depth))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every loop's counter is linear; the innermost counter of the
+		// deepest loop still classifies.
+		for _, l := range a.Forest.Loops {
+			var phi *ir.Value
+			for _, v := range l.Header.Values {
+				if v.Op == ir.OpPhi && a.SSA.VarOf[v] == "i"+itoa(l.Depth-1) {
+					phi = v
+				}
+			}
+			if phi == nil {
+				continue
+			}
+			if c := a.ClassOf(l, phi); c.Kind != Linear {
+				t.Errorf("depth %d loop %s counter = %s, want linear", depth, l.Label, c)
+			}
+		}
+	}
+}
+
+func progenNested(depth int) string { return progen.NestedLoops(depth) }
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// TestInvariantLoad implements §5.1's invariant-address load rule: a
+// load from an array the loop never writes, at an invariant subscript,
+// is loop-invariant — and can serve as an IV step.
+func TestInvariantLoad(t *testing.T) {
+	a := analyze(t, `
+k = 0
+L1: for i = 1 to n {
+    s = w[5]
+    k = k + s
+    b[k] = i
+}
+`)
+	l := a.LoopByLabel("L1")
+	s1 := a.ValueByName("s1")
+	if c := a.ClassOf(l, s1); c.Kind != Invariant {
+		t.Fatalf("s1 = %s, want invariant (§5.1)", c)
+	}
+	// k increments by the invariant load: a linear IV with that step.
+	k2 := classOf(t, a, "L1", "k2")
+	if k2.Kind != Linear {
+		t.Errorf("k2 = %s, want linear with the loaded step", k2)
+	}
+
+	// A store to w anywhere in the loop kills the rule.
+	a = analyze(t, `
+k = 0
+L1: for i = 1 to n {
+    s = w[5]
+    w[i] = i
+    k = k + s
+}
+`)
+	l = a.LoopByLabel("L1")
+	if c := a.ClassOf(l, a.ValueByName("s1")); c.Kind != Unknown {
+		t.Errorf("s1 with aliasing store = %s, want unknown", c)
+	}
+
+	// A varying subscript also kills it.
+	a = analyze(t, `
+k = 0
+L1: for i = 1 to n {
+    s = w[i]
+    k = k + s
+}
+`)
+	l = a.LoopByLabel("L1")
+	if c := a.ClassOf(l, a.ValueByName("s1")); c.Kind != Unknown {
+		t.Errorf("s1 with varying subscript = %s, want unknown", c)
+	}
+
+	// Stores in a nested loop count too.
+	a = analyze(t, `
+k = 0
+L1: for i = 1 to n {
+    s = w[5]
+    L2: for j = 1 to 3 {
+        w[j] = j
+    }
+    k = k + s
+}
+`)
+	l = a.LoopByLabel("L1")
+	if c := a.ClassOf(l, a.ValueByName("s1")); c.Kind != Unknown {
+		t.Errorf("s1 with nested store = %s, want unknown", c)
+	}
+}
+
+// TestWrapAroundOfPeriodic exercises §4.1's generalization ("any of the
+// other known classes could also be wrapped around"): a header φ whose
+// carried value is a periodic member classifies as a wrap-around of the
+// periodic class — the situation of Figure 5's t2.
+func TestWrapAroundOfPeriodic(t *testing.T) {
+	a := analyze(t, `
+x = 9
+j = 1
+k = 2
+L13: for i = 1 to n {
+    a[x] = i
+    t = j
+    j = k
+    k = t
+    x = j
+}
+`)
+	x2 := classOf(t, a, "L13", "x2")
+	if x2.Kind != WrapAround || x2.Order != 1 {
+		t.Fatalf("x2 = %s, want order-1 wrap-around", x2)
+	}
+	if x2.Inner == nil || x2.Inner.Kind != Periodic || x2.Inner.Period != 2 {
+		t.Errorf("x2 inner = %s, want periodic period 2", x2.Inner)
+	}
+}

@@ -1,0 +1,223 @@
+package iv
+
+import (
+	"fmt"
+	"strings"
+
+	"beyondiv/internal/ir"
+	"beyondiv/internal/loops"
+	"beyondiv/internal/rational"
+)
+
+// Class is the top-level kind of a scalar's behaviour within one loop.
+type Class int
+
+// Classes, from least to most structured.
+const (
+	Unknown Class = iota
+	// Invariant values do not change within the loop.
+	Invariant
+	// Linear induction variables follow Init + Step·h (paper §3.1).
+	Linear
+	// Polynomial induction variables of order ≥ 2 (paper §4.3).
+	Polynomial
+	// Geometric induction variables with an exponential term (§4.3).
+	Geometric
+	// WrapAround variables take their initial value for the first
+	// Order iterations and then follow Inner (§4.1).
+	WrapAround
+	// Periodic variables cycle through Period distinct values (§4.2);
+	// Period == 2 is the paper's flip-flop.
+	Periodic
+	// Monotonic variables never decrease (Dir > 0) or never increase
+	// (Dir < 0); Strict means every iteration changes the value (§4.4).
+	Monotonic
+)
+
+var classNames = map[Class]string{
+	Unknown:    "unknown",
+	Invariant:  "invariant",
+	Linear:     "linear",
+	Polynomial: "polynomial",
+	Geometric:  "geometric",
+	WrapAround: "wrap-around",
+	Periodic:   "periodic",
+	Monotonic:  "monotonic",
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Classification describes one SSA value's behaviour in one loop. The
+// meaning of the fields depends on Kind; unset fields are zero.
+type Classification struct {
+	Kind Class
+	Loop *loops.Loop
+
+	// Invariant: Expr is the affine form over loop-external values, or
+	// nil when the value is invariant but not affine.
+	// Linear: value(h) = Init + Step·h, both affine Exprs (Step may be
+	// symbolic, e.g. the outer loop's IV, as in the paper's L4).
+	Init *Expr
+	Step *Expr
+	Expr *Expr
+
+	// Polynomial: value(h) = Σ Coeffs[k]·h^k; Coeffs is nil when the
+	// order is known but the rational coefficients are not (symbolic
+	// initial values). Order is always set.
+	// Geometric: value(h) = Σ Coeffs[k]·h^k + GeoCoeff·Base^h.
+	Order    int
+	Coeffs   []rational.Rat
+	Base     int64
+	GeoCoeff rational.Rat
+
+	// WrapAround: the value equals Init for the first Order iterations
+	// (Order ≥ 1), then follows Inner delayed by Order iterations:
+	// value(h) = Inner(h-Order) for h ≥ Order.
+	Inner *Classification
+
+	// Periodic: Period ≥ 2; Phase distinguishes members of one family;
+	// Initials lists the family's initial-value Exprs (for the
+	// distinctness precondition in dependence testing, §4.2).
+	Period   int
+	Phase    int
+	Initials []*Expr
+
+	// Monotonic: Dir is +1 (non-decreasing) or -1 (non-increasing).
+	Dir    int
+	Strict bool
+
+	// HeadPhi is the loop-header φ anchoring the family this value
+	// belongs to (linear, polynomial, geometric, periodic, monotonic
+	// families); nil for invariants and unknowns.
+	HeadPhi *ir.Value
+}
+
+// IsIV reports whether the classification is some induction variable
+// (linear, polynomial, or geometric) — the classes dependence testing
+// can read coefficients from.
+func (c *Classification) IsIV() bool {
+	switch c.Kind {
+	case Linear, Polynomial, Geometric:
+		return true
+	}
+	return false
+}
+
+// LinearConst returns (init, step, true) when the value is a linear IV
+// with constant rational init and step.
+func (c *Classification) LinearConst() (init, step rational.Rat, ok bool) {
+	if c.Kind != Linear {
+		return rational.NaR, rational.NaR, false
+	}
+	i, ok1 := c.Init.ConstVal()
+	s, ok2 := c.Step.ConstVal()
+	if !ok1 || !ok2 {
+		return rational.NaR, rational.NaR, false
+	}
+	return i, s, true
+}
+
+// String renders the classification in the paper's tuple style:
+// linear "(L7, n1, c1 + k1)", polynomial "(L14, 4, 23/6, 1, 1/6)",
+// geometric "(L14, base 2: -1, 0 | 2)", and descriptive forms for the
+// other classes.
+func (c *Classification) String() string {
+	if c == nil {
+		return "<nil>"
+	}
+	label := "?"
+	if c.Loop != nil {
+		label = c.Loop.Label
+	}
+	switch c.Kind {
+	case Invariant:
+		if c.Expr != nil {
+			return fmt.Sprintf("invariant %s", c.Expr)
+		}
+		return "invariant"
+	case Linear:
+		return fmt.Sprintf("(%s, %s, %s)", label, c.Init, c.Step)
+	case Polynomial:
+		if c.Coeffs == nil {
+			return fmt.Sprintf("polynomial(%s, order %d)", label, c.Order)
+		}
+		parts := make([]string, len(c.Coeffs))
+		for i, r := range c.Coeffs {
+			parts[i] = r.String()
+		}
+		return fmt.Sprintf("(%s, %s)", label, strings.Join(parts, ", "))
+	case Geometric:
+		if c.Coeffs == nil {
+			return fmt.Sprintf("geometric(%s, base %d)", label, c.Base)
+		}
+		parts := make([]string, len(c.Coeffs))
+		for i, r := range c.Coeffs {
+			parts[i] = r.String()
+		}
+		poly := strings.Join(parts, ", ")
+		if poly == "" {
+			poly = "0"
+		}
+		return fmt.Sprintf("(%s, base %d: %s | %s)", label, c.Base, poly, c.GeoCoeff)
+	case WrapAround:
+		return fmt.Sprintf("wrap-around(%s, order %d, init %s, then %s)", label, c.Order, c.Init, c.Inner)
+	case Periodic:
+		return fmt.Sprintf("periodic(%s, period %d, phase %d)", label, c.Period, c.Phase)
+	case Monotonic:
+		dir := "increasing"
+		if c.Dir < 0 {
+			dir = "decreasing"
+		}
+		if c.Strict {
+			return fmt.Sprintf("monotonic(%s, strictly %s)", label, dir)
+		}
+		return fmt.Sprintf("monotonic(%s, %s)", label, dir)
+	default:
+		return "unknown"
+	}
+}
+
+// PolyEval evaluates the closed form at iteration h for classes with
+// numeric closed forms (Linear with constant init/step, Polynomial and
+// Geometric with coefficients).
+func (c *Classification) PolyEval(h int64) (rational.Rat, bool) {
+	switch c.Kind {
+	case Linear:
+		init, step, ok := c.LinearConst()
+		if !ok {
+			return rational.NaR, false
+		}
+		return init.Add(step.Mul(rational.FromInt(h))), true
+	case Polynomial, Geometric, Periodic:
+		// Periodic carries a base -1 closed form when the flip-flop was
+		// numeric (§4.2).
+		if c.Coeffs == nil {
+			return rational.NaR, false
+		}
+		out := rational.FromInt(0)
+		for k, coef := range c.Coeffs {
+			out = out.Add(coef.Mul(rational.FromInt(h).Pow(k)))
+		}
+		if c.Kind == Geometric || c.Kind == Periodic {
+			if h > 62 {
+				return rational.NaR, false // base^h would overflow
+			}
+			out = out.Add(c.GeoCoeff.Mul(rational.FromInt(c.Base).Pow(int(h))))
+		}
+		if !out.Valid() {
+			return rational.NaR, false
+		}
+		return out, true
+	case Invariant:
+		if v, ok := c.Expr.ConstVal(); ok {
+			return v, true
+		}
+	}
+	return rational.NaR, false
+}

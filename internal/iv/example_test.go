@@ -1,0 +1,95 @@
+package iv_test
+
+import (
+	"fmt"
+
+	"beyondiv/internal/iv"
+)
+
+// The paper's Figure 1: mutually-defined induction variables form one
+// family anchored at the loop-header φ.
+func ExampleAnalyzeProgram() {
+	a, err := iv.AnalyzeProgram(`
+j = n
+L7: loop {
+    i = j + c
+    j = i + k
+    if j > m { exit }
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	l := a.LoopByLabel("L7")
+	for _, name := range []string{"j2", "i1", "j3"} {
+		fmt.Printf("%s = %s\n", name, a.ClassOf(l, a.ValueByName(name)))
+	}
+	// Output:
+	// j2 = (L7, n1, c1 + k1)
+	// i1 = (L7, n1 + c1, c1 + k1)
+	// j3 = (L7, n1 + c1 + k1, c1 + k1)
+}
+
+// The §4.3 closed forms: the worked cubic from loop L14.
+func ExampleAnalysis_ClassOf() {
+	a, err := iv.AnalyzeProgram(`
+j = 1
+k = 1
+L14: for i = 1 to n {
+    j = j + i
+    k = k + j + 1
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	l := a.LoopByLabel("L14")
+	k3 := a.ClassOf(l, a.ValueByName("k3"))
+	fmt.Println(k3)
+	v, _ := k3.PolyEval(3)
+	fmt.Printf("k(3) = %s\n", v)
+	// Output:
+	// (L14, 4, 23/6, 1, 1/6)
+	// k(3) = 29
+}
+
+// Trip counts follow §5.2: the count is the number of times the exit
+// test stays in the loop.
+func ExampleAnalysis_TripCount() {
+	a, err := iv.AnalyzeProgram(`
+L30: for i = 3 to 10 { a[i] = 0 }
+L31: for i = 1 to n by 2 { b[i] = 0 }
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(a.TripCount(a.LoopByLabel("L30")))
+	fmt.Println(a.TripCount(a.LoopByLabel("L31")))
+	// Output:
+	// 8
+	// ceil((n1)/2)
+}
+
+// NestedString performs the §5.3 outer-to-inner substitution.
+func ExampleAnalysis_NestedString() {
+	a, err := iv.AnalyzeProgram(`
+i = 0
+L5: loop {
+    i = i + 2
+    j = i
+    L6: loop {
+        j = j + 1
+        a[j] = 0
+        if j > m { exit }
+    }
+    if i > n { exit }
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	l6 := a.LoopByLabel("L6")
+	fmt.Println(a.NestedString(a.ClassOf(l6, a.ValueByName("j3"))))
+	// Output:
+	// (L6, (L5, 3, 2), 1)
+}

@@ -1,0 +1,235 @@
+// Package iv implements the paper's unified induction-variable
+// classification: Tarjan's strongly-connected-region algorithm over the
+// SSA graph, classifying every integer scalar in every loop as linear,
+// polynomial, or geometric induction variable, wrap-around, periodic,
+// monotonic, invariant, or unknown — in a single non-iterative pass per
+// loop, processed from the innermost loop outward (Wolfe, PLDI 1992).
+package iv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"beyondiv/internal/ir"
+	"beyondiv/internal/rational"
+)
+
+// Expr is a symbolic affine expression over SSA values:
+// Const + Σ Coeff·value. Initial values, steps, trip counts and exit
+// values are all Exprs; a nil *Expr means "not representable".
+type Expr struct {
+	Const rational.Rat
+	Terms map[*ir.Value]rational.Rat
+}
+
+// ConstExpr returns the constant expression c.
+func ConstExpr(c rational.Rat) *Expr { return &Expr{Const: c} }
+
+// IntExpr returns the constant expression n.
+func IntExpr(n int64) *Expr { return ConstExpr(rational.FromInt(n)) }
+
+// VarExpr returns the expression 1·v.
+func VarExpr(v *ir.Value) *Expr {
+	return &Expr{Const: rational.FromInt(0), Terms: map[*ir.Value]rational.Rat{v: rational.FromInt(1)}}
+}
+
+// IsConst reports whether e is a pure constant (no symbolic terms).
+func (e *Expr) IsConst() bool { return e != nil && len(e.Terms) == 0 }
+
+// ConstVal returns the constant value of e, if e is a pure constant.
+func (e *Expr) ConstVal() (rational.Rat, bool) {
+	if !e.IsConst() {
+		return rational.NaR, false
+	}
+	return e.Const, true
+}
+
+// IsZero reports whether e is the constant 0.
+func (e *Expr) IsZero() bool { return e.IsConst() && e.Const.IsZero() }
+
+// SingleTerm returns (v, true) when e is exactly 1·v with no constant.
+func (e *Expr) SingleTerm() (*ir.Value, bool) {
+	if e == nil || len(e.Terms) != 1 || !e.Const.IsZero() {
+		return nil, false
+	}
+	for v, c := range e.Terms {
+		if c.Equal(rational.FromInt(1)) {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Clone returns a deep copy.
+func (e *Expr) Clone() *Expr {
+	if e == nil {
+		return nil
+	}
+	out := &Expr{Const: e.Const}
+	if len(e.Terms) > 0 {
+		out.Terms = make(map[*ir.Value]rational.Rat, len(e.Terms))
+		for v, c := range e.Terms {
+			out.Terms[v] = c
+		}
+	}
+	return out
+}
+
+// normalize drops zero coefficients and returns nil when any coefficient
+// overflowed.
+func (e *Expr) normalize() *Expr {
+	if e == nil || !e.Const.Valid() {
+		return nil
+	}
+	for v, c := range e.Terms {
+		if !c.Valid() {
+			return nil
+		}
+		if c.IsZero() {
+			delete(e.Terms, v)
+		}
+	}
+	if len(e.Terms) == 0 {
+		e.Terms = nil
+	}
+	return e
+}
+
+// AddExpr returns a+b, or nil if either is nil.
+func AddExpr(a, b *Expr) *Expr {
+	if a == nil || b == nil {
+		return nil
+	}
+	out := a.Clone()
+	out.Const = out.Const.Add(b.Const)
+	for v, c := range b.Terms {
+		if out.Terms == nil {
+			out.Terms = map[*ir.Value]rational.Rat{}
+		}
+		// Note: the zero value of rational.Rat is NaR, so a missing key
+		// must be treated as an explicit zero.
+		if cur, ok := out.Terms[v]; ok {
+			out.Terms[v] = cur.Add(c)
+		} else {
+			out.Terms[v] = c
+		}
+	}
+	return out.normalize()
+}
+
+// SubExpr returns a-b.
+func SubExpr(a, b *Expr) *Expr { return AddExpr(a, ScaleExpr(b, rational.FromInt(-1))) }
+
+// ScaleExpr returns k·e.
+func ScaleExpr(e *Expr, k rational.Rat) *Expr {
+	if e == nil || !k.Valid() {
+		return nil
+	}
+	out := e.Clone()
+	out.Const = out.Const.Mul(k)
+	for v, c := range out.Terms {
+		out.Terms[v] = c.Mul(k)
+	}
+	return out.normalize()
+}
+
+// AddConst returns e + c.
+func AddConst(e *Expr, c rational.Rat) *Expr { return AddExpr(e, ConstExpr(c)) }
+
+// MulExpr returns a·b when at least one side is constant, else nil
+// (the product would not be affine).
+func MulExpr(a, b *Expr) *Expr {
+	if a == nil || b == nil {
+		return nil
+	}
+	if c, ok := a.ConstVal(); ok {
+		return ScaleExpr(b, c)
+	}
+	if c, ok := b.ConstVal(); ok {
+		return ScaleExpr(a, c)
+	}
+	return nil
+}
+
+// Equal reports structural equality of two expressions (nil equals nil).
+func (e *Expr) Equal(o *Expr) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if !e.Const.Equal(o.Const) || len(e.Terms) != len(o.Terms) {
+		return false
+	}
+	for v, c := range e.Terms {
+		oc, ok := o.Terms[v]
+		if !ok || !c.Equal(oc) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval substitutes concrete values for the symbolic terms; get returns
+// the runtime value of an SSA value. The result is exact rational.
+func (e *Expr) Eval(get func(*ir.Value) (int64, bool)) (rational.Rat, bool) {
+	if e == nil {
+		return rational.NaR, false
+	}
+	out := e.Const
+	for v, c := range e.Terms {
+		x, ok := get(v)
+		if !ok {
+			return rational.NaR, false
+		}
+		out = out.Add(c.Mul(rational.FromInt(x)))
+	}
+	if !out.Valid() {
+		return rational.NaR, false
+	}
+	return out, true
+}
+
+// String renders the expression deterministically, e.g. "3 + 2*i2 - n1".
+func (e *Expr) String() string {
+	if e == nil {
+		return "?"
+	}
+	type term struct {
+		v *ir.Value
+		c rational.Rat
+	}
+	terms := make([]term, 0, len(e.Terms))
+	for v, c := range e.Terms {
+		terms = append(terms, term{v, c})
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].v.ID < terms[j].v.ID })
+
+	var sb strings.Builder
+	wrote := false
+	if !e.Const.IsZero() || len(terms) == 0 {
+		sb.WriteString(e.Const.String())
+		wrote = true
+	}
+	one := rational.FromInt(1)
+	for _, t := range terms {
+		c := t.c
+		neg := c.Sign() < 0
+		if wrote {
+			if neg {
+				sb.WriteString(" - ")
+				c = c.Neg()
+			} else {
+				sb.WriteString(" + ")
+			}
+		} else if neg {
+			sb.WriteString("-")
+			c = c.Neg()
+		}
+		if !c.Equal(one) {
+			fmt.Fprintf(&sb, "%s*", c)
+		}
+		sb.WriteString(t.v.String())
+		wrote = true
+	}
+	return sb.String()
+}

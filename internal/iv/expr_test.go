@@ -1,0 +1,152 @@
+package iv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beyondiv/internal/ir"
+	"beyondiv/internal/rational"
+)
+
+func mkVals(n int) []*ir.Value {
+	f := ir.NewFunc()
+	b := f.NewBlock(ir.BlockPlain)
+	out := make([]*ir.Value, n)
+	for i := range out {
+		v := f.NewValue(b, ir.OpParam)
+		v.Name = string(rune('a'+i)) + "1"
+		out[i] = v
+	}
+	return out
+}
+
+func TestExprBasics(t *testing.T) {
+	vs := mkVals(2)
+	x, y := vs[0], vs[1]
+
+	e := AddExpr(VarExpr(x), IntExpr(3))
+	if e.String() != "3 + a1" {
+		t.Errorf("e = %s", e)
+	}
+	e2 := AddExpr(e, ScaleExpr(VarExpr(y), rational.New(1, 2)))
+	if e2.String() != "3 + a1 + 1/2*b1" {
+		t.Errorf("e2 = %s", e2)
+	}
+	if d := SubExpr(e2, e2); !d.IsZero() {
+		t.Errorf("x - x = %s", d)
+	}
+	if SubExpr(e2, VarExpr(x)).String() != "3 + 1/2*b1" {
+		t.Errorf("cancel = %s", SubExpr(e2, VarExpr(x)))
+	}
+}
+
+func TestExprConstAccessors(t *testing.T) {
+	if v, ok := IntExpr(7).ConstVal(); !ok || !v.Equal(rational.FromInt(7)) {
+		t.Error("ConstVal on IntExpr")
+	}
+	vs := mkVals(1)
+	if _, ok := VarExpr(vs[0]).ConstVal(); ok {
+		t.Error("VarExpr is not constant")
+	}
+	if v, ok := VarExpr(vs[0]).SingleTerm(); !ok || v != vs[0] {
+		t.Error("SingleTerm")
+	}
+	if _, ok := AddExpr(VarExpr(vs[0]), IntExpr(1)).SingleTerm(); ok {
+		t.Error("with a constant it is no longer a single term")
+	}
+}
+
+func TestExprMul(t *testing.T) {
+	vs := mkVals(2)
+	x, y := VarExpr(vs[0]), VarExpr(vs[1])
+	if MulExpr(x, y) != nil {
+		t.Error("var*var must not be affine")
+	}
+	if MulExpr(x, IntExpr(3)).String() != "3*a1" {
+		t.Errorf("scale = %s", MulExpr(x, IntExpr(3)))
+	}
+	if MulExpr(IntExpr(0), x).String() != "0" {
+		t.Errorf("zero = %s", MulExpr(IntExpr(0), x))
+	}
+}
+
+func TestExprNilPropagation(t *testing.T) {
+	vs := mkVals(1)
+	x := VarExpr(vs[0])
+	for i, e := range []*Expr{
+		AddExpr(nil, x), AddExpr(x, nil), SubExpr(nil, x),
+		ScaleExpr(nil, rational.FromInt(2)), MulExpr(nil, x),
+		ScaleExpr(x, rational.NaR),
+	} {
+		if e != nil {
+			t.Errorf("case %d: nil did not propagate: %s", i, e)
+		}
+	}
+	var nilExpr *Expr
+	if nilExpr.String() != "?" {
+		t.Error("nil rendering")
+	}
+	if !nilExpr.Equal(nil) || nilExpr.Equal(x) {
+		t.Error("nil equality")
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	vs := mkVals(2)
+	e := AddExpr(AddExpr(ScaleExpr(VarExpr(vs[0]), rational.FromInt(3)), VarExpr(vs[1])), IntExpr(5))
+	env := map[*ir.Value]int64{vs[0]: 10, vs[1]: -2}
+	got, ok := e.Eval(func(v *ir.Value) (int64, bool) { x, ok := env[v]; return x, ok })
+	if !ok || !got.Equal(rational.FromInt(33)) {
+		t.Errorf("eval = %s (%v)", got, ok)
+	}
+	if _, ok := e.Eval(func(*ir.Value) (int64, bool) { return 0, false }); ok {
+		t.Error("eval with missing atoms must fail")
+	}
+}
+
+// TestQuickExprLinearity: evaluation commutes with the algebra.
+func TestQuickExprLinearity(t *testing.T) {
+	vs := mkVals(3)
+	env := func(a, b, c int64) func(*ir.Value) (int64, bool) {
+		m := map[*ir.Value]int64{vs[0]: a, vs[1]: b, vs[2]: c}
+		return func(v *ir.Value) (int64, bool) { x, ok := m[v]; return x, ok }
+	}
+	mk := func(c0, c1, c2, c3 int8) *Expr {
+		e := IntExpr(int64(c0))
+		e = AddExpr(e, ScaleExpr(VarExpr(vs[0]), rational.FromInt(int64(c1))))
+		e = AddExpr(e, ScaleExpr(VarExpr(vs[1]), rational.FromInt(int64(c2))))
+		e = AddExpr(e, ScaleExpr(VarExpr(vs[2]), rational.FromInt(int64(c3))))
+		return e
+	}
+	prop := func(c0, c1, c2, c3, d0, d1, d2, d3 int8, a, b, c int8) bool {
+		e1, e2 := mk(c0, c1, c2, c3), mk(d0, d1, d2, d3)
+		get := env(int64(a), int64(b), int64(c))
+		v1, ok1 := e1.Eval(get)
+		v2, ok2 := e2.Eval(get)
+		if !ok1 || !ok2 {
+			return false
+		}
+		sum, ok3 := AddExpr(e1, e2).Eval(get)
+		if !ok3 || !sum.Equal(v1.Add(v2)) {
+			return false
+		}
+		diff, ok4 := SubExpr(e1, e2).Eval(get)
+		if !ok4 || !diff.Equal(v1.Sub(v2)) {
+			return false
+		}
+		scaled, ok5 := ScaleExpr(e1, rational.FromInt(3)).Eval(get)
+		return ok5 && scaled.Equal(v1.Mul(rational.FromInt(3)))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprStringDeterministic(t *testing.T) {
+	vs := mkVals(3)
+	e := AddExpr(AddExpr(VarExpr(vs[2]), VarExpr(vs[0])), ScaleExpr(VarExpr(vs[1]), rational.FromInt(-1)))
+	// Sorted by value ID regardless of construction order.
+	if e.String() != "a1 - b1 + c1" {
+		t.Errorf("rendering = %q", e.String())
+	}
+}

@@ -1,0 +1,189 @@
+package iv
+
+import (
+	"testing"
+
+	"beyondiv/internal/rational"
+)
+
+// TestMonotonicGrowth covers §4.4's multiplication extension: SCRs that
+// mix adds and multiplies with a known nonnegative start are monotonic
+// even when conditionals defeat the geometric path.
+func TestMonotonicGrowth(t *testing.T) {
+	// 2*i + i under a conditional: the paper's own example shape.
+	a := analyze(t, `
+i = 1
+L1: for it = 1 to n {
+    if a[it] > 0 {
+        i = 2 * i + i
+    }
+}
+`)
+	i2 := classOf(t, a, "L1", "i2")
+	if i2.Kind != Monotonic || i2.Dir != 1 {
+		t.Errorf("i2 = %s, want monotonic increasing", i2)
+	}
+	if i2.Strict {
+		t.Error("conditional growth must not be strict (the skip path repeats the value)")
+	}
+
+	// Unconditional mixed growth: strict since every pass multiplies by
+	// 2 from a start ≥ 1... via the geometric path when pure; with a
+	// conditional choosing between two growth rates it's monotonic.
+	a = analyze(t, `
+i = 1
+L1: for it = 1 to n {
+    if a[it] > 0 {
+        i = 2 * i
+    } else {
+        i = 3 * i + 1
+    }
+}
+`)
+	i2 = classOf(t, a, "L1", "i2")
+	if i2.Kind != Monotonic || i2.Dir != 1 || !i2.Strict {
+		t.Errorf("i2 = %s, want strictly increasing", i2)
+	}
+}
+
+// TestMonotonicGrowthNeedsKnownInit: without a known nonnegative start,
+// multiplication can flip signs and nothing is classified.
+func TestMonotonicGrowthNeedsKnownInit(t *testing.T) {
+	a := analyze(t, `
+i = n
+L1: for it = 1 to m {
+    if a[it] > 0 {
+        i = 2 * i
+    } else {
+        i = 3 * i
+    }
+}
+`)
+	if c := classOf(t, a, "L1", "i2"); c.Kind != Unknown {
+		t.Errorf("i2 = %s, want unknown for symbolic start (2·(-1) < -1)", c)
+	}
+}
+
+// TestMonotonicGrowthMergedMembersUnknown: members behind merges of
+// different multiplicative paths are not monotonic (x vs 3x interleave).
+func TestMonotonicGrowthMergedMembersUnknown(t *testing.T) {
+	a := analyze(t, `
+i = 1
+L1: for it = 1 to n {
+    if a[it] > 0 {
+        i = 2 * i
+    } else {
+        i = 3 * i + 1
+    }
+    b[i] = it
+}
+`)
+	// The join φ (i4) feeds b[i]; its own sequence is monotone, but the
+	// branch values (i2*2 vs 3*i2+1) are pure chains and stay monotonic.
+	i2 := classOf(t, a, "L1", "i2")
+	if i2.Kind != Monotonic {
+		t.Fatalf("i2 = %s", i2)
+	}
+	// Pure-chain member: 2*i2.
+	v := a.ValueByName("i3")
+	if v != nil {
+		if c := a.ClassOf(a.LoopByLabel("L1"), v); c.Kind != Monotonic {
+			t.Errorf("i3 = %s, want monotonic (pure chain)", c)
+		}
+	}
+}
+
+// TestMonotonicGrowthProductOfMembers: i = i * i from 2 is monotonic
+// (strictly), the paper's factorial-flavoured remark taken literally.
+func TestMonotonicGrowthProductOfMembers(t *testing.T) {
+	a := analyze(t, `
+i = 2
+L1: for it = 1 to n {
+    if a[it] > 0 {
+        i = i * i
+    } else {
+        i = i + 1
+    }
+}
+`)
+	i2 := classOf(t, a, "L1", "i2")
+	if i2.Kind != Monotonic || i2.Dir != 1 || !i2.Strict {
+		t.Errorf("i2 = %s, want strictly increasing", i2)
+	}
+	// From 1, squaring can stall at 1: not strict.
+	a = analyze(t, `
+i = 1
+L1: for it = 1 to n {
+    if a[it] > 0 {
+        i = i * i
+    } else {
+        i = i + 1
+    }
+}
+`)
+	i2 = classOf(t, a, "L1", "i2")
+	if i2.Kind != Monotonic || i2.Strict {
+		t.Errorf("i2 = %s, want non-strict monotonic", i2)
+	}
+}
+
+// TestGrowthSubtractionOfNonpositive: i - c with c ≤ 0 is growth.
+func TestGrowthSubtractionOfNonpositive(t *testing.T) {
+	a := analyze(t, `
+i = 0
+L1: for it = 1 to n {
+    if a[it] > 0 {
+        i = 2 * i - (0 - 3)
+    }
+}
+`)
+	i2 := classOf(t, a, "L1", "i2")
+	if i2.Kind != Monotonic || i2.Dir != 1 {
+		t.Errorf("i2 = %s, want monotonic increasing", i2)
+	}
+}
+
+// TestExponentGeometric: x = 2 ** i as a geometric sequence via the
+// operator algebra.
+func TestExponentGeometric(t *testing.T) {
+	a := analyze(t, `
+L1: for i = 0 to n {
+    x = 2 ** i
+    a[x] = i
+}
+`)
+	x1 := classOf(t, a, "L1", "x1")
+	if x1.Kind != Geometric || x1.Base != 2 {
+		t.Fatalf("x1 = %s, want geometric base 2", x1)
+	}
+	for h, want := range []int64{1, 2, 4, 8, 16} {
+		v, ok := x1.PolyEval(int64(h))
+		if !ok || !v.Equal(rational.FromInt(want)) {
+			t.Errorf("x1(%d) = %s, want %d", h, v, want)
+		}
+	}
+
+	// Stride-2 exponent: 3 ** (2h+1) = 3·9^h.
+	a = analyze(t, `
+L1: for i = 1 to n by 2 {
+    y = 3 ** i
+    a[y] = i
+}
+`)
+	y1 := classOf(t, a, "L1", "y1")
+	if y1.Kind != Geometric || y1.Base != 9 || !y1.GeoCoeff.Equal(rational.FromInt(3)) {
+		t.Errorf("y1 = %s, want 3·9^h", y1)
+	}
+
+	// Step 0 exponent degenerates to an invariant.
+	a = analyze(t, `
+L1: for i = 1 to n {
+    z = 2 ** 5
+    a[z] = i
+}
+`)
+	z1 := classOf(t, a, "L1", "z1")
+	if z1.Kind != Invariant {
+		t.Errorf("z1 = %s, want invariant", z1)
+	}
+}

@@ -1,0 +1,328 @@
+package iv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"beyondiv/internal/ir"
+	"beyondiv/internal/loops"
+	"beyondiv/internal/rational"
+)
+
+// IterForm is a value expressed over the iteration space of a loop nest:
+//
+//	Const + Σ Coeffs[L]·h_L + Σ Syms[v]·v
+//
+// where h_L is loop L's 0-based iteration number and the Syms are
+// loop-independent symbols (program parameters). This is the "linear
+// combination of induction variables in the enclosing loops" that
+// dependence testing consumes (§6); the paper's remark that the
+// representation implicitly normalizes every loop (§6.1) is visible
+// here — h_L always starts at 0 with step 1, whatever the source loop
+// bounds were.
+type IterForm struct {
+	Const  rational.Rat
+	Coeffs map[*loops.Loop]rational.Rat
+	Syms   map[*ir.Value]rational.Rat
+	// Per carries periodic contributions (§4.2 selectors mixed into an
+	// otherwise affine subscript, like plane[cur*64 + i]): each term is
+	// Coeff · ring[(Phase - h_Loop) mod Period].
+	Per []PerTerm
+}
+
+// PerTerm is one periodic contribution to an IterForm.
+type PerTerm struct {
+	Cls   *Classification // Periodic classification (carries ring/phase/loop)
+	Coeff rational.Rat
+}
+
+func newIterForm() *IterForm {
+	return &IterForm{
+		Const:  rational.FromInt(0),
+		Coeffs: map[*loops.Loop]rational.Rat{},
+		Syms:   map[*ir.Value]rational.Rat{},
+	}
+}
+
+// add accumulates k·f into g.
+func (g *IterForm) add(f *IterForm, k rational.Rat) *IterForm {
+	if g == nil || f == nil {
+		return nil
+	}
+	g.Const = g.Const.Add(f.Const.Mul(k))
+	for l, c := range f.Coeffs {
+		if cur, ok := g.Coeffs[l]; ok {
+			g.Coeffs[l] = cur.Add(c.Mul(k))
+		} else {
+			g.Coeffs[l] = c.Mul(k)
+		}
+	}
+	for v, c := range f.Syms {
+		if cur, ok := g.Syms[v]; ok {
+			g.Syms[v] = cur.Add(c.Mul(k))
+		} else {
+			g.Syms[v] = c.Mul(k)
+		}
+	}
+	for _, p := range f.Per {
+		g.Per = append(g.Per, PerTerm{Cls: p.Cls, Coeff: p.Coeff.Mul(k)})
+	}
+	return g.normalize()
+}
+
+func (g *IterForm) normalize() *IterForm {
+	if !g.Const.Valid() {
+		return nil
+	}
+	for l, c := range g.Coeffs {
+		if !c.Valid() {
+			return nil
+		}
+		if c.IsZero() {
+			delete(g.Coeffs, l)
+		}
+	}
+	for v, c := range g.Syms {
+		if !c.Valid() {
+			return nil
+		}
+		if c.IsZero() {
+			delete(g.Syms, v)
+		}
+	}
+	per := g.Per[:0]
+	for _, p := range g.Per {
+		if !p.Coeff.Valid() {
+			return nil
+		}
+		if !p.Coeff.IsZero() {
+			per = append(per, p)
+		}
+	}
+	g.Per = per
+	return g
+}
+
+// Coeff returns the coefficient of loop l (zero when absent).
+func (g *IterForm) Coeff(l *loops.Loop) rational.Rat {
+	if c, ok := g.Coeffs[l]; ok {
+		return c
+	}
+	return rational.FromInt(0)
+}
+
+// HasSyms reports whether symbolic (non-iteration) terms remain.
+func (g *IterForm) HasSyms() bool { return len(g.Syms) > 0 }
+
+// Loops returns the loops with nonzero coefficients, outermost first.
+func (g *IterForm) Loops() []*loops.Loop {
+	out := make([]*loops.Loop, 0, len(g.Coeffs))
+	for l := range g.Coeffs {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Depth != out[j].Depth {
+			return out[i].Depth < out[j].Depth
+		}
+		return out[i].Header.ID < out[j].Header.ID
+	})
+	return out
+}
+
+// String renders e.g. "3 + 2*h(L5) + h(L6) + n1".
+func (g *IterForm) String() string {
+	if g == nil {
+		return "?"
+	}
+	var sb strings.Builder
+	sb.WriteString(g.Const.String())
+	one := rational.FromInt(1)
+	for _, l := range g.Loops() {
+		c := g.Coeffs[l]
+		writeTerm(&sb, c, fmt.Sprintf("h(%s)", l.Label), one)
+	}
+	syms := make([]*ir.Value, 0, len(g.Syms))
+	for v := range g.Syms {
+		syms = append(syms, v)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].ID < syms[j].ID })
+	for _, v := range syms {
+		writeTerm(&sb, g.Syms[v], v.String(), one)
+	}
+	return sb.String()
+}
+
+func writeTerm(sb *strings.Builder, c rational.Rat, name string, one rational.Rat) {
+	if c.Sign() < 0 {
+		sb.WriteString(" - ")
+		c = c.Neg()
+	} else {
+		sb.WriteString(" + ")
+	}
+	if !c.Equal(one) {
+		fmt.Fprintf(sb, "%s*", c)
+	}
+	sb.WriteString(name)
+}
+
+// IterFormOf expands the value v, used within loop l (or nil for code
+// outside all loops), into the iteration space of the enclosing nest.
+// Returns nil when v is not affine in the loop counters — e.g.
+// polynomial IVs, or linear IVs whose step varies in an outer loop (the
+// paper's multiloop case with symbolic step produces h·h cross terms).
+func (a *Analysis) IterFormOf(l *loops.Loop, v *ir.Value) *IterForm {
+	return a.iterExpand(l, v, 0)
+}
+
+const maxIterDepth = 64
+
+func (a *Analysis) iterExpand(l *loops.Loop, v *ir.Value, depth int) *IterForm {
+	if depth > maxIterDepth {
+		return nil
+	}
+	if l == nil {
+		// Outside all loops: constants and symbols only.
+		return a.iterExpandExpr(nil, a.leafExpr(v), depth)
+	}
+	return a.iterExpandClass(l, a.ClassOf(l, v), depth)
+}
+
+// IterFormOfClass expands an explicit classification in loop l's
+// iteration space (used by dependence testing to shift wrap-around
+// subscripts onto their post-warm-up induction sequence).
+func (a *Analysis) IterFormOfClass(l *loops.Loop, cls *Classification) *IterForm {
+	return a.iterExpandClass(l, cls, 0)
+}
+
+func (a *Analysis) iterExpandClass(l *loops.Loop, cls *Classification, depth int) *IterForm {
+	if depth > maxIterDepth || cls == nil {
+		return nil
+	}
+	switch cls.Kind {
+	case Invariant:
+		e := cls.Expr
+		if e == nil {
+			return nil
+		}
+		return a.iterExpandExpr(l.Parent, e, depth)
+	case Linear:
+		step, ok := cls.Step.ConstVal()
+		if !ok {
+			return nil // symbolic step: h_outer·h_l cross term
+		}
+		base := a.iterExpandExpr(l.Parent, cls.Init, depth)
+		if base == nil {
+			return nil
+		}
+		if cur, ok := base.Coeffs[l]; ok {
+			base.Coeffs[l] = cur.Add(step)
+		} else {
+			base.Coeffs[l] = step
+		}
+		return base.normalize()
+	case Periodic:
+		// A selector with a fully constant ring contributes a periodic
+		// term; the dependence tester resolves it by slot enumeration.
+		if len(cls.Initials) != cls.Period || cls.Period < 2 {
+			return nil
+		}
+		for _, e := range cls.Initials {
+			if e == nil {
+				return nil
+			}
+			if _, ok := e.ConstVal(); !ok {
+				return nil
+			}
+		}
+		out := newIterForm()
+		out.Per = append(out.Per, PerTerm{Cls: cls, Coeff: rational.FromInt(1)})
+		return out
+	default:
+		return nil
+	}
+}
+
+// iterExpandExpr expands an affine Expr whose atoms live at or outside
+// loop l (nil = outermost).
+func (a *Analysis) iterExpandExpr(l *loops.Loop, e *Expr, depth int) *IterForm {
+	if e == nil {
+		return nil
+	}
+	out := newIterForm()
+	out.Const = e.Const
+	for v, c := range e.Terms {
+		lv := a.Forest.InnermostContaining(v.Block)
+		switch {
+		case lv == nil:
+			// A parameter or pre-loop computation: symbolic atom.
+			if cur, ok := out.Syms[v]; ok {
+				out.Syms[v] = cur.Add(c)
+			} else {
+				out.Syms[v] = c
+			}
+		case isAncestorOrSelf(lv, l):
+			sub := a.iterExpand(lv, v, depth+1)
+			if sub == nil {
+				return nil
+			}
+			out.add(sub, c)
+		default:
+			// Defined in an unrelated loop (e.g. an earlier sibling):
+			// its value varies with the common ancestors' iterations in
+			// ways we do not model.
+			return nil
+		}
+	}
+	return out.normalize()
+}
+
+// isAncestorOrSelf reports whether anc encloses l (or is l). anc must
+// not be nil.
+func isAncestorOrSelf(anc, l *loops.Loop) bool {
+	for q := l; q != nil; q = q.Parent {
+		if q == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// NestedString renders a classification with the paper's outer-to-inner
+// substitution: initial values that are themselves induction variables
+// of enclosing loops print as nested tuples, e.g. (L6, (L5, 3, 2), 1)
+// and (L20, (L19, 1, 2, 1), 1).
+func (a *Analysis) NestedString(c *Classification) string {
+	if c == nil {
+		return "<nil>"
+	}
+	switch c.Kind {
+	case Linear:
+		label := "?"
+		if c.Loop != nil {
+			label = c.Loop.Label
+		}
+		return fmt.Sprintf("(%s, %s, %s)", label, a.nestedExpr(c.Loop, c.Init), a.nestedExpr(c.Loop, c.Step))
+	default:
+		return c.String()
+	}
+}
+
+// nestedExpr renders an affine Expr, replacing it wholesale with an
+// enclosing loop's tuple when it classifies as an IV there.
+func (a *Analysis) nestedExpr(l *loops.Loop, e *Expr) string {
+	if e == nil {
+		return "?"
+	}
+	if e.IsConst() {
+		return e.Const.String()
+	}
+	if l != nil && l.Parent != nil {
+		outer := a.exprClass(l.Parent, e)
+		switch outer.Kind {
+		case Linear, Polynomial, Geometric:
+			return a.NestedString(outer)
+		}
+	}
+	return e.String()
+}

@@ -1,0 +1,51 @@
+package iv
+
+import (
+	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/ir"
+	"beyondiv/internal/loops"
+	"beyondiv/internal/parse"
+	"beyondiv/internal/sccp"
+	"beyondiv/internal/ssa"
+)
+
+// AnalyzeProgram runs the full pipeline on mini-language source:
+// parse → CFG → SSA → loop nest → constants → classification.
+func AnalyzeProgram(src string) (*Analysis, error) {
+	file, err := parse.File(src)
+	if err != nil {
+		return nil, err
+	}
+	res := cfgbuild.Build(file)
+	info := ssa.Build(res.Func)
+	forest := loops.Analyze(res.Func, info.Dom)
+	labels := map[*ir.Block]string{}
+	for _, li := range res.Loops {
+		labels[li.Header] = li.Label
+	}
+	forest.AttachLabels(labels)
+	consts := sccp.Run(info)
+	return Analyze(info, forest, consts), nil
+}
+
+// ValueByName finds the SSA value with the given name ("i2"), or nil.
+func (a *Analysis) ValueByName(name string) *ir.Value {
+	for _, b := range a.SSA.Func.Blocks {
+		for _, v := range b.Values {
+			if v.Name == name {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// LoopByLabel finds the loop labeled name ("L7"), or nil.
+func (a *Analysis) LoopByLabel(label string) *loops.Loop {
+	for _, l := range a.Forest.Loops {
+		if l.Label == label {
+			return l
+		}
+	}
+	return nil
+}

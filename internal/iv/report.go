@@ -1,0 +1,110 @@
+package iv
+
+import (
+	"sort"
+
+	"beyondiv/internal/ir"
+	"beyondiv/internal/loops"
+)
+
+// LoopReport is the structured (JSON-friendly) form of one loop's
+// classification results.
+type LoopReport struct {
+	Label     string        `json:"label"`
+	Depth     int           `json:"depth"`
+	TripCount string        `json:"tripCount"`
+	MaxTrip   *int64        `json:"maxTrip,omitempty"`
+	Values    []ValueReport `json:"values"`
+}
+
+// ValueReport is one classified SSA value.
+type ValueReport struct {
+	Name  string `json:"name"`
+	Class string `json:"class"`
+	// Tuple is the paper-style rendering, e.g. "(L7, n1, c1 + k1)".
+	Tuple string `json:"tuple"`
+	// Nested is the outer-to-inner substituted form when it differs
+	// from Tuple (§5.3), e.g. "(L6, (L5, 3, 2), 1)".
+	Nested string `json:"nested,omitempty"`
+	// Order/Period/WrapOrder carry the class-specific scalar facts.
+	Order     int    `json:"order,omitempty"`
+	Period    int    `json:"period,omitempty"`
+	Phase     *int   `json:"phase,omitempty"`
+	WrapOrder int    `json:"wrapOrder,omitempty"`
+	Direction string `json:"direction,omitempty"` // monotonic: "increasing"...
+	Strict    bool   `json:"strict,omitempty"`
+}
+
+// ReportData builds the structured report, loops innermost first,
+// values in SSA-name order.
+func (a *Analysis) ReportData() []LoopReport {
+	var out []LoopReport
+	for _, l := range a.Forest.InnerToOuter() {
+		lr := LoopReport{
+			Label:     l.Label,
+			Depth:     l.Depth,
+			TripCount: a.TripCount(l).String(),
+		}
+		if tc := a.TripCount(l); tc != nil && tc.HasMax {
+			m := tc.MaxConst
+			lr.MaxTrip = &m
+		}
+		m := a.LoopClassifications(l)
+		vals := make([]*ir.Value, 0, len(m))
+		for v := range m {
+			if v.Name != "" {
+				vals = append(vals, v)
+			}
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].ID < vals[j].ID })
+		for _, v := range vals {
+			c := m[v]
+			vr := ValueReport{
+				Name:  v.Name,
+				Class: c.Kind.String(),
+				Tuple: c.String(),
+			}
+			if nested := a.NestedString(c); nested != vr.Tuple {
+				vr.Nested = nested
+			}
+			switch c.Kind {
+			case Polynomial, Geometric:
+				vr.Order = c.Order
+			case Periodic:
+				vr.Period = c.Period
+				ph := c.Phase
+				vr.Phase = &ph
+			case WrapAround:
+				vr.WrapOrder = c.Order
+			case Monotonic:
+				if c.Dir > 0 {
+					vr.Direction = "increasing"
+				} else {
+					vr.Direction = "decreasing"
+				}
+				vr.Strict = c.Strict
+			}
+			lr.Values = append(lr.Values, vr)
+		}
+		out = append(out, lr)
+	}
+	return out
+}
+
+// Families groups loop l's classified values by the header φ anchoring
+// their family (§3.1: "a family of basic linear induction variables"),
+// keyed by the φ and listing members in SSA-name order. Values without
+// an anchor (invariants, unknowns) are omitted.
+func (a *Analysis) Families(l *loops.Loop) map[*ir.Value][]*ir.Value {
+	out := map[*ir.Value][]*ir.Value{}
+	for v, c := range a.LoopClassifications(l) {
+		if c.HeadPhi == nil || v.Name == "" {
+			continue
+		}
+		out[c.HeadPhi] = append(out[c.HeadPhi], v)
+	}
+	for _, members := range out {
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package iv
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestReportData(t *testing.T) {
+	a := analyze(t, `
+iml = n
+j = 1
+k = 2
+L9: for i = 1 to 10 {
+    a[i] = a[iml]
+    iml = i
+    t = j
+    j = k
+    k = t
+    if a[i] > 0 { m = m + 1 }
+}
+`)
+	data := a.ReportData()
+	if len(data) != 1 {
+		t.Fatalf("got %d loop reports", len(data))
+	}
+	lr := data[0]
+	if lr.Label != "L9" || lr.TripCount != "10" {
+		t.Errorf("loop header = %+v", lr)
+	}
+	if lr.MaxTrip == nil || *lr.MaxTrip != 10 {
+		t.Errorf("max trip = %v", lr.MaxTrip)
+	}
+	byName := map[string]ValueReport{}
+	for _, v := range lr.Values {
+		byName[v.Name] = v
+	}
+	if v := byName["iml2"]; v.Class != "wrap-around" || v.WrapOrder != 1 {
+		t.Errorf("iml2 = %+v", v)
+	}
+	if v := byName["j2"]; v.Class != "periodic" || v.Period != 2 || v.Phase == nil {
+		t.Errorf("j2 = %+v", v)
+	}
+	if v := byName["m2"]; v.Class != "monotonic" || v.Direction != "increasing" || v.Strict {
+		t.Errorf("m2 = %+v", v)
+	}
+	if v := byName["i2"]; v.Class != "linear" || v.Tuple != "(L9, 1, 1)" {
+		t.Errorf("i2 = %+v", v)
+	}
+
+	// The structure must round-trip through JSON.
+	blob, err := json.Marshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []LoopReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(data) || len(back[0].Values) != len(data[0].Values) {
+		t.Error("JSON round trip lost entries")
+	}
+}
+
+func TestReportNestedField(t *testing.T) {
+	a := analyze(t, `
+i = 0
+L5: loop {
+    i = i + 2
+    j = i
+    L6: loop {
+        j = j + 1
+        a[j] = 0
+        if j > m { exit }
+    }
+    if i > n { exit }
+}
+`)
+	var nested string
+	for _, lr := range a.ReportData() {
+		for _, v := range lr.Values {
+			if v.Name == "j3" {
+				nested = v.Nested
+			}
+		}
+	}
+	if nested != "(L6, (L5, 3, 2), 1)" {
+		t.Errorf("nested field = %q", nested)
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	a := analyze(t, `
+j = n
+L7: loop {
+    i = j + c
+    j = i + k
+    if j > m { exit }
+}
+`)
+	l := a.LoopByLabel("L7")
+	fams := a.Families(l)
+	if len(fams) != 1 {
+		t.Fatalf("families = %d, want 1", len(fams))
+	}
+	for head, members := range fams {
+		if head.Name != "j2" {
+			t.Errorf("family head = %s, want j2", head)
+		}
+		if len(members) != 3 { // j2, i1, j3
+			t.Errorf("members = %v, want 3", members)
+		}
+	}
+}

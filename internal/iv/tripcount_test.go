@@ -1,0 +1,96 @@
+package iv
+
+import "testing"
+
+// TestMaxTripCountMultiExit reproduces §5.2's multi-exit remark: with
+// two always-executed exits, the loop count is bounded by the smaller
+// per-exit count even though the exact count is unknown.
+func TestMaxTripCountMultiExit(t *testing.T) {
+	a := analyze(t, `
+i = 0
+L1: loop {
+    i = i + 1
+    a[i] = i
+    if a[i] > m { exit }
+    if i > 50 { exit }
+}
+`)
+	tc := a.TripCount(a.LoopByLabel("L1"))
+	if tc.State != TripUnknown {
+		t.Fatalf("state = %v, want unknown exact count", tc.State)
+	}
+	if !tc.HasMax || tc.MaxConst != 50 {
+		t.Errorf("max = %d (has %v), want 50", tc.MaxConst, tc.HasMax)
+	}
+}
+
+// TestConditionalExitNotCounted: an exit test under a conditional can
+// be skipped, so it must not produce an exact count.
+func TestConditionalExitNotCounted(t *testing.T) {
+	a := analyze(t, `
+i = 0
+L1: loop {
+    i = i + 1
+    if a[i] > 0 {
+        if i > 10 { exit }
+    }
+}
+`)
+	tc := a.TripCount(a.LoopByLabel("L1"))
+	if tc.State != TripUnknown || tc.HasMax {
+		t.Errorf("conditional exit produced %s (max %v)", tc, tc.HasMax)
+	}
+}
+
+// TestEqualityExit covers `exit when a == b` with divisibility
+// reasoning.
+func TestEqualityExit(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		// i: 0,2,4,...: hits 10 at h=5.
+		{"i = 0\nL1: loop { if i == 10 { exit }\ni = i + 2 }", "5"},
+		// i: 0,3,6,9,12: steps over 10: never exits.
+		{"i = 0\nL1: loop { if i == 10 { exit }\ni = i + 3 }", "infinite"},
+		// already equal on entry.
+		{"i = 10\nL1: loop { if i == 10 { exit }\ni = i + 1 }", "0"},
+		// equality via stay-on-!= (false branch exits).
+		{"i = 0\nL1: while i != 6 { i = i + 2\na[i] = 1 }", "3"},
+		// target behind the start: never reached.
+		{"i = 5\nL1: loop { if i == 2 { exit }\ni = i + 1 }", "infinite"},
+	}
+	for _, c := range cases {
+		a := analyze(t, c.src)
+		if got := a.TripCount(a.LoopByLabel("L1")).String(); got != c.want {
+			t.Errorf("%q: trip = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+// TestEqualityExitRuntime cross-checks the equality counts against
+// execution via the interpreter-backed for-loop expectations.
+func TestEqualityExitRuntime(t *testing.T) {
+	for start := int64(0); start <= 4; start++ {
+		for step := int64(1); step <= 3; step++ {
+			src := sprintf("i = %d\nc = 0\nL1: loop { if i == 12 { exit }\nc = c + 1\ni = i + %d\nif c > 100 { exit } }", start, step)
+			a := analyze(t, src)
+			// Simulate.
+			i, c := start, int64(0)
+			for i != 12 && c <= 100 {
+				c++
+				i += step
+			}
+			hitsTarget := i == 12
+			tc := a.TripCount(a.LoopByLabel("L1"))
+			// The loop now has two exits: exact counts are off the
+			// table, but the max bound must cover the real stays.
+			// (c counts the increment above the second test, which runs
+			// stays+1 times — §5.2's convention.)
+			if tc.HasMax && c > tc.MaxConst+1 {
+				t.Errorf("%q: ran %d times but max says %d", src, c, tc.MaxConst)
+			}
+			_ = hitsTarget
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package loops discovers natural loops and the loop-nest tree from the
+// CFG and dominator tree: back edges t→h with h dominating t define a
+// loop; its body is every block that reaches t without passing h. Loops
+// sharing a header are merged. The classifier walks this tree from the
+// innermost loops outward (paper §5.3).
+package loops
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"beyondiv/internal/dom"
+	"beyondiv/internal/ir"
+)
+
+// Loop is one natural loop.
+type Loop struct {
+	// Header is the unique entry block of the loop.
+	Header *ir.Block
+	// Latches are the sources of back edges into Header.
+	Latches []*ir.Block
+	// Blocks is the loop body including Header, in block-ID order.
+	Blocks []*ir.Block
+	// Parent is the innermost enclosing loop, nil for top-level loops.
+	Parent *Loop
+	// Children are the immediately nested loops.
+	Children []*Loop
+	// Depth is 1 for top-level loops, 2 for their children, and so on.
+	Depth int
+	// Label is the source name ("L7"); attached by the caller from
+	// cfgbuild information, empty if unknown.
+	Label string
+
+	member map[*ir.Block]bool
+}
+
+// Contains reports whether b belongs to the loop body.
+func (l *Loop) Contains(b *ir.Block) bool { return l.member[b] }
+
+// ContainsValue reports whether v is defined inside the loop. Values
+// defined outside are loop-invariant by SSA dominance (paper §5.3:
+// "SSA links to code outside the loop are treated as loop invariant").
+func (l *Loop) ContainsValue(v *ir.Value) bool { return l.member[v.Block] }
+
+// ContainsLoop reports whether inner is l or nested anywhere within l.
+func (l *Loop) ContainsLoop(inner *Loop) bool {
+	for q := inner; q != nil; q = q.Parent {
+		if q == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Preheader returns the unique predecessor of the header outside the
+// loop, or nil if there is none (the lowering in cfgbuild always makes
+// one).
+func (l *Loop) Preheader() *ir.Block {
+	var pre *ir.Block
+	for _, p := range l.Header.Preds {
+		if l.member[p] {
+			continue
+		}
+		if pre != nil {
+			return nil
+		}
+		pre = p
+	}
+	return pre
+}
+
+// ExitEdges returns the (from, to) pairs leaving the loop, in block-ID
+// order.
+func (l *Loop) ExitEdges() [][2]*ir.Block {
+	var out [][2]*ir.Block
+	for _, b := range l.Blocks {
+		for _, s := range b.Succs {
+			if !l.member[s] {
+				out = append(out, [2]*ir.Block{b, s})
+			}
+		}
+	}
+	return out
+}
+
+// String renders "L(header=bN depth=D)".
+func (l *Loop) String() string {
+	lbl := l.Label
+	if lbl == "" {
+		lbl = "loop"
+	}
+	return fmt.Sprintf("%s(header=%s depth=%d)", lbl, l.Header, l.Depth)
+}
+
+// Forest is the loop nest of a function.
+type Forest struct {
+	// Loops lists every loop, ordered outer-before-inner (by depth, then
+	// header block ID).
+	Loops []*Loop
+	// Roots are the top-level loops.
+	Roots []*Loop
+
+	loopOf map[*ir.Block]*Loop
+}
+
+// InnermostContaining returns the innermost loop containing b, or nil.
+func (f *Forest) InnermostContaining(b *ir.Block) *Loop { return f.loopOf[b] }
+
+// ByHeader returns the loop headed at b, or nil.
+func (f *Forest) ByHeader(b *ir.Block) *Loop {
+	l := f.loopOf[b]
+	if l != nil && l.Header == b {
+		return l
+	}
+	return nil
+}
+
+// InnerToOuter returns the loops in classification order: every inner
+// loop before any loop containing it (postorder over the nest).
+func (f *Forest) InnerToOuter() []*Loop {
+	out := make([]*Loop, len(f.Loops))
+	copy(out, f.Loops)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Depth != out[j].Depth {
+			return out[i].Depth > out[j].Depth
+		}
+		return out[i].Header.ID < out[j].Header.ID
+	})
+	return out
+}
+
+// String renders the nest as an indented tree.
+func (f *Forest) String() string {
+	var sb strings.Builder
+	var walk func(l *Loop)
+	walk = func(l *Loop) {
+		fmt.Fprintf(&sb, "%s%s blocks=%d\n", strings.Repeat("  ", l.Depth-1), l, len(l.Blocks))
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	for _, r := range f.Roots {
+		walk(r)
+	}
+	return sb.String()
+}
+
+// Analyze builds the loop forest of f.
+func Analyze(f *ir.Func, tree *dom.Tree) *Forest {
+	byHeader := map[*ir.Block]*Loop{}
+
+	// Find back edges and collect loop bodies.
+	for _, b := range tree.ReversePostorder() {
+		for _, s := range b.Succs {
+			if !tree.Dominates(s, b) {
+				continue
+			}
+			// b -> s is a back edge; s is a header.
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, member: map[*ir.Block]bool{s: true}}
+				byHeader[s] = l
+			}
+			l.Latches = append(l.Latches, b)
+			// Backward walk from the latch, stopping at the header.
+			if !l.member[b] {
+				l.member[b] = true
+				stack := []*ir.Block{b}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range x.Preds {
+						if !tree.Reachable(p) || l.member[p] {
+							continue
+						}
+						l.member[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	forest := &Forest{loopOf: map[*ir.Block]*Loop{}}
+	for _, l := range byHeader {
+		for b := range l.member {
+			l.Blocks = append(l.Blocks, b)
+		}
+		sort.Slice(l.Blocks, func(i, j int) bool { return l.Blocks[i].ID < l.Blocks[j].ID })
+		forest.Loops = append(forest.Loops, l)
+	}
+	// Order by body size descending so parents precede children when
+	// assigning nesting; ties (equal size) cannot nest in each other.
+	sort.Slice(forest.Loops, func(i, j int) bool {
+		if len(forest.Loops[i].Blocks) != len(forest.Loops[j].Blocks) {
+			return len(forest.Loops[i].Blocks) > len(forest.Loops[j].Blocks)
+		}
+		return forest.Loops[i].Header.ID < forest.Loops[j].Header.ID
+	})
+
+	// Nesting: the innermost loop already assigned to a header's block
+	// becomes the parent.
+	for _, l := range forest.Loops {
+		if p := forest.loopOf[l.Header]; p != nil {
+			l.Parent = p
+			p.Children = append(p.Children, l)
+		}
+		for _, b := range l.Blocks {
+			forest.loopOf[b] = l
+		}
+	}
+	for _, l := range forest.Loops {
+		l.Depth = 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			l.Depth++
+		}
+		if l.Parent == nil {
+			forest.Roots = append(forest.Roots, l)
+		}
+	}
+	// Deterministic orders.
+	sort.SliceStable(forest.Loops, func(i, j int) bool {
+		if forest.Loops[i].Depth != forest.Loops[j].Depth {
+			return forest.Loops[i].Depth < forest.Loops[j].Depth
+		}
+		return forest.Loops[i].Header.ID < forest.Loops[j].Header.ID
+	})
+	sort.Slice(forest.Roots, func(i, j int) bool { return forest.Roots[i].Header.ID < forest.Roots[j].Header.ID })
+	for _, l := range forest.Loops {
+		sort.Slice(l.Children, func(i, j int) bool { return l.Children[i].Header.ID < l.Children[j].Header.ID })
+	}
+	return forest
+}
+
+// AttachLabels copies source labels onto loops by header block.
+func (f *Forest) AttachLabels(infos map[*ir.Block]string) {
+	for _, l := range f.Loops {
+		if lbl, ok := infos[l.Header]; ok {
+			l.Label = lbl
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package loops
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/dom"
+	"beyondiv/internal/ir"
+	"beyondiv/internal/parse"
+	"beyondiv/internal/progen"
+)
+
+type built struct {
+	f      *ir.Func
+	tree   *dom.Tree
+	forest *Forest
+}
+
+func analyze(t *testing.T, src string) built {
+	t.Helper()
+	file, err := parse.File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cfgbuild.Build(file)
+	tree := dom.New(res.Func)
+	forest := Analyze(res.Func, tree)
+	labels := map[*ir.Block]string{}
+	for _, li := range res.Loops {
+		labels[li.Header] = li.Label
+	}
+	forest.AttachLabels(labels)
+	return built{f: res.Func, tree: tree, forest: forest}
+}
+
+func TestNoLoops(t *testing.T) {
+	b := analyze(t, "i = 1\nif i > 0 { j = 2 }\n")
+	if len(b.forest.Loops) != 0 {
+		t.Errorf("found %d loops in loop-free code", len(b.forest.Loops))
+	}
+}
+
+func TestSingleForLoop(t *testing.T) {
+	b := analyze(t, "for i = 1 to n { a[i] = 0 }\n")
+	if len(b.forest.Loops) != 1 {
+		t.Fatalf("loops = %v", b.forest.Loops)
+	}
+	l := b.forest.Loops[0]
+	if l.Label != "L1" || l.Depth != 1 {
+		t.Errorf("loop = %v", l)
+	}
+	if pre := l.Preheader(); pre == nil {
+		t.Error("no preheader")
+	}
+	if len(l.Latches) != 1 {
+		t.Errorf("latches = %v", l.Latches)
+	}
+	// header + body + latch.
+	if len(l.Blocks) != 3 {
+		t.Errorf("blocks = %v", l.Blocks)
+	}
+	if len(l.ExitEdges()) != 1 {
+		t.Errorf("exits = %v", l.ExitEdges())
+	}
+}
+
+func TestNestedNest(t *testing.T) {
+	b := analyze(t, `
+L17: for i = 1 to n {
+    L18: for j = 1 to i {
+        a[j] = 0
+    }
+}
+`)
+	if len(b.forest.Loops) != 2 {
+		t.Fatalf("loops = %v", b.forest.Loops)
+	}
+	var outer, inner *Loop
+	for _, l := range b.forest.Loops {
+		switch l.Label {
+		case "L17":
+			outer = l
+		case "L18":
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("labels missing")
+	}
+	if inner.Parent != outer || outer.Depth != 1 || inner.Depth != 2 {
+		t.Errorf("nesting wrong: outer=%v inner=%v", outer, inner)
+	}
+	if !outer.ContainsLoop(inner) || inner.ContainsLoop(outer) {
+		t.Error("ContainsLoop wrong")
+	}
+	order := b.forest.InnerToOuter()
+	if order[0] != inner || order[1] != outer {
+		t.Errorf("InnerToOuter = %v", order)
+	}
+	for _, blk := range inner.Blocks {
+		if !outer.Contains(blk) {
+			t.Errorf("outer missing inner block %s", blk)
+		}
+		if b.forest.InnermostContaining(blk) != inner {
+			t.Errorf("InnermostContaining(%s) wrong", blk)
+		}
+	}
+}
+
+func TestSiblings(t *testing.T) {
+	b := analyze(t, `
+for i = 1 to n { a[i] = 0 }
+for j = 1 to n { b[j] = 0 }
+`)
+	if len(b.forest.Roots) != 2 {
+		t.Fatalf("roots = %v", b.forest.Roots)
+	}
+	for _, l := range b.forest.Loops {
+		if l.Depth != 1 {
+			t.Errorf("sibling loop has depth %d", l.Depth)
+		}
+	}
+}
+
+func TestMidExitLoop(t *testing.T) {
+	b := analyze(t, `
+i = 0
+loop {
+    i = i + 1
+    if i > 10 { exit }
+    j = j + i
+}
+`)
+	if len(b.forest.Loops) != 1 {
+		t.Fatalf("loops = %v", b.forest.Loops)
+	}
+	l := b.forest.Loops[0]
+	if len(l.ExitEdges()) != 1 {
+		t.Errorf("exit edges = %v", l.ExitEdges())
+	}
+	if l.Preheader() == nil {
+		t.Error("no preheader")
+	}
+}
+
+func TestTripleNest(t *testing.T) {
+	b := analyze(t, progen.NestedLoops(3))
+	if len(b.forest.Loops) != 3 {
+		t.Fatalf("loops = %d", len(b.forest.Loops))
+	}
+	depths := map[int]int{}
+	for _, l := range b.forest.Loops {
+		depths[l.Depth]++
+	}
+	if depths[1] != 1 || depths[2] != 1 || depths[3] != 1 {
+		t.Errorf("depths = %v", depths)
+	}
+}
+
+// TestQuickLoopInvariants checks structural invariants on random
+// programs: headers dominate their bodies, bodies are closed under
+// predecessors up to the header, members map consistently, and
+// InnerToOuter is a valid postorder.
+func TestQuickLoopInvariants(t *testing.T) {
+	gen := progen.New()
+	prop := func(seed int64) bool {
+		file, err := parse.File(gen.Program(seed))
+		if err != nil {
+			return false
+		}
+		f := cfgbuild.Build(file).Func
+		tree := dom.New(f)
+		forest := Analyze(f, tree)
+		for _, l := range forest.Loops {
+			for _, blk := range l.Blocks {
+				if !tree.Dominates(l.Header, blk) {
+					return false
+				}
+			}
+			for _, latch := range l.Latches {
+				if !l.Contains(latch) {
+					return false
+				}
+			}
+			// Parent contains all child blocks.
+			if l.Parent != nil {
+				for _, blk := range l.Blocks {
+					if !l.Parent.Contains(blk) {
+						return false
+					}
+				}
+				if l.Depth != l.Parent.Depth+1 {
+					return false
+				}
+			}
+		}
+		// InnerToOuter: children strictly before parents.
+		pos := map[*Loop]int{}
+		for i, l := range forest.InnerToOuter() {
+			pos[l] = i
+		}
+		for _, l := range forest.Loops {
+			if l.Parent != nil && pos[l] > pos[l.Parent] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	file, err := parse.File(progen.NestedLoops(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := cfgbuild.Build(file).Func
+	tree := dom.New(f)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Analyze(f, tree)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	b := analyze(t, `
+L17: for i = 1 to n {
+    L18: for j = 1 to i {
+        a[j] = 0
+    }
+}
+`)
+	s := b.forest.String()
+	for _, want := range []string{"L17(header=", "depth=1", "  L18(header=", "depth=2", "blocks="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("forest rendering missing %q:\n%s", want, s)
+		}
+	}
+	unlabeled := &Loop{Header: b.forest.Loops[0].Header, Depth: 1}
+	if !strings.Contains(unlabeled.String(), "loop(header=") {
+		t.Errorf("unlabeled loop rendering: %s", unlabeled)
+	}
+}
+
+func TestByHeaderAndContains(t *testing.T) {
+	b := analyze(t, "L1: for i = 1 to n { a[i] = 0 }\n")
+	l := b.forest.Loops[0]
+	if b.forest.ByHeader(l.Header) != l {
+		t.Error("ByHeader misses")
+	}
+	if b.forest.ByHeader(b.f.Entry) != nil {
+		t.Error("entry is not a loop header")
+	}
+	for _, blk := range l.Blocks {
+		for _, v := range blk.Values {
+			if !l.ContainsValue(v) {
+				t.Errorf("value %s should be in the loop", v)
+			}
+		}
+	}
+	for _, v := range b.f.Entry.Values {
+		if l.ContainsValue(v) {
+			t.Errorf("entry value %s should be outside", v)
+		}
+	}
+}

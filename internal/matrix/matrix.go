@@ -1,0 +1,278 @@
+// Package matrix implements dense matrices over exact rationals with
+// Gauss–Jordan inversion and linear-system solving.
+//
+// The paper (§4.3) recovers closed-form coefficients of polynomial and
+// geometric induction variables by inverting small Vandermonde-style
+// matrices: entry a[i][j] = i^j for a polynomial of order m (an
+// (m+1)×(m+1) system), optionally extended with a column of g^i for a
+// geometric base g. Since all entries are integers, the inverse is exactly
+// rational; this package performs that inversion without rounding.
+package matrix
+
+import (
+	"fmt"
+	"strings"
+
+	"beyondiv/internal/rational"
+)
+
+// Matrix is a dense rows×cols matrix of rationals.
+type Matrix struct {
+	rows, cols int
+	a          []rational.Rat // row-major
+}
+
+// New returns a zero matrix of the given shape. It panics if either
+// dimension is not positive.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %dx%d", rows, cols))
+	}
+	a := make([]rational.Rat, rows*cols)
+	zero := rational.FromInt(0)
+	for i := range a {
+		a[i] = zero
+	}
+	return &Matrix{rows: rows, cols: cols, a: a}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	one := rational.FromInt(1)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, one)
+	}
+	return m
+}
+
+// FromInts builds a matrix from integer rows. All rows must have equal
+// nonzero length.
+func FromInts(rows [][]int64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("matrix: empty input")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic("matrix: ragged rows")
+		}
+		for j, v := range r {
+			m.Set(i, j, rational.FromInt(v))
+		}
+	}
+	return m
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) rational.Rat { return m.a[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v rational.Rat) { m.a[i*m.cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, a: make([]rational.Rat, len(m.a))}
+	copy(c.a, m.a)
+	return c
+}
+
+// Mul returns m·n, or an error if the shapes are incompatible or an
+// entry overflows.
+func (m *Matrix) Mul(n *Matrix) (*Matrix, error) {
+	if m.cols != n.rows {
+		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, n.rows, n.cols)
+	}
+	out := New(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < n.cols; j++ {
+			sum := rational.FromInt(0)
+			for k := 0; k < m.cols; k++ {
+				sum = sum.Add(m.At(i, k).Mul(n.At(k, j)))
+			}
+			if !sum.Valid() {
+				return nil, fmt.Errorf("matrix: overflow at (%d,%d)", i, j)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m·v for a column vector v of length m.Cols().
+func (m *Matrix) MulVec(v []rational.Rat) ([]rational.Rat, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("matrix: vector length %d != cols %d", len(v), m.cols)
+	}
+	out := make([]rational.Rat, m.rows)
+	for i := 0; i < m.rows; i++ {
+		sum := rational.FromInt(0)
+		for k := 0; k < m.cols; k++ {
+			sum = sum.Add(m.At(i, k).Mul(v[k]))
+		}
+		if !sum.Valid() {
+			return nil, fmt.Errorf("matrix: overflow in row %d", i)
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// Inverse returns m⁻¹ computed by Gauss–Jordan elimination with partial
+// (first-nonzero) pivoting, or an error if m is not square, is singular,
+// or overflows the rational range.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("matrix: cannot invert %dx%d", m.rows, m.cols)
+	}
+	n := m.rows
+	work := m.Clone()
+	inv := Identity(n)
+
+	for col := 0; col < n; col++ {
+		// Find a pivot row.
+		pivot := -1
+		for r := col; r < n; r++ {
+			e := work.At(r, col)
+			if !e.Valid() {
+				return nil, fmt.Errorf("matrix: overflow during elimination")
+			}
+			if !e.IsZero() {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("matrix: singular (no pivot in column %d)", col)
+		}
+		work.swapRows(col, pivot)
+		inv.swapRows(col, pivot)
+
+		// Scale pivot row to 1.
+		p := work.At(col, col).Inv()
+		if !p.Valid() {
+			return nil, fmt.Errorf("matrix: overflow during elimination")
+		}
+		work.scaleRow(col, p)
+		inv.scaleRow(col, p)
+
+		// Eliminate the column elsewhere.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f.IsZero() {
+				continue
+			}
+			work.addScaledRow(r, col, f.Neg())
+			inv.addScaledRow(r, col, f.Neg())
+		}
+	}
+	for _, v := range inv.a {
+		if !v.Valid() {
+			return nil, fmt.Errorf("matrix: overflow during elimination")
+		}
+	}
+	return inv, nil
+}
+
+// Solve returns x with m·x = b, or an error if m is singular or the
+// shapes are incompatible.
+func (m *Matrix) Solve(b []rational.Rat) ([]rational.Rat, error) {
+	inv, err := m.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	return inv.MulVec(b)
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.a[i*m.cols:(i+1)*m.cols], m.a[j*m.cols:(j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func (m *Matrix) scaleRow(i int, f rational.Rat) {
+	r := m.a[i*m.cols : (i+1)*m.cols]
+	for k := range r {
+		r[k] = r[k].Mul(f)
+	}
+}
+
+// addScaledRow performs row[i] += f * row[j].
+func (m *Matrix) addScaledRow(i, j int, f rational.Rat) {
+	ri, rj := m.a[i*m.cols:(i+1)*m.cols], m.a[j*m.cols:(j+1)*m.cols]
+	for k := range ri {
+		ri[k] = ri[k].Add(rj[k].Mul(f))
+	}
+}
+
+// Equal reports whether m and n have the same shape and equal entries.
+func (m *Matrix) Equal(n *Matrix) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i, v := range m.a {
+		if !v.Equal(n.a[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix one row per line, entries space-separated.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(m.At(i, j).String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Vandermonde returns the (m+1)×(m+1) matrix with a[i][j] = i^j,
+// i.e. the system whose solution against the first m+1 values of a
+// polynomial induction variable yields its coefficients (paper §4.3).
+func Vandermonde(m int) *Matrix {
+	n := m + 1
+	out := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, rational.FromInt(int64(i)).Pow(j))
+		}
+	}
+	return out
+}
+
+// GeometricVandermonde returns the n×n matrix for a geometric induction
+// variable with base g: n-1 polynomial columns i^j plus a final column
+// g^i (paper §4.3). n must be at least 2.
+func GeometricVandermonde(n int, g int64) *Matrix {
+	if n < 2 {
+		panic("matrix: geometric system needs n >= 2")
+	}
+	out := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n-1; j++ {
+			out.Set(i, j, rational.FromInt(int64(i)).Pow(j))
+		}
+		out.Set(i, n-1, rational.FromInt(g).Pow(i))
+	}
+	return out
+}

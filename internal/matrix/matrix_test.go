@@ -1,0 +1,280 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"beyondiv/internal/rational"
+)
+
+func ints(vs ...int64) []rational.Rat {
+	out := make([]rational.Rat, len(vs))
+	for i, v := range vs {
+		out[i] = rational.FromInt(v)
+	}
+	return out
+}
+
+func TestIdentityInverse(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		id := Identity(n)
+		inv, err := id.Inverse()
+		if err != nil {
+			t.Fatalf("Identity(%d).Inverse: %v", n, err)
+		}
+		if !inv.Equal(id) {
+			t.Errorf("Identity(%d) inverse != identity", n)
+		}
+	}
+}
+
+// TestPaperVandermonde reproduces the worked matrix from §4.3: the 4x4
+// Vandermonde system for the cubic induction variable k in loop L14, and
+// checks that multiplying the inverse by the first four values of k
+// (4, 9, 17, 29) yields the closed-form coefficients (4, 23/6, 1, 1/6):
+// k(h) = (h^3 + 6h^2 + 23h + 24)/6.
+func TestPaperVandermonde(t *testing.T) {
+	a := Vandermonde(3)
+	want := FromInts([][]int64{
+		{1, 0, 0, 0},
+		{1, 1, 1, 1},
+		{1, 2, 4, 8},
+		{1, 3, 9, 27},
+	})
+	if !a.Equal(want) {
+		t.Fatalf("Vandermonde(3) =\n%swant\n%s", a, want)
+	}
+	coeffs, err := a.Solve(ints(4, 9, 17, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCoeffs := []string{"4", "23/6", "1", "1/6"}
+	for i, c := range coeffs {
+		if c.String() != wantCoeffs[i] {
+			t.Errorf("coeff[%d] = %s, want %s", i, c, wantCoeffs[i])
+		}
+	}
+	// Verify the closed form against the continued sequence of k
+	// (k = k+j+1 from k0=1, j = j+i from j0=1): 4, 9, 17, 29, 46.
+	seq := []int64{4, 9, 17, 29, 46}
+	for h, want := range seq {
+		v := rational.FromInt(0)
+		for k, c := range coeffs {
+			v = v.Add(c.Mul(rational.FromInt(int64(h)).Pow(k)))
+		}
+		got, ok := v.Int()
+		if !ok || got != want {
+			t.Errorf("k(%d) = %s, want %d", h, v, want)
+		}
+	}
+}
+
+// TestPaperGeometric reproduces the geometric example m = 3*m + 2*i + 1
+// (m0 = 0, i = (L14,1,1)): first values 0, 3, 14, 49 against base 3 with
+// two polynomial columns give m(h) = 2*3^h - h - 2 and no quadratic term.
+func TestPaperGeometric(t *testing.T) {
+	a := GeometricVandermonde(4, 3)
+	want := FromInts([][]int64{
+		{1, 0, 0, 1},
+		{1, 1, 1, 3},
+		{1, 2, 4, 9},
+		{1, 3, 9, 27},
+	})
+	if !a.Equal(want) {
+		t.Fatalf("GeometricVandermonde(4,3) =\n%swant\n%s", a, want)
+	}
+	coeffs, err := a.Solve(ints(0, 3, 14, 49))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCoeffs := []string{"-2", "-1", "0", "2"} // -2 - h + 0*h^2 + 2*3^h
+	for i, c := range coeffs {
+		if c.String() != wantCoeffs[i] {
+			t.Errorf("coeff[%d] = %s, want %s", i, c, wantCoeffs[i])
+		}
+	}
+}
+
+func TestSingular(t *testing.T) {
+	m := FromInts([][]int64{{1, 2}, {2, 4}})
+	if _, err := m.Inverse(); err == nil {
+		t.Error("expected singular error")
+	}
+	if _, err := m.Solve(ints(1, 1)); err == nil {
+		t.Error("expected singular error from Solve")
+	}
+}
+
+func TestNonSquareInverse(t *testing.T) {
+	m := New(2, 3)
+	if _, err := m.Inverse(); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestMulShapes(t *testing.T) {
+	a := FromInts([][]int64{{1, 2, 3}, {4, 5, 6}})
+	b := FromInts([][]int64{{7, 8}, {9, 10}, {11, 12}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromInts([][]int64{{58, 64}, {139, 154}})
+	if !got.Equal(want) {
+		t.Errorf("product =\n%swant\n%s", got, want)
+	}
+	if _, err := b.Mul(b); err == nil {
+		t.Error("expected incompatible-shape error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromInts([][]int64{{2, 0}, {1, 3}})
+	got, err := a.MulVec(ints(5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].String() != "10" || got[1].String() != "26" {
+		t.Errorf("MulVec = %v", got)
+	}
+	if _, err := a.MulVec(ints(1)); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestPivotingNeeded(t *testing.T) {
+	// Zero in the (0,0) position forces a row swap.
+	m := FromInts([][]int64{{0, 1}, {1, 0}})
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.Equal(m) {
+		t.Errorf("inverse of swap matrix should be itself, got\n%s", inv)
+	}
+}
+
+// TestQuickInverseProperty checks A·A⁻¹ = I on random small integer
+// matrices (skipping singular ones).
+func TestQuickInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prop := func() bool {
+		n := 1 + rng.Intn(4)
+		m := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, rational.FromInt(int64(rng.Intn(11)-5)))
+			}
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			return true // singular: nothing to check
+		}
+		prod, err := m.Mul(inv)
+		if err != nil {
+			return false
+		}
+		return prod.Equal(Identity(n))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSolveProperty checks that Solve(b) actually satisfies A·x = b.
+func TestQuickSolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prop := func() bool {
+		n := 1 + rng.Intn(4)
+		m := New(n, n)
+		b := make([]rational.Rat, n)
+		for i := 0; i < n; i++ {
+			b[i] = rational.FromInt(int64(rng.Intn(21) - 10))
+			for j := 0; j < n; j++ {
+				m.Set(i, j, rational.FromInt(int64(rng.Intn(11)-5)))
+			}
+		}
+		x, err := m.Solve(b)
+		if err != nil {
+			return true
+		}
+		got, err := m.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if !got[i].Equal(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVandermondeInvertibleUpToOrder(t *testing.T) {
+	for m := 0; m <= 6; m++ {
+		if _, err := Vandermonde(m).Inverse(); err != nil {
+			t.Errorf("Vandermonde(%d) not invertible: %v", m, err)
+		}
+	}
+}
+
+func BenchmarkInverse4x4(b *testing.B) {
+	m := Vandermonde(3)
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Inverse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveCubic(b *testing.B) {
+	m := Vandermonde(3)
+	rhs := ints(4, 9, 17, 29)
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := FromInts([][]int64{{1, 2}, {3, 4}})
+	if m.String() != "1 2\n3 4\n" {
+		t.Errorf("rendering = %q", m.String())
+	}
+}
+
+func TestPanicsOnBadShapes(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero":      func() { New(0, 3) },
+		"empty":     func() { FromInts(nil) },
+		"ragged":    func() { FromInts([][]int64{{1, 2}, {3}}) },
+		"geo-small": func() { GeometricVandermonde(1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromInts([][]int64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, rational.FromInt(99))
+	if m.At(0, 0).String() != "1" {
+		t.Error("clone shares storage")
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Error("shape accessors")
+	}
+}

@@ -1,0 +1,442 @@
+// Package paper carries the complete corpus of loops from "Beyond
+// Induction Variables" (Wolfe, PLDI 1992), transliterated 1:1 into the
+// mini language, together with the classifications, trip counts,
+// closed forms and dependence results the paper reports. The corpus
+// drives cmd/paperrepro (which regenerates every figure and table), the
+// cross-package integration tests, and the benchmark harness.
+package paper
+
+// Expectation is one value's expected classification, by SSA name.
+type Expectation struct {
+	Loop  string // loop label
+	Value string // SSA name, e.g. "j2"
+	// Want is the exact String() of the classification, or a prefix
+	// when PrefixOnly is set (for entries whose tail depends on
+	// symbolic names).
+	Want       string
+	PrefixOnly bool
+	// Nested, when set, checks Analysis.NestedString instead (the
+	// outer-to-inner substituted tuple of §5.3).
+	Nested bool
+}
+
+// Program is one paper example.
+type Program struct {
+	ID     string // experiment id from DESIGN.md (e.g. "E2")
+	Name   string // "Figure 1 (loop L7)"
+	Source string
+	// What the paper says, reproduced by the classifier.
+	Expect []Expectation
+	// TripCounts maps loop labels to expected TripCount.String().
+	TripCounts map[string]string
+	// Notes records OCR re-derivations and deliberate deviations.
+	Notes string
+}
+
+// Corpus lists every paper example in presentation order.
+var Corpus = []Program{
+	{
+		ID:   "E1a",
+		Name: "§2 L1: basic induction variable",
+		Source: `i = i0
+L1: loop {
+    i = i + k
+    if i > n { exit }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L1", Value: "i2", Want: "(L1, i01, k1)"},
+			{Loop: "L1", Value: "i3", Want: "(L1, i01 + k1, k1)"},
+		},
+	},
+	{
+		ID:   "E1b",
+		Name: "§2 L2: mutually-defined induction variables",
+		Source: `j = n
+L2: loop {
+    i = j + c
+    j = i + k
+    if j > m { exit }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L2", Value: "i1", Want: "(L2, n1 + c1, c1 + k1)"},
+			{Loop: "L2", Value: "j3", Want: "(L2, n1 + c1 + k1, c1 + k1)"},
+			{Loop: "L2", Value: "j2", Want: "(L2, n1, c1 + k1)"},
+		},
+	},
+	{
+		ID:   "E1c",
+		Name: "§2 L5/L6: multiloop induction variable with nested tuple",
+		Source: `i = 0
+L5: loop {
+    i = i + 2
+    j = i
+    L6: loop {
+        j = j + 1
+        a[j] = 0
+        if j > m { exit }
+    }
+    if i > n { exit }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L5", Value: "i3", Want: "(L5, 2, 2)"},
+			{Loop: "L6", Value: "j3", Want: "(L6, (L5, 3, 2), 1)", Nested: true},
+			{Loop: "L6", Value: "j2", Want: "(L6, (L5, 2, 2), 1)", Nested: true},
+		},
+		Notes: "the paper prints j = (L6, (L5, 3, 2), 1) after outer-to-inner substitution",
+	},
+	{
+		ID:   "E2",
+		Name: "Figure 1/2 (loop L7): SSA form and the family (L7, n, c+k)",
+		Source: `j = n
+L7: loop {
+    i = j + c
+    j = i + k
+    if j > m { exit }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L7", Value: "j2", Want: "(L7, n1, c1 + k1)"},
+			{Loop: "L7", Value: "i1", Want: "(L7, n1 + c1, c1 + k1)"},
+			{Loop: "L7", Value: "j3", Want: "(L7, n1 + c1 + k1, c1 + k1)"},
+		},
+	},
+	{
+		ID:   "E3",
+		Name: "Figure 3 (loop L8): equal conditional increments stay linear",
+		Source: `i = 1
+L8: loop {
+    if a[i] > 0 {
+        i = i + 2
+    } else {
+        i = i + 2
+    }
+    if i > n { exit }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L8", Value: "i2", Want: "(L8, 1, 2)"},
+			{Loop: "L8", Value: "i3", Want: "(L8, 3, 2)"},
+			{Loop: "L8", Value: "i4", Want: "(L8, 3, 2)"},
+			{Loop: "L8", Value: "i5", Want: "(L8, 3, 2)"},
+		},
+	},
+	{
+		ID:   "E4",
+		Name: "Figure 4 (loop L10): first- and second-order wrap-arounds",
+		Source: `j = n
+k = n
+i = 1
+L10: loop {
+    a[k] = a[j] + 1
+    k = j
+    j = i
+    i = i + 1
+    if i > m { exit }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L10", Value: "i2", Want: "(L10, 1, 1)"},
+			{Loop: "L10", Value: "j2", Want: "wrap-around(L10, order 1, init n1, then (L10, 1, 1))"},
+			{Loop: "L10", Value: "k2", Want: "wrap-around(L10, order 2, init n1, then (L10, 1, 1))"},
+		},
+	},
+	{
+		ID:   "E4b",
+		Name: "§4.1: wrap-around whose initial value fits the sequence",
+		Source: `j = 0
+i = 1
+L10: loop {
+    a[j] = i
+    j = i
+    i = i + 1
+    if i > m { exit }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L10", Value: "j2", Want: "(L10, 0, 1)"},
+		},
+		Notes: "jl = 0 makes j2 the induction variable (L10, 0, 1) directly",
+	},
+	{
+		ID:   "E5a",
+		Name: "§4.2 L11: flip-flop by swapping",
+		Source: `j = 1
+jold = 2
+L11: for it = 1 to n {
+    a[j] = a[jold]
+    jtemp = jold
+    jold = j
+    j = jtemp
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L11", Value: "j2", Want: "periodic(L11, period 2", PrefixOnly: true},
+			{Loop: "L11", Value: "jold2", Want: "periodic(L11, period 2", PrefixOnly: true},
+		},
+	},
+	{
+		ID:   "E5b",
+		Name: "§4.2 L12: flip-flop by j = 3 - j",
+		Source: `j = 1
+jold = 2
+L12: for it = 1 to n {
+    a[j] = a[jold]
+    j = 3 - j
+    jold = 3 - jold
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L12", Value: "j2", Want: "periodic(L12, period 2", PrefixOnly: true},
+			{Loop: "L12", Value: "jold2", Want: "periodic(L12, period 2", PrefixOnly: true},
+		},
+		Notes: "also carries the geometric base -1 closed form 3/2 - (1/2)(-1)^h",
+	},
+	{
+		ID:   "E5c",
+		Name: "Figure 5 (loop L13): periodic family with period 3",
+		Source: `j = 1
+k = 2
+l = 3
+L13: for it = 1 to n {
+    t = j
+    j = k
+    k = l
+    l = t
+    a[j] = a[k] + a[l]
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L13", Value: "j2", Want: "periodic(L13, period 3", PrefixOnly: true},
+			{Loop: "L13", Value: "k2", Want: "periodic(L13, period 3", PrefixOnly: true},
+			{Loop: "L13", Value: "l2", Want: "periodic(L13, period 3", PrefixOnly: true},
+		},
+		Notes: "t's header φ is dead and pruned — the paper likewise notes t2 is outside the SCR",
+	},
+	{
+		ID:   "E6",
+		Name: "§4.3 L14: polynomial and geometric closed forms",
+		Source: `j = 1
+k = 1
+l = 1
+m = 0
+L14: for i = 1 to n {
+    j = j + i
+    k = k + j + 1
+    l = l * 2 + 1
+    m = 3 * m + 2 * i + 1
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L14", Value: "i2", Want: "(L14, 1, 1)"},
+			// j: 2,4,7,11 = (h²+3h+4)/2
+			{Loop: "L14", Value: "j3", Want: "(L14, 2, 3/2, 1/2)"},
+			// k: 4,9,17,29 = (h³+6h²+23h+24)/6 — the worked matrix example
+			{Loop: "L14", Value: "k3", Want: "(L14, 4, 23/6, 1, 1/6)"},
+			// l: 3,7,15,31 = 2^(h+2) - 1
+			{Loop: "L14", Value: "l3", Want: "(L14, base 2: -1 | 4)"},
+			// m: 3,14,49 = 2·3^(h+1) - h - 3 (§4.3's m example, from 0)
+			{Loop: "L14", Value: "m3", Want: "(L14, base 3: -3, -1 | 6)"},
+			{Loop: "L14", Value: "m2", Want: "(L14, base 3: -2, -1 | 2)"},
+		},
+		TripCounts: map[string]string{"L14": "n1"},
+		Notes:      "m = 3m+2i+1 from 0 gives m(h) = 2·3^h - h - 2 with no quadratic term, as §4.3 remarks",
+	},
+	{
+		ID:   "E8a",
+		Name: "§4.4 L15: conditionally incremented pack index (monotonic)",
+		Source: `k = 0
+L15: for i = 1 to n {
+    if a[i] > 0 {
+        k = k + 1
+        b[k] = a[i]
+    }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L15", Value: "k2", Want: "monotonic(L15, increasing)"},
+			{Loop: "L15", Value: "k3", Want: "monotonic(L15, strictly increasing)"},
+			{Loop: "L15", Value: "k4", Want: "monotonic(L15, increasing)"},
+		},
+	},
+	{
+		ID:   "E8b",
+		Name: "Figure 6 (loop L16): strictly monotonic",
+		Source: `k = 0
+L16: loop {
+    if a[k] > 0 {
+        k = k + 1
+    } else {
+        k = k + 2
+    }
+    if k > n { exit }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L16", Value: "k2", Want: "monotonic(L16, strictly increasing)"},
+			{Loop: "L16", Value: "k5", Want: "monotonic(L16, strictly increasing)"},
+		},
+	},
+	{
+		ID:   "E10",
+		Name: "Figures 7/8 (loops L17/L18): nested IVs and exit values",
+		Source: `k = 0
+L17: loop {
+    i = 1
+    L18: loop {
+        k = k + 2
+        if i > 100 { exit }
+        i = i + 1
+    }
+    k = k + 2
+    if k > 100000 { exit }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L18", Value: "k3", Want: "(L18, k2, 2)"},
+			{Loop: "L18", Value: "k4", Want: "(L18, 2 + k2, 2)"},
+			{Loop: "L18", Value: "i2", Want: "(L18, 1, 1)"},
+			{Loop: "L17", Value: "k2", Want: "(L17, 0, 204)"},
+			{Loop: "L17", Value: "k5", Want: "(L17, 204, 204)"},
+		},
+		TripCounts: map[string]string{"L18": "100"},
+		Notes:      "exit values k6 = k2 + 101·2 and i4 = i1 + 100·1 as in Figure 8",
+	},
+	{
+		ID:   "E11",
+		Name: "Figure 9 (loops L19/L20): triangular nest, quadratic family",
+		Source: `j = 0
+L19: for i = 1 to n {
+    j = j + i
+    L20: for k = 1 to i {
+        j = j + 1
+    }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L19", Value: "i2", Want: "(L19, 1, 1)"},
+			{Loop: "L19", Value: "j2", Want: "(L19, 0, 1, 1)"},
+			{Loop: "L19", Value: "j3", Want: "(L19, 1, 2, 1)"},
+			{Loop: "L20", Value: "j4", Want: "(L20, (L19, 1, 2, 1), 1)", Nested: true},
+			{Loop: "L20", Value: "j5", Want: "(L20, (L19, 2, 2, 1), 1)", Nested: true},
+		},
+		TripCounts: map[string]string{"L19": "n1", "L20": "i2"},
+		Notes: "Fig. 9's rational coefficients are unreadable in the scan; re-derived from the " +
+			"printed initial values 0, 1, 2 (see DESIGN.md). The pure-triangular variant below " +
+			"exercises the 1/2 coefficients.",
+	},
+	{
+		ID:   "E11b",
+		Name: "Figure 9 variant: pure triangular sum (half-square closed form)",
+		Source: `j = 0
+L19: for i = 1 to n {
+    L20: for k = 1 to i {
+        j = j + 1
+    }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L19", Value: "j2", Want: "(L19, 0, 1/2, 1/2)"},
+		},
+	},
+	{
+		ID:   "E13",
+		Name: "§6 L21: dependence equation from induction expressions",
+		Source: `i = 0
+j = 3
+L21: loop {
+    i = i + 1
+    a[i] = a[j - 1]
+    j = j + 2
+    if i > 100 { exit }
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L21", Value: "i3", Want: "(L21, 1, 1)"},
+			{Loop: "L21", Value: "j2", Want: "(L21, 3, 2)"},
+		},
+		Notes: "write subscript (L21,1,1), read subscript (L21,2,2): equation 1+h = 2+2h'",
+	},
+	{
+		ID:   "E14",
+		Name: "§6 L22: periodic subscripts translate = into ≠",
+		Source: `j = 1
+k = 2
+L22: for it = 1 to n {
+    a[2 * j] = a[2 * k]
+    temp = j
+    j = k
+    k = temp
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L22", Value: "j2", Want: "periodic(L22, period 2", PrefixOnly: true},
+			{Loop: "L22", Value: "k2", Want: "periodic(L22, period 2", PrefixOnly: true},
+		},
+	},
+	{
+		ID:   "E12",
+		Name: "Figure 10: mixed monotonic and strictly monotonic dependence",
+		Source: `k = 0
+L15: for i = 1 to n {
+    f[k] = a[i]
+    if a[i] > 0 {
+        c[k] = d[i]
+        k = k + 1
+        b[k] = a[i]
+        e[i] = b[k]
+    }
+    g[i] = f[k]
+}
+`,
+		Expect: []Expectation{
+			{Loop: "L15", Value: "k2", Want: "monotonic(L15, increasing)"},
+			{Loop: "L15", Value: "k3", Want: "monotonic(L15, strictly increasing)"},
+		},
+		Notes: "array b carries direction (=); array f flow (<=) and anti (<); " +
+			"c[k2] is inside the conditional and post-dominated by the strict " +
+			"increment, so §5.4 removes its output dependence entirely",
+	},
+	{
+		ID:   "E15",
+		Name: "§6.1 L23/L24: normalization study",
+		Source: `L23: for i = 1 to 9 {
+    L24: for j = i + 1 to 9 {
+        a[i * 1000 + j] = a[i * 1000 + j - 1000]
+    }
+}
+`,
+		TripCounts: map[string]string{"L23": "9"},
+		Notes:      "identical dependence results with or without source-level normalization",
+	},
+	{
+		ID:   "E9",
+		Name: "§5.2: trip counts from exit conditions",
+		Source: `c1 = 0
+L30: for i = 3 to 10 { c1 = c1 + 1 }
+c2 = 0
+L31: for i = 1 to 9 by 2 { c2 = c2 + 1 }
+c3 = 0
+L32: for i = 10 to 1 by -3 { c3 = c3 + 1 }
+i = 1
+L33: loop { i = i + 1
+if i > 100 { exit } }
+`,
+		TripCounts: map[string]string{
+			"L30": "8", "L31": "5", "L32": "4", "L33": "99",
+		},
+		Notes: "counts follow the §5.2 convention: number of times the exit test stays; code above the test runs count+1 times",
+	},
+}
+
+// ByID returns the corpus entry with the given experiment id.
+func ByID(id string) *Program {
+	for i := range Corpus {
+		if Corpus[i].ID == id {
+			return &Corpus[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+
+	"beyondiv/internal/iv"
+)
+
+// TestCorpusExpectations verifies every expectation of every corpus
+// entry — the end-to-end check that each figure of the paper is
+// reproduced.
+func TestCorpusExpectations(t *testing.T) {
+	ids := map[string]bool{}
+	for _, p := range Corpus {
+		if ids[p.ID] {
+			t.Errorf("duplicate corpus id %s", p.ID)
+		}
+		ids[p.ID] = true
+
+		a, err := iv.AnalyzeProgram(p.Source)
+		if err != nil {
+			t.Errorf("%s (%s): %v", p.ID, p.Name, err)
+			continue
+		}
+		for _, e := range p.Expect {
+			l := a.LoopByLabel(e.Loop)
+			if l == nil {
+				t.Errorf("%s: loop %s not found", p.ID, e.Loop)
+				continue
+			}
+			v := a.ValueByName(e.Value)
+			if v == nil {
+				t.Errorf("%s: value %s not found\n%s", p.ID, e.Value, a.SSA.Func)
+				continue
+			}
+			var got string
+			if e.Nested {
+				got = a.NestedString(a.ClassOf(l, v))
+			} else {
+				got = a.ClassOf(l, v).String()
+			}
+			if e.PrefixOnly {
+				if !strings.HasPrefix(got, e.Want) {
+					t.Errorf("%s: %s in %s = %q, want prefix %q", p.ID, e.Value, e.Loop, got, e.Want)
+				}
+			} else if got != e.Want {
+				t.Errorf("%s: %s in %s = %q, want %q", p.ID, e.Value, e.Loop, got, e.Want)
+			}
+		}
+		for label, want := range p.TripCounts {
+			l := a.LoopByLabel(label)
+			if l == nil {
+				t.Errorf("%s: loop %s not found", p.ID, label)
+				continue
+			}
+			if got := a.TripCount(l).String(); got != want {
+				t.Errorf("%s: trip count of %s = %q, want %q", p.ID, label, got, want)
+			}
+		}
+	}
+}
+
+// TestByID exercises the lookup helper.
+func TestByID(t *testing.T) {
+	if ByID("E6") == nil {
+		t.Error("E6 missing")
+	}
+	if ByID("nope") != nil {
+		t.Error("bogus id found")
+	}
+}

@@ -1,0 +1,334 @@
+// Package parse implements a recursive-descent parser for the mini loop
+// language, producing an *ast.File.
+//
+// Grammar (statements separated by newlines or ';'; '}' also terminates):
+//
+//	file    = { stmt } .
+//	stmt    = assign | for | loop | while | if | "exit" .
+//	assign  = lvalue "=" expr .
+//	lvalue  = IDENT [ "[" expr "]" ] .
+//	for     = [ IDENT ":" ] "for" IDENT "=" expr "to" expr [ "by" expr ] block .
+//	loop    = [ IDENT ":" ] "loop" block .
+//	while   = [ IDENT ":" ] "while" cond block .
+//	if      = "if" cond block [ "else" ( block | if ) ] .
+//	block   = "{" { stmt } "}" .
+//	cond    = expr relop expr .
+//	expr    = term { ("+"|"-") term } .
+//	term    = factor { ("*"|"/") factor } .
+//	factor  = primary [ "**" factor ] .
+//	primary = NUMBER | IDENT [ "[" expr "]" ] | "(" expr ")" | "-" primary .
+package parse
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"beyondiv/internal/ast"
+	"beyondiv/internal/scan"
+	"beyondiv/internal/token"
+)
+
+// maxErrors bounds diagnostics per file before the parser gives up.
+const maxErrors = 20
+
+type parser struct {
+	toks []token.Token
+	pos  int
+	errs []error
+}
+
+// File parses a whole program.
+func File(src string) (*ast.File, error) {
+	toks, scanErrs := scan.All(src)
+	p := &parser{toks: toks}
+	p.errs = append(p.errs, scanErrs...)
+	f := &ast.File{}
+	p.skipSemis()
+	for !p.at(token.EOF) && len(p.errs) < maxErrors {
+		s := p.stmt()
+		if s != nil {
+			f.Stmts = append(f.Stmts, s)
+		}
+		p.terminator()
+	}
+	if len(p.errs) > 0 {
+		msgs := make([]string, len(p.errs))
+		for i, e := range p.errs {
+			msgs[i] = e.Error()
+		}
+		return f, errors.New(strings.Join(msgs, "\n"))
+	}
+	return f, nil
+}
+
+// MustParse parses src and panics on error; intended for tests and for
+// the paper corpus, whose sources are fixed.
+func MustParse(src string) *ast.File {
+	f, err := File(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (p *parser) cur() token.Token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	end := token.Pos{Line: 1, Col: 1}
+	if len(p.toks) > 0 {
+		end = p.toks[len(p.toks)-1].Pos
+	}
+	return token.Token{Kind: token.EOF, Pos: end}
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) next() token.Token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...)))
+}
+
+func (p *parser) skipSemis() {
+	for p.at(token.SEMI) {
+		p.next()
+	}
+}
+
+// terminator consumes the statement separator after a statement: one or
+// more SEMIs, or lets a closing brace / EOF stand.
+func (p *parser) terminator() {
+	if p.at(token.SEMI) {
+		p.skipSemis()
+		return
+	}
+	if p.at(token.RBRACE) || p.at(token.EOF) {
+		return
+	}
+	p.errorf("expected end of statement, found %s", p.cur())
+	p.sync()
+}
+
+// sync advances to the next statement boundary after an error.
+func (p *parser) sync() {
+	for !p.at(token.EOF) && !p.at(token.SEMI) && !p.at(token.RBRACE) {
+		p.next()
+	}
+	p.skipSemis()
+}
+
+func (p *parser) stmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.FOR:
+		return p.forStmt("")
+	case token.LOOP:
+		return p.loopStmt("")
+	case token.WHILE:
+		return p.whileStmt("")
+	case token.IF:
+		return p.ifStmt()
+	case token.EXIT:
+		kw := p.next()
+		return &ast.Exit{KwPos: kw.Pos}
+	case token.IDENT:
+		// Either `label: loop-stmt` or an assignment.
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == token.COLON {
+			label := p.next().Lit
+			p.next() // ':'
+			switch p.cur().Kind {
+			case token.FOR:
+				return p.forStmt(label)
+			case token.LOOP:
+				return p.loopStmt(label)
+			case token.WHILE:
+				return p.whileStmt(label)
+			default:
+				p.errorf("label %q must precede for, loop, or while", label)
+				p.sync()
+				return nil
+			}
+		}
+		return p.assign()
+	default:
+		p.errorf("unexpected %s at start of statement", p.cur())
+		p.sync()
+		return nil
+	}
+}
+
+func (p *parser) assign() ast.Stmt {
+	id := p.expect(token.IDENT)
+	var lhs ast.Expr
+	if p.at(token.LBRACK) {
+		p.next()
+		sub := p.expr()
+		p.expect(token.RBRACK)
+		lhs = &ast.Index{Name: id.Lit, NamePos: id.Pos, Sub: sub}
+	} else {
+		lhs = &ast.Ident{Name: id.Lit, NamePos: id.Pos}
+	}
+	p.expect(token.ASSIGN)
+	rhs := p.expr()
+	return &ast.Assign{LHS: lhs, RHS: rhs}
+}
+
+func (p *parser) forStmt(label string) ast.Stmt {
+	kw := p.expect(token.FOR)
+	id := p.expect(token.IDENT)
+	p.expect(token.ASSIGN)
+	lo := p.expr()
+	p.expect(token.TO)
+	hi := p.expr()
+	var step ast.Expr
+	if p.at(token.BY) {
+		p.next()
+		step = p.expr()
+	}
+	body := p.block()
+	return &ast.For{
+		Label: label,
+		Var:   &ast.Ident{Name: id.Lit, NamePos: id.Pos},
+		Lo:    lo, Hi: hi, Step: step,
+		Body:  body,
+		KwPos: kw.Pos,
+	}
+}
+
+func (p *parser) loopStmt(label string) ast.Stmt {
+	kw := p.expect(token.LOOP)
+	body := p.block()
+	return &ast.Loop{Label: label, Body: body, KwPos: kw.Pos}
+}
+
+func (p *parser) whileStmt(label string) ast.Stmt {
+	kw := p.expect(token.WHILE)
+	cond := p.cond()
+	body := p.block()
+	return &ast.While{Label: label, Cond: cond, Body: body, KwPos: kw.Pos}
+}
+
+func (p *parser) ifStmt() ast.Stmt {
+	kw := p.expect(token.IF)
+	cond := p.cond()
+	then := p.block()
+	var els *ast.Block
+	if p.at(token.ELSE) {
+		p.next()
+		if p.at(token.IF) {
+			nested := p.ifStmt()
+			els = &ast.Block{Stmts: []ast.Stmt{nested}, LPos: nested.Pos()}
+		} else {
+			els = p.block()
+		}
+	}
+	return &ast.If{Cond: cond, Then: then, Else: els, KwPos: kw.Pos}
+}
+
+func (p *parser) block() *ast.Block {
+	lb := p.expect(token.LBRACE)
+	b := &ast.Block{LPos: lb.Pos}
+	p.skipSemis()
+	for !p.at(token.RBRACE) && !p.at(token.EOF) && len(p.errs) < maxErrors {
+		s := p.stmt()
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+		p.terminator()
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+// cond parses `expr relop expr`.
+func (p *parser) cond() ast.Expr {
+	x := p.expr()
+	if !p.cur().Kind.IsRelop() {
+		p.errorf("expected relational operator, found %s", p.cur())
+		return x
+	}
+	op := p.next().Kind
+	y := p.expr()
+	return &ast.Bin{Op: op, X: x, Y: y}
+}
+
+func (p *parser) expr() ast.Expr {
+	x := p.term()
+	for p.at(token.PLUS) || p.at(token.MINUS) {
+		op := p.next().Kind
+		y := p.term()
+		x = &ast.Bin{Op: op, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) term() ast.Expr {
+	x := p.factor()
+	for p.at(token.STAR) || p.at(token.SLASH) {
+		op := p.next().Kind
+		y := p.factor()
+		x = &ast.Bin{Op: op, X: x, Y: y}
+	}
+	return x
+}
+
+// factor handles the right-associative exponent operator.
+func (p *parser) factor() ast.Expr {
+	x := p.primary()
+	if p.at(token.POW) {
+		p.next()
+		y := p.factor()
+		return &ast.Bin{Op: token.POW, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) primary() ast.Expr {
+	switch p.cur().Kind {
+	case token.NUMBER:
+		t := p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errs = append(p.errs, fmt.Errorf("%s: %v", t.Pos, err))
+		}
+		return &ast.Num{Value: v, ValPos: t.Pos}
+	case token.IDENT:
+		t := p.next()
+		if p.at(token.LBRACK) {
+			p.next()
+			sub := p.expr()
+			p.expect(token.RBRACK)
+			return &ast.Index{Name: t.Lit, NamePos: t.Pos, Sub: sub}
+		}
+		return &ast.Ident{Name: t.Lit, NamePos: t.Pos}
+	case token.LPAREN:
+		p.next()
+		e := p.expr()
+		p.expect(token.RPAREN)
+		return e
+	case token.MINUS:
+		t := p.next()
+		return &ast.Unary{Op: token.MINUS, X: p.primary(), OpPos: t.Pos}
+	default:
+		p.errorf("unexpected %s in expression", p.cur())
+		t := p.cur()
+		p.next()
+		return &ast.Num{Value: 0, ValPos: t.Pos}
+	}
+}

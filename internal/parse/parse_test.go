@@ -1,0 +1,289 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"beyondiv/internal/ast"
+	"beyondiv/internal/progen"
+	"beyondiv/internal/token"
+)
+
+func TestAssignments(t *testing.T) {
+	f, err := File("i = 0\nj = i + 1\na[i] = a[i-1] * 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Stmts) != 3 {
+		t.Fatalf("got %d statements, want 3", len(f.Stmts))
+	}
+	a2, ok := f.Stmts[2].(*ast.Assign)
+	if !ok {
+		t.Fatalf("stmt 2 is %T", f.Stmts[2])
+	}
+	if _, ok := a2.LHS.(*ast.Index); !ok {
+		t.Errorf("LHS is %T, want *ast.Index", a2.LHS)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	f, err := File("L1: for i = 1 to n by 2 { a[i] = 0 }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, ok := f.Stmts[0].(*ast.For)
+	if !ok {
+		t.Fatalf("stmt is %T", f.Stmts[0])
+	}
+	if fs.Label != "L1" || fs.Var.Name != "i" || fs.Step == nil {
+		t.Errorf("for = %+v", fs)
+	}
+	if len(fs.Body.Stmts) != 1 {
+		t.Errorf("body has %d stmts", len(fs.Body.Stmts))
+	}
+}
+
+func TestForWithoutBy(t *testing.T) {
+	f, err := File("for i = 1 to 10 { x = x + i }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stmts[0].(*ast.For).Step != nil {
+		t.Error("Step should be nil when by is omitted")
+	}
+}
+
+func TestLoopExit(t *testing.T) {
+	src := `
+i = 0
+L2: loop {
+    i = i + 1
+    if i > 100 { exit }
+}
+`
+	f, err := File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, ok := f.Stmts[1].(*ast.Loop)
+	if !ok {
+		t.Fatalf("stmt 1 is %T", f.Stmts[1])
+	}
+	if lp.Label != "L2" {
+		t.Errorf("label = %q", lp.Label)
+	}
+	ifs, ok := lp.Body.Stmts[1].(*ast.If)
+	if !ok {
+		t.Fatalf("body stmt 1 is %T", lp.Body.Stmts[1])
+	}
+	if _, ok := ifs.Then.Stmts[0].(*ast.Exit); !ok {
+		t.Errorf("then stmt is %T, want Exit", ifs.Then.Stmts[0])
+	}
+}
+
+func TestWhile(t *testing.T) {
+	f, err := File("while i < n { i = i * 2 }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, ok := f.Stmts[0].(*ast.While)
+	if !ok {
+		t.Fatalf("stmt is %T", f.Stmts[0])
+	}
+	cond, ok := ws.Cond.(*ast.Bin)
+	if !ok || cond.Op != token.LT {
+		t.Errorf("cond = %v", ws.Cond)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+if x > 0 {
+    k = k + 1
+} else if x < 0 {
+    k = k + 2
+} else {
+    k = k + 3
+}
+`
+	f, err := File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := f.Stmts[0].(*ast.If)
+	if ifs.Else == nil {
+		t.Fatal("else missing")
+	}
+	nested, ok := ifs.Else.Stmts[0].(*ast.If)
+	if !ok {
+		t.Fatalf("else stmt is %T, want nested If", ifs.Else.Stmts[0])
+	}
+	if nested.Else == nil {
+		t.Error("final else missing")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	f, err := File("x = 1 + 2 * 3 ** 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := f.Stmts[0].(*ast.Assign).RHS
+	// Expect 1 + (2 * (3 ** 2)).
+	add, ok := rhs.(*ast.Bin)
+	if !ok || add.Op != token.PLUS {
+		t.Fatalf("top = %v", ast.ExprString(rhs))
+	}
+	mul, ok := add.Y.(*ast.Bin)
+	if !ok || mul.Op != token.STAR {
+		t.Fatalf("right of + = %v", ast.ExprString(add.Y))
+	}
+	pow, ok := mul.Y.(*ast.Bin)
+	if !ok || pow.Op != token.POW {
+		t.Fatalf("right of * = %v", ast.ExprString(mul.Y))
+	}
+}
+
+func TestPowRightAssociative(t *testing.T) {
+	f, err := File("x = 2 ** 3 ** 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := f.Stmts[0].(*ast.Assign).RHS.(*ast.Bin)
+	inner, ok := top.Y.(*ast.Bin)
+	if !ok || inner.Op != token.POW {
+		t.Errorf("2**3**2 should parse as 2**(3**2), got %s", ast.ExprString(top))
+	}
+}
+
+func TestUnaryMinusAndParens(t *testing.T) {
+	f, err := File("x = -(a + b) * -c\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ast.ExprString(f.Stmts[0].(*ast.Assign).RHS)
+	if got != "-(a + b) * -c" {
+		t.Errorf("printed = %q", got)
+	}
+}
+
+func TestSingleLineBlocks(t *testing.T) {
+	// '}' terminates the last statement without an explicit semicolon.
+	if _, err := File("loop { i = i + 1; if i > 3 { exit } }\n"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"for i = 1 { }",               // missing to
+		"x = ",                        // missing operand
+		"if x { }",                    // condition without relop
+		"loop { i = 1",                // unterminated block
+		"L: x = 1",                    // label on non-loop
+		"x = 1 +* 2",                  // bad operator sequence
+		"exit exit",                   // missing separator
+		"while i < n j = 2",           // missing brace
+		"a[i = 3",                     // missing bracket
+		"for i = 1 to n by { x = 1 }", // missing step expr
+	}
+	for _, src := range cases {
+		if _, err := File(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+// TestRoundTrip checks that printing and reparsing is a fixed point.
+func TestRoundTrip(t *testing.T) {
+	src := `
+n = 100
+j = n
+L2: loop {
+    i = j + c
+    j = i + k
+    if j > n { exit }
+}
+for i = 1 to n {
+    if a[i] > 0 {
+        k = k + 1
+        b[k] = a[i]
+    } else {
+        k = k + 2
+    }
+}
+while k < n {
+    k = k * 2 + 1
+}
+`
+	f1, err := File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := f1.String()
+	f2, err := File(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nsource:\n%s", err, printed)
+	}
+	if f2.String() != printed {
+		t.Errorf("print/parse not a fixed point:\nfirst:\n%s\nsecond:\n%s", printed, f2.String())
+	}
+}
+
+// TestQuickRandomProgramsRoundTrip generates random programs from a
+// small grammar and verifies print→parse→print stability.
+func TestQuickRandomProgramsRoundTrip(t *testing.T) {
+	gen := progen.New()
+	prop := func(seed int64) bool {
+		src := gen.Program(seed)
+		f1, err := File(src)
+		if err != nil {
+			t.Logf("generated program failed to parse:\n%s", src)
+			return false
+		}
+		p1 := f1.String()
+		f2, err := File(p1)
+		if err != nil {
+			return false
+		}
+		return f2.String() == p1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	f := MustParse("for i = 1 to n { a[i] = a[i-1] + i }\n")
+	var idents, nums int
+	ast.Walk(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.Ident:
+			idents++
+		case *ast.Num:
+			nums++
+		}
+		return true
+	})
+	// for-var i, bound n, sub i, sub i, rhs i = 5 idents; literals 1, 1.
+	if idents != 5 || nums != 2 {
+		t.Errorf("idents=%d nums=%d, want 5 and 2", idents, nums)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString("for i = 1 to n { a[i] = a[i-1] * 2 + b[i] }\n")
+		sb.WriteString("loop { k = k + 2; if k > n { exit } }\n")
+	}
+	src := sb.String()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := File(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

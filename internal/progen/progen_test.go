@@ -1,0 +1,86 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+
+	"beyondiv/internal/parse"
+)
+
+func TestProgramsParse(t *testing.T) {
+	g := New()
+	for seed := int64(0); seed < 500; seed++ {
+		src := g.Program(seed)
+		if _, err := parse.File(src); err != nil {
+			t.Fatalf("seed %d does not parse: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+func TestProgramsDeterministic(t *testing.T) {
+	g := New()
+	if g.Program(42) != g.Program(42) {
+		t.Error("same seed must give same program")
+	}
+	if g.Program(1) == g.Program(2) {
+		t.Error("different seeds should differ (overwhelmingly)")
+	}
+}
+
+func TestStraightLineLoop(t *testing.T) {
+	src := StraightLineLoop(10)
+	if _, err := parse.File(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(src, "\n"); got < 12 {
+		t.Errorf("too few lines: %d", got)
+	}
+	if !strings.Contains(src, "v9 = v9 +") {
+		t.Errorf("missing expected statement:\n%s", src)
+	}
+}
+
+func TestMutualChain(t *testing.T) {
+	src := MutualChain(4)
+	if _, err := parse.File(src); err != nil {
+		t.Fatal(err)
+	}
+	// v0 feeds v1 ... wraps to v0.
+	if !strings.Contains(src, "v0 = v3 +") {
+		t.Errorf("chain does not wrap:\n%s", src)
+	}
+}
+
+func TestMixedClasses(t *testing.T) {
+	src := MixedClasses(3)
+	if _, err := parse.File(src); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"li2", "pj0", "ge1", "wa2", "mo0"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %s in workload:\n%s", want, src)
+		}
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	for depth := 1; depth <= 5; depth++ {
+		src := NestedLoops(depth)
+		if _, err := parse.File(src); err != nil {
+			t.Fatalf("depth %d: %v\n%s", depth, err, src)
+		}
+		if got := strings.Count(src, "for "); got != depth {
+			t.Errorf("depth %d: %d for-loops", depth, got)
+		}
+	}
+}
+
+func TestDerivedChain(t *testing.T) {
+	src := DerivedChain(5)
+	if _, err := parse.File(src); err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	if !strings.Contains(src, "w000 = w001 + 1") || !strings.Contains(src, "w004 = 2 * z + 1") {
+		t.Errorf("chain malformed:\n%s", src)
+	}
+}

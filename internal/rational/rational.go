@@ -1,0 +1,265 @@
+// Package rational implements exact rational arithmetic on 64-bit
+// integers with explicit overflow tracking.
+//
+// The induction-variable classifier (internal/iv) recovers closed-form
+// coefficients of polynomial and geometric induction variables by solving
+// small Vandermonde systems; the paper (Wolfe, PLDI 1992, §4.3) observes
+// that these coefficients are always rational, so an exact rational field
+// is the natural substrate. Coefficients in real programs are tiny, so a
+// fixed-width representation with a propagating "not a rational" (NaR)
+// state — analogous to IEEE NaN — is simpler and faster than arbitrary
+// precision, and it can never silently produce a wrong value: any overflow
+// collapses to NaR, which every consumer treats as "unknown".
+package rational
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Rat is an exact rational number. The zero value is the rational 0.
+//
+// Invariants for valid values: den > 0 and gcd(|num|, den) == 1.
+// The special NaR (not a rational) state is encoded as den == 0 and
+// propagates through all operations.
+type Rat struct {
+	num int64
+	den int64 // > 0 for valid values; 0 means NaR
+}
+
+// NaR is the "not a rational" value produced by overflow or division by
+// zero. All operations on NaR yield NaR.
+var NaR = Rat{0, 0}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat { return Rat{n, 1} }
+
+// New returns the normalized rational num/den, or NaR if den == 0.
+func New(num, den int64) Rat {
+	if den == 0 {
+		return NaR
+	}
+	return norm(num, den)
+}
+
+// norm normalizes num/den (den != 0) into canonical form.
+func norm(num, den int64) Rat {
+	if num == 0 {
+		return Rat{0, 1}
+	}
+	if den < 0 {
+		// Negating MinInt64 overflows; treat as out of range.
+		if num == minI64 || den == minI64 {
+			return NaR
+		}
+		num, den = -num, -den
+	}
+	g := gcd64(abs64(num), den)
+	return Rat{num / g, den / g}
+}
+
+const minI64 = -1 << 63
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		if x == minI64 {
+			return minI64 // caller guards; gcd handles via uint path below
+		}
+		return -x
+	}
+	return x
+}
+
+// gcd64 returns gcd(a, b) for a, b >= 0, not both zero.
+func gcd64(a, b int64) int64 {
+	ua, ub := uint64(a), uint64(b)
+	for ub != 0 {
+		ua, ub = ub, ua%ub
+	}
+	return int64(ua)
+}
+
+// Valid reports whether r is a real rational (not NaR).
+func (r Rat) Valid() bool { return r.den != 0 }
+
+// IsZero reports whether r is exactly zero.
+func (r Rat) IsZero() bool { return r.Valid() && r.num == 0 }
+
+// IsInt reports whether r is an integer.
+func (r Rat) IsInt() bool { return r.den == 1 }
+
+// Int returns the integer value of r and whether r is a (valid) integer.
+func (r Rat) Int() (int64, bool) {
+	if r.den != 1 {
+		return 0, false
+	}
+	return r.num, true
+}
+
+// Num returns the normalized numerator. For NaR it returns 0.
+func (r Rat) Num() int64 { return r.num }
+
+// Den returns the normalized denominator (> 0), or 0 for NaR.
+func (r Rat) Den() int64 { return r.den }
+
+// Sign returns -1, 0, or +1 according to the sign of r.
+// Sign of NaR is 0; check Valid first when it matters.
+func (r Rat) Sign() int {
+	switch {
+	case r.num > 0:
+		return 1
+	case r.num < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// mul64 multiplies with overflow detection.
+func mul64(a, b int64) (int64, bool) {
+	hi, lo := bits.Mul64(uint64(abs64u(a)), uint64(abs64u(b)))
+	if hi != 0 || lo > 1<<63 {
+		return 0, false
+	}
+	neg := (a < 0) != (b < 0)
+	if lo == 1<<63 {
+		if neg {
+			return minI64, true
+		}
+		return 0, false
+	}
+	v := int64(lo)
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+func abs64u(x int64) uint64 {
+	if x < 0 {
+		return uint64(-(x + 1)) + 1
+	}
+	return uint64(x)
+}
+
+// add64 adds with overflow detection.
+func add64(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// Add returns r + s, or NaR on overflow or invalid input.
+func (r Rat) Add(s Rat) Rat {
+	if !r.Valid() || !s.Valid() {
+		return NaR
+	}
+	// r.num/r.den + s.num/s.den; reduce cross terms by g = gcd(dens).
+	g := gcd64(r.den, s.den)
+	rd, sd := r.den/g, s.den/g
+	a, ok1 := mul64(r.num, sd)
+	b, ok2 := mul64(s.num, rd)
+	n, ok3 := add64(a, b)
+	d, ok4 := mul64(r.den, sd)
+	if !(ok1 && ok2 && ok3 && ok4) || d == 0 {
+		return NaR
+	}
+	return norm(n, d)
+}
+
+// Sub returns r - s, or NaR on overflow or invalid input.
+func (r Rat) Sub(s Rat) Rat { return r.Add(s.Neg()) }
+
+// Neg returns -r.
+func (r Rat) Neg() Rat {
+	if !r.Valid() || r.num == minI64 {
+		return NaR
+	}
+	return Rat{-r.num, r.den}
+}
+
+// Mul returns r * s, or NaR on overflow or invalid input.
+func (r Rat) Mul(s Rat) Rat {
+	if !r.Valid() || !s.Valid() {
+		return NaR
+	}
+	// Cross-reduce before multiplying to keep intermediates small.
+	g1 := gcd64(abs64(r.num), s.den)
+	g2 := gcd64(abs64(s.num), r.den)
+	if g1 == 0 {
+		g1 = 1
+	}
+	if g2 == 0 {
+		g2 = 1
+	}
+	n, ok1 := mul64(r.num/g1, s.num/g2)
+	d, ok2 := mul64(r.den/g2, s.den/g1)
+	if !ok1 || !ok2 || d == 0 {
+		return NaR
+	}
+	return norm(n, d)
+}
+
+// Div returns r / s, or NaR if s is zero, invalid, or on overflow.
+func (r Rat) Div(s Rat) Rat {
+	if !s.Valid() || s.num == 0 {
+		return NaR
+	}
+	return r.Mul(s.Inv())
+}
+
+// Inv returns 1/r, or NaR if r is zero or invalid.
+func (r Rat) Inv() Rat {
+	if !r.Valid() || r.num == 0 {
+		return NaR
+	}
+	return norm(r.den, r.num)
+}
+
+// Cmp compares r and s, returning -1, 0, or +1. Comparing with NaR
+// returns 0; callers that care must check Valid first.
+func (r Rat) Cmp(s Rat) int {
+	if !r.Valid() || !s.Valid() {
+		return 0
+	}
+	return r.Sub(s).Sign()
+}
+
+// Equal reports whether r and s are both valid and equal.
+func (r Rat) Equal(s Rat) bool {
+	return r.Valid() && s.Valid() && r.num == s.num && r.den == s.den
+}
+
+// Pow returns r**k for k >= 0 (r**0 == 1, including for r == 0).
+func (r Rat) Pow(k int) Rat {
+	if !r.Valid() || k < 0 {
+		return NaR
+	}
+	out := FromInt(1)
+	base := r
+	for k > 0 {
+		if k&1 == 1 {
+			out = out.Mul(base)
+		}
+		k >>= 1
+		if k > 0 {
+			base = base.Mul(base)
+		}
+	}
+	return out
+}
+
+// String renders r as "n" for integers, "n/d" otherwise, and "NaR" for
+// the invalid value.
+func (r Rat) String() string {
+	switch {
+	case !r.Valid():
+		return "NaR"
+	case r.den == 1:
+		return fmt.Sprintf("%d", r.num)
+	default:
+		return fmt.Sprintf("%d/%d", r.num, r.den)
+	}
+}

@@ -1,0 +1,251 @@
+package rational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalization(t *testing.T) {
+	cases := []struct {
+		num, den int64
+		want     string
+	}{
+		{1, 2, "1/2"},
+		{2, 4, "1/2"},
+		{-2, 4, "-1/2"},
+		{2, -4, "-1/2"},
+		{-2, -4, "1/2"},
+		{0, 5, "0"},
+		{0, -5, "0"},
+		{7, 1, "7"},
+		{7, 7, "1"},
+		{6, 3, "2"},
+		{5, 0, "NaR"},
+	}
+	for _, c := range cases {
+		if got := New(c.num, c.den).String(); got != c.want {
+			t.Errorf("New(%d,%d) = %s, want %s", c.num, c.den, got, c.want)
+		}
+	}
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	half := New(1, 2)
+	third := New(1, 3)
+	if got := half.Add(third).String(); got != "5/6" {
+		t.Errorf("1/2+1/3 = %s, want 5/6", got)
+	}
+	if got := half.Sub(third).String(); got != "1/6" {
+		t.Errorf("1/2-1/3 = %s, want 1/6", got)
+	}
+	if got := half.Mul(third).String(); got != "1/6" {
+		t.Errorf("1/2*1/3 = %s, want 1/6", got)
+	}
+	if got := half.Div(third).String(); got != "3/2" {
+		t.Errorf("(1/2)/(1/3) = %s, want 3/2", got)
+	}
+	if got := half.Neg().String(); got != "-1/2" {
+		t.Errorf("-(1/2) = %s, want -1/2", got)
+	}
+	if got := third.Inv().String(); got != "3" {
+		t.Errorf("1/(1/3) = %s, want 3", got)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	if FromInt(1).Div(FromInt(0)).Valid() {
+		t.Error("1/0 should be NaR")
+	}
+	if FromInt(0).Inv().Valid() {
+		t.Error("Inv(0) should be NaR")
+	}
+}
+
+func TestNaRPropagation(t *testing.T) {
+	x := FromInt(3)
+	for _, r := range []Rat{
+		NaR.Add(x), x.Add(NaR), NaR.Sub(x), x.Sub(NaR),
+		NaR.Mul(x), x.Mul(NaR), NaR.Div(x), x.Div(NaR),
+		NaR.Neg(), NaR.Inv(), NaR.Pow(2),
+	} {
+		if r.Valid() {
+			t.Errorf("NaR did not propagate: got %s", r)
+		}
+	}
+}
+
+func TestOverflowToNaR(t *testing.T) {
+	huge := FromInt(math.MaxInt64)
+	if huge.Add(FromInt(1)).Valid() {
+		t.Error("MaxInt64+1 should overflow to NaR")
+	}
+	if huge.Mul(FromInt(2)).Valid() {
+		t.Error("MaxInt64*2 should overflow to NaR")
+	}
+	small := FromInt(math.MinInt64)
+	if small.Neg().Valid() {
+		t.Error("-MinInt64 should overflow to NaR")
+	}
+	if small.Sub(FromInt(1)).Valid() {
+		t.Error("MinInt64-1 should overflow to NaR")
+	}
+}
+
+func TestPow(t *testing.T) {
+	cases := []struct {
+		base Rat
+		k    int
+		want string
+	}{
+		{FromInt(2), 0, "1"},
+		{FromInt(2), 10, "1024"},
+		{FromInt(0), 0, "1"},
+		{FromInt(0), 3, "0"},
+		{New(1, 2), 3, "1/8"},
+		{FromInt(-3), 3, "-27"},
+		{FromInt(-3), 2, "9"},
+		{FromInt(2), -1, "NaR"},
+	}
+	for _, c := range cases {
+		if got := c.base.Pow(c.k).String(); got != c.want {
+			t.Errorf("%s^%d = %s, want %s", c.base, c.k, got, c.want)
+		}
+	}
+}
+
+func TestCmpAndSign(t *testing.T) {
+	if New(1, 3).Cmp(New(1, 2)) != -1 {
+		t.Error("1/3 should compare less than 1/2")
+	}
+	if New(-1, 3).Sign() != -1 || FromInt(0).Sign() != 0 || New(2, 5).Sign() != 1 {
+		t.Error("Sign wrong")
+	}
+	if !New(2, 4).Equal(New(1, 2)) {
+		t.Error("2/4 should equal 1/2")
+	}
+	if NaR.Equal(NaR) {
+		t.Error("NaR must not equal NaR (like NaN)")
+	}
+}
+
+func TestIntAccessors(t *testing.T) {
+	v, ok := FromInt(42).Int()
+	if !ok || v != 42 {
+		t.Errorf("Int() = %d,%v want 42,true", v, ok)
+	}
+	if _, ok := New(1, 2).Int(); ok {
+		t.Error("1/2 should not be an integer")
+	}
+	if !FromInt(0).IsZero() || New(1, 2).IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+// small constrains quick-generated operands so that arithmetic stays in
+// range and the field-axiom properties are exact.
+type small int16
+
+func ratOf(a, b small) Rat {
+	d := int64(b)
+	if d == 0 {
+		d = 1
+	}
+	return New(int64(a), d)
+}
+
+func TestQuickFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+
+	commAdd := func(a1, b1, a2, b2 small) bool {
+		x, y := ratOf(a1, b1), ratOf(a2, b2)
+		return x.Add(y).Equal(y.Add(x))
+	}
+	if err := quick.Check(commAdd, cfg); err != nil {
+		t.Error("Add not commutative:", err)
+	}
+
+	assocAdd := func(a1, b1, a2, b2, a3, b3 small) bool {
+		x, y, z := ratOf(a1, b1), ratOf(a2, b2), ratOf(a3, b3)
+		return x.Add(y).Add(z).Equal(x.Add(y.Add(z)))
+	}
+	if err := quick.Check(assocAdd, cfg); err != nil {
+		t.Error("Add not associative:", err)
+	}
+
+	distrib := func(a1, b1, a2, b2, a3, b3 small) bool {
+		x, y, z := ratOf(a1, b1), ratOf(a2, b2), ratOf(a3, b3)
+		return x.Mul(y.Add(z)).Equal(x.Mul(y).Add(x.Mul(z)))
+	}
+	if err := quick.Check(distrib, cfg); err != nil {
+		t.Error("Mul does not distribute over Add:", err)
+	}
+
+	inverse := func(a, b small) bool {
+		x := ratOf(a, b)
+		if x.IsZero() {
+			return true
+		}
+		return x.Mul(x.Inv()).Equal(FromInt(1))
+	}
+	if err := quick.Check(inverse, cfg); err != nil {
+		t.Error("x * 1/x != 1:", err)
+	}
+
+	negation := func(a, b small) bool {
+		x := ratOf(a, b)
+		return x.Add(x.Neg()).IsZero()
+	}
+	if err := quick.Check(negation, cfg); err != nil {
+		t.Error("x + (-x) != 0:", err)
+	}
+
+	normalized := func(a, b small) bool {
+		x := ratOf(a, b)
+		if !x.Valid() {
+			return false
+		}
+		if x.Den() <= 0 {
+			return false
+		}
+		return gcd64(abs64(x.Num()), x.Den()) == 1 || x.Num() == 0
+	}
+	if err := quick.Check(normalized, cfg); err != nil {
+		t.Error("result not normalized:", err)
+	}
+}
+
+func TestQuickSubDivConsistency(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	sub := func(a1, b1, a2, b2 small) bool {
+		x, y := ratOf(a1, b1), ratOf(a2, b2)
+		return x.Sub(y).Add(y).Equal(x)
+	}
+	if err := quick.Check(sub, cfg); err != nil {
+		t.Error("(x-y)+y != x:", err)
+	}
+	div := func(a1, b1, a2, b2 small) bool {
+		x, y := ratOf(a1, b1), ratOf(a2, b2)
+		if y.IsZero() {
+			return true
+		}
+		return x.Div(y).Mul(y).Equal(x)
+	}
+	if err := quick.Check(div, cfg); err != nil {
+		t.Error("(x/y)*y != x:", err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := New(355, 113), New(22, 7)
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := New(355, 113), New(22, 7)
+	for i := 0; i < b.N; i++ {
+		_ = x.Mul(y)
+	}
+}

@@ -1,0 +1,234 @@
+// Package scan implements the lexer for the mini loop language.
+//
+// Statements are separated by newlines or semicolons, as in Go: the
+// scanner inserts a SEMI token at a newline when the previous token could
+// end a statement (identifier, number, or a closing bracket). Comments
+// run from "//" to end of line.
+package scan
+
+import (
+	"fmt"
+
+	"beyondiv/internal/token"
+)
+
+// Scanner tokenizes one source buffer. Use New and then repeated Next
+// calls; after the input is exhausted Next returns EOF forever.
+type Scanner struct {
+	src  string
+	off  int
+	line int
+	col  int
+	// prev is the kind of the last non-SEMI token emitted, used for
+	// automatic statement termination at newlines.
+	prev token.Kind
+	errs []error
+}
+
+// New returns a scanner for src.
+func New(src string) *Scanner {
+	return &Scanner{src: src, line: 1, col: 1, prev: token.SEMI}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (s *Scanner) Errors() []error { return s.errs }
+
+func (s *Scanner) errorf(p token.Pos, format string, args ...any) {
+	s.errs = append(s.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (s *Scanner) peek() byte {
+	if s.off >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off]
+}
+
+func (s *Scanner) peek2() byte {
+	if s.off+1 >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off+1]
+}
+
+func (s *Scanner) advance() byte {
+	c := s.src[s.off]
+	s.off++
+	if c == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return c
+}
+
+func (s *Scanner) pos() token.Pos { return token.Pos{Line: s.line, Col: s.col} }
+
+// canEndStmt reports whether a token kind may legally terminate a
+// statement, controlling automatic SEMI insertion.
+func canEndStmt(k token.Kind) bool {
+	switch k {
+	case token.IDENT, token.NUMBER, token.RPAREN, token.RBRACK, token.RBRACE, token.EXIT:
+		return true
+	}
+	return false
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token.
+func (s *Scanner) Next() token.Token {
+	for {
+		// Skip blanks; emit SEMI at meaningful newlines.
+		for s.off < len(s.src) {
+			c := s.peek()
+			if c == ' ' || c == '\t' || c == '\r' {
+				s.advance()
+				continue
+			}
+			if c == '\n' {
+				p := s.pos()
+				s.advance()
+				if canEndStmt(s.prev) {
+					s.prev = token.SEMI
+					return token.Token{Kind: token.SEMI, Pos: p}
+				}
+				continue
+			}
+			if c == '/' && s.peek2() == '/' {
+				for s.off < len(s.src) && s.peek() != '\n' {
+					s.advance()
+				}
+				continue
+			}
+			break
+		}
+		if s.off >= len(s.src) {
+			if canEndStmt(s.prev) {
+				s.prev = token.SEMI
+				return token.Token{Kind: token.SEMI, Pos: s.pos()}
+			}
+			return token.Token{Kind: token.EOF, Pos: s.pos()}
+		}
+
+		p := s.pos()
+		c := s.advance()
+		tok := token.Token{Pos: p}
+
+		switch {
+		case isLetter(c):
+			start := s.off - 1
+			for s.off < len(s.src) && (isLetter(s.peek()) || isDigit(s.peek())) {
+				s.advance()
+			}
+			lit := s.src[start:s.off]
+			if k, ok := token.Keywords[lit]; ok {
+				tok.Kind = k
+			} else {
+				tok.Kind = token.IDENT
+				tok.Lit = lit
+			}
+		case isDigit(c):
+			start := s.off - 1
+			for s.off < len(s.src) && isDigit(s.peek()) {
+				s.advance()
+			}
+			if s.off < len(s.src) && isLetter(s.peek()) {
+				s.errorf(p, "malformed number")
+				tok.Kind = token.ILLEGAL
+				tok.Lit = s.src[start:s.off]
+			} else {
+				tok.Kind = token.NUMBER
+				tok.Lit = s.src[start:s.off]
+			}
+		default:
+			switch c {
+			case ';':
+				tok.Kind = token.SEMI
+			case '+':
+				tok.Kind = token.PLUS
+			case '-':
+				tok.Kind = token.MINUS
+			case '*':
+				if s.peek() == '*' {
+					s.advance()
+					tok.Kind = token.POW
+				} else {
+					tok.Kind = token.STAR
+				}
+			case '/':
+				tok.Kind = token.SLASH
+			case '(':
+				tok.Kind = token.LPAREN
+			case ')':
+				tok.Kind = token.RPAREN
+			case '[':
+				tok.Kind = token.LBRACK
+			case ']':
+				tok.Kind = token.RBRACK
+			case '{':
+				tok.Kind = token.LBRACE
+			case '}':
+				tok.Kind = token.RBRACE
+			case ':':
+				tok.Kind = token.COLON
+			case ',':
+				tok.Kind = token.COMMA
+			case '=':
+				if s.peek() == '=' {
+					s.advance()
+					tok.Kind = token.EQ
+				} else {
+					tok.Kind = token.ASSIGN
+				}
+			case '!':
+				if s.peek() == '=' {
+					s.advance()
+					tok.Kind = token.NE
+				} else {
+					s.errorf(p, "unexpected character %q", c)
+					tok.Kind = token.ILLEGAL
+					tok.Lit = string(c)
+				}
+			case '<':
+				if s.peek() == '=' {
+					s.advance()
+					tok.Kind = token.LE
+				} else {
+					tok.Kind = token.LT
+				}
+			case '>':
+				if s.peek() == '=' {
+					s.advance()
+					tok.Kind = token.GE
+				} else {
+					tok.Kind = token.GT
+				}
+			default:
+				s.errorf(p, "unexpected character %q", c)
+				tok.Kind = token.ILLEGAL
+				tok.Lit = string(c)
+			}
+		}
+		s.prev = tok.Kind
+		return tok
+	}
+}
+
+// All tokenizes the whole input, excluding the trailing EOF.
+func All(src string) ([]token.Token, []error) {
+	s := New(src)
+	var out []token.Token
+	for {
+		t := s.Next()
+		if t.Kind == token.EOF {
+			return out, s.Errors()
+		}
+		out = append(out, t)
+	}
+}

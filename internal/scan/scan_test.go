@@ -1,0 +1,211 @@
+package scan
+
+import (
+	"strings"
+	"testing"
+
+	"beyondiv/internal/token"
+)
+
+func kinds(ts []token.Token) []token.Kind {
+	out := make([]token.Kind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func eq(a, b []token.Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSimpleAssignment(t *testing.T) {
+	ts, errs := All("i = i + 1\n")
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	want := []token.Kind{token.IDENT, token.ASSIGN, token.IDENT, token.PLUS, token.NUMBER, token.SEMI}
+	if !eq(kinds(ts), want) {
+		t.Errorf("kinds = %v, want %v", kinds(ts), want)
+	}
+	if ts[0].Lit != "i" || ts[4].Lit != "1" {
+		t.Errorf("literals wrong: %v", ts)
+	}
+}
+
+func TestKeywordsAndOperators(t *testing.T) {
+	src := "for i = 1 to n by 2 { a[i] = a[i] ** 2 / 3 }"
+	ts, errs := All(src)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	want := []token.Kind{
+		token.FOR, token.IDENT, token.ASSIGN, token.NUMBER, token.TO,
+		token.IDENT, token.BY, token.NUMBER, token.LBRACE,
+		token.IDENT, token.LBRACK, token.IDENT, token.RBRACK, token.ASSIGN,
+		token.IDENT, token.LBRACK, token.IDENT, token.RBRACK,
+		token.POW, token.NUMBER, token.SLASH, token.NUMBER, token.RBRACE,
+		token.SEMI,
+	}
+	// Note: no SEMI before '}' on the same line; the parser treats '}'
+	// as an implicit statement terminator, as Go's grammar does.
+	if !eq(kinds(ts), want) {
+		t.Errorf("kinds = %v\nwant    %v", kinds(ts), want)
+	}
+}
+
+func TestRelops(t *testing.T) {
+	ts, errs := All("a == b != c < d <= e > f >= g")
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	var rel []token.Kind
+	for _, tk := range ts {
+		if tk.Kind.IsRelop() {
+			rel = append(rel, tk.Kind)
+		}
+	}
+	want := []token.Kind{token.EQ, token.NE, token.LT, token.LE, token.GT, token.GE}
+	if !eq(rel, want) {
+		t.Errorf("relops = %v, want %v", rel, want)
+	}
+}
+
+func TestSemiInsertion(t *testing.T) {
+	// No SEMI after '{' or operators; SEMI after ident/number/')'/']'/'}'.
+	src := "loop {\n i = i +\n 1\n}\n"
+	ts, errs := All(src)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	want := []token.Kind{
+		token.LOOP, token.LBRACE,
+		token.IDENT, token.ASSIGN, token.IDENT, token.PLUS, token.NUMBER, token.SEMI,
+		token.RBRACE, token.SEMI,
+	}
+	if !eq(kinds(ts), want) {
+		t.Errorf("kinds = %v\nwant    %v", kinds(ts), want)
+	}
+}
+
+func TestComments(t *testing.T) {
+	ts, errs := All("i = 1 // trailing comment\n// full line\nj = 2\n")
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	want := []token.Kind{
+		token.IDENT, token.ASSIGN, token.NUMBER, token.SEMI,
+		token.IDENT, token.ASSIGN, token.NUMBER, token.SEMI,
+	}
+	if !eq(kinds(ts), want) {
+		t.Errorf("kinds = %v, want %v", kinds(ts), want)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	ts, errs := All("i = 1\n  j = 2\n")
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if ts[0].Pos.Line != 1 || ts[0].Pos.Col != 1 {
+		t.Errorf("first token at %s, want 1:1", ts[0].Pos)
+	}
+	// "j" is the 5th token (after i = 1 SEMI).
+	if ts[4].Lit != "j" || ts[4].Pos.Line != 2 || ts[4].Pos.Col != 3 {
+		t.Errorf("j token = %v at %s, want j at 2:3", ts[4], ts[4].Pos)
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	ts, errs := All("i = $\n")
+	if len(errs) == 0 {
+		t.Fatal("expected an error for '$'")
+	}
+	found := false
+	for _, tk := range ts {
+		if tk.Kind == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no ILLEGAL token emitted")
+	}
+	if !strings.Contains(errs[0].Error(), "unexpected character") {
+		t.Errorf("error = %v", errs[0])
+	}
+}
+
+func TestMalformedNumber(t *testing.T) {
+	_, errs := All("i = 12ab\n")
+	if len(errs) == 0 {
+		t.Fatal("expected an error for 12ab")
+	}
+}
+
+func TestBangWithoutEq(t *testing.T) {
+	_, errs := All("i ! j\n")
+	if len(errs) == 0 {
+		t.Fatal("expected an error for lone '!'")
+	}
+}
+
+func TestEOFSemicolon(t *testing.T) {
+	// Input without trailing newline still terminates the last statement.
+	ts, errs := All("i = 1")
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if ts[len(ts)-1].Kind != token.SEMI {
+		t.Errorf("last token = %v, want SEMI", ts[len(ts)-1])
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	ts, errs := All("")
+	if len(ts) != 0 || len(errs) != 0 {
+		t.Errorf("empty input gave %v, %v", ts, errs)
+	}
+	ts, errs = All("\n\n  // only comments\n")
+	if len(ts) != 0 || len(errs) != 0 {
+		t.Errorf("blank input gave %v, %v", ts, errs)
+	}
+}
+
+func TestExplicitSemicolons(t *testing.T) {
+	ts, errs := All("i = 1; j = 2")
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	n := 0
+	for _, tk := range ts {
+		if tk.Kind == token.SEMI {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("got %d SEMIs, want 2", n)
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 500; i++ {
+		sb.WriteString("x = x + 1\nfor i = 1 to n { a[i] = a[i-1] * 2 }\n")
+	}
+	src := sb.String()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, errs := All(src); len(errs) != 0 {
+			b.Fatal(errs)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package scc implements Tarjan's strongly-connected-components algorithm
+// (Tarjan, SIAM J. Comput. 1972) over integer-indexed directed graphs.
+//
+// The classifier in internal/iv runs this over the SSA graph, whose edges
+// point from each operation to its source operands. Tarjan's algorithm
+// emits a component only after every component reachable from it has been
+// emitted, so when a component pops, all values feeding it are already
+// classified — the property the paper's one-pass classification relies on
+// (§3.1). Components returns components in exactly that pop order.
+//
+// The implementation is iterative (explicit work stack) so that graphs
+// with very long dependence chains — e.g. the scaling benchmarks with
+// tens of thousands of straight-line statements — cannot overflow the
+// goroutine stack.
+package scc
+
+// Components computes the strongly connected components of the directed
+// graph with nodes 0..n-1 and successor function succ. Components are
+// returned in Tarjan pop order: every component appears after all
+// components reachable from it. Nodes within a component are in stack
+// order (no particular guarantee beyond membership).
+func Components(n int, succ func(int) []int) [][]int {
+	if n == 0 {
+		return nil
+	}
+	const unvisited = -1
+	index := make([]int, n)
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int // Tarjan value stack
+		comps   [][]int
+		counter int
+	)
+
+	// frame is an explicit DFS frame: node v, and the position within
+	// succ(v) to resume at.
+	type frame struct {
+		v    int
+		next int
+		adj  []int
+	}
+	var frames []frame
+
+	push := func(v int) {
+		index[v] = counter
+		lowlink[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		frames = append(frames, frame{v: v, adj: succ(v)})
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		push(root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.next < len(f.adj) {
+				w := f.adj[f.next]
+				f.next++
+				if index[w] == unvisited {
+					push(w)
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.v is finished.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if lowlink[v] < lowlink[parent.v] {
+					lowlink[parent.v] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				// v is the root of a component; pop it.
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Map returns, for each node, the index of its component within the slice
+// returned by Components for the same graph.
+func Map(n int, comps [][]int) []int {
+	id := make([]int, n)
+	for i := range id {
+		id[i] = -1
+	}
+	for ci, c := range comps {
+		for _, v := range c {
+			id[v] = ci
+		}
+	}
+	return id
+}
+
+// IsTrivial reports whether component comp is a single node with no self
+// edge in the graph described by succ. Trivial components are classified
+// by the operator algebra rather than the cycle rules.
+func IsTrivial(comp []int, succ func(int) []int) bool {
+	if len(comp) != 1 {
+		return false
+	}
+	v := comp[0]
+	for _, w := range succ(v) {
+		if w == v {
+			return false
+		}
+	}
+	return true
+}

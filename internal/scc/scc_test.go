@@ -1,0 +1,233 @@
+package scc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func adj(edges map[int][]int) func(int) []int {
+	return func(v int) []int { return edges[v] }
+}
+
+func sortedComps(comps [][]int) [][]int {
+	out := make([][]int, len(comps))
+	for i, c := range comps {
+		cc := append([]int(nil), c...)
+		sort.Ints(cc)
+		out[i] = cc
+	}
+	return out
+}
+
+func TestEmpty(t *testing.T) {
+	if got := Components(0, adj(nil)); got != nil {
+		t.Errorf("Components(0) = %v, want nil", got)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	comps := Components(1, adj(nil))
+	if len(comps) != 1 || len(comps[0]) != 1 || comps[0][0] != 0 {
+		t.Errorf("Components = %v", comps)
+	}
+	if !IsTrivial(comps[0], adj(nil)) {
+		t.Error("lone node without self loop should be trivial")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := adj(map[int][]int{0: {0}})
+	comps := Components(1, g)
+	if len(comps) != 1 {
+		t.Fatalf("Components = %v", comps)
+	}
+	if IsTrivial(comps[0], g) {
+		t.Error("self loop must be nontrivial")
+	}
+}
+
+func TestChainPopOrder(t *testing.T) {
+	// 0 -> 1 -> 2: successors must pop first.
+	g := adj(map[int][]int{0: {1}, 1: {2}})
+	comps := Components(3, g)
+	want := [][]int{{2}, {1}, {0}}
+	got := sortedComps(comps)
+	for i := range want {
+		if len(got[i]) != 1 || got[i][0] != want[i][0] {
+			t.Fatalf("pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCycleWithTail(t *testing.T) {
+	// 0 <-> 1 form a cycle; both point at 2; 3 points at 0.
+	g := adj(map[int][]int{0: {1, 2}, 1: {0, 2}, 3: {0}})
+	comps := Components(4, g)
+	if len(comps) != 3 {
+		t.Fatalf("want 3 components, got %v", comps)
+	}
+	got := sortedComps(comps)
+	if got[0][0] != 2 {
+		t.Errorf("node 2 should pop first, got %v", got)
+	}
+	if len(got[1]) != 2 || got[1][0] != 0 || got[1][1] != 1 {
+		t.Errorf("cycle {0,1} should pop second, got %v", got)
+	}
+	if got[2][0] != 3 {
+		t.Errorf("node 3 should pop last, got %v", got)
+	}
+}
+
+func TestTwoIndependentCycles(t *testing.T) {
+	g := adj(map[int][]int{0: {1}, 1: {0}, 2: {3}, 3: {2}})
+	comps := Components(4, g)
+	if len(comps) != 2 {
+		t.Fatalf("want 2 components, got %v", comps)
+	}
+	for _, c := range comps {
+		if len(c) != 2 {
+			t.Errorf("component size = %d, want 2", len(c))
+		}
+	}
+}
+
+func TestMap(t *testing.T) {
+	g := adj(map[int][]int{0: {1}, 1: {0}, 2: {0}})
+	comps := Components(3, g)
+	id := Map(3, comps)
+	if id[0] != id[1] {
+		t.Error("0 and 1 should share a component")
+	}
+	if id[2] == id[0] {
+		t.Error("2 should be in its own component")
+	}
+	if id[2] <= id[0] {
+		t.Error("2 depends on the cycle, so its component must pop later")
+	}
+}
+
+func TestDeepChainNoStackOverflow(t *testing.T) {
+	const n = 200000
+	succ := func(v int) []int {
+		if v+1 < n {
+			return []int{v + 1}
+		}
+		return nil
+	}
+	comps := Components(n, succ)
+	if len(comps) != n {
+		t.Fatalf("want %d singleton components, got %d", n, len(comps))
+	}
+	if comps[0][0] != n-1 || comps[n-1][0] != 0 {
+		t.Error("pop order should run from chain end back to start")
+	}
+}
+
+func TestLargeSingleCycle(t *testing.T) {
+	const n = 100000
+	succ := func(v int) []int { return []int{(v + 1) % n} }
+	comps := Components(n, succ)
+	if len(comps) != 1 || len(comps[0]) != n {
+		t.Fatalf("want one %d-cycle, got %d components", n, len(comps))
+	}
+}
+
+// reachable computes reachability via BFS, for the oracle checks.
+func reachable(n int, succ func(int) []int, from int) []bool {
+	seen := make([]bool, n)
+	queue := []int{from}
+	seen[from] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range succ(v) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+// TestQuickSCCOracle checks, on random graphs, that (a) two nodes share a
+// component iff they are mutually reachable, and (b) pop order is a
+// reverse topological order of the condensation.
+func TestQuickSCCOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func() bool {
+		n := 1 + rng.Intn(10)
+		edges := make(map[int][]int)
+		m := rng.Intn(3 * n)
+		for e := 0; e < m; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			edges[a] = append(edges[a], b)
+		}
+		succ := adj(edges)
+		comps := Components(n, succ)
+		id := Map(n, comps)
+
+		reach := make([][]bool, n)
+		for v := 0; v < n; v++ {
+			reach[v] = reachable(n, succ, v)
+		}
+		// (a) mutual reachability <=> same component.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				mutual := reach[a][b] && reach[b][a]
+				if mutual != (id[a] == id[b]) {
+					return false
+				}
+			}
+		}
+		// (b) if a reaches b and they differ, b's component pops first.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if reach[a][b] && id[a] != id[b] && id[b] > id[a] {
+					return false
+				}
+			}
+		}
+		// Components partition the nodes.
+		total := 0
+		for _, c := range comps {
+			total += len(c)
+		}
+		return total == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkComponentsChain(b *testing.B) {
+	const n = 10000
+	succ := func(v int) []int {
+		if v+1 < n {
+			return []int{v + 1}
+		}
+		return nil
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Components(n, succ)
+	}
+}
+
+func BenchmarkComponentsDense(b *testing.B) {
+	const n = 1000
+	rng := rand.New(rand.NewSource(3))
+	edges := make([][]int, n)
+	for v := range edges {
+		for e := 0; e < 8; e++ {
+			edges[v] = append(edges[v], rng.Intn(n))
+		}
+	}
+	succ := func(v int) []int { return edges[v] }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Components(n, succ)
+	}
+}

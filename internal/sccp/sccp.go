@@ -1,0 +1,358 @@
+// Package sccp implements sparse conditional constant propagation
+// (Wegman and Zadeck, TOPLAS 1991 — the paper's [WZ91]) over the SSA
+// form. The classifier uses it to resolve the initial values of
+// induction variables ("often the initial value coming in from outside
+// the loop can be evaluated and substituted, using an algorithm such as
+// constant propagation", paper §3.1).
+package sccp
+
+import (
+	"fmt"
+
+	"beyondiv/internal/ir"
+	"beyondiv/internal/ssa"
+)
+
+// state is a lattice cell: Top (undetermined), a constant, or Bottom
+// (varying).
+type state uint8
+
+const (
+	top state = iota
+	constant
+	bottom
+)
+
+// cell is one lattice value.
+type cell struct {
+	state state
+	val   int64
+}
+
+// Result holds the analysis outcome.
+type Result struct {
+	cells      []cell
+	execBlock  []bool
+	info       *ssa.Info
+	constCount int
+}
+
+// Const returns the propagated constant value of v, if any. Values
+// created after the analysis ran (e.g. by transformations) are unknown.
+func (r *Result) Const(v *ir.Value) (int64, bool) {
+	if v.ID >= len(r.cells) {
+		if v.Op == ir.OpConst {
+			return v.Const, true
+		}
+		return 0, false
+	}
+	c := r.cells[v.ID]
+	return c.val, c.state == constant
+}
+
+// Executable reports whether the analysis proved block b reachable
+// under constant-folded branches.
+func (r *Result) Executable(b *ir.Block) bool { return r.execBlock[b.ID] }
+
+// NumConstants returns how many values were proven constant.
+func (r *Result) NumConstants() int { return r.constCount }
+
+// String summarizes the constants found, for diagnostics.
+func (r *Result) String() string {
+	out := ""
+	for _, b := range r.info.Func.Blocks {
+		for _, v := range b.Values {
+			if c := r.cells[v.ID]; c.state == constant {
+				out += fmt.Sprintf("%s = %d\n", v, c.val)
+			}
+		}
+	}
+	return out
+}
+
+// Run performs the propagation.
+func Run(info *ssa.Info) *Result {
+	f := info.Func
+	r := &Result{
+		cells:     make([]cell, f.NumValues()),
+		execBlock: make([]bool, f.NumBlocks()),
+		info:      info,
+	}
+
+	// users[v.ID] lists the values consuming v (SSA edges).
+	users := make([][]*ir.Value, f.NumValues())
+	// controlOf[v.ID] lists blocks whose branch condition is v.
+	controlOf := make([][]*ir.Block, f.NumValues())
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			for _, a := range v.Args {
+				users[a.ID] = append(users[a.ID], v)
+			}
+		}
+		if b.Control != nil {
+			controlOf[b.Control.ID] = append(controlOf[b.Control.ID], b)
+		}
+	}
+
+	// execEdge[(from,to)] tracks executable CFG edges; φ meets consult it.
+	execEdge := map[flowEdge]bool{}
+
+	var flowWork []flowEdge // CFG edges to process
+	var ssaWork []*ir.Value // values whose inputs changed
+	inSSAWork := make([]bool, f.NumValues())
+
+	pushSSA := func(v *ir.Value) {
+		if !inSSAWork[v.ID] {
+			inSSAWork[v.ID] = true
+			ssaWork = append(ssaWork, v)
+		}
+	}
+
+	// lower updates v's cell to at most next, pushing users on change.
+	lower := func(v *ir.Value, next cell) {
+		cur := r.cells[v.ID]
+		if cur.state == bottom {
+			return
+		}
+		if next.state == cur.state && (cur.state != constant || next.val == cur.val) {
+			return
+		}
+		// Monotonic: top -> constant -> bottom.
+		if cur.state == constant && next.state == constant && cur.val != next.val {
+			next = cell{state: bottom}
+		}
+		if next.state < cur.state {
+			return
+		}
+		r.cells[v.ID] = next
+		for _, u := range users[v.ID] {
+			pushSSA(u)
+		}
+		for _, b := range controlOf[v.ID] {
+			if r.execBlock[b.ID] {
+				flowWork = append(flowWork, branchTargets(b, next)...)
+			}
+		}
+	}
+
+	evalValue := func(v *ir.Value) {
+		switch v.Op {
+		case ir.OpConst:
+			lower(v, cell{state: constant, val: v.Const})
+		case ir.OpParam, ir.OpLoadElem:
+			lower(v, cell{state: bottom})
+		case ir.OpCopy:
+			lower(v, r.cells[v.Args[0].ID])
+		case ir.OpStoreElem:
+			// A store's value is the value stored (paper §5.1).
+			lower(v, r.cells[v.Args[1].ID])
+		case ir.OpPhi:
+			meet := cell{state: top}
+			for i, a := range v.Args {
+				if !execEdge[flowEdge{v.Block.Preds[i].ID, v.Block.ID}] {
+					continue
+				}
+				meet = meetCells(meet, r.cells[a.ID])
+			}
+			lower(v, meet)
+		case ir.OpNeg:
+			x := r.cells[v.Args[0].ID]
+			switch x.state {
+			case constant:
+				lower(v, cell{state: constant, val: -x.val})
+			case bottom:
+				lower(v, cell{state: bottom})
+			}
+		default:
+			x, y := r.cells[v.Args[0].ID], r.cells[v.Args[1].ID]
+			if x.state == constant && y.state == constant {
+				lower(v, cell{state: constant, val: foldBinary(v.Op, x.val, y.val)})
+			} else if x.state == bottom || y.state == bottom {
+				// A few operators are constant with one varying input.
+				if c, ok := foldPartial(v.Op, x, y); ok {
+					lower(v, cell{state: constant, val: c})
+				} else {
+					lower(v, cell{state: bottom})
+				}
+			}
+		}
+	}
+
+	// Seed with the entry block.
+	markBlock := func(b *ir.Block) {
+		if r.execBlock[b.ID] {
+			return
+		}
+		r.execBlock[b.ID] = true
+		for _, v := range b.Values {
+			pushSSA(v)
+		}
+	}
+	markBlock(f.Entry)
+
+	// Entry's outgoing edges under the current (empty) lattice: a plain
+	// block contributes its single edge now; a conditional contributes
+	// its edges once its control value lowers (the controlOf hook).
+	flowWork = append(flowWork, currentOutEdges(f.Entry, r)...)
+
+	for len(flowWork) > 0 || len(ssaWork) > 0 {
+		for len(ssaWork) > 0 {
+			v := ssaWork[len(ssaWork)-1]
+			ssaWork = ssaWork[:len(ssaWork)-1]
+			inSSAWork[v.ID] = false
+			if r.execBlock[v.Block.ID] {
+				evalValue(v)
+			}
+		}
+		if len(flowWork) > 0 {
+			e := flowWork[len(flowWork)-1]
+			flowWork = flowWork[:len(flowWork)-1]
+			if execEdge[e] {
+				continue
+			}
+			execEdge[e] = true
+			to := blockByID(f, e.to)
+			// Re-evaluate φs in the target: a new edge became executable.
+			for _, v := range to.Values {
+				if v.Op == ir.OpPhi {
+					pushSSA(v)
+				} else {
+					break
+				}
+			}
+			first := !r.execBlock[to.ID]
+			markBlock(to)
+			if first {
+				flowWork = append(flowWork, currentOutEdges(to, r)...)
+			}
+		}
+	}
+
+	for _, c := range r.cells {
+		if c.state == constant {
+			r.constCount++
+		}
+	}
+	return r
+}
+
+func blockByID(f *ir.Func, id int) *ir.Block {
+	for _, b := range f.Blocks {
+		if b.ID == id {
+			return b
+		}
+	}
+	panic("sccp: unknown block id")
+}
+
+func meetCells(a, b cell) cell {
+	switch {
+	case a.state == top:
+		return b
+	case b.state == top:
+		return a
+	case a.state == bottom || b.state == bottom:
+		return cell{state: bottom}
+	case a.val == b.val:
+		return a
+	default:
+		return cell{state: bottom}
+	}
+}
+
+// flowEdge identifies a CFG edge by block IDs.
+type flowEdge struct{ from, to int }
+
+// branchTargets returns the executable out-edges of b given its control
+// lattice value.
+func branchTargets(b *ir.Block, ctl cell) []flowEdge {
+	type edge = flowEdge
+	switch b.Kind {
+	case ir.BlockPlain:
+		return []edge{{b.ID, b.Succs[0].ID}}
+	case ir.BlockExit:
+		return nil
+	}
+	switch ctl.state {
+	case constant:
+		if ctl.val != 0 {
+			return []edge{{b.ID, b.Succs[0].ID}}
+		}
+		return []edge{{b.ID, b.Succs[1].ID}}
+	case bottom:
+		return []edge{{b.ID, b.Succs[0].ID}, {b.ID, b.Succs[1].ID}}
+	default: // top: not yet known, wait
+		return nil
+	}
+}
+
+// currentOutEdges returns the out-edges known executable under b's
+// current control lattice; a still-top conditional contributes nothing
+// yet (the controlOf hook in lower fires when it resolves).
+func currentOutEdges(b *ir.Block, r *Result) []flowEdge {
+	if b.Kind == ir.BlockIf {
+		return branchTargets(b, r.cells[b.Control.ID])
+	}
+	return branchTargets(b, cell{state: bottom})
+}
+
+// foldBinary evaluates op on constants with the shared interpreter
+// semantics (x/0 == 0; x**k == 0 for k < 0).
+func foldBinary(op ir.Op, x, y int64) int64 {
+	switch op {
+	case ir.OpAdd:
+		return x + y
+	case ir.OpSub:
+		return x - y
+	case ir.OpMul:
+		return x * y
+	case ir.OpDiv:
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	case ir.OpExp:
+		if y < 0 {
+			return 0
+		}
+		out := int64(1)
+		for ; y > 0; y-- {
+			out *= x
+		}
+		return out
+	case ir.OpLess:
+		return b2i(x < y)
+	case ir.OpLeq:
+		return b2i(x <= y)
+	case ir.OpGreater:
+		return b2i(x > y)
+	case ir.OpGeq:
+		return b2i(x >= y)
+	case ir.OpEq:
+		return b2i(x == y)
+	case ir.OpNeq:
+		return b2i(x != y)
+	}
+	panic(fmt.Sprintf("sccp: cannot fold %s", op))
+}
+
+// foldPartial folds operators that are constant with a single known
+// operand: x*0, 0*x, and 0**k for k known positive are the useful cases.
+func foldPartial(op ir.Op, x, y cell) (int64, bool) {
+	if op == ir.OpMul {
+		if x.state == constant && x.val == 0 {
+			return 0, true
+		}
+		if y.state == constant && y.val == 0 {
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

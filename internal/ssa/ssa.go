@@ -1,0 +1,405 @@
+// Package ssa converts the tuple CFG into Static Single Assignment form
+// following Cytron, Ferrante, Rosen, Wegman and Zadeck (TOPLAS 1991):
+// φ-functions are placed at the iterated dominance frontier of each
+// scalar variable's definition sites, and a dominator-tree walk renames
+// every use to its unique reaching definition.
+//
+// After Build returns:
+//   - no LoadVar/StoreVar instructions remain;
+//   - every use of a scalar refers directly to its defining ir.Value,
+//     which is exactly the "SSA graph" edge structure the classifier in
+//     internal/iv traverses (paper §3);
+//   - each definition carries a paper-style SSA name such as "i2"
+//     (variable name + version, numbered from 1 in renaming order);
+//   - variables read before any write are materialized as Param values
+//     in the entry block (symbolic inputs like `n`).
+package ssa
+
+import (
+	"fmt"
+
+	"beyondiv/internal/dom"
+	"beyondiv/internal/ir"
+)
+
+// Info is the result of SSA construction.
+type Info struct {
+	Func *ir.Func
+	Dom  *dom.Tree
+	// VarOf maps each SSA definition (φ, param, or store-bound value) to
+	// its source variable name.
+	VarOf map[*ir.Value]string
+	// Params maps variable names to their Param values, for variables
+	// that are inputs to the program.
+	Params map[string]*ir.Value
+}
+
+// Build converts f to SSA form in place and returns the Info.
+func Build(f *ir.Func) *Info {
+	tree := dom.New(f)
+	st := &state{
+		f:      f,
+		tree:   tree,
+		info:   &Info{Func: f, Dom: tree, VarOf: map[*ir.Value]string{}, Params: map[string]*ir.Value{}},
+		stacks: map[string][]*ir.Value{},
+		vers:   map[string]int{},
+	}
+	st.placePhis()
+	st.rename(f.Entry)
+	st.hoistParams()
+	st.stripLoadsStores()
+	st.pruneDeadPhis()
+	st.assignNames()
+	return st.info
+}
+
+type state struct {
+	f    *ir.Func
+	tree *dom.Tree
+	info *Info
+
+	// phiVar maps inserted φ values to their variable.
+	phiVar map[*ir.Value]string
+	// stacks holds the current definition stack per variable.
+	stacks map[string][]*ir.Value
+	// vers is the next SSA version number per variable.
+	vers map[string]int
+	// loadDef maps each LoadVar value to the definition it resolved to.
+	loadDef map[*ir.Value]*ir.Value
+}
+
+// placePhis inserts φ values at the iterated dominance frontier of each
+// variable's store sites.
+func (s *state) placePhis() {
+	s.phiVar = map[*ir.Value]string{}
+	df := s.tree.Frontiers()
+
+	defSites := map[string][]*ir.Block{}
+	for _, b := range s.tree.ReversePostorder() {
+		for _, v := range b.Values {
+			if v.Op == ir.OpStoreVar {
+				defSites[v.Var] = append(defSites[v.Var], b)
+			}
+		}
+	}
+
+	for _, name := range s.f.VarNames() {
+		sites := defSites[name]
+		if len(sites) == 0 {
+			continue
+		}
+		hasPhi := map[*ir.Block]bool{}
+		work := append([]*ir.Block(nil), sites...)
+		inWork := map[*ir.Block]bool{}
+		for _, b := range work {
+			inWork[b] = true
+		}
+		for len(work) > 0 {
+			x := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, w := range df[x.ID] {
+				if hasPhi[w] {
+					continue
+				}
+				hasPhi[w] = true
+				phi := s.newPhi(w, name)
+				s.phiVar[phi] = name
+				if !inWork[w] {
+					inWork[w] = true
+					work = append(work, w)
+				}
+			}
+		}
+	}
+}
+
+// newPhi creates a φ for variable name at the front of block w with one
+// slot per predecessor.
+func (s *state) newPhi(w *ir.Block, name string) *ir.Value {
+	phi := s.f.NewValue(w, ir.OpPhi, make([]*ir.Value, len(w.Preds))...)
+	phi.Var = name
+	// NewValue appended it; move it before the block's other values so
+	// that φs execute first.
+	vals := w.Values
+	copy(vals[1:], vals[:len(vals)-1])
+	vals[0] = phi
+	return phi
+}
+
+func (s *state) currentDef(name string) *ir.Value {
+	if st := s.stacks[name]; len(st) > 0 {
+		return st[len(st)-1]
+	}
+	// No definition reaches here: the variable is a symbolic input.
+	if p, ok := s.info.Params[name]; ok {
+		return p
+	}
+	// Appending is safe mid-walk; params are moved to the front of the
+	// entry block once renaming finishes (see hoistParams).
+	p := s.f.NewValue(s.f.Entry, ir.OpParam)
+	p.Var = name
+	s.bindVar(p, name)
+	s.info.Params[name] = p
+	return p
+}
+
+// bindVar records that def carries variable name. SSA names proper are
+// assigned after dead-φ pruning (assignNames) so that version numbers
+// count only surviving definitions, matching the paper's numbering.
+func (s *state) bindVar(def *ir.Value, name string) {
+	if _, ok := s.info.VarOf[def]; !ok {
+		s.info.VarOf[def] = name
+	}
+}
+
+// assignNames numbers each variable's surviving definitions from 1 in
+// reverse-postorder program order ("i1", "i2", ...).
+func (s *state) assignNames() {
+	for _, b := range s.tree.ReversePostorder() {
+		for _, v := range b.Values {
+			name, ok := s.info.VarOf[v]
+			if !ok || v.Name != "" {
+				continue
+			}
+			s.vers[name]++
+			v.Name = fmt.Sprintf("%s%d", name, s.vers[name])
+		}
+	}
+}
+
+// resolve rewrites v's arguments, replacing LoadVar references with the
+// definitions they resolved to.
+func (s *state) resolve(v *ir.Value) {
+	for i, a := range v.Args {
+		if a != nil && a.Op == ir.OpLoadVar {
+			d, ok := s.loadDef[a]
+			if !ok {
+				panic(fmt.Sprintf("ssa: load %s of %q resolved after use", a, a.Var))
+			}
+			v.Args[i] = d
+		}
+	}
+}
+
+// rename performs the dominator-tree walk.
+func (s *state) rename(entry *ir.Block) {
+	if s.loadDef == nil {
+		s.loadDef = map[*ir.Value]*ir.Value{}
+	}
+	type frame struct {
+		b      *ir.Block
+		next   int // next dominator-tree child to visit
+		pushed []string
+	}
+	stack := []frame{{b: entry, pushed: s.renameBlock(entry)}}
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		children := s.tree.Children(fr.b)
+		if fr.next < len(children) {
+			c := children[fr.next]
+			fr.next++
+			stack = append(stack, frame{b: c, pushed: s.renameBlock(c)})
+			continue
+		}
+		for _, name := range fr.pushed {
+			st := s.stacks[name]
+			s.stacks[name] = st[:len(st)-1]
+		}
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// renameBlock processes one block: φ defs, loads, stores, ordinary
+// values, the control value, and successor φ arguments. It returns the
+// variables pushed, for the caller to pop.
+func (s *state) renameBlock(b *ir.Block) []string {
+	var pushed []string
+	push := func(name string, def *ir.Value) {
+		s.stacks[name] = append(s.stacks[name], def)
+		pushed = append(pushed, name)
+	}
+
+	for _, v := range b.Values {
+		switch v.Op {
+		case ir.OpPhi:
+			name := s.phiVar[v]
+			s.bindVar(v, name)
+			push(name, v)
+		case ir.OpLoadVar:
+			s.loadDef[v] = s.currentDef(v.Var)
+		case ir.OpStoreVar:
+			s.resolve(v)
+			def := v.Args[0]
+			s.bindVar(def, v.Var)
+			push(v.Var, def)
+		default:
+			s.resolve(v)
+		}
+	}
+
+	// Fill successor φ arguments with the defs live at this edge.
+	for _, succ := range b.Succs {
+		slot := succ.PredIndexOf(b)
+		for _, v := range succ.Values {
+			if v.Op != ir.OpPhi {
+				break
+			}
+			if name, ok := s.phiVar[v]; ok {
+				v.Args[slot] = s.currentDef(name)
+			}
+		}
+	}
+	return pushed
+}
+
+// hoistParams moves Param values to the front of the entry block so the
+// textual order matches dominance order.
+func (s *state) hoistParams() {
+	entry := s.f.Entry
+	var params, rest []*ir.Value
+	for _, v := range entry.Values {
+		if v.Op == ir.OpParam {
+			params = append(params, v)
+		} else {
+			rest = append(rest, v)
+		}
+	}
+	entry.Values = append(params, rest...)
+}
+
+// stripLoadsStores removes the now-dead scalar load/store instructions.
+func (s *state) stripLoadsStores() {
+	for _, b := range s.f.Blocks {
+		out := b.Values[:0]
+		for _, v := range b.Values {
+			if v.Op == ir.OpLoadVar || v.Op == ir.OpStoreVar {
+				continue
+			}
+			out = append(out, v)
+		}
+		b.Values = out
+	}
+}
+
+// pruneDeadPhis removes φ (and param) values with no transitive non-φ
+// uses; they arise for variables whose crossing definitions are never
+// read. Leaving them would create spurious cycles in the SSA graph.
+func (s *state) pruneDeadPhis() {
+	uses := map[*ir.Value]int{}
+	for _, b := range s.f.Blocks {
+		for _, v := range b.Values {
+			for _, a := range v.Args {
+				if a != v { // self-reference doesn't keep a φ alive
+					uses[a]++
+				}
+			}
+		}
+		if b.Control != nil {
+			uses[b.Control]++
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range s.f.Blocks {
+			out := b.Values[:0]
+			for _, v := range b.Values {
+				dead := (v.Op == ir.OpPhi || v.Op == ir.OpParam) && uses[v] == 0
+				if dead {
+					for _, a := range v.Args {
+						if a != v {
+							uses[a]--
+						}
+					}
+					changed = true
+					if v.Op == ir.OpParam {
+						delete(s.info.Params, v.Var)
+					}
+					continue
+				}
+				out = append(out, v)
+			}
+			b.Values = out
+		}
+	}
+}
+
+// Verify checks SSA invariants and returns the violations found:
+// no scalar loads/stores remain; φ arity matches predecessor count; φ
+// arguments are defined; every non-φ use is dominated by its definition;
+// every φ argument's definition dominates the corresponding predecessor.
+func Verify(info *Info) []error {
+	f, tree := info.Func, info.Dom
+	var errs []error
+	defBlock := map[*ir.Value]*ir.Block{}
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			defBlock[v] = b
+		}
+	}
+	for _, b := range f.Blocks {
+		if !tree.Reachable(b) {
+			continue
+		}
+		for _, v := range b.Values {
+			switch v.Op {
+			case ir.OpLoadVar, ir.OpStoreVar:
+				errs = append(errs, fmt.Errorf("%s: scalar %s survived SSA construction", v, v.Op))
+				continue
+			case ir.OpPhi:
+				if len(v.Args) != len(b.Preds) {
+					errs = append(errs, fmt.Errorf("%s: φ has %d args for %d preds", v, len(v.Args), len(b.Preds)))
+					continue
+				}
+				for i, a := range v.Args {
+					if a == nil {
+						errs = append(errs, fmt.Errorf("%s: φ arg %d is nil", v, i))
+						continue
+					}
+					d, ok := defBlock[a]
+					if !ok {
+						errs = append(errs, fmt.Errorf("%s: φ arg %s has no defining block", v, a))
+						continue
+					}
+					if !tree.Dominates(d, b.Preds[i]) {
+						errs = append(errs, fmt.Errorf("%s: φ arg %s (def in %s) does not dominate pred %s", v, a, d, b.Preds[i]))
+					}
+				}
+				continue
+			}
+			for _, a := range v.Args {
+				d, ok := defBlock[a]
+				if !ok {
+					errs = append(errs, fmt.Errorf("%s: arg %s has no defining block", v, a))
+					continue
+				}
+				if d == b {
+					// Same block: definition must precede use.
+					if !precedes(b, a, v) {
+						errs = append(errs, fmt.Errorf("%s: same-block use before def of %s", v, a))
+					}
+				} else if !tree.Dominates(d, b) {
+					errs = append(errs, fmt.Errorf("%s: use not dominated by def of %s (in %s)", v, a, d))
+				}
+			}
+		}
+		if c := b.Control; c != nil {
+			if d, ok := defBlock[c]; !ok || (d != b && !tree.Dominates(d, b)) {
+				errs = append(errs, fmt.Errorf("%s: control %s not dominated by its def", b, c))
+			}
+		}
+	}
+	return errs
+}
+
+func precedes(b *ir.Block, a, v *ir.Value) bool {
+	for _, w := range b.Values {
+		if w == a {
+			return true
+		}
+		if w == v {
+			return false
+		}
+	}
+	return false
+}

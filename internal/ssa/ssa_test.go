@@ -1,0 +1,306 @@
+package ssa_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/interp"
+	"beyondiv/internal/ir"
+	"beyondiv/internal/parse"
+	"beyondiv/internal/progen"
+	"beyondiv/internal/ssa"
+)
+
+func buildSSA(t *testing.T, src string) *ssa.Info {
+	t.Helper()
+	file, err := parse.File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := ssa.Build(cfgbuild.Build(file).Func)
+	if errs := ssa.Verify(info); len(errs) != 0 {
+		t.Fatalf("SSA verification failed: %v\n%s", errs, info.Func)
+	}
+	return info
+}
+
+// findByName returns the value with the given SSA name.
+func findByName(info *ssa.Info, name string) *ir.Value {
+	for _, b := range info.Func.Blocks {
+		for _, v := range b.Values {
+			if v.Name == name {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// TestFigure1SSA reproduces the paper's Figure 1: the loop
+//
+//	j = n; L7: loop { i = j + c; j = i + k; if j > m exit }
+//
+// must produce j1 = n (copy), a loop-header φ j2 = φ(j1, j3), i1 = j2+c,
+// and j3 = i1+k.
+func TestFigure1SSA(t *testing.T) {
+	info := buildSSA(t, `
+j = n
+L7: loop {
+    i = j + c
+    j = i + k
+    if j > m { exit }
+}
+`)
+	j2 := findByName(info, "j2")
+	if j2 == nil || j2.Op != ir.OpPhi {
+		t.Fatalf("j2 = %v, want a φ\n%s", j2, info.Func)
+	}
+	j1 := findByName(info, "j1")
+	if j1 == nil || j1.Op != ir.OpCopy {
+		t.Fatalf("j1 = %v, want Copy of n", j1)
+	}
+	i1 := findByName(info, "i1")
+	if i1 == nil || i1.Op != ir.OpAdd || i1.Args[0] != j2 {
+		t.Fatalf("i1 = %v, want Add(j2, c)", i1)
+	}
+	j3 := findByName(info, "j3")
+	if j3 == nil || j3.Op != ir.OpAdd || j3.Args[0] != i1 {
+		t.Fatalf("j3 = %v, want Add(i1, k)", j3)
+	}
+	// φ args: one from outside (j1), one from the back edge (j3).
+	hasJ1, hasJ3 := false, false
+	for _, a := range j2.Args {
+		if a == j1 {
+			hasJ1 = true
+		}
+		if a == j3 {
+			hasJ3 = true
+		}
+	}
+	if !hasJ1 || !hasJ3 {
+		t.Errorf("j2 args = %v, want {j1, j3}", j2.Args)
+	}
+	// n, c, k, m are params.
+	for _, p := range []string{"n", "c", "k", "m"} {
+		if _, ok := info.Params[p]; !ok {
+			t.Errorf("param %q missing", p)
+		}
+	}
+}
+
+// TestFigure3SSA reproduces Figure 3: equal increments on both branches
+// of an if/endif inside a loop give a header φ and a join φ.
+func TestFigure3SSA(t *testing.T) {
+	info := buildSSA(t, `
+i = 1
+L8: loop {
+    if a[i] > 0 {
+        i = i + 2
+    } else {
+        i = i + 2
+    }
+    if i > n { exit }
+}
+`)
+	var headerPhi, joinPhi *ir.Value
+	for _, b := range info.Func.Blocks {
+		for _, v := range b.Values {
+			if v.Op != ir.OpPhi {
+				continue
+			}
+			if strings.Contains(b.Comment, "header") {
+				headerPhi = v
+			}
+			if strings.Contains(b.Comment, "join") {
+				joinPhi = v
+			}
+		}
+	}
+	if headerPhi == nil {
+		t.Fatalf("no loop-header φ\n%s", info.Func)
+	}
+	if joinPhi == nil {
+		t.Fatalf("no endif φ\n%s", info.Func)
+	}
+	if len(joinPhi.Args) != 2 {
+		t.Errorf("join φ arity = %d", len(joinPhi.Args))
+	}
+}
+
+func TestParamsCreatedOnlyWhenRead(t *testing.T) {
+	info := buildSSA(t, "i = 1\nj = i + n\n")
+	if _, ok := info.Params["n"]; !ok {
+		t.Error("n should be a param")
+	}
+	if _, ok := info.Params["i"]; ok {
+		t.Error("i is defined before use; must not be a param")
+	}
+}
+
+func TestDeadPhiPruned(t *testing.T) {
+	// x is stored on both branches but never read: its join φ must not
+	// survive.
+	info := buildSSA(t, "if a[1] > 0 { x = 1 } else { x = 2 }\ny = 3\n")
+	for _, b := range info.Func.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpPhi {
+				t.Errorf("dead φ survived: %s", v.LongString())
+			}
+		}
+	}
+}
+
+func TestLoopVarKeepsOwnName(t *testing.T) {
+	// for i = j to n: i must get its own SSA names, not alias j's.
+	info := buildSSA(t, "j = 5\nfor i = j to n { a[i] = 0 }\n")
+	i1 := findByName(info, "i1")
+	if i1 == nil || i1.Op != ir.OpCopy {
+		t.Fatalf("i1 = %v, want a Copy", i1)
+	}
+	i2 := findByName(info, "i2")
+	if i2 == nil || i2.Op != ir.OpPhi {
+		t.Fatalf("i2 = %v, want the header φ", i2)
+	}
+}
+
+func TestVersionNumbersSequential(t *testing.T) {
+	info := buildSSA(t, "i = 1\ni = i + 1\ni = i * 2\n")
+	for _, name := range []string{"i1", "i2", "i3"} {
+		if findByName(info, name) == nil {
+			t.Errorf("missing version %s", name)
+		}
+	}
+}
+
+// equivalent runs both interpreters and compares observable behaviour.
+func equivalent(src string, params map[string]int64) (bool, string) {
+	file, err := parse.File(src)
+	if err != nil {
+		return false, fmt.Sprintf("parse: %v", err)
+	}
+	cfg := interp.Config{Params: params, MaxSteps: 200_000}
+
+	ref, errA := interp.RunAST(file, cfg)
+	info := ssa.Build(cfgbuild.Build(file).Func)
+	if errs := ssa.Verify(info); len(errs) != 0 {
+		return false, fmt.Sprintf("verify: %v", errs)
+	}
+	got, errB := interp.RunSSA(info, cfg)
+
+	if errA != nil || errB != nil {
+		// A step limit on either side is inconclusive: the two
+		// interpreters meter work differently (statements+expressions
+		// vs evaluated values), so a long-but-terminating program can
+		// trip one budget and not the other.
+		if errA == interp.ErrStepLimit || errB == interp.ErrStepLimit {
+			return true, ""
+		}
+		if (errA == nil) != (errB == nil) {
+			return false, fmt.Sprintf("errors diverge: ast=%v ssa=%v", errA, errB)
+		}
+		return true, ""
+	}
+	if len(ref.Writes) != len(got.Writes) {
+		return false, fmt.Sprintf("write counts differ: ast=%d ssa=%d", len(ref.Writes), len(got.Writes))
+	}
+	for i := range ref.Writes {
+		if ref.Writes[i] != got.Writes[i] {
+			return false, fmt.Sprintf("write %d differs: ast=%v ssa=%v", i, ref.Writes[i], got.Writes[i])
+		}
+	}
+	for k, v := range got.Scalars {
+		if rv, ok := ref.Scalars[k]; ok && rv != v {
+			return false, fmt.Sprintf("scalar %s differs: ast=%d ssa=%d", k, rv, v)
+		}
+	}
+	return true, ""
+}
+
+func TestEquivalenceCurated(t *testing.T) {
+	cases := []string{
+		"i = 0\nfor i = 1 to 10 { a[i] = i * 2 }\n",
+		"k = 0\nfor i = 1 to 20 { if a[i] > 0 { k = k + 1\nb[k] = a[i] } }\n",
+		"j = 1\nk = 2\nfor it = 1 to 9 { t = j\nj = k\nk = t\na[j] = it }\n",
+		"i = 0\nloop { i = i + 3\nif i > 30 { exit }\na[i] = 1 }\n",
+		"x = 1\nwhile x < 100 { x = x * 2 + 1 }\na[1] = x\n",
+		"s = 0\nfor i = 1 to 6 { for k = 1 to i { s = s + 1 } }\na[s] = s\n",
+		"m = 0\nfor i = 1 to 5 { m = 3 * m + 2 * i + 1\na[i] = m }\n",
+		"for i = 10 to 1 by -2 { a[i] = i }\n",
+		"i = 0\nexit\ni = 99\n",
+		"n = 4\nfor i = 1 to n { n = n - 1\na[i] = n }\n", // bound re-evaluated
+	}
+	for _, src := range cases {
+		if ok, msg := equivalent(src, map[string]int64{"n": 8, "c": 2, "k": 3, "m": 50}); !ok {
+			t.Errorf("divergence on:\n%s\n%s", src, msg)
+		}
+	}
+}
+
+// TestQuickEquivalence is the master front-end property: AST and SSA
+// interpretation agree on random programs.
+func TestQuickEquivalence(t *testing.T) {
+	gen := progen.New()
+	prop := func(seed int64, p1, p2, p3 int8) bool {
+		src := gen.Program(seed)
+		params := map[string]int64{
+			"n": int64(p1 % 16), "x": int64(p2), "y": int64(p3),
+			"i": 1, "j": 2, "k": 3, "l": 4, "m": 5, "t": 6,
+		}
+		ok, msg := equivalent(src, params)
+		if !ok {
+			t.Logf("divergence (seed %d):\n%s\n%s", seed, src, msg)
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVerifyRandom builds SSA for random programs and runs the
+// verifier.
+func TestQuickVerifyRandom(t *testing.T) {
+	gen := progen.New()
+	prop := func(seed int64) bool {
+		file, err := parse.File(gen.Program(seed))
+		if err != nil {
+			return false
+		}
+		info := ssa.Build(cfgbuild.Build(file).Func)
+		return len(ssa.Verify(info)) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNestedLoopSSA(t *testing.T) {
+	info := buildSSA(t, progen.NestedLoops(3))
+	// The shared counter s needs a φ at each loop header.
+	phis := 0
+	for _, b := range info.Func.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpPhi && strings.HasPrefix(v.Name, "s") {
+				phis++
+			}
+		}
+	}
+	if phis != 3 {
+		t.Errorf("s has %d φs, want 3 (one per loop header)\n%s", phis, info.Func)
+	}
+}
+
+func BenchmarkBuildSSA(b *testing.B) {
+	file, err := parse.File(progen.StraightLineLoop(300))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := cfgbuild.Build(file).Func
+		ssa.Build(f)
+	}
+}

@@ -1,0 +1,148 @@
+// Package token defines the lexical tokens of the mini loop language used
+// throughout this repository.
+//
+// The paper writes its examples in a Fortran-flavoured pseudo-language
+// (`for i = 1 to n`, `loop ... endloop`, `A(i)`). The mini language is a
+// direct, brace-delimited equivalent: `for`/`loop`/`while` loops with an
+// `exit` statement, `if`/`else`, integer scalar assignments, and `a[i]`
+// array subscripts. Every loop in the paper (L1–L24, Figures 1–10)
+// transliterates one-to-one; see internal/paper.
+package token
+
+import "fmt"
+
+// Kind identifies a class of token.
+type Kind int
+
+// Token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	SEMI // statement separator: newline or ';'
+
+	IDENT  // i, n, a
+	NUMBER // 42
+
+	// Operators and delimiters.
+	ASSIGN // =
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	POW    // **
+	LPAREN // (
+	RPAREN // )
+	LBRACK // [
+	RBRACK // ]
+	LBRACE // {
+	RBRACE // }
+	COLON  // :
+	COMMA  // ,
+
+	EQ // ==
+	NE // !=
+	LT // <
+	LE // <=
+	GT // >
+	GE // >=
+
+	// Keywords.
+	FOR
+	TO
+	BY
+	LOOP
+	WHILE
+	IF
+	ELSE
+	EXIT
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	SEMI:    ";",
+	IDENT:   "IDENT",
+	NUMBER:  "NUMBER",
+	ASSIGN:  "=",
+	PLUS:    "+",
+	MINUS:   "-",
+	STAR:    "*",
+	SLASH:   "/",
+	POW:     "**",
+	LPAREN:  "(",
+	RPAREN:  ")",
+	LBRACK:  "[",
+	RBRACK:  "]",
+	LBRACE:  "{",
+	RBRACE:  "}",
+	COLON:   ":",
+	COMMA:   ",",
+	EQ:      "==",
+	NE:      "!=",
+	LT:      "<",
+	LE:      "<=",
+	GT:      ">",
+	GE:      ">=",
+	FOR:     "for",
+	TO:      "to",
+	BY:      "by",
+	LOOP:    "loop",
+	WHILE:   "while",
+	IF:      "if",
+	ELSE:    "else",
+	EXIT:    "exit",
+}
+
+// String returns the printable name of the kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"for":   FOR,
+	"to":    TO,
+	"by":    BY,
+	"loop":  LOOP,
+	"while": WHILE,
+	"if":    IF,
+	"else":  ELSE,
+	"exit":  EXIT,
+}
+
+// IsRelop reports whether k is a relational operator.
+func (k Kind) IsRelop() bool {
+	switch k {
+	case EQ, NE, LT, LE, GT, GE:
+		return true
+	}
+	return false
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its literal text and position.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT and NUMBER
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

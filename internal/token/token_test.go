@@ -1,0 +1,57 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		EOF: "EOF", IDENT: "IDENT", NUMBER: "NUMBER",
+		ASSIGN: "=", EQ: "==", NE: "!=", LE: "<=", GE: ">=",
+		POW: "**", FOR: "for", LOOP: "loop", EXIT: "exit",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k, want)
+		}
+	}
+	if Kind(999).String() == "" {
+		t.Error("unknown kind must render something")
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	for spelling, kind := range Keywords {
+		if kind.String() != spelling {
+			t.Errorf("keyword %q maps to %s", spelling, kind)
+		}
+	}
+	if _, ok := Keywords["func"]; ok {
+		t.Error("func must not be a keyword")
+	}
+}
+
+func TestIsRelop(t *testing.T) {
+	for _, k := range []Kind{EQ, NE, LT, LE, GT, GE} {
+		if !k.IsRelop() {
+			t.Errorf("%s should be a relop", k)
+		}
+	}
+	for _, k := range []Kind{PLUS, ASSIGN, IDENT, FOR} {
+		if k.IsRelop() {
+			t.Errorf("%s should not be a relop", k)
+		}
+	}
+}
+
+func TestPosAndTokenString(t *testing.T) {
+	p := Pos{Line: 3, Col: 7}
+	if p.String() != "3:7" {
+		t.Errorf("pos = %s", p)
+	}
+	tok := Token{Kind: IDENT, Lit: "abc", Pos: p}
+	if tok.String() != `IDENT("abc")` {
+		t.Errorf("token = %s", tok)
+	}
+	if (Token{Kind: PLUS}).String() != "+" {
+		t.Error("operator token should print as itself")
+	}
+}

@@ -1,0 +1,179 @@
+// Package xform implements the two consumers of the classification that
+// the paper discusses: loop peeling for wrap-around variables (§4.1 —
+// "peel off the first iteration of the loop and replace the wrap-around
+// variable with the appropriate induction variable") and classical
+// strength reduction driven by linear families (§1's original use of
+// induction variables).
+package xform
+
+import (
+	"fmt"
+
+	"beyondiv/internal/ast"
+	"beyondiv/internal/token"
+)
+
+// PeelFor peels the first iteration of a counted loop at the AST level:
+//
+//	for i = lo to hi { body }
+//
+// becomes
+//
+//	i = lo
+//	if i <= hi {
+//	    body
+//	    for i = lo+step to hi { body }
+//	}
+//
+// After peeling, a first-order wrap-around variable in the original
+// loop classifies as a plain induction variable in the residual loop
+// (its initial value now "fits the sequence", §4.1).
+func PeelFor(f *ast.For) ast.Stmt {
+	step := f.Step
+	if step == nil {
+		step = &ast.Num{Value: 1}
+	}
+	stay := token.LE
+	if s, isNum := constOf(step); isNum && s < 0 {
+		stay = token.GE
+	}
+
+	peeledVar := &ast.Assign{
+		LHS: &ast.Ident{Name: f.Var.Name},
+		RHS: f.Lo,
+	}
+	// The residual lower bound reads the loop variable itself (not lo
+	// again): the peeled body may have modified either, and `i + step`
+	// is exactly what the original latch would compute.
+	residual := &ast.For{
+		Label: f.Label,
+		Var:   &ast.Ident{Name: f.Var.Name},
+		Lo:    &ast.Bin{Op: token.PLUS, X: &ast.Ident{Name: f.Var.Name}, Y: step},
+		Hi:    f.Hi,
+		Step:  f.Step,
+		Body:  f.Body,
+		KwPos: f.KwPos,
+	}
+	guarded := &ast.If{
+		Cond: &ast.Bin{Op: stay, X: &ast.Ident{Name: f.Var.Name}, Y: f.Hi},
+		Then: &ast.Block{Stmts: append(cloneStmts(f.Body.Stmts), residual)},
+	}
+	return &ast.Block{Stmts: []ast.Stmt{peeledVar, guarded}}
+}
+
+// PeelProgram peels the first iteration of every for-loop whose label
+// is in the set (nil peels every for-loop); returns the rewritten file
+// and how many loops were peeled.
+func PeelProgram(file *ast.File, labels map[string]bool) (*ast.File, int) {
+	count := 0
+	var rewrite func(list []ast.Stmt) []ast.Stmt
+	rewrite = func(list []ast.Stmt) []ast.Stmt {
+		out := make([]ast.Stmt, 0, len(list))
+		for _, s := range list {
+			switch v := s.(type) {
+			case *ast.For:
+				v.Body.Stmts = rewrite(v.Body.Stmts)
+				if labels == nil || labels[v.Label] {
+					count++
+					// Splice the peeled block's statements inline (the
+					// grammar has no bare-block statement).
+					peeled := PeelFor(v).(*ast.Block)
+					out = append(out, peeled.Stmts...)
+					continue
+				}
+				out = append(out, v)
+			case *ast.Loop:
+				v.Body.Stmts = rewrite(v.Body.Stmts)
+				out = append(out, v)
+			case *ast.While:
+				v.Body.Stmts = rewrite(v.Body.Stmts)
+				out = append(out, v)
+			case *ast.If:
+				v.Then.Stmts = rewrite(v.Then.Stmts)
+				if v.Else != nil {
+					v.Else.Stmts = rewrite(v.Else.Stmts)
+				}
+				out = append(out, v)
+			default:
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	file.Stmts = rewrite(file.Stmts)
+	return file, count
+}
+
+func constOf(e ast.Expr) (int64, bool) {
+	switch v := e.(type) {
+	case *ast.Num:
+		return v.Value, true
+	case *ast.Unary:
+		c, ok := constOf(v.X)
+		return -c, ok
+	}
+	return 0, false
+}
+
+// cloneStmts deep-copies a statement list so the peeled copy and the
+// residual loop body do not share AST nodes.
+func cloneStmts(list []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, len(list))
+	for i, s := range list {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s ast.Stmt) ast.Stmt {
+	switch v := s.(type) {
+	case *ast.Assign:
+		return &ast.Assign{LHS: cloneExpr(v.LHS), RHS: cloneExpr(v.RHS)}
+	case *ast.For:
+		return &ast.For{
+			Label: v.Label, Var: &ast.Ident{Name: v.Var.Name},
+			Lo: cloneExpr(v.Lo), Hi: cloneExpr(v.Hi), Step: cloneExprOrNil(v.Step),
+			Body: &ast.Block{Stmts: cloneStmts(v.Body.Stmts)}, KwPos: v.KwPos,
+		}
+	case *ast.Loop:
+		return &ast.Loop{Label: v.Label, Body: &ast.Block{Stmts: cloneStmts(v.Body.Stmts)}, KwPos: v.KwPos}
+	case *ast.While:
+		return &ast.While{Label: v.Label, Cond: cloneExpr(v.Cond), Body: &ast.Block{Stmts: cloneStmts(v.Body.Stmts)}, KwPos: v.KwPos}
+	case *ast.If:
+		out := &ast.If{Cond: cloneExpr(v.Cond), Then: &ast.Block{Stmts: cloneStmts(v.Then.Stmts)}, KwPos: v.KwPos}
+		if v.Else != nil {
+			out.Else = &ast.Block{Stmts: cloneStmts(v.Else.Stmts)}
+		}
+		return out
+	case *ast.Exit:
+		return &ast.Exit{KwPos: v.KwPos}
+	case *ast.Block:
+		return &ast.Block{Stmts: cloneStmts(v.Stmts), LPos: v.LPos}
+	default:
+		panic(fmt.Sprintf("xform: cannot clone %T", s))
+	}
+}
+
+func cloneExprOrNil(e ast.Expr) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	return cloneExpr(e)
+}
+
+func cloneExpr(e ast.Expr) ast.Expr {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return &ast.Ident{Name: v.Name, NamePos: v.NamePos}
+	case *ast.Num:
+		return &ast.Num{Value: v.Value, ValPos: v.ValPos}
+	case *ast.Bin:
+		return &ast.Bin{Op: v.Op, X: cloneExpr(v.X), Y: cloneExpr(v.Y)}
+	case *ast.Unary:
+		return &ast.Unary{Op: v.Op, X: cloneExpr(v.X), OpPos: v.OpPos}
+	case *ast.Index:
+		return &ast.Index{Name: v.Name, NamePos: v.NamePos, Sub: cloneExpr(v.Sub)}
+	default:
+		panic(fmt.Sprintf("xform: cannot clone %T", e))
+	}
+}

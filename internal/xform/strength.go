@@ -1,0 +1,202 @@
+package xform
+
+import (
+	"fmt"
+	"sort"
+
+	"beyondiv/internal/ir"
+	"beyondiv/internal/iv"
+	"beyondiv/internal/loops"
+	"beyondiv/internal/rational"
+)
+
+// ReduceStrength performs classical strength reduction on the SSA form,
+// driven by the unified classification: each multiplication c·v inside
+// a loop, where v is a linear induction variable with integral initial
+// value and constant integral step, is replaced by a new induction
+// variable maintained with an addition (paper §1: "the most common
+// candidates for strength reduction ... are array address calculations
+// in inner loops").
+//
+// Returns the number of multiplications reduced. The transformed
+// function stays in valid SSA form (ssa.Verify holds).
+func ReduceStrength(a *iv.Analysis) int {
+	reduced := 0
+	counter := 0
+	done := map[*ir.Value]bool{}
+	// Inner loops first: a multiplication is reduced at the innermost
+	// level where its operand actually varies.
+	for _, l := range a.Forest.InnerToOuter() {
+		pre := l.Preheader()
+		if pre == nil {
+			continue
+		}
+		for _, m := range mulCandidates(a, l) {
+			if done[m] {
+				continue
+			}
+			if reduceOne(a, l, pre, m, &counter) {
+				done[m] = true
+				reduced++
+			}
+		}
+	}
+	return reduced
+}
+
+// mulCandidates finds Mul values anywhere inside l (including nested
+// loops: an address multiplication in an inner loop may scale an outer
+// IV) in deterministic order.
+func mulCandidates(a *iv.Analysis, l *loops.Loop) []*ir.Value {
+	var out []*ir.Value
+	for _, b := range l.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpMul {
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// reduceOne rewrites m = c·v (or v·c) when v is a linear IV of l.
+func reduceOne(a *iv.Analysis, l *loops.Loop, pre *ir.Block, m *ir.Value, counter *int) bool {
+	c, v, ok := constTimesValue(a, m)
+	if !ok {
+		return false
+	}
+	cls := a.ClassOf(l, v)
+	if cls.Kind != iv.Linear || cls.Init == nil || cls.Step == nil {
+		return false
+	}
+	step, stepConst := cls.Step.ConstVal()
+	if !stepConst {
+		return false
+	}
+	newStep := step.Mul(rational.FromInt(c))
+	ns, isInt := newStep.Int()
+	if !isInt {
+		return false
+	}
+	// Materialize c·Init in the preheader; every atom must dominate it.
+	scaled := iv.ScaleExpr(cls.Init, rational.FromInt(c))
+	if scaled == nil {
+		return false
+	}
+	for atom := range scaled.Terms {
+		if !a.SSA.Dom.Dominates(atom.Block, pre) {
+			return false
+		}
+	}
+	init := materialize(a.SSA.Func, pre, scaled)
+	if init == nil {
+		return false
+	}
+
+	f := a.SSA.Func
+	*counter++
+	name := fmt.Sprintf("sr%d", *counter)
+
+	// φ at the loop header.
+	phi := f.NewValue(l.Header, ir.OpPhi, make([]*ir.Value, len(l.Header.Preds))...)
+	phi.Name = name + "phi"
+	vals := l.Header.Values
+	copy(vals[1:], vals[:len(vals)-1])
+	vals[0] = phi
+
+	// Increment in each latch.
+	latchVals := map[*ir.Block]*ir.Value{}
+	for _, latch := range l.Latches {
+		stepC := f.NewValue(latch, ir.OpConst)
+		stepC.Const = ns
+		add := f.NewValue(latch, ir.OpAdd, phi, stepC)
+		add.Name = fmt.Sprintf("%sinc%d", name, latch.ID)
+		latchVals[latch] = add
+	}
+	for i, p := range l.Header.Preds {
+		if inc, isLatch := latchVals[p]; isLatch {
+			phi.Args[i] = inc
+		} else {
+			phi.Args[i] = init
+		}
+	}
+
+	// Replace every use of m with the φ (c·v(h) == φ(h) at any point of
+	// iteration h).
+	for _, b := range f.Blocks {
+		for _, w := range b.Values {
+			if w != m {
+				w.ReplaceArg(m, phi)
+			}
+		}
+		if b.Control == m {
+			b.Control = phi
+		}
+	}
+	// Drop m itself.
+	mb := m.Block
+	out := mb.Values[:0]
+	for _, w := range mb.Values {
+		if w != m {
+			out = append(out, w)
+		}
+	}
+	mb.Values = out
+	return true
+}
+
+// constTimesValue matches m = const·v with the constant known to sccp.
+func constTimesValue(a *iv.Analysis, m *ir.Value) (int64, *ir.Value, bool) {
+	x, y := m.Args[0], m.Args[1]
+	if c, ok := a.Consts.Const(x); ok {
+		return c, y, true
+	}
+	if c, ok := a.Consts.Const(y); ok {
+		return c, x, true
+	}
+	return 0, nil, false
+}
+
+// materialize emits instructions computing an affine Expr at the end of
+// block b, or nil when a coefficient is not integral. The Expr's atoms
+// must dominate b (they are loop-external values and b is the
+// preheader).
+func materialize(f *ir.Func, b *ir.Block, e *iv.Expr) *ir.Value {
+	if e == nil {
+		return nil
+	}
+	k, isInt := e.Const.Int()
+	if !isInt {
+		return nil
+	}
+	for _, c := range e.Terms {
+		if !c.IsInt() {
+			return nil
+		}
+	}
+	acc := f.NewValue(b, ir.OpConst)
+	acc.Const = k
+
+	terms := make([]*ir.Value, 0, len(e.Terms))
+	for v := range e.Terms {
+		terms = append(terms, v)
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].ID < terms[j].ID })
+	for _, v := range terms {
+		coeff, isInt := e.Terms[v].Int()
+		if !isInt {
+			return nil
+		}
+		var term *ir.Value
+		if coeff == 1 {
+			term = v
+		} else {
+			cv := f.NewValue(b, ir.OpConst)
+			cv.Const = coeff
+			term = f.NewValue(b, ir.OpMul, cv, v)
+		}
+		acc = f.NewValue(b, ir.OpAdd, acc, term)
+	}
+	return acc
+}
