@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check build vet test test-race bench repro clean
+
+# The full gate: what CI (and every PR) must pass.
+check: build vet test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Re-derive every figure and table of the paper.
+repro:
+	$(GO) run ./cmd/paperrepro -q
+
+clean:
+	$(GO) clean ./...

@@ -23,6 +23,7 @@ import (
 	"beyondiv/internal/ir"
 	"beyondiv/internal/iv"
 	"beyondiv/internal/loops"
+	"beyondiv/internal/obs"
 	"beyondiv/internal/paper"
 	"beyondiv/internal/parse"
 	"beyondiv/internal/progen"
@@ -140,7 +141,8 @@ func corpusSource() string {
 	return out
 }
 
-// classifyBench measures classification alone on one corpus entry.
+// classifyBench measures classification alone on one corpus entry,
+// reporting the SCR population from one instrumented run (untimed).
 func classifyBench(b *testing.B, id string) {
 	b.Helper()
 	p := paper.ByID(id)
@@ -153,6 +155,10 @@ func classifyBench(b *testing.B, id string) {
 	for i := 0; i < b.N; i++ {
 		iv.Analyze(st.info, st.forest, st.consts)
 	}
+	b.StopTimer()
+	rec := obs.New()
+	iv.AnalyzeWithOptions(st.info, st.forest, st.consts, iv.Options{Obs: rec})
+	b.ReportMetric(float64(rec.CounterTotal("iv.scr.")), "scrs/op")
 }
 
 // E1: linear families (Figure 1).
@@ -183,7 +189,8 @@ func BenchmarkClassifyTriangular(b *testing.B) { classifyBench(b, "E11") }
 // E9: trip-count computation across the §5.2 table programs.
 func BenchmarkTripCounts(b *testing.B) { classifyBench(b, "E9") }
 
-// dependence benchmarks: full analysis including testing.
+// dependence benchmarks: full analysis including testing, with the
+// tested-pair count from one instrumented run (untimed).
 func dependenceBench(b *testing.B, src string) {
 	b.Helper()
 	a, err := iv.AnalyzeProgram(src)
@@ -195,6 +202,10 @@ func dependenceBench(b *testing.B, src string) {
 	for i := 0; i < b.N; i++ {
 		depend.Analyze(a, depend.Options{})
 	}
+	b.StopTimer()
+	rec := obs.New()
+	depend.Analyze(a, depend.Options{Obs: rec})
+	b.ReportMetric(float64(rec.Counter("depend.pairs.tested")), "dep-tests/op")
 }
 
 // E13: the L21 induction-expression equation.
@@ -269,6 +280,36 @@ func BenchmarkFullPipelineCorpus(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	rec := obs.New()
+	if _, err := AnalyzeWith(src, Options{Obs: rec}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(rec.CounterTotal("iv.scr.")), "scrs/op")
+	b.ReportMetric(float64(rec.Counter("depend.pairs.tested")), "dep-tests/op")
+}
+
+// Telemetry overhead: the nil-recorder path (plain Analyze) vs a live
+// recorder. The "off" variant is the number that must not regress —
+// telemetry off is a nil check per site, nothing more.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	src := corpusSource()
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Analyze(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := AnalyzeWith(src, Options{Obs: obs.New()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // E17b: the iterative-cost claim isolated. A k-link derived chain whose

@@ -31,12 +31,16 @@
 package beyondiv
 
 import (
+	"errors"
+	"fmt"
+
 	"beyondiv/internal/cfgbuild"
 	"beyondiv/internal/depend"
 	"beyondiv/internal/interp"
 	"beyondiv/internal/ir"
 	"beyondiv/internal/iv"
 	"beyondiv/internal/loops"
+	"beyondiv/internal/obs"
 	"beyondiv/internal/parse"
 	"beyondiv/internal/sccp"
 	"beyondiv/internal/ssa"
@@ -65,6 +69,10 @@ type Options struct {
 	// IV forwards the classifier's ablation switches (closed forms,
 	// exit values); the zero value enables everything.
 	IV iv.Options
+	// Obs, when non-nil, records phase spans, counters and provenance
+	// events across every pipeline stage (see internal/obs). Nil keeps
+	// telemetry off at no cost.
+	Obs *obs.Recorder
 }
 
 // Analyze parses and analyzes a program.
@@ -74,28 +82,35 @@ func Analyze(source string) (*Program, error) {
 
 // AnalyzeWith parses and analyzes a program with options.
 func AnalyzeWith(source string, opts Options) (*Program, error) {
-	file, err := parse.File(source)
+	rec := opts.Obs
+	span := rec.Phase("analyze")
+	defer span.End()
+	file, err := parse.FileWithObs(source, rec)
 	if err != nil {
 		return nil, err
 	}
-	res := cfgbuild.Build(file)
-	info := ssa.Build(res.Func)
+	res := cfgbuild.BuildWithObs(file, rec)
+	info := ssa.BuildWithObs(res.Func, rec)
 	if errs := ssa.Verify(info); len(errs) != 0 {
-		// Internal invariant; surface the first violation.
-		return nil, errs[0]
+		// Internal invariant; surface every violation.
+		return nil, errors.Join(errs...)
 	}
-	forest := loops.Analyze(res.Func, info.Dom)
+	forest := loops.AnalyzeWithObs(res.Func, info.Dom, rec)
 	labels := map[*ir.Block]string{}
 	for _, li := range res.Loops {
 		labels[li.Header] = li.Label
 	}
 	forest.AttachLabels(labels)
-	consts := sccp.Run(info)
-	analysis := iv.AnalyzeWithOptions(info, forest, consts, opts.IV)
+	consts := sccp.RunWithObs(info, rec)
+	ivOpts := opts.IV
+	ivOpts.Obs = rec
+	analysis := iv.AnalyzeWithOptions(info, forest, consts, ivOpts)
 
 	p := &Program{IV: analysis, SSA: info, Loops: forest}
 	if !opts.SkipDependences {
-		p.Deps = depend.Analyze(analysis, opts.Dependences)
+		depOpts := opts.Dependences
+		depOpts.Obs = rec
+		p.Deps = depend.Analyze(analysis, depOpts)
 	}
 	return p, nil
 }
@@ -111,6 +126,40 @@ func (p *Program) DependenceReport() string {
 		return ""
 	}
 	return p.Deps.Report()
+}
+
+// Explain renders the provenance chain of every classified SSA version
+// of the named variable ("j", or a specific version "j3"): which paper
+// rule classified it, the strongly connected region it belongs to, and
+// the feeding classifications, recursively. Empty when no loop defines
+// such a variable.
+func (p *Program) Explain(name string) string { return p.IV.ExplainVar(name) }
+
+// ExplainDep renders the provenance of one dependence edge: the paper
+// rule behind the decision procedure, the dependence equation, and both
+// subscripts' classification chains. The edge must come from this
+// program's Deps.
+func (p *Program) ExplainDep(d *depend.Dependence) string {
+	if p.Deps == nil {
+		return ""
+	}
+	return p.Deps.Explain(d)
+}
+
+// ExplainAllDeps renders ExplainDep for every dependence found, in
+// report order.
+func (p *Program) ExplainAllDeps() string {
+	if p.Deps == nil {
+		return ""
+	}
+	var sb []byte
+	for i, d := range p.Deps.Deps {
+		if i > 0 {
+			sb = append(sb, '\n')
+		}
+		sb = fmt.Append(sb, p.Deps.Explain(d))
+	}
+	return string(sb)
 }
 
 // Run executes the analyzed program with the given scalar parameters,

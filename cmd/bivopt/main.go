@@ -12,16 +12,23 @@
 //
 // Usage:
 //
-//	bivopt [-apply] [file]
+//	bivopt [-apply] [-stats] [-trace file] [-jsonl file] [-explain var]
+//	       [-cpuprofile file] [-memprofile file] [file]
+//
+// The file may be a mini-language program, or one of the examples'
+// main.go files (the embedded program is extracted). -stats prints
+// phase timings and pipeline counters to standard error; -trace writes
+// a Chrome trace-event file; -explain prints the provenance chain that
+// classified a variable.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	"beyondiv"
+	"beyondiv/internal/cliutil"
 	"beyondiv/internal/depend"
 	"beyondiv/internal/interp"
 	"beyondiv/internal/ir"
@@ -33,12 +40,17 @@ import (
 var apply = flag.Bool("apply", false, "apply strength reduction and re-verify behaviour")
 
 func main() {
+	var tel cliutil.Telemetry
+	tel.RegisterFlags()
 	flag.Parse()
-	src, err := readInput(flag.Arg(0))
+	src, err := cliutil.ReadProgram(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := beyondiv.Analyze(src)
+	if err := tel.Start(); err != nil {
+		fatal(err)
+	}
+	prog, err := beyondiv.AnalyzeWith(src, beyondiv.Options{Obs: tel.Recorder()})
 	if err != nil {
 		fatal(err)
 	}
@@ -48,6 +60,15 @@ func main() {
 
 	fmt.Println("\n== dependences ==")
 	fmt.Print(prog.DependenceReport())
+
+	if tel.Explain != "" {
+		fmt.Printf("\n== explain %s ==\n", tel.Explain)
+		if out := prog.Explain(tel.Explain); out != "" {
+			fmt.Print(out)
+		} else {
+			fmt.Printf("no classified variable matches %q\n", tel.Explain)
+		}
+	}
 
 	fmt.Println("\n== per-loop opportunities ==")
 	for _, l := range prog.Loops.InnerToOuter() {
@@ -89,18 +110,21 @@ func main() {
 		}
 	}
 
-	if !*apply {
-		return
+	if *apply {
+		fmt.Println("\n== strength reduction ==")
+		before := countMuls(prog.SSA)
+		n := xform.ReduceStrength(prog.IV)
+		if errs := ssa.Verify(prog.SSA); len(errs) != 0 {
+			fatal(fmt.Errorf("SSA verification failed after rewrite: %v", errs[0]))
+		}
+		after := countMuls(prog.SSA)
+		fmt.Printf("rewrote %d multiplications; dynamic multiplies %d -> %d (n=16 probe)\n",
+			n, before, after)
 	}
-	fmt.Println("\n== strength reduction ==")
-	before := countMuls(prog.SSA)
-	n := xform.ReduceStrength(prog.IV)
-	if errs := ssa.Verify(prog.SSA); len(errs) != 0 {
-		fatal(fmt.Errorf("SSA verification failed after rewrite: %v", errs[0]))
+
+	if err := tel.Finish(os.Stderr); err != nil {
+		fatal(err)
 	}
-	after := countMuls(prog.SSA)
-	fmt.Printf("rewrote %d multiplications; dynamic multiplies %d -> %d (n=16 probe)\n",
-		n, before, after)
 }
 
 func countMuls(info *ssa.Info) int {
@@ -117,15 +141,6 @@ func countMuls(info *ssa.Info) int {
 		return -1
 	}
 	return muls
-}
-
-func readInput(path string) (string, error) {
-	if path == "" {
-		b, err := io.ReadAll(os.Stdin)
-		return string(b), err
-	}
-	b, err := os.ReadFile(path)
-	return string(b), err
 }
 
 func fatal(err error) {

@@ -4,18 +4,22 @@
 //
 // Usage:
 //
-//	depclass [-input] [-classes] [-dot] [-pi] [file]
+//	depclass [-input] [-classes] [-dot] [-pi] [-why] [-stats]
+//	         [-trace file] [-jsonl file] [-explain var] [file]
 //
-// With no file, the program is read from standard input.
+// With no file, the program is read from standard input; a .go file
+// from examples/ has its embedded program extracted. -why prints each
+// dependence's provenance: the paper rule behind its decision procedure
+// and the classification chains of both subscripts.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	"beyondiv"
+	"beyondiv/internal/cliutil"
 	"beyondiv/internal/depend"
 )
 
@@ -24,24 +28,32 @@ var (
 	withClasses = flag.Bool("classes", false, "also print the classification report")
 	asDOT       = flag.Bool("dot", false, "emit the dependence graph in Graphviz DOT syntax")
 	piBlocks    = flag.Bool("pi", false, "print each loop's π-blocks (loop distribution partition)")
+	why         = flag.Bool("why", false, "print the provenance of every dependence edge")
 )
 
 func main() {
+	var tel cliutil.Telemetry
+	tel.RegisterFlags()
 	flag.Parse()
-	src, err := readInput(flag.Arg(0))
+	src, err := cliutil.ReadProgram(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "depclass:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if err := tel.Start(); err != nil {
+		fatal(err)
 	}
 	prog, err := beyondiv.AnalyzeWith(src, beyondiv.Options{
 		Dependences: depend.Options{IncludeInput: *withInput},
+		Obs:         tel.Recorder(),
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "depclass:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if *asDOT {
 		fmt.Print(prog.Deps.DOT())
+		if err := tel.Finish(os.Stderr); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	if *withClasses {
@@ -49,6 +61,18 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Print(prog.DependenceReport())
+	if *why {
+		fmt.Println()
+		fmt.Print(prog.ExplainAllDeps())
+	}
+	if tel.Explain != "" {
+		if out := prog.Explain(tel.Explain); out != "" {
+			fmt.Println()
+			fmt.Print(out)
+		} else {
+			fmt.Printf("\nno classified variable matches %q\n", tel.Explain)
+		}
+	}
 	if *piBlocks {
 		for _, l := range prog.Loops.InnerToOuter() {
 			blocks := depend.PiBlocks(prog.Deps, l)
@@ -69,13 +93,12 @@ func main() {
 			}
 		}
 	}
+	if err := tel.Finish(os.Stderr); err != nil {
+		fatal(err)
+	}
 }
 
-func readInput(path string) (string, error) {
-	if path == "" {
-		b, err := io.ReadAll(os.Stdin)
-		return string(b), err
-	}
-	b, err := os.ReadFile(path)
-	return string(b), err
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "depclass:", err)
+	os.Exit(1)
 }

@@ -4,20 +4,24 @@
 //
 // Usage:
 //
-//	ivclass [-ssa] [-nested] [-json] [file]
+//	ivclass [-ssa] [-nested] [-json] [-stats] [-trace file]
+//	        [-jsonl file] [-explain var] [file]
 //
-// With no file, the program is read from standard input.
+// With no file, the program is read from standard input; a .go file
+// from examples/ has its embedded program extracted. -explain prints
+// the provenance chain (paper rule, SCR, feeding classifications) that
+// classified the named variable.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"sort"
 
 	"beyondiv"
+	"beyondiv/internal/cliutil"
 	"beyondiv/internal/ir"
 )
 
@@ -28,56 +32,67 @@ var (
 )
 
 func main() {
+	var tel cliutil.Telemetry
+	tel.RegisterFlags()
 	flag.Parse()
-	src, err := readInput(flag.Arg(0))
+	src, err := cliutil.ReadProgram(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ivclass:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	prog, err := beyondiv.AnalyzeWith(src, beyondiv.Options{SkipDependences: true})
+	if err := tel.Start(); err != nil {
+		fatal(err)
+	}
+	prog, err := beyondiv.AnalyzeWith(src, beyondiv.Options{
+		SkipDependences: true,
+		Obs:             tel.Recorder(),
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ivclass:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if *dumpSSA {
 		fmt.Print(prog.SSA.Func)
 		fmt.Println()
 	}
-	if *asJSON {
+	switch {
+	case *asJSON:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(prog.IV.ReportData()); err != nil {
-			fmt.Fprintln(os.Stderr, "ivclass:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		return
-	}
-	if !*nested {
-		fmt.Print(prog.ClassificationReport())
-		return
-	}
-	// Nested rendering.
-	for _, l := range prog.Loops.InnerToOuter() {
-		fmt.Printf("loop %s (depth %d) trip=%s\n", l.Label, l.Depth, prog.IV.TripCount(l))
-		m := prog.IV.LoopClassifications(l)
-		vals := make([]*ir.Value, 0, len(m))
-		for v := range m {
-			if v.Name != "" {
-				vals = append(vals, v)
+	case *nested:
+		// Nested rendering.
+		for _, l := range prog.Loops.InnerToOuter() {
+			fmt.Printf("loop %s (depth %d) trip=%s\n", l.Label, l.Depth, prog.IV.TripCount(l))
+			m := prog.IV.LoopClassifications(l)
+			vals := make([]*ir.Value, 0, len(m))
+			for v := range m {
+				if v.Name != "" {
+					vals = append(vals, v)
+				}
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i].ID < vals[j].ID })
+			for _, v := range vals {
+				fmt.Printf("  %s = %s\n", v, prog.IV.NestedString(m[v]))
 			}
 		}
-		sort.Slice(vals, func(i, j int) bool { return vals[i].ID < vals[j].ID })
-		for _, v := range vals {
-			fmt.Printf("  %s = %s\n", v, prog.IV.NestedString(m[v]))
+	default:
+		fmt.Print(prog.ClassificationReport())
+	}
+	if tel.Explain != "" {
+		if out := prog.Explain(tel.Explain); out != "" {
+			fmt.Println()
+			fmt.Print(out)
+		} else {
+			fmt.Printf("\nno classified variable matches %q\n", tel.Explain)
 		}
+	}
+	if err := tel.Finish(os.Stderr); err != nil {
+		fatal(err)
 	}
 }
 
-func readInput(path string) (string, error) {
-	if path == "" {
-		b, err := io.ReadAll(os.Stdin)
-		return string(b), err
-	}
-	b, err := os.ReadFile(path)
-	return string(b), err
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ivclass:", err)
+	os.Exit(1)
 }

@@ -8,7 +8,11 @@
 //
 // Usage:
 //
-//	paperrepro [-id E6] [-q]
+//	paperrepro [-id E6] [-q] [-stats] [-trace file] [-jsonl file]
+//	           [-cpuprofile file] [-memprofile file]
+//
+// With -stats or -trace, one recorder is shared across the whole
+// corpus, so the counters aggregate every experiment's pipeline.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"beyondiv/internal/cliutil"
 	"beyondiv/internal/depend"
 	"beyondiv/internal/iv"
 	"beyondiv/internal/matrix"
@@ -27,10 +32,16 @@ import (
 var (
 	only  = flag.String("id", "", "run a single experiment id (e.g. E6)")
 	quiet = flag.Bool("q", false, "suppress program sources")
+	tel   cliutil.Telemetry
 )
 
 func main() {
+	tel.RegisterFlags()
 	flag.Parse()
+	if err := tel.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
 	failures := 0
 	type row struct {
 		id, name string
@@ -62,6 +73,10 @@ func main() {
 			fmt.Printf("  %-5s %-62s %2d checks  %s\n", r.id, r.name, r.checks, status)
 		}
 	}
+	if err := tel.Finish(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
 	if failures > 0 {
 		fmt.Printf("\n%d MISMATCHES\n", failures)
 		os.Exit(1)
@@ -74,7 +89,7 @@ func runProgram(p *paper.Program) int {
 	if !*quiet {
 		fmt.Println(indent(strings.TrimRight(p.Source, "\n")))
 	}
-	a, err := iv.AnalyzeProgram(p.Source)
+	a, err := iv.AnalyzeProgramWith(p.Source, iv.Options{Obs: tel.Recorder()})
 	if err != nil {
 		fmt.Println("ERROR:", err)
 		return 1
@@ -155,12 +170,12 @@ func runDependenceExamples() {
 		if !*quiet {
 			fmt.Println(indent(strings.TrimRight(src, "\n")))
 		}
-		a, err := iv.AnalyzeProgram(src)
+		a, err := iv.AnalyzeProgramWith(src, iv.Options{Obs: tel.Recorder()})
 		if err != nil {
 			fmt.Println("ERROR:", err)
 			return
 		}
-		r := depend.Analyze(a, depend.Options{})
+		r := depend.Analyze(a, depend.Options{Obs: tel.Recorder()})
 		fmt.Print(indent(strings.TrimRight(r.Report(), "\n")))
 		fmt.Println()
 	}

@@ -28,6 +28,38 @@ L1: for i = 1 to 10 {
 	//   j2 = (L1, 0, 1/2, 1/2)
 }
 
+// Every classification carries its provenance: Explain renders which
+// paper rule fired, the strongly connected region behind it, and the
+// classifications it was derived from.
+func Example_explain() {
+	prog, err := beyondiv.Analyze(`
+j = 0
+L1: for i = 1 to 10 {
+    j = j + i
+    a[j] = a[j] + 1
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(prog.Explain("j"))
+	// Output:
+	// j3 in loop L1: (L1, 1, 3/2, 1/2)
+	//   rule: §4.3 polynomial via cumulative effect X' = X + β
+	//         order 2, coefficients solved from 3 simulated samples via Vandermonde inversion
+	//         SCR {j3, φ j2}
+	//   fed by recurrence step β = (L1, 1, 1)
+	//     rule: §3.1 linear induction family (Figure 3, equal offsets)
+	//           value(h) = 1 + 1·h
+	// j2 in loop L1: (L1, 0, 1/2, 1/2)
+	//   rule: §4.3 polynomial via cumulative effect X' = X + β
+	//         order 2, coefficients solved from 3 simulated samples via Vandermonde inversion
+	//         SCR {j3, φ j2}
+	//   fed by recurrence step β = (L1, 1, 1)
+	//     rule: §3.1 linear induction family (Figure 3, equal offsets)
+	//           value(h) = 1 + 1·h
+}
+
 // Wrap-around variables are recognized directly from the SSA graph.
 func ExampleAnalyze_wrapAround() {
 	prog, err := beyondiv.Analyze(`

@@ -32,6 +32,7 @@ import (
 
 	"beyondiv/internal/ast"
 	"beyondiv/internal/ir"
+	"beyondiv/internal/obs"
 	"beyondiv/internal/token"
 )
 
@@ -60,7 +61,13 @@ type builder struct {
 }
 
 // Build lowers a parsed file.
-func Build(file *ast.File) *Result {
+func Build(file *ast.File) *Result { return BuildWithObs(file, nil) }
+
+// BuildWithObs is Build with telemetry: a "cfgbuild" phase span plus
+// block and value counters. rec may be nil.
+func BuildWithObs(file *ast.File, rec *obs.Recorder) *Result {
+	span := rec.Phase("cfgbuild")
+	defer span.End()
 	b := &builder{f: ir.NewFunc()}
 	entry := b.f.NewBlock(ir.BlockPlain)
 	entry.Comment = "entry"
@@ -86,6 +93,14 @@ func Build(file *ast.File) *Result {
 		if kept[li.Header] {
 			liveLoops = append(liveLoops, li)
 		}
+	}
+	if rec != nil {
+		values := 0
+		for _, blk := range b.f.Blocks {
+			values += len(blk.Values)
+		}
+		rec.Add("cfg.blocks", int64(len(b.f.Blocks)))
+		rec.Add("cfg.values", int64(values))
 	}
 	return &Result{Func: b.f, Loops: liveLoops}
 }

@@ -1,0 +1,158 @@
+// Package cliutil holds the observability plumbing shared by the
+// commands: the -stats/-trace/-jsonl/-explain/-cpuprofile/-memprofile
+// flag set, lazy recorder construction, pprof start/stop, and program
+// input reading (including extraction from the examples' Go files).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"beyondiv/internal/obs"
+)
+
+// Telemetry bundles the telemetry flags of one command. Register the
+// flags before flag.Parse, call Start after it, run the analysis with
+// Recorder(), and Finish at the end.
+type Telemetry struct {
+	Stats      bool
+	TracePath  string
+	JSONLPath  string
+	Explain    string
+	CPUProfile string
+	MemProfile string
+
+	rec     *obs.Recorder
+	cpuFile *os.File
+}
+
+// RegisterFlags installs the telemetry flags on the default flag set.
+func (t *Telemetry) RegisterFlags() {
+	flag.BoolVar(&t.Stats, "stats", false, "print phase timings and pipeline counters")
+	flag.StringVar(&t.TracePath, "trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) to `path`")
+	flag.StringVar(&t.JSONLPath, "jsonl", "", "write spans, counters and provenance events as JSON lines to `path`")
+	flag.StringVar(&t.Explain, "explain", "", "print the classification provenance chain of `var` (e.g. j, or the SSA version j3)")
+	flag.StringVar(&t.CPUProfile, "cpuprofile", "", "write a CPU profile to `path`")
+	flag.StringVar(&t.MemProfile, "memprofile", "", "write a heap profile to `path`")
+}
+
+// Recorder returns the recorder to thread through the pipeline: non-nil
+// exactly when some flag needs a recording, nil (telemetry off at zero
+// cost) otherwise.
+func (t *Telemetry) Recorder() *obs.Recorder {
+	if t.rec == nil && (t.Stats || t.TracePath != "" || t.JSONLPath != "") {
+		t.rec = obs.New()
+	}
+	return t.rec
+}
+
+// Start begins CPU profiling when requested.
+func (t *Telemetry) Start() error {
+	if t.CPUProfile == "" {
+		return nil
+	}
+	f, err := os.Create(t.CPUProfile)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	t.cpuFile = f
+	return nil
+}
+
+// Finish stops profiling and renders the recording: the -stats text
+// report to w, and the -trace / -jsonl files.
+func (t *Telemetry) Finish(w io.Writer) error {
+	if t.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := t.cpuFile.Close(); err != nil {
+			return err
+		}
+		t.cpuFile = nil
+	}
+	if t.MemProfile != "" {
+		f, err := os.Create(t.MemProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if t.rec == nil {
+		return nil
+	}
+	if t.Stats {
+		if err := t.rec.WriteText(w, true); err != nil {
+			return err
+		}
+	}
+	if t.TracePath != "" {
+		if err := writeFileWith(t.TracePath, t.rec.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if t.JSONLPath != "" {
+		if err := writeFileWith(t.JSONLPath, t.rec.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFileWith(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadProgram reads a mini-language program: from standard input when
+// path is empty, from the file otherwise. A .go file (the examples/
+// directory embeds each program in a backtick string) yields its first
+// backtick raw-string literal, so
+//
+//	bivopt -stats examples/triangular/main.go
+//
+// analyzes the program the example embeds.
+func ReadProgram(path string) (string, error) {
+	if path == "" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	src := string(b)
+	if strings.HasSuffix(path, ".go") {
+		start := strings.IndexByte(src, '`')
+		if start < 0 {
+			return "", fmt.Errorf("%s: no backtick program literal found", path)
+		}
+		end := strings.IndexByte(src[start+1:], '`')
+		if end < 0 {
+			return "", fmt.Errorf("%s: unterminated backtick literal", path)
+		}
+		return src[start+1 : start+1+end], nil
+	}
+	return src, nil
+}

@@ -1,0 +1,86 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadProgramPlainFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.biv")
+	const src = "j = 0\nL1: for i = 1 to n { j = j + i }\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProgram(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != src {
+		t.Errorf("ReadProgram = %q, want %q", got, src)
+	}
+}
+
+func TestReadProgramGoFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "main.go")
+	goSrc := "package main\n\nconst program = `\nj = 0\nL1: for i = 1 to n { j = j + i }\n`\n\nfunc main() {}\n"
+	if err := os.WriteFile(path, []byte(goSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProgram(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "\nj = 0\nL1: for i = 1 to n { j = j + i }\n"
+	if got != want {
+		t.Errorf("ReadProgram = %q, want %q", got, want)
+	}
+}
+
+func TestReadProgramGoFileNoLiteral(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(path, []byte("package main\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProgram(path); err == nil || !strings.Contains(err.Error(), "no backtick") {
+		t.Errorf("want backtick error, got %v", err)
+	}
+}
+
+// TestReadProgramExamples: every shipped example's embedded program
+// must extract and be non-empty.
+func TestReadProgramExamples(t *testing.T) {
+	matches, err := filepath.Glob("../../examples/*/main.go")
+	if err != nil || len(matches) == 0 {
+		t.Skipf("no examples found: %v", err)
+	}
+	for _, m := range matches {
+		src, err := ReadProgram(m)
+		if err != nil {
+			t.Errorf("%s: %v", m, err)
+			continue
+		}
+		if strings.TrimSpace(src) == "" {
+			t.Errorf("%s: extracted program is empty", m)
+		}
+	}
+}
+
+func TestRecorderLazy(t *testing.T) {
+	var off Telemetry
+	if off.Recorder() != nil {
+		t.Error("no flags set: Recorder must stay nil")
+	}
+	on := Telemetry{Stats: true}
+	rec := on.Recorder()
+	if rec == nil {
+		t.Fatal("Stats set: Recorder must be non-nil")
+	}
+	if on.Recorder() != rec {
+		t.Error("Recorder must be stable across calls")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"beyondiv/internal/ir"
 	"beyondiv/internal/iv"
 	"beyondiv/internal/loops"
+	"beyondiv/internal/obs"
 )
 
 // Access is one array reference.
@@ -182,6 +183,10 @@ type Options struct {
 	IncludeInput bool
 	// MaxExact bounds the iteration-space size enumerated exactly.
 	MaxExact int
+	// Obs, when non-nil, records the "depend" phase span, per-test
+	// counters (depend.test.<name>.<outcome>) and per-edge provenance
+	// events. Nil disables telemetry at no cost.
+	Obs *obs.Recorder
 }
 
 func (o Options) maxExact() int {
@@ -193,8 +198,15 @@ func (o Options) maxExact() int {
 
 // Analyze runs dependence testing over every array-reference pair.
 func Analyze(a *iv.Analysis, opts Options) *Result {
+	rec := opts.Obs
+	span := rec.Phase("depend")
+	defer span.End()
+
 	r := &Result{Analysis: a}
 	r.collectAccesses()
+	if rec != nil {
+		rec.Add("depend.accesses", int64(len(r.Accesses)))
+	}
 
 	byArray := map[string][]*Access{}
 	for _, ac := range r.Accesses {

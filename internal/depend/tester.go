@@ -60,10 +60,10 @@ func (t *tester) testPair(A, B *Access) ([]*Dependence, bool) {
 		for l := ac.Loop; l != nil; l = l.Parent {
 			tc := t.a.TripCount(l)
 			if c, ok := tc.Const(); ok && c == 0 {
-				return nil, true
+				return t.record(A, B, "zero-trip", nil, true)
 			}
 			if tc != nil && tc.HasMax && tc.MaxConst == 0 {
-				return nil, true
+				return t.record(A, B, "zero-trip", nil, true)
 			}
 		}
 	}
@@ -82,7 +82,7 @@ func (t *tester) testPair(A, B *Access) ([]*Dependence, bool) {
 	if clsA != nil && clsB != nil && clsA.Kind == iv.Periodic && clsB.Kind == iv.Periodic &&
 		A.Loop == B.Loop && A.Loop != nil {
 		if deps, done := t.testPeriodic(A, B, clsA, clsB); done {
-			return deps, len(deps) == 0
+			return t.record(A, B, "periodic", deps, len(deps) == 0)
 		}
 	}
 
@@ -90,7 +90,7 @@ func (t *tester) testPair(A, B *Access) ([]*Dependence, bool) {
 	if clsA != nil && clsB != nil && clsA.Kind == iv.Monotonic && clsB.Kind == iv.Monotonic &&
 		clsA.HeadPhi != nil && clsA.HeadPhi == clsB.HeadPhi && A.Loop == B.Loop {
 		if deps, done := t.testMonotonic(A, B, clsA, clsB); done {
-			return deps, len(deps) == 0
+			return t.record(A, B, "monotonic", deps, len(deps) == 0)
 		}
 	}
 
@@ -104,7 +104,7 @@ func (t *tester) testPair(A, B *Access) ([]*Dependence, bool) {
 			for _, d := range deps {
 				d.AfterIterations = after
 			}
-			return deps, len(deps) == 0
+			return t.record(A, B, "polynomial-exact", deps, len(deps) == 0)
 		}
 	}
 
@@ -113,9 +113,40 @@ func (t *tester) testPair(A, B *Access) ([]*Dependence, bool) {
 	formB := t.formOf(B, clsB)
 	if formA == nil || formB == nil {
 		// No usable form: assume dependence in every direction.
-		return t.assumed(A, B), false
+		return t.record(A, B, "assumed", t.assumed(A, B), false)
 	}
-	return t.testAffine(A, B, formA, formB, after)
+	deps, independent := t.testAffine(A, B, formA, formB, after)
+	return t.record(A, B, "affine", deps, independent)
+}
+
+// record emits per-pair telemetry — the test counter keyed by decision
+// procedure and outcome, and one provenance event per edge (or per
+// refuted pair) — and passes the result through unchanged.
+func (t *tester) record(A, B *Access, method string, deps []*Dependence, independent bool) ([]*Dependence, bool) {
+	rec := t.opts.Obs
+	if rec == nil {
+		return deps, independent
+	}
+	rec.Count("depend.pairs.tested")
+	if len(deps) > 0 {
+		method = deps[0].Method
+	}
+	outcome := ".dependent"
+	if independent {
+		outcome = ".independent"
+	}
+	rec.Count("depend.test." + method + outcome)
+	if len(deps) == 0 {
+		verdict := "assumed dependent (no usable form)"
+		if independent {
+			verdict = "proven independent"
+		}
+		rec.Decide(A.String()+" vs "+B.String(), method, verdict)
+	}
+	for _, d := range deps {
+		rec.Decide(d.Src.String()+" -> "+d.Dst.String(), d.Method, d.String())
+	}
+	return deps, independent
 }
 
 // subscriptClass classifies an access's subscript within its loop.

@@ -7,6 +7,7 @@ import (
 
 	"beyondiv/internal/ir"
 	"beyondiv/internal/loops"
+	"beyondiv/internal/obs"
 	"beyondiv/internal/scc"
 	"beyondiv/internal/sccp"
 	"beyondiv/internal/ssa"
@@ -35,6 +36,10 @@ type Options struct {
 	// computed by inner loops look unknown to the enclosing loop, so
 	// nested families (Figures 7-9) disappear.
 	DisableExitValues bool
+	// Obs, when non-nil, records phase spans, classification counters
+	// and per-decision provenance events. Nil disables telemetry at no
+	// cost.
+	Obs *obs.Recorder
 }
 
 // Analyze classifies every scalar in every loop, innermost first
@@ -55,12 +60,28 @@ func AnalyzeWithOptions(info *ssa.Info, forest *loops.Forest, consts *sccp.Resul
 		trips:  map[*loops.Loop]*TripCount{},
 		exits:  map[*ir.Value]exitInfo{},
 	}
+	rec := opts.Obs
+	span := rec.Phase("iv")
 	for _, l := range forest.InnerToOuter() {
+		var ls *obs.Span
+		if rec != nil {
+			ls = rec.Phase("loop " + l.Label)
+		}
 		a.analyzeLoop(l)
 		a.trips[l] = a.computeTripCount(l)
+		if a.trips[l] != nil {
+			rec.Count("iv.tripcounts.derived")
+		}
+		ls.End()
 	}
+	span.End()
 	return a
 }
+
+// Obs returns the recorder the analysis was configured with (nil when
+// telemetry is off); transformations downstream of the analysis use it
+// to keep counting into the same registry.
+func (a *Analysis) Obs() *obs.Recorder { return a.opts.Obs }
 
 // ClassOf returns the classification of v with respect to loop l.
 // Values defined inside nested loops are seen through their exit values;
@@ -110,7 +131,11 @@ func (a *Analysis) classOfOperand(l *loops.Loop, v *ir.Value) *Classification {
 				return unknown()
 			}
 		}
-		return a.exprClass(l, e.expr)
+		c := a.exprClass(l, e.expr)
+		if c.Rule == RuleNone {
+			c.Rule = RuleExitValue
+		}
+		return c
 	default:
 		// Defined outside l: loop-invariant.
 		return a.leafClass(l, v)
@@ -122,13 +147,19 @@ func (a *Analysis) classOfOperand(l *loops.Loop, v *ir.Value) *Classification {
 func (a *Analysis) leafClass(l *loops.Loop, v *ir.Value) *Classification {
 	if a.Consts != nil {
 		if c, ok := a.Consts.Const(v); ok {
-			return invariant(l, IntExpr(c))
+			cls := invariant(l, IntExpr(c))
+			cls.Rule = RuleInvariantConst
+			return cls
 		}
 	}
 	if v.Op == ir.OpConst {
-		return invariant(l, IntExpr(v.Const))
+		cls := invariant(l, IntExpr(v.Const))
+		cls.Rule = RuleInvariantConst
+		return cls
 	}
-	return invariant(l, VarExpr(v))
+	cls := invariant(l, VarExpr(v))
+	cls.Rule = RuleInvariantLeaf
+	return cls
 }
 
 // leafExpr is the affine form of a loop-external value. Copy chains are
@@ -407,9 +438,13 @@ func (ctx *loopCtx) classifyTrivial(id int) *Classification {
 	v := n.v
 	switch v.Op {
 	case ir.OpConst:
-		return invariant(l, IntExpr(v.Const))
+		c := invariant(l, IntExpr(v.Const))
+		c.Rule = RuleInvariantConst
+		return c
 	case ir.OpParam:
-		return invariant(l, VarExpr(v))
+		c := invariant(l, VarExpr(v))
+		c.Rule = RuleInvariantLeaf
+		return c
 	case ir.OpCopy:
 		return ctx.operandCls(v.Args[0])
 	case ir.OpStoreElem:
@@ -420,11 +455,17 @@ func (ctx *loopCtx) classifyTrivial(id int) *Classification {
 		// when the loop never stores to the array at all; the loaded
 		// value is then one fixed cell for the whole loop execution.
 		if sub := ctx.operandCls(v.Args[0]); sub.Kind == Invariant && !ctx.arrayStoredIn(v.Var) {
-			return invariant(l, VarExpr(v))
+			c := invariant(l, VarExpr(v))
+			c.Rule = RuleInvariantLoad
+			return c
 		}
 		return unknown()
 	case ir.OpNeg:
-		return negCls(l, ctx.operandCls(v.Args[0]))
+		c := negCls(l, ctx.operandCls(v.Args[0]))
+		if c.Rule == RuleNone {
+			c.Rule = RuleAlgebra
+		}
+		return c
 	case ir.OpPhi:
 		if v.Block == l.Header {
 			return ctx.classifyTrivialHeaderPhi(v)
@@ -440,7 +481,11 @@ func (ctx *loopCtx) classifyTrivial(id int) *Classification {
 		return first
 	default:
 		if v.Op.IsArith() || v.Op.IsCompare() {
-			return combine(l, v.Op, ctx.operandCls(v.Args[0]), ctx.operandCls(v.Args[1]))
+			c := combine(l, v.Op, ctx.operandCls(v.Args[0]), ctx.operandCls(v.Args[1]))
+			if c.Rule == RuleNone {
+				c.Rule = RuleAlgebra
+			}
+			return c
 		}
 		return unknown()
 	}
@@ -464,24 +509,34 @@ func (ctx *loopCtx) classifyTrivialHeaderPhi(v *ir.Value) *Classification {
 	}
 	init := ctx.a.leafExpr(initArg)
 
+	wrap := func(order int, inner *Classification) *Classification {
+		c := &Classification{Kind: WrapAround, Loop: l, Order: order, Init: init, Inner: inner, HeadPhi: v, Rule: RuleWrapAround}
+		if rec := ctx.a.opts.Obs; rec != nil {
+			rec.Count("iv.scr.wrap_around")
+			rec.Decide(v.String(), RuleWrapAround.String(), c.String())
+		}
+		return c
+	}
 	switch carried.Kind {
 	case Invariant:
 		ce := invariantExprOf(carried, carriedArgs[0])
 		if init.Equal(ce) {
-			return invariant(l, init)
+			c := invariant(l, init)
+			c.Rule = RuleJoinMerge
+			return c
 		}
-		return &Classification{Kind: WrapAround, Loop: l, Order: 1, Init: init, Inner: carried, HeadPhi: v}
+		return wrap(1, carried)
 	case Linear:
 		// φ(h) = init for h = 0, carried(h-1) after: if init fits the
 		// sequence (init == carried.Init - step) the φ is itself linear.
 		if fit := SubExpr(carried.Init, carried.Step); fit != nil && fit.Equal(init) {
-			return &Classification{Kind: Linear, Loop: l, Init: init, Step: carried.Step, HeadPhi: v}
+			return &Classification{Kind: Linear, Loop: l, Init: init, Step: carried.Step, HeadPhi: v, Rule: RuleLinearFamily}
 		}
-		return &Classification{Kind: WrapAround, Loop: l, Order: 1, Init: init, Inner: carried, HeadPhi: v}
+		return wrap(1, carried)
 	case WrapAround:
-		return &Classification{Kind: WrapAround, Loop: l, Order: carried.Order + 1, Init: init, Inner: carried.Inner, HeadPhi: v}
+		return wrap(carried.Order+1, carried.Inner)
 	case Polynomial, Geometric, Periodic, Monotonic:
-		return &Classification{Kind: WrapAround, Loop: l, Order: 1, Init: init, Inner: carried, HeadPhi: v}
+		return wrap(1, carried)
 	default:
 		return unknown()
 	}

@@ -96,6 +96,16 @@ type Classification struct {
 	// belongs to (linear, polynomial, geometric, periodic, monotonic
 	// families); nil for invariants and unknowns.
 	HeadPhi *ir.Value
+
+	// Rule records which classification rule produced this result, for
+	// provenance reporting (see Explain). RuleNone means the rule is
+	// derived from Kind alone.
+	Rule Rule
+	// Beta, for Polynomial/Geometric classes produced by the §4.3
+	// cumulative-effect analysis, is the classification of the β term of
+	// the recurrence X' = a·X + β — the feeding classification the
+	// provenance chain reports. Nil otherwise.
+	Beta *Classification
 }
 
 // IsIV reports whether the classification is some induction variable

@@ -12,20 +12,27 @@ import (
 // AnalyzeProgram runs the full pipeline on mini-language source:
 // parse → CFG → SSA → loop nest → constants → classification.
 func AnalyzeProgram(src string) (*Analysis, error) {
-	file, err := parse.File(src)
+	return AnalyzeProgramWith(src, Options{})
+}
+
+// AnalyzeProgramWith is AnalyzeProgram with classifier options; a
+// non-nil opts.Obs records every stage's phase span and counters.
+func AnalyzeProgramWith(src string, opts Options) (*Analysis, error) {
+	rec := opts.Obs
+	file, err := parse.FileWithObs(src, rec)
 	if err != nil {
 		return nil, err
 	}
-	res := cfgbuild.Build(file)
-	info := ssa.Build(res.Func)
-	forest := loops.Analyze(res.Func, info.Dom)
+	res := cfgbuild.BuildWithObs(file, rec)
+	info := ssa.BuildWithObs(res.Func, rec)
+	forest := loops.AnalyzeWithObs(res.Func, info.Dom, rec)
 	labels := map[*ir.Block]string{}
 	for _, li := range res.Loops {
 		labels[li.Header] = li.Label
 	}
 	forest.AttachLabels(labels)
-	consts := sccp.Run(info)
-	return Analyze(info, forest, consts), nil
+	consts := sccp.RunWithObs(info, rec)
+	return AnalyzeWithOptions(info, forest, consts, opts), nil
 }
 
 // ValueByName finds the SSA value with the given name ("i2"), or nil.

@@ -45,25 +45,73 @@ func (ctx *loopCtx) classifySCR(comp []int) {
 	}
 
 	if len(headers) >= 2 && otherPhis == 0 && ctx.tryPeriodic(comp, inSCC, headers) {
+		ctx.recordSCR(headers[0])
 		return
 	}
 	if len(headers) == 1 {
 		if ctx.tryLinearFamily(comp, inSCC, headers[0]) {
+			ctx.recordSCR(headers[0])
 			return
 		}
 		if otherPhis == 0 && ctx.tryCumulative(comp, inSCC, headers[0]) {
+			ctx.recordSCR(headers[0])
 			return
 		}
 		if ctx.tryMonotonic(comp, inSCC, headers[0]) {
+			ctx.recordSCR(headers[0])
 			return
 		}
 		if ctx.tryMonotonicGrowth(comp, inSCC, headers[0]) {
+			ctx.recordSCR(headers[0])
 			return
 		}
 	}
 	for _, id := range comp {
-		ctx.cls[id] = unknown()
+		u := unknown()
+		u.Rule = RuleUnclassified
+		ctx.cls[id] = u
 	}
+	if len(headers) > 0 {
+		ctx.recordSCR(headers[0])
+	} else {
+		ctx.a.opts.Obs.Count("iv.scr.unknown")
+	}
+}
+
+// recordSCR emits the SCR-kind counter and the provenance decision for
+// a just-classified component, keyed by its (first) header φ.
+func (ctx *loopCtx) recordSCR(headID int) {
+	rec := ctx.a.opts.Obs
+	if rec == nil {
+		return
+	}
+	c := ctx.cls[headID]
+	if c == nil {
+		return
+	}
+	var kind string
+	switch c.Kind {
+	case Linear:
+		kind = "iv.scr.linear"
+	case Periodic:
+		if ruleOf(c) == RuleFlipFlop {
+			kind = "iv.scr.flip_flop"
+		} else {
+			kind = "iv.scr.periodic"
+		}
+	case Polynomial:
+		kind = "iv.scr.polynomial"
+	case Geometric:
+		kind = "iv.scr.geometric"
+	case Monotonic:
+		kind = "iv.scr.monotonic"
+	case Invariant:
+		kind = "iv.scr.invariant"
+	default:
+		kind = "iv.scr.unknown"
+	}
+	rec.Count(kind)
+	rec.Decide(ctx.nodes[headID].v.String(), ruleOf(c).String(), c.String())
 }
 
 // headPhiArgs splits the single header φ's arguments; the initial value
@@ -144,6 +192,7 @@ func (ctx *loopCtx) tryPeriodic(comp []int, inSCC func(int) bool, headers []int)
 			Kind: Periodic, Loop: ctx.l,
 			Period: period, Phase: phase[id],
 			Initials: initials, HeadPhi: headV,
+			Rule: RulePeriodicRing,
 		}
 	}
 	return true
@@ -229,6 +278,7 @@ func (ctx *loopCtx) tryLinearFamily(comp []int, inSCC func(int) bool, headID int
 			Kind: Linear, Loop: ctx.l,
 			Init: AddExpr(init, offsets[id]), Step: step,
 			HeadPhi: headV,
+			Rule:    RuleLinearFamily,
 		}
 	}
 	return true
@@ -413,26 +463,27 @@ func (ctx *loopCtx) tryCumulative(comp []int, inSCC func(int) bool, headID int) 
 		if step == nil {
 			return false
 		}
-		headCls = &Classification{Kind: Linear, Loop: ctx.l, Init: init, Step: step, HeadPhi: headV}
+		headCls = &Classification{Kind: Linear, Loop: ctx.l, Init: init, Step: step, HeadPhi: headV, Rule: RuleLinearCumulative}
 	case ai == 1 && (beta.Kind == Linear || beta.Kind == Polynomial):
 		ord := 2
 		if beta.Kind == Polynomial {
 			ord = beta.Order + 1
 		}
-		headCls = &Classification{Kind: Polynomial, Loop: ctx.l, Order: ord, HeadPhi: headV}
+		headCls = &Classification{Kind: Polynomial, Loop: ctx.l, Order: ord, HeadPhi: headV, Rule: RulePolynomial}
 	case ai == 1 && beta.Kind == Geometric:
-		headCls = &Classification{Kind: Geometric, Loop: ctx.l, Base: beta.Base, HeadPhi: headV}
+		headCls = &Classification{Kind: Geometric, Loop: ctx.l, Base: beta.Base, HeadPhi: headV, Rule: RuleGeometric}
 	case ai == -1 && beta.Kind == Invariant:
 		// Flip-flop: j = c - j (§4.2), periodic with period two.
-		headCls = &Classification{Kind: Periodic, Loop: ctx.l, Period: 2, Phase: 0, HeadPhi: headV}
+		headCls = &Classification{Kind: Periodic, Loop: ctx.l, Period: 2, Phase: 0, HeadPhi: headV, Rule: RuleFlipFlop}
 		if c := invariantExprOf(beta, nil); c != nil {
 			headCls.Initials = []*Expr{init, SubExpr(c, init)}
 		}
 	case (ai <= -2 || ai >= 2) && (beta.Kind == Invariant || beta.Kind == Linear || beta.Kind == Polynomial):
-		headCls = &Classification{Kind: Geometric, Loop: ctx.l, Base: ai, HeadPhi: headV}
+		headCls = &Classification{Kind: Geometric, Loop: ctx.l, Base: ai, HeadPhi: headV, Rule: RuleGeometric}
 	default:
 		return false
 	}
+	headCls.Beta = beta
 
 	// Closed forms by simulation + Vandermonde solve (§4.3), when the
 	// initial value and β are numeric.
@@ -447,6 +498,17 @@ func (ctx *loopCtx) tryCumulative(comp []int, inSCC func(int) bool, headID int) 
 		}
 		if cls == nil {
 			cls = ctx.classOnlyMember(headCls, sv)
+		}
+		// Provenance: annotate fresh member classifications only — the
+		// sv.b branch shares a classification other values own.
+		if cls != sv.b && cls.Kind != Unknown && cls.Rule == RuleNone {
+			switch cls.Kind {
+			case Linear, Invariant:
+				cls.Rule = RuleLinearCumulative
+			default:
+				cls.Rule = headCls.Rule
+			}
+			cls.Beta = headCls.Beta
 		}
 		ctx.cls[id] = cls
 	}
@@ -666,6 +728,7 @@ func (ctx *loopCtx) solveClosedForm(head *Classification, series []rational.Rat)
 	default:
 		return nil
 	}
+	ctx.a.opts.Obs.Count("iv.matrix.solves")
 	coeffs, err := m.Solve(series)
 	if err != nil {
 		return nil
@@ -940,7 +1003,7 @@ func (ctx *loopCtx) tryMonotonic(comp []int, inSCC func(int) bool, headID int) b
 		strict := stepStrict ||
 			(dir > 0 && !r.lo.inf && r.lo.val.Sign() > 0) ||
 			(dir < 0 && !r.hi.inf && r.hi.val.Sign() < 0)
-		ctx.cls[id] = &Classification{Kind: Monotonic, Loop: ctx.l, Dir: dir, Strict: strict, HeadPhi: headV}
+		ctx.cls[id] = &Classification{Kind: Monotonic, Loop: ctx.l, Dir: dir, Strict: strict, HeadPhi: headV, Rule: RuleMonotonicRange}
 	}
 	return true
 }
@@ -1241,13 +1304,13 @@ func (ctx *loopCtx) tryMonotonicGrowth(comp []int, inSCC func(int) bool, headID 
 	headV := ctx.nodes[headID].v
 	for _, id := range comp {
 		if id == headID {
-			ctx.cls[id] = &Classification{Kind: Monotonic, Loop: ctx.l, Dir: 1, Strict: strictAll, HeadPhi: headV}
+			ctx.cls[id] = &Classification{Kind: Monotonic, Loop: ctx.l, Dir: 1, Strict: strictAll, HeadPhi: headV, Rule: RuleMonotonicGrowth}
 			continue
 		}
 		g := eval(id)
 		if g.ok && !g.innerPhi {
 			// A fixed strictly-monotone composition of the header.
-			ctx.cls[id] = &Classification{Kind: Monotonic, Loop: ctx.l, Dir: 1, Strict: strictAll, HeadPhi: headV}
+			ctx.cls[id] = &Classification{Kind: Monotonic, Loop: ctx.l, Dir: 1, Strict: strictAll, HeadPhi: headV, Rule: RuleMonotonicGrowth}
 		} else {
 			ctx.cls[id] = unknown()
 		}

@@ -12,6 +12,7 @@ import (
 
 	"beyondiv/internal/dom"
 	"beyondiv/internal/ir"
+	"beyondiv/internal/obs"
 )
 
 // Loop is one natural loop.
@@ -148,6 +149,14 @@ func (f *Forest) String() string {
 
 // Analyze builds the loop forest of f.
 func Analyze(f *ir.Func, tree *dom.Tree) *Forest {
+	return AnalyzeWithObs(f, tree, nil)
+}
+
+// AnalyzeWithObs is Analyze with telemetry: a "loops" phase span plus a
+// loop counter. rec may be nil.
+func AnalyzeWithObs(f *ir.Func, tree *dom.Tree, rec *obs.Recorder) *Forest {
+	span := rec.Phase("loops")
+	defer span.End()
 	byHeader := map[*ir.Block]*Loop{}
 
 	// Find back edges and collect loop bodies.
@@ -230,6 +239,7 @@ func Analyze(f *ir.Func, tree *dom.Tree) *Forest {
 	for _, l := range forest.Loops {
 		sort.Slice(l.Children, func(i, j int) bool { return l.Children[i].Header.ID < l.Children[j].Header.ID })
 	}
+	rec.Add("loops.found", int64(len(forest.Loops)))
 	return forest
 }
 

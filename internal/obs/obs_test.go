@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock ticks a fixed step per reading, for deterministic spans.
+func fakeClock(step time.Duration) func() time.Time {
+	base := time.Unix(0, 0)
+	n := 0
+	return func() time.Time {
+		t := base.Add(time.Duration(n) * step)
+		n++
+		return t
+	}
+}
+
+func fakeMallocs(step uint64) func() uint64 {
+	var n uint64
+	return func() uint64 {
+		n += step
+		return n
+	}
+}
+
+// TestNilRecorder exercises every method on the nil receiver: all must
+// be no-ops, and a nil span's End must be safe too.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	span := r.Phase("x")
+	if span != nil {
+		t.Fatalf("nil recorder Phase = %v, want nil", span)
+	}
+	span.End()
+	r.Count("c")
+	r.Add("c", 5)
+	r.Decide("s", "rule", "detail")
+	if got := r.Counter("c"); got != 0 {
+		t.Errorf("nil Counter = %d, want 0", got)
+	}
+	if got := r.Counters(); got != nil {
+		t.Errorf("nil Counters = %v, want nil", got)
+	}
+	if got := r.CounterNames(); got != nil {
+		t.Errorf("nil CounterNames = %v, want nil", got)
+	}
+	if got := r.CounterTotal(""); got != 0 {
+		t.Errorf("nil CounterTotal = %d, want 0", got)
+	}
+	if got := r.Spans(); got != nil {
+		t.Errorf("nil Spans = %v, want nil", got)
+	}
+	if got := r.Decisions(); got != nil {
+		t.Errorf("nil Decisions = %v, want nil", got)
+	}
+	var buf bytes.Buffer
+	for _, render := range []func() error{
+		func() error { return r.WriteText(&buf, true) },
+		func() error { return r.WriteJSONL(&buf) },
+		func() error { return r.WriteChromeTrace(&buf) },
+	} {
+		if err := render(); err != nil {
+			t.Errorf("nil sink error: %v", err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil sinks wrote %q, want nothing", buf.String())
+	}
+}
+
+// TestNesting checks the span tree: children attach to the open span,
+// End pops back to the parent, and injected clocks yield exact timings.
+func TestNesting(t *testing.T) {
+	r := NewWithClock(fakeClock(time.Millisecond), fakeMallocs(10))
+	root := r.Phase("root")
+	a := r.Phase("a")
+	a.End()
+	b := r.Phase("b")
+	c := r.Phase("c")
+	c.End()
+	b.End()
+	root.End()
+	next := r.Phase("next")
+	next.End()
+
+	spans := r.Spans()
+	if len(spans) != 2 || spans[0].Name != "root" || spans[1].Name != "next" {
+		t.Fatalf("roots = %v", spanNames(spans))
+	}
+	if got := spanNames(spans[0].Children); !equalStrings(got, []string{"a", "b"}) {
+		t.Errorf("root children = %v, want [a b]", got)
+	}
+	if got := spanNames(spans[0].Children[1].Children); !equalStrings(got, []string{"c"}) {
+		t.Errorf("b children = %v, want [c]", got)
+	}
+	// Clock readings: epoch, root-start, a-start, a-end, b-start,
+	// c-start, c-end, b-end, root-end — so a lasted one tick and root
+	// lasted seven.
+	if spans[0].Children[0].Dur != time.Millisecond {
+		t.Errorf("a.Dur = %v, want 1ms", spans[0].Children[0].Dur)
+	}
+	if spans[0].Dur != 7*time.Millisecond {
+		t.Errorf("root.Dur = %v, want 7ms", spans[0].Dur)
+	}
+	// Mallocs step 10 per reading; a's window spans one reading pair
+	// with the interleaved clock reads not counted (same source), so
+	// the delta is readings-between * 10.
+	if spans[0].Children[0].Allocs == 0 {
+		t.Errorf("a.Allocs = 0, want > 0")
+	}
+}
+
+// TestUnbalancedEnd: ending a parent with a child still open must pop
+// to the parent's parent, not corrupt the stack.
+func TestUnbalancedEnd(t *testing.T) {
+	r := NewWithClock(nil, nil)
+	root := r.Phase("root")
+	_ = r.Phase("leaked") // never ended
+	root.End()
+	after := r.Phase("after")
+	after.End()
+	spans := r.Spans()
+	if got := spanNames(spans); !equalStrings(got, []string{"root", "after"}) {
+		t.Fatalf("roots = %v, want [root after]", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := New()
+	r.Count("iv.scr.linear")
+	r.Count("iv.scr.linear")
+	r.Add("iv.scr.periodic", 3)
+	r.Add("depend.pairs.tested", 7)
+	if got := r.Counter("iv.scr.linear"); got != 2 {
+		t.Errorf("linear = %d, want 2", got)
+	}
+	if got := r.Counter("never"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+	if got := r.CounterTotal("iv.scr."); got != 5 {
+		t.Errorf("CounterTotal(iv.scr.) = %d, want 5", got)
+	}
+	want := []string{"depend.pairs.tested", "iv.scr.linear", "iv.scr.periodic"}
+	if got := r.CounterNames(); !equalStrings(got, want) {
+		t.Errorf("CounterNames = %v, want %v", got, want)
+	}
+	m := r.Counters()
+	m["iv.scr.linear"] = 99
+	if got := r.Counter("iv.scr.linear"); got != 2 {
+		t.Errorf("Counters must return a copy; registry now reads %d", got)
+	}
+}
+
+func TestDecisions(t *testing.T) {
+	r := New()
+	r.Decide("j2", "§3.1 linear", "(L1, 1, 1)")
+	r.Decide("k2", "§4.2 periodic", "(L1, <1, 2>)")
+	ds := r.Decisions()
+	if len(ds) != 2 || ds[0].Subject != "j2" || ds[1].Rule != "§4.2 periodic" {
+		t.Fatalf("Decisions = %+v", ds)
+	}
+	ds[0].Subject = "mutated"
+	if r.Decisions()[0].Subject != "j2" {
+		t.Error("Decisions must return a copy")
+	}
+}
+
+// TestWriteTextGolden pins the deterministic (timings-suppressed) text
+// rendering used by golden tests downstream.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewWithClock(nil, nil)
+	root := r.Phase("analyze")
+	s := r.Phase("ssa")
+	r.Phase("dom").End()
+	s.End()
+	root.End()
+	r.Count("ssa.phis")
+	r.Add("scan.tokens", 42)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	want := "== phases ==\n" +
+		"analyze\n" +
+		"  ssa\n" +
+		"    dom\n" +
+		"== counters ==\n" +
+		"scan.tokens                                        42\n" +
+		"ssa.phis                                            1\n"
+	if buf.String() != want {
+		t.Errorf("WriteText:\n got %q\nwant %q", buf.String(), want)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := NewWithClock(fakeClock(time.Millisecond), nil)
+	root := r.Phase("analyze")
+	r.Phase("iv").End()
+	root.End()
+	r.Count("iv.scr.linear")
+	r.Decide("j2", "§3.1", "(L1, 1, 1)")
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	var types, paths []string
+	for _, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		types = append(types, ev["type"].(string))
+		if p, ok := ev["path"].(string); ok {
+			paths = append(paths, p)
+		}
+	}
+	if !equalStrings(types, []string{"span", "span", "counter", "decision"}) {
+		t.Errorf("event types = %v", types)
+	}
+	if !equalStrings(paths, []string{"analyze", "analyze/iv"}) {
+		t.Errorf("span paths = %v", paths)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewWithClock(fakeClock(time.Millisecond), nil)
+	root := r.Phase("analyze")
+	r.Phase("iv").End()
+	root.End()
+	r.Count("iv.scr.linear")
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3 (2 spans + counters)", len(events))
+	}
+	for _, ev := range events[:2] {
+		if ev["ph"] != "X" {
+			t.Errorf("span event ph = %v, want X", ev["ph"])
+		}
+	}
+	last := events[2]
+	if last["ph"] != "i" || last["name"] != "counters" {
+		t.Errorf("final event = %v, want instant counters marker", last)
+	}
+	args := last["args"].(map[string]any)
+	if args["iv.scr.linear"] != "1" {
+		t.Errorf("counters args = %v", args)
+	}
+}
+
+// failWriter errors after n successful writes; WriteText must latch and
+// return the first error.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestWriteTextError(t *testing.T) {
+	r := New()
+	r.Phase("a").End()
+	r.Count("c")
+	if err := r.WriteText(&failWriter{n: 1}, false); err == nil {
+		t.Error("WriteText swallowed the write error")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				r.Count("c")
+				r.Decide("s", "r", "d")
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := r.Counter("c"); got != 4000 {
+		t.Errorf("Counter = %d, want 4000", got)
+	}
+	if got := len(r.Decisions()); got != 4000 {
+		t.Errorf("Decisions = %d, want 4000", got)
+	}
+}
+
+func spanNames(spans []*Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders the recording as an indented span tree followed by
+// the counter table. withTimings false suppresses durations and alloc
+// counts so the output is deterministic (golden tests, docs).
+func (r *Recorder) WriteText(w io.Writer, withTimings bool) error {
+	if r == nil {
+		return nil
+	}
+	bw := &errWriter{w: w}
+	spans := r.Spans()
+	if len(spans) > 0 {
+		bw.printf("== phases ==\n")
+		for _, s := range spans {
+			writeSpanText(bw, s, 0, withTimings)
+		}
+	}
+	if names := r.CounterNames(); len(names) > 0 {
+		bw.printf("== counters ==\n")
+		for _, name := range names {
+			bw.printf("%-44s %8d\n", name, r.Counter(name))
+		}
+	}
+	return bw.err
+}
+
+func writeSpanText(bw *errWriter, s *Span, depth int, withTimings bool) {
+	indent := strings.Repeat("  ", depth)
+	if withTimings {
+		bw.printf("%s%-*s %10.3fms %10d allocs\n", indent, 24-2*depth, s.Name,
+			float64(s.Dur.Microseconds())/1000, s.Allocs)
+	} else {
+		bw.printf("%s%s\n", indent, s.Name)
+	}
+	for _, c := range s.Children {
+		writeSpanText(bw, c, depth+1, withTimings)
+	}
+}
+
+// jsonlEvent is one JSONL record; Type is "span", "counter" or
+// "decision".
+type jsonlEvent struct {
+	Type    string `json:"type"`
+	Name    string `json:"name,omitempty"`
+	Path    string `json:"path,omitempty"`
+	StartUS int64  `json:"start_us,omitempty"`
+	DurUS   int64  `json:"dur_us,omitempty"`
+	Allocs  uint64 `json:"allocs,omitempty"`
+	Value   int64  `json:"value,omitempty"`
+	Subject string `json:"subject,omitempty"`
+	Rule    string `json:"rule,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// WriteJSONL renders the recording as one JSON object per line: spans
+// (depth-first, with their slash-joined path), then counters in name
+// order, then decisions in event order.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	var walk func(s *Span, prefix string) error
+	walk = func(s *Span, prefix string) error {
+		path := s.Name
+		if prefix != "" {
+			path = prefix + "/" + s.Name
+		}
+		ev := jsonlEvent{
+			Type: "span", Name: s.Name, Path: path,
+			StartUS: s.Start.Microseconds(), DurUS: s.Dur.Microseconds(),
+			Allocs: s.Allocs,
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		for _, c := range s.Children {
+			if err := walk(c, path); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range r.Spans() {
+		if err := walk(s, ""); err != nil {
+			return err
+		}
+	}
+	for _, name := range r.CounterNames() {
+		if err := enc.Encode(jsonlEvent{Type: "counter", Name: name, Value: r.Counter(name)}); err != nil {
+			return err
+		}
+	}
+	for _, d := range r.Decisions() {
+		if err := enc.Encode(jsonlEvent{Type: "decision", Subject: d.Subject, Rule: d.Rule, Detail: d.Detail}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace-event object ("X" = complete event).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans in the Chrome trace-event JSON array
+// format (load the file in chrome://tracing or https://ui.perfetto.dev).
+// Counters are attached as args of a final zero-length marker event.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var events []chromeEvent
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X",
+			TS: s.Start.Microseconds(), Dur: s.Dur.Microseconds(),
+			PID: 1, TID: 1,
+			Args: map[string]string{"allocs": fmt.Sprintf("%d", s.Allocs)},
+		})
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	var end int64
+	for _, s := range r.Spans() {
+		walk(s)
+		if e := s.Start.Microseconds() + s.Dur.Microseconds(); e > end {
+			end = e
+		}
+	}
+	if names := r.CounterNames(); len(names) > 0 {
+		args := make(map[string]string, len(names))
+		for _, name := range names {
+			args[name] = fmt.Sprintf("%d", r.Counter(name))
+		}
+		events = append(events, chromeEvent{Name: "counters", Ph: "i", TS: end, PID: 1, TID: 1, Args: args})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// errWriter latches the first write error so render loops stay simple.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"beyondiv/internal/ast"
+	"beyondiv/internal/obs"
 	"beyondiv/internal/scan"
 	"beyondiv/internal/token"
 )
@@ -40,8 +41,18 @@ type parser struct {
 }
 
 // File parses a whole program.
-func File(src string) (*ast.File, error) {
+func File(src string) (*ast.File, error) { return FileWithObs(src, nil) }
+
+// FileWithObs is File with telemetry: "scan" and "parse" phase spans
+// plus token and statement counters. rec may be nil.
+func FileWithObs(src string, rec *obs.Recorder) (*ast.File, error) {
+	span := rec.Phase("scan")
 	toks, scanErrs := scan.All(src)
+	rec.Add("scan.tokens", int64(len(toks)))
+	span.End()
+
+	span = rec.Phase("parse")
+	defer span.End()
 	p := &parser{toks: toks}
 	p.errs = append(p.errs, scanErrs...)
 	f := &ast.File{}
@@ -53,6 +64,7 @@ func File(src string) (*ast.File, error) {
 		}
 		p.terminator()
 	}
+	rec.Add("parse.stmts", int64(len(f.Stmts)))
 	if len(p.errs) > 0 {
 		msgs := make([]string, len(p.errs))
 		for i, e := range p.errs {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"beyondiv/internal/ir"
+	"beyondiv/internal/obs"
 	"beyondiv/internal/ssa"
 )
 
@@ -71,7 +72,13 @@ func (r *Result) String() string {
 }
 
 // Run performs the propagation.
-func Run(info *ssa.Info) *Result {
+func Run(info *ssa.Info) *Result { return RunWithObs(info, nil) }
+
+// RunWithObs is Run with telemetry: an "sccp" phase span plus a counter
+// of values proven constant. rec may be nil.
+func RunWithObs(info *ssa.Info, rec *obs.Recorder) *Result {
+	span := rec.Phase("sccp")
+	defer span.End()
 	f := info.Func
 	r := &Result{
 		cells:     make([]cell, f.NumValues()),
@@ -233,6 +240,7 @@ func Run(info *ssa.Info) *Result {
 			r.constCount++
 		}
 	}
+	rec.Add("sccp.constants", int64(r.constCount))
 	return r
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"beyondiv/internal/dom"
 	"beyondiv/internal/ir"
+	"beyondiv/internal/obs"
 )
 
 // Info is the result of SSA construction.
@@ -35,8 +36,17 @@ type Info struct {
 }
 
 // Build converts f to SSA form in place and returns the Info.
-func Build(f *ir.Func) *Info {
+func Build(f *ir.Func) *Info { return BuildWithObs(f, nil) }
+
+// BuildWithObs is Build with telemetry: an "ssa" phase span with child
+// spans for the dominator tree, φ placement, renaming, and cleanup,
+// plus φ and value counters. rec may be nil.
+func BuildWithObs(f *ir.Func, rec *obs.Recorder) *Info {
+	span := rec.Phase("ssa")
+	defer span.End()
+	sub := rec.Phase("dom")
 	tree := dom.New(f)
+	sub.End()
 	st := &state{
 		f:      f,
 		tree:   tree,
@@ -44,12 +54,31 @@ func Build(f *ir.Func) *Info {
 		stacks: map[string][]*ir.Value{},
 		vers:   map[string]int{},
 	}
+	sub = rec.Phase("place-phis")
 	st.placePhis()
+	sub.End()
+	sub = rec.Phase("rename")
 	st.rename(f.Entry)
+	sub.End()
+	sub = rec.Phase("cleanup")
 	st.hoistParams()
 	st.stripLoadsStores()
 	st.pruneDeadPhis()
 	st.assignNames()
+	sub.End()
+	if rec != nil {
+		phis, values := 0, 0
+		for _, b := range f.Blocks {
+			for _, v := range b.Values {
+				values++
+				if v.Op == ir.OpPhi {
+					phis++
+				}
+			}
+		}
+		rec.Add("ssa.phis", int64(phis))
+		rec.Add("ssa.values", int64(values))
+	}
 	return st.info
 }
 

@@ -21,6 +21,9 @@ import (
 // Returns the number of multiplications reduced. The transformed
 // function stays in valid SSA form (ssa.Verify holds).
 func ReduceStrength(a *iv.Analysis) int {
+	rec := a.Obs()
+	span := rec.Phase("xform.strength")
+	defer span.End()
 	reduced := 0
 	counter := 0
 	done := map[*ir.Value]bool{}
@@ -41,6 +44,7 @@ func ReduceStrength(a *iv.Analysis) int {
 			}
 		}
 	}
+	rec.Add("xform.strength.rewrites", int64(reduced))
 	return reduced
 }
 

@@ -1,0 +1,204 @@
+// Telemetry integration tests: the span tree and counters a full
+// analysis records are deterministic, the nil-recorder path is
+// output-equivalent to the instrumented one, and the provenance log
+// explains every classified variable.
+package beyondiv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"beyondiv/internal/depend"
+	"beyondiv/internal/obs"
+	"beyondiv/internal/paper"
+)
+
+const quickstartProgram = `
+j = 0
+L1: for i = 1 to n {
+    j = j + i
+    a[j] = a[j - 1]
+}
+`
+
+// TestTelemetryGolden pins the deterministic recording of the
+// quickstart program: one span per pipeline phase, nested, plus the
+// counter registry. Timings are suppressed (NewWithClock(nil, nil))
+// so the output is exact.
+func TestTelemetryGolden(t *testing.T) {
+	rec := obs.NewWithClock(nil, nil)
+	if _, err := AnalyzeWith(quickstartProgram, Options{Obs: rec}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteText(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	want := `== phases ==
+analyze
+  scan
+  parse
+  cfgbuild
+  ssa
+    dom
+    place-phis
+    rename
+    cleanup
+  loops
+  sccp
+  iv
+    loop L1
+  depend
+== counters ==
+cfg.blocks                                          6
+cfg.values                                         21
+depend.accesses                                     2
+depend.pairs.tested                                 2
+depend.test.assumed.dependent                       2
+iv.matrix.solves                                    2
+iv.scr.linear                                       1
+iv.scr.polynomial                                   1
+iv.tripcounts.derived                               1
+loops.found                                         1
+parse.stmts                                         2
+scan.tokens                                        33
+sccp.constants                                      4
+ssa.phis                                            2
+ssa.values                                         13
+`
+	if got := buf.String(); got != want {
+		t.Errorf("telemetry recording drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestNilRecorderEquivalence: running with a recorder must not change
+// any analysis result. Every corpus program's classification and
+// dependence reports must be byte-identical with and without telemetry.
+func TestNilRecorderEquivalence(t *testing.T) {
+	for _, p := range paper.Corpus {
+		p := p
+		t.Run(p.ID, func(t *testing.T) {
+			plain, err := Analyze(p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := obs.New()
+			instr, err := AnalyzeWith(p.Source, Options{Obs: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := plain.ClassificationReport(), instr.ClassificationReport(); a != b {
+				t.Errorf("classification report differs with telemetry on:\n--- plain ---\n%s--- instrumented ---\n%s", a, b)
+			}
+			if a, b := plain.DependenceReport(), instr.DependenceReport(); a != b {
+				t.Errorf("dependence report differs with telemetry on:\n--- plain ---\n%s--- instrumented ---\n%s", a, b)
+			}
+			// The instrumented run must actually have recorded spans.
+			if len(rec.Spans()) == 0 {
+				t.Error("instrumented run recorded no spans")
+			}
+		})
+	}
+}
+
+// TestExplainCoverage: every named classified variable of every corpus
+// program has a provenance chain that names the rule that produced its
+// classification.
+func TestExplainCoverage(t *testing.T) {
+	for _, p := range paper.Corpus {
+		p := p
+		t.Run(p.ID, func(t *testing.T) {
+			prog, err := AnalyzeWith(p.Source, Options{SkipDependences: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, l := range prog.Loops.InnerToOuter() {
+				for v := range prog.IV.LoopClassifications(l) {
+					if v.Name == "" {
+						continue
+					}
+					out := prog.IV.Explain(l, v)
+					if out == "" {
+						t.Errorf("%s/%s: empty explanation", l.Label, v)
+						continue
+					}
+					if !strings.Contains(out, "rule:") {
+						t.Errorf("%s/%s: explanation names no rule:\n%s", l.Label, v, out)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExplainDeps: every dependence edge of the §6 example programs has
+// a provenance rendering naming its decision procedure's rule.
+func TestExplainDeps(t *testing.T) {
+	for _, id := range []string{"E12", "E13", "E14", "E15"} {
+		p := paper.ByID(id)
+		if p == nil {
+			t.Fatalf("no corpus entry %s", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			prog, err := Analyze(p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range prog.Deps.Deps {
+				out := prog.ExplainDep(d)
+				if !strings.Contains(out, "rule:") {
+					t.Errorf("dependence %s: no rule in provenance:\n%s", d, out)
+				}
+			}
+		})
+	}
+}
+
+// TestExplainVarFacade: the string-keyed facade resolves both base
+// names and exact SSA names.
+func TestExplainVarFacade(t *testing.T) {
+	prog, err := AnalyzeWith(quickstartProgram, Options{SkipDependences: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBase := prog.Explain("j")
+	if byBase == "" || !strings.Contains(byBase, "rule:") {
+		t.Fatalf("Explain(j) = %q", byBase)
+	}
+	if prog.Explain("definitely-not-a-var") != "" {
+		t.Error("Explain of unknown variable should be empty")
+	}
+}
+
+// TestDecisionLogCoverage: the recorder's decision log holds one event
+// per SCR classification, so the counters and the log agree.
+func TestDecisionLogCoverage(t *testing.T) {
+	rec := obs.New()
+	if _, err := AnalyzeWith(quickstartProgram, Options{Obs: rec}); err != nil {
+		t.Fatal(err)
+	}
+	scrs := rec.CounterTotal("iv.scr.")
+	var ivDecisions int64
+	for _, d := range rec.Decisions() {
+		if !strings.Contains(d.Subject, "->") && !strings.Contains(d.Subject, " vs ") {
+			ivDecisions++
+		}
+	}
+	if ivDecisions < scrs {
+		t.Errorf("iv decisions %d < SCR counter total %d: classifications missing from the log", ivDecisions, scrs)
+	}
+}
+
+// TestDependOptionsObs: the dependence tester alone also records.
+func TestDependOptionsObs(t *testing.T) {
+	prog, err := AnalyzeWith(quickstartProgram, Options{SkipDependences: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	depend.Analyze(prog.IV, depend.Options{Obs: rec})
+	if rec.Counter("depend.pairs.tested") == 0 {
+		t.Error("dependence run recorded no tested pairs")
+	}
+}
