@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race bench repro clean
+.PHONY: check build vet test test-race bench repro fuzz-smoke clean
 
 # The full gate: what CI (and every PR) must pass.
 check: build vet test-race
@@ -23,6 +23,13 @@ bench:
 # Re-derive every figure and table of the paper.
 repro:
 	$(GO) run ./cmd/paperrepro -q
+
+# Short fuzzing pass over each target; CI runs this on every PR.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -fuzz FuzzAnalyze -fuzztime $(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz FuzzInterpreters -fuzztime $(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz FuzzRun -fuzztime $(FUZZTIME) -run '^$$' .
 
 clean:
 	$(GO) clean ./...

@@ -33,9 +33,12 @@ package beyondiv
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 
+	"beyondiv/internal/ast"
 	"beyondiv/internal/cfgbuild"
 	"beyondiv/internal/depend"
+	"beyondiv/internal/guard"
 	"beyondiv/internal/interp"
 	"beyondiv/internal/ir"
 	"beyondiv/internal/iv"
@@ -44,6 +47,7 @@ import (
 	"beyondiv/internal/parse"
 	"beyondiv/internal/sccp"
 	"beyondiv/internal/ssa"
+	"beyondiv/internal/token"
 )
 
 // Program is a fully analyzed program.
@@ -73,6 +77,94 @@ type Options struct {
 	// events across every pipeline stage (see internal/obs). Nil keeps
 	// telemetry off at no cost.
 	Obs *obs.Recorder
+	// Limits bounds the resources the analysis may consume on hostile
+	// input (source size, nesting depth, IR size, loop depth, per-phase
+	// work). Zero fields take guard.Default ceilings; set a field to
+	// guard.Unlimited to disable one check explicitly. A ceiling hit
+	// surfaces as a *Error, never as a hang or a crash.
+	Limits guard.Limits
+}
+
+// Error is the structured failure of one pipeline phase. Every error
+// AnalyzeWith returns is one of these: input diagnostics (scan/parse)
+// carry a Pos, resource-ceiling hits wrap a *guard.LimitError, and
+// contained panics — internal faults that would otherwise crash the
+// caller — carry the panicking goroutine's Stack.
+type Error struct {
+	Phase string    // pipeline phase that failed: "scan", "parse", ..., "depend"
+	Pos   token.Pos // source position, when the failure is an input diagnostic
+	Err   error     // underlying cause
+	Stack []byte    // stack trace of a contained panic; nil otherwise
+}
+
+// Error renders "phase: cause"; input diagnostics keep their
+// "line:col: message" form inside the cause.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %v", e.Phase, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// runPhase runs one pipeline phase with fault containment: any panic —
+// a guard ceiling hit, an injected test fault, or a genuine bug — is
+// converted into a *Error instead of escaping the facade, and an error
+// return is wrapped the same way. Telemetry spans opened inside the
+// phase have deferred End calls, which run during panic unwinding, so
+// a contained failure still leaves spans and counters recorded up to
+// the point of the fault.
+func runPhase(lim guard.Limits, phase string, fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = contained(phase, p)
+		}
+	}()
+	// The parse phase fires its own finer-grained hooks ("scan", then
+	// "parse") inside parse.FileGuarded.
+	if phase != "parse" {
+		lim.Inject.Fire(phase)
+	}
+	if ferr := fn(); ferr != nil {
+		return wrapError(phase, ferr)
+	}
+	return nil
+}
+
+// contained converts a recovered panic value into a *Error. Typed
+// guard payloads carry their own phase attribution (a limit hit deep
+// in a shared helper may belong to an earlier-named phase than the one
+// whose wrapper caught it).
+func contained(phase string, p any) *Error {
+	switch v := p.(type) {
+	case *guard.LimitError:
+		if v.Phase != "" {
+			phase = v.Phase
+		}
+		return &Error{Phase: phase, Err: v}
+	case *guard.Fault:
+		if v.Phase != "" {
+			phase = v.Phase
+		}
+		return &Error{Phase: phase, Err: v, Stack: debug.Stack()}
+	case error:
+		return &Error{Phase: phase, Err: v, Stack: debug.Stack()}
+	default:
+		return &Error{Phase: phase, Err: fmt.Errorf("panic: %v", v), Stack: debug.Stack()}
+	}
+}
+
+// wrapError wraps a phase's error return, lifting structured details:
+// the phase a *guard.LimitError names wins over the wrapper's label,
+// and the first positioned diagnostic contributes Pos.
+func wrapError(phase string, err error) *Error {
+	var le *guard.LimitError
+	if errors.As(err, &le) && le.Phase != "" {
+		phase = le.Phase
+	}
+	e := &Error{Phase: phase, Err: err}
+	var pe *token.PosError
+	if errors.As(err, &pe) {
+		e.Pos = pe.Pos
+	}
+	return e
 }
 
 // Analyze parses and analyzes a program.
@@ -81,36 +173,88 @@ func Analyze(source string) (*Program, error) {
 }
 
 // AnalyzeWith parses and analyzes a program with options.
+//
+// On hostile or malformed input it never panics and never hangs: every
+// phase runs under opts.Limits with panic containment, and any failure
+// — syntax error, resource-ceiling hit, or contained internal fault —
+// is returned as a *Error identifying the phase.
 func AnalyzeWith(source string, opts Options) (*Program, error) {
 	rec := opts.Obs
+	lim := opts.Limits.Normalize()
 	span := rec.Phase("analyze")
 	defer span.End()
-	file, err := parse.FileWithObs(source, rec)
-	if err != nil {
+
+	var file *ast.File
+	if err := runPhase(lim, "parse", func() (perr error) {
+		file, perr = parse.FileGuarded(source, rec, lim)
+		return perr
+	}); err != nil {
 		return nil, err
 	}
-	res := cfgbuild.BuildWithObs(file, rec)
-	info := ssa.BuildWithObs(res.Func, rec)
-	if errs := ssa.Verify(info); len(errs) != 0 {
-		// Internal invariant; surface every violation.
-		return nil, errors.Join(errs...)
+
+	var res *cfgbuild.Result
+	if err := runPhase(lim, "cfgbuild", func() error {
+		res = cfgbuild.BuildGuarded(file, rec, lim)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	forest := loops.AnalyzeWithObs(res.Func, info.Dom, rec)
-	labels := map[*ir.Block]string{}
-	for _, li := range res.Loops {
-		labels[li.Header] = li.Label
+
+	var info *ssa.Info
+	if err := runPhase(lim, "ssa", func() error {
+		info = ssa.BuildGuarded(res.Func, rec, lim)
+		if errs := ssa.Verify(info); len(errs) != 0 {
+			// Internal invariant; surface every violation.
+			return errors.Join(errs...)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	forest.AttachLabels(labels)
-	consts := sccp.RunWithObs(info, rec)
-	ivOpts := opts.IV
-	ivOpts.Obs = rec
-	analysis := iv.AnalyzeWithOptions(info, forest, consts, ivOpts)
+
+	var forest *loops.Forest
+	if err := runPhase(lim, "loops", func() error {
+		forest = loops.AnalyzeWithObs(res.Func, info.Dom, rec)
+		labels := map[*ir.Block]string{}
+		for _, li := range res.Loops {
+			labels[li.Header] = li.Label
+		}
+		forest.AttachLabels(labels)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var consts *sccp.Result
+	if err := runPhase(lim, "sccp", func() error {
+		consts = sccp.RunGuarded(info, rec, lim)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var analysis *iv.Analysis
+	if err := runPhase(lim, "iv", func() error {
+		ivOpts := opts.IV
+		ivOpts.Obs = rec
+		ivOpts.Limits = lim
+		analysis = iv.AnalyzeWithOptions(info, forest, consts, ivOpts)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
 	p := &Program{IV: analysis, SSA: info, Loops: forest}
 	if !opts.SkipDependences {
-		depOpts := opts.Dependences
-		depOpts.Obs = rec
-		p.Deps = depend.Analyze(analysis, depOpts)
+		if err := runPhase(lim, "depend", func() error {
+			depOpts := opts.Dependences
+			depOpts.Obs = rec
+			depOpts.Limits = lim
+			p.Deps = depend.Analyze(analysis, depOpts)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }
@@ -167,4 +311,11 @@ func (p *Program) ExplainAllDeps() string {
 // experimenting with the examples.
 func (p *Program) Run(params map[string]int64) (*interp.Result, error) {
 	return interp.RunSSA(p.SSA, interp.Config{Params: params})
+}
+
+// RunSteps is Run with an explicit execution-step ceiling, for driving
+// untrusted programs: execution stops with an error once maxSteps
+// instructions have run (0 means the interpreter's default budget).
+func (p *Program) RunSteps(params map[string]int64, maxSteps int) (*interp.Result, error) {
+	return interp.RunSSA(p.SSA, interp.Config{Params: params, MaxSteps: maxSteps})
 }

@@ -143,7 +143,4 @@ func countMuls(info *ssa.Info) int {
 	return muls
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bivopt:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal("bivopt", err) }

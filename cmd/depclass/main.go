@@ -98,7 +98,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "depclass:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal("depclass", err) }

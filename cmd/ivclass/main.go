@@ -92,7 +92,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ivclass:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal("ivclass", err) }

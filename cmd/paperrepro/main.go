@@ -39,8 +39,7 @@ func main() {
 	tel.RegisterFlags()
 	flag.Parse()
 	if err := tel.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "paperrepro:", err)
-		os.Exit(1)
+		cliutil.Fatal("paperrepro", err)
 	}
 	failures := 0
 	type row struct {
@@ -74,8 +73,7 @@ func main() {
 		}
 	}
 	if err := tel.Finish(os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "paperrepro:", err)
-		os.Exit(1)
+		cliutil.Fatal("paperrepro", err)
 	}
 	if failures > 0 {
 		fmt.Printf("\n%d MISMATCHES\n", failures)

@@ -1,6 +1,8 @@
 package beyondiv
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"beyondiv/internal/interp"
@@ -32,9 +34,34 @@ var fuzzSeeds = []string{
 	"\x00\xff", // scanner garbage
 }
 
-// FuzzAnalyze throws arbitrary bytes at the full pipeline.
+// adversarialSeeds are inputs crafted against the hardened front end:
+// resource exhaustion (deep nesting, huge loops, exponent blow-ups)
+// and int64 edge cases. With default guard.Limits in force each must
+// finish quickly with a clean result or a structured error.
+func adversarialSeeds() []string {
+	return []string{
+		"k = 7 ** 99",                         // fold would overflow int64
+		"k = 2 ** 9223372036854775807",        // naive pow loop would never return
+		"x = 9223372036854775807 + 1",         // MaxInt64 overflow in folding
+		"x = (0 - 9223372036854775807) / -1",  // near-MinInt64 division
+		"for i = 0 to 9223372036854775807 { a[i] = i }",    // 2^63 iterations
+		"s = 0\nfor i = 1 to 5 { s = s + 4611686018427387904\na[s] = i }", // wrapping sum subscript
+		"L1: for i = 1 to 10 { a[4611686018427387904 * i] = a[2305843009213693952 * i] }",
+		"loop { x = x + 1 }", // no exit: interp step limits must hold
+		strings.Repeat("if x < 1 { ", 200) + "y = 1" + strings.Repeat(" }", 200), // deep statement nest
+		"z = " + strings.Repeat("(", 150) + "1" + strings.Repeat(")", 150),       // deep expression nest
+		"w = 1" + strings.Repeat(" + 1", 400),                                    // wide expression
+	}
+}
+
+// FuzzAnalyze throws arbitrary bytes at the full pipeline. Analyze
+// enforces guard.Default limits, so hostile input must produce a
+// structured error or a sound result — never a panic or a hang.
 func FuzzAnalyze(f *testing.F) {
 	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	for _, s := range adversarialSeeds() {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
@@ -43,10 +70,42 @@ func FuzzAnalyze(f *testing.F) {
 		}
 		prog, err := Analyze(src)
 		if err != nil {
-			return // parse/verify errors are fine; panics are not
+			var e *Error
+			if !errors.As(err, &e) {
+				t.Fatalf("unstructured error %T: %v", err, err)
+			}
+			return // structured errors are fine; panics are not
 		}
 		_ = prog.ClassificationReport()
 		_ = prog.DependenceReport()
+	})
+}
+
+// FuzzRun drives Program.Run on analyzed fuzz inputs under an explicit
+// step ceiling: execution must terminate (result, runtime error, or
+// ErrStepLimit) and never panic, whatever the program does.
+func FuzzRun(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s, int64(6))
+	}
+	for _, s := range adversarialSeeds() {
+		f.Add(s, int64(3))
+	}
+	f.Fuzz(func(t *testing.T, src string, n int64) {
+		if len(src) > 1<<12 {
+			return
+		}
+		prog, err := AnalyzeWith(src, Options{SkipDependences: true})
+		if err != nil {
+			return
+		}
+		res, err := prog.RunSteps(map[string]int64{"n": n, "m": n}, 20_000)
+		if err != nil {
+			return // step-limit and runtime errors are the contract
+		}
+		if res == nil {
+			t.Fatalf("nil result with nil error")
+		}
 	})
 }
 
@@ -54,6 +113,9 @@ func FuzzAnalyze(f *testing.F) {
 // under the AST and SSA interpreters (within a small budget).
 func FuzzInterpreters(f *testing.F) {
 	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	for _, s := range adversarialSeeds() {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {

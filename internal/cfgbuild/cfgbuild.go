@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"beyondiv/internal/ast"
+	"beyondiv/internal/guard"
 	"beyondiv/internal/ir"
 	"beyondiv/internal/obs"
 	"beyondiv/internal/token"
@@ -58,6 +59,15 @@ type builder struct {
 	// exitTargets is the stack of after-blocks for enclosing loops.
 	exitTargets []*ir.Block
 	nextLabel   int
+	// maxValues caps how many IR values lowering may create; zero is
+	// unchecked. See BuildGuarded.
+	maxValues int
+}
+
+// checkSize enforces the IR-value ceiling; called per statement and per
+// expression node so hostile input is cut off close to the ceiling.
+func (b *builder) checkSize() {
+	guard.Check("cfgbuild", "IR values", int64(b.f.NumValues()), int64(b.maxValues))
 }
 
 // Build lowers a parsed file.
@@ -66,9 +76,18 @@ func Build(file *ast.File) *Result { return BuildWithObs(file, nil) }
 // BuildWithObs is Build with telemetry: a "cfgbuild" phase span plus
 // block and value counters. rec may be nil.
 func BuildWithObs(file *ast.File, rec *obs.Recorder) *Result {
+	return BuildGuarded(file, rec, guard.Limits{})
+}
+
+// BuildGuarded is BuildWithObs under resource limits: lowering stops
+// (by panicking with a *guard.LimitError, contained at the facade)
+// once the function holds more than lim.MaxSSAValues IR values.
+// Recursion depth needs no separate ceiling here — the parser already
+// bounds AST depth.
+func BuildGuarded(file *ast.File, rec *obs.Recorder, lim guard.Limits) *Result {
 	span := rec.Phase("cfgbuild")
 	defer span.End()
-	b := &builder{f: ir.NewFunc()}
+	b := &builder{f: ir.NewFunc(), maxValues: lim.MaxSSAValues}
 	entry := b.f.NewBlock(ir.BlockPlain)
 	entry.Comment = "entry"
 	b.f.Entry = entry
@@ -143,6 +162,7 @@ func (b *builder) label(explicit string) string {
 }
 
 func (b *builder) stmt(s ast.Stmt) {
+	b.checkSize()
 	switch v := s.(type) {
 	case *ast.Assign:
 		b.assign(v)
@@ -197,6 +217,7 @@ func (b *builder) assign(a *ast.Assign) {
 }
 
 func (b *builder) expr(e ast.Expr) *ir.Value {
+	b.checkSize()
 	blk := b.block()
 	switch v := e.(type) {
 	case *ast.Num:

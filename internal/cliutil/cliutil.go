@@ -5,6 +5,7 @@
 package cliutil
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -13,8 +14,25 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"beyondiv"
 	"beyondiv/internal/obs"
 )
+
+// Fatal prints err prefixed with the tool name and exits with a status
+// that distinguishes failure classes: 2 for a contained internal fault
+// (a *beyondiv.Error carrying a panic stack — a bug in the analyzer,
+// not in the input), 1 for everything else (syntax errors,
+// resource-ceiling hits, I/O failures). Structured errors already
+// render their phase and source position.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	var be *beyondiv.Error
+	if errors.As(err, &be) && be.Stack != nil {
+		fmt.Fprintf(os.Stderr, "%s: internal fault contained; stack:\n%s", tool, be.Stack)
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
 
 // Telemetry bundles the telemetry flags of one command. Register the
 // flags before flag.Parse, call Start after it, run the analysis with

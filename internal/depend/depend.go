@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"beyondiv/internal/guard"
 	"beyondiv/internal/ir"
 	"beyondiv/internal/iv"
 	"beyondiv/internal/loops"
@@ -187,6 +188,11 @@ type Options struct {
 	// counters (depend.test.<name>.<outcome>) and per-edge provenance
 	// events. Nil disables telemetry at no cost.
 	Obs *obs.Recorder
+	// Limits bounds the tester's work: a step budget charged per pair
+	// and per direction-vector test. Ceiling hits panic with a
+	// *guard.LimitError, contained at the facade. The zero value is
+	// unchecked.
+	Limits guard.Limits
 }
 
 func (o Options) maxExact() int {
@@ -218,7 +224,7 @@ func Analyze(a *iv.Analysis, opts Options) *Result {
 	}
 	sort.Strings(arrays)
 
-	tester := &tester{a: a, opts: opts}
+	tester := &tester{a: a, opts: opts, budget: opts.Limits.Budget("depend")}
 	for _, name := range arrays {
 		list := byArray[name]
 		for i := 0; i < len(list); i++ {

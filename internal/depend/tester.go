@@ -5,16 +5,27 @@ import (
 	"strings"
 
 	"beyondiv/internal/dom"
+	"beyondiv/internal/guard"
 	"beyondiv/internal/ir"
 	"beyondiv/internal/iv"
 	"beyondiv/internal/loops"
 	"beyondiv/internal/rational"
+	"beyondiv/internal/safemath"
 )
 
 // tester holds per-analysis state for pair testing.
+//
+// All the equation arithmetic below is overflow-checked, and every
+// overflow degrades in the conservative direction for a dependence
+// tester: "assume dependence" (or "drop the distance/exactness
+// refinement"), never "proven independent". An unchecked wraparound
+// here would not crash — it would silently flip a verdict, which is
+// the worst failure mode an analysis that licenses loop transformations
+// can have.
 type tester struct {
-	a    *iv.Analysis
-	opts Options
+	a      *iv.Analysis
+	opts   Options
+	budget *guard.Budget
 	// pdom is the postdominator tree, built on first use (§5.4).
 	pdom *dom.Tree
 }
@@ -55,6 +66,7 @@ func (t *tester) strictAtSite(ac *Access, cls *iv.Classification) bool {
 // It returns the dependences found (possibly empty) and whether the
 // pair was proven independent.
 func (t *tester) testPair(A, B *Access) ([]*Dependence, bool) {
+	t.budget.Step()
 	// An access inside a loop proven to run zero times never executes.
 	for _, ac := range []*Access{A, B} {
 		for l := ac.Loop; l != nil; l = l.Parent {
@@ -522,24 +534,8 @@ func (t *tester) exactDistance(eq *equation) ([]int64, bool) {
 	if nd == 0 || len(eq.per) > 0 {
 		return nil, false
 	}
-	size := 1
-	for i := 0; i < nd; i++ {
-		if eq.ubA[i] == nil || eq.ubB[i] == nil {
-			return nil, false
-		}
-		size *= (int(*eq.ubA[i]) + 1) * (int(*eq.ubB[i]) + 1)
-		if size > t.opts.maxExact() || size <= 0 {
-			return nil, false
-		}
-	}
-	for _, s := range eq.solos {
-		if s.lo == nil || s.hi == nil {
-			return nil, false
-		}
-		size *= int(*s.hi - *s.lo + 1)
-		if size > t.opts.maxExact() || size <= 0 {
-			return nil, false
-		}
+	if _, ok := t.boxSize(eq); !ok || !sumBoundOK(eq) {
+		return nil, false
 	}
 
 	ha := make([]int64, nd)
@@ -663,8 +659,16 @@ func (t *tester) buildEquation(A, B *Access, fa, fb *iv.IterForm, common []*loop
 	}
 
 	// Collect all rationals to scale to integers.
+	okAll := true
 	den := int64(1)
-	scale := func(r rational.Rat) { den = lcm(den, r.Den()) }
+	scale := func(r rational.Rat) {
+		d, ok := lcm(den, r.Den())
+		if !ok {
+			okAll = false
+			return
+		}
+		den = d
+	}
 	scale(fa.Const)
 	scale(fb.Const)
 	for _, c := range fa.Coeffs {
@@ -690,7 +694,6 @@ func (t *tester) buildEquation(A, B *Access, fa, fb *iv.IterForm, common []*loop
 		ubA: make([]*int64, len(common)),
 		ubB: make([]*int64, len(common)),
 	}
-	okAll := true
 	take := func(r rational.Rat) int64 {
 		v, ok := toInt(r)
 		if !ok {
@@ -715,7 +718,15 @@ func (t *tester) buildEquation(A, B *Access, fa, fb *iv.IterForm, common []*loop
 			if _, ok := inCommon[l]; ok {
 				continue
 			}
-			v := variable{coeff: sign * take(f.Coeffs[l]), lo: &zero}
+			c := take(f.Coeffs[l])
+			if sign < 0 {
+				n, ok := safemath.Neg(c)
+				if !ok {
+					okAll = false
+				}
+				c = n
+			}
+			v := variable{coeff: c, lo: &zero}
 			if u, ok := t.iterBound(l, ac); ok {
 				v.hi = u
 			}
@@ -729,10 +740,18 @@ func (t *tester) buildEquation(A, B *Access, fa, fb *iv.IterForm, common []*loop
 	// unbounded integers (conservative).
 	syms := map[*ir.Value]int64{}
 	for v, c := range fa.Syms {
-		syms[v] += take(c)
+		s, ok := safemath.Add(syms[v], take(c))
+		if !ok {
+			okAll = false
+		}
+		syms[v] = s
 	}
 	for v, c := range fb.Syms {
-		syms[v] -= take(c)
+		s, ok := safemath.Sub(syms[v], take(c))
+		if !ok {
+			okAll = false
+		}
+		syms[v] = s
 	}
 	for _, c := range syms {
 		if c != 0 {
@@ -771,10 +790,11 @@ func (t *tester) buildEquation(A, B *Access, fa, fb *iv.IterForm, common []*loop
 
 	ka := take(fa.Const)
 	kb := take(fb.Const)
-	eq.rhs = kb - ka
-	if !okAll {
+	rhs, ok := safemath.Sub(kb, ka)
+	if !ok || !okAll {
 		return nil, false
 	}
+	eq.rhs = rhs
 	eq.text = renderEquation(fa, fb)
 	return eq, true
 }
@@ -821,12 +841,15 @@ func renderEquation(fa, fb *iv.IterForm) string {
 	return sa + " = " + sb
 }
 
-func lcm(a, b int64) int64 {
+// lcm returns the least common multiple, reporting ok=false when it
+// does not fit in int64 — buildEquation then abandons the affine form
+// and the pair is assumed dependent.
+func lcm(a, b int64) (int64, bool) {
 	if a == 0 || b == 0 {
-		return 1
+		return 1, true
 	}
 	g := gcd(a, b)
-	return a / g * b
+	return safemath.Mul(a/g, b)
 }
 
 func gcd(a, b int64) int64 {
@@ -846,6 +869,7 @@ func gcd(a, b int64) int64 {
 // is small, otherwise GCD plus Banerjee interval bounds (conservative:
 // may say yes when no solution exists, never the reverse).
 func (t *tester) feasible(eq *equation, common []*loops.Loop, psi []Dir) bool {
+	t.budget.Step()
 	if len(eq.per) > 0 {
 		return t.feasibleWithSlots(eq, psi)
 	}
@@ -858,7 +882,10 @@ func (t *tester) feasible(eq *equation, common []*loops.Loop, psi []Dir) bool {
 		return ok
 	}
 	eq.method = "gcd+banerjee"
-	vars := substitute(eq, psi)
+	vars, ok := substitute(eq, psi)
+	if !ok {
+		return true // overflow: assume dependence
+	}
 	if vars == nil {
 		return false
 	}
@@ -896,14 +923,21 @@ type substituted struct {
 //	<  : hA = hB - 1 - s, s ≥ 0   coeffs (ca-cb) on hB∈[1,U], -ca on s
 //	>  : hA = hB + 1 + s, s ≥ 0   coeffs (ca-cb) on hB∈[0,U-1], +ca on s
 //
-// Returns nil when a bound makes the direction impossible (e.g. < in a
-// single-iteration loop).
-func substitute(eq *equation, psi []Dir) *substituted {
-	out := &substituted{rhs: eq.rhs}
+// Returns out=nil with ok=true when a bound makes the direction
+// impossible (e.g. < in a single-iteration loop), and ok=false when the
+// substitution arithmetic overflows — the caller must then treat the
+// direction as feasible (assume dependence), which is the opposite of
+// the nil-out case, so the two must not be conflated.
+func substitute(eq *equation, psi []Dir) (out *substituted, ok bool) {
+	out = &substituted{rhs: eq.rhs}
 	zero := int64(0)
 	one := int64(1)
 	for i := range eq.ca {
 		ca, cb := eq.ca[i], eq.cb[i]
+		diff, okD := safemath.Sub(ca, cb)
+		if !okD {
+			return nil, false
+		}
 		ubA, ubB := eq.ubA[i], eq.ubB[i]
 		switch psi[i] {
 		case DirEQ:
@@ -912,22 +946,27 @@ func substitute(eq *equation, psi []Dir) *substituted {
 			if ub == nil || (ubB != nil && *ubB < *ub) {
 				ub = ubB
 			}
-			out.vars = append(out.vars, variable{coeff: ca - cb, lo: &zero, hi: ub})
+			out.vars = append(out.vars, variable{coeff: diff, lo: &zero, hi: ub})
 		case DirLT:
 			// hA = hB - 1 - s: hB ≥ 1, s ≥ 0.
 			if ubB != nil && *ubB < 1 {
-				return nil
+				return nil, true
 			}
 			if ubA != nil && *ubA < 0 {
-				return nil
+				return nil, true
 			}
-			out.vars = append(out.vars, variable{coeff: ca - cb, lo: &one, hi: ubB})
-			out.vars = append(out.vars, variable{coeff: -ca, lo: &zero, hi: ubA})
-			out.rhs += ca
+			negCA, okN := safemath.Neg(ca)
+			rhs, okR := safemath.Add(out.rhs, ca)
+			if !okN || !okR {
+				return nil, false
+			}
+			out.vars = append(out.vars, variable{coeff: diff, lo: &one, hi: ubB})
+			out.vars = append(out.vars, variable{coeff: negCA, lo: &zero, hi: ubA})
+			out.rhs = rhs
 		case DirGT:
 			// hA = hB + 1 + s: hB ≤ ubB and hA ≤ ubA ⇒ hB ≤ ubA-1 too.
 			if ubA != nil && *ubA < 1 {
-				return nil
+				return nil, true
 			}
 			hiB := ubB
 			if ubA != nil {
@@ -936,13 +975,17 @@ func substitute(eq *equation, psi []Dir) *substituted {
 					hiB = &u
 				}
 			}
-			out.vars = append(out.vars, variable{coeff: ca - cb, lo: &zero, hi: hiB})
+			rhs, okR := safemath.Sub(out.rhs, ca)
+			if !okR {
+				return nil, false
+			}
+			out.vars = append(out.vars, variable{coeff: diff, lo: &zero, hi: hiB})
 			out.vars = append(out.vars, variable{coeff: ca, lo: &zero, hi: ubA})
-			out.rhs -= ca
+			out.rhs = rhs
 		}
 	}
 	out.vars = append(out.vars, eq.solos...)
-	return out
+	return out, true
 }
 
 type extreme struct {
@@ -950,9 +993,15 @@ type extreme struct {
 	finite bool
 }
 
-// interval sums per-variable contribution ranges.
+// interval sums per-variable contribution ranges. A product or sum
+// that overflows widens that side to infinity — the Banerjee exclusion
+// then cannot fire on it, which is the conservative direction.
 func interval(vars []variable) (lo, hi extreme) {
 	lo, hi = extreme{0, true}, extreme{0, true}
+	mul := func(a, b int64) extreme {
+		v, ok := safemath.Mul(a, b)
+		return extreme{v, ok}
+	}
 	for _, v := range vars {
 		if v.coeff == 0 {
 			continue
@@ -960,22 +1009,34 @@ func interval(vars []variable) (lo, hi extreme) {
 		var vlo, vhi extreme
 		switch {
 		case v.lo != nil && v.hi != nil:
-			a, b := v.coeff*(*v.lo), v.coeff*(*v.hi)
-			if a > b {
+			a, b := mul(v.coeff, *v.lo), mul(v.coeff, *v.hi)
+			if a.finite && b.finite && a.v > b.v {
 				a, b = b, a
+			} else if a.finite != b.finite {
+				// One end overflowed: keep only the finite end on the
+				// side a positive/negative coefficient sends it to.
+				fin := a
+				if b.finite {
+					fin = b
+				}
+				if (v.coeff > 0) == (fin == a) {
+					a, b = fin, extreme{}
+				} else {
+					a, b = extreme{}, fin
+				}
 			}
-			vlo, vhi = extreme{a, true}, extreme{b, true}
+			vlo, vhi = a, b
 		case v.lo != nil: // [lo, +inf)
 			if v.coeff > 0 {
-				vlo, vhi = extreme{v.coeff * (*v.lo), true}, extreme{}
+				vlo, vhi = mul(v.coeff, *v.lo), extreme{}
 			} else {
-				vlo, vhi = extreme{}, extreme{v.coeff * (*v.lo), true}
+				vlo, vhi = extreme{}, mul(v.coeff, *v.lo)
 			}
 		case v.hi != nil: // (-inf, hi]
 			if v.coeff > 0 {
-				vlo, vhi = extreme{}, extreme{v.coeff * (*v.hi), true}
+				vlo, vhi = extreme{}, mul(v.coeff, *v.hi)
 			} else {
-				vlo, vhi = extreme{v.coeff * (*v.hi), true}, extreme{}
+				vlo, vhi = mul(v.coeff, *v.hi), extreme{}
 			}
 		default:
 			vlo, vhi = extreme{}, extreme{}
@@ -990,39 +1051,124 @@ func addExtreme(a, b extreme) extreme {
 	if !a.finite || !b.finite {
 		return extreme{}
 	}
-	return extreme{a.v + b.v, true}
+	v, ok := safemath.Add(a.v, b.v)
+	if !ok {
+		return extreme{}
+	}
+	return extreme{v, true}
+}
+
+// mulCap multiplies box dimensions with overflow checking, failing when
+// the product leaves the exact-enumeration ceiling.
+func mulCap(size, n, cap int64) (int64, bool) {
+	p, ok := safemath.Mul(size, n)
+	if !ok || p > cap {
+		return 0, false
+	}
+	return p, true
+}
+
+// boxSize computes the equation's enumeration-box size. ok=false means
+// the box is unbounded, or its size overflows or exceeds the exact
+// ceiling; the enumerators must then decline (the unchecked version of
+// this product could wrap to a small positive number and license an
+// effectively unbounded enumeration — a denial of service). A size of
+// zero means some dimension is genuinely empty.
+func (t *tester) boxSize(eq *equation) (int64, bool) {
+	max := int64(t.opts.maxExact())
+	size := int64(1)
+	dim := func(lo, hi int64) bool {
+		if hi < lo {
+			size = 0
+			return true
+		}
+		n, ok := safemath.Sub(hi, lo)
+		if ok {
+			n, ok = safemath.Add(n, 1)
+		}
+		if ok {
+			size, ok = mulCap(size, n, max)
+		}
+		return ok
+	}
+	for i := range eq.ca {
+		if eq.ubA[i] == nil || eq.ubB[i] == nil {
+			return 0, false
+		}
+		if !dim(0, *eq.ubA[i]) || !dim(0, *eq.ubB[i]) {
+			return 0, false
+		}
+	}
+	for _, s := range eq.solos {
+		if s.lo == nil || s.hi == nil {
+			return 0, false
+		}
+		if !dim(*s.lo, *s.hi) {
+			return 0, false
+		}
+	}
+	return size, true
+}
+
+// sumBoundOK reports whether every partial sum the enumerators compute
+// over the equation's box provably fits in int64, so their inner loops
+// can use raw arithmetic. The bound is Σ |c|·max|var| over every term;
+// any overflow while computing the bound itself counts as "not provably
+// safe" and the enumerators decline.
+func sumBoundOK(eq *equation) bool {
+	total := int64(0)
+	add := func(c, ub int64) bool {
+		a, ok := safemath.Abs(c)
+		if ok {
+			a, ok = safemath.Mul(a, ub)
+		}
+		if ok {
+			total, ok = safemath.Add(total, a)
+		}
+		return ok
+	}
+	for i := range eq.ca {
+		if eq.ubA[i] == nil || eq.ubB[i] == nil {
+			return false
+		}
+		if *eq.ubA[i] < 0 || *eq.ubB[i] < 0 {
+			continue // empty dimension: never enumerated
+		}
+		if !add(eq.ca[i], *eq.ubA[i]) || !add(eq.cb[i], *eq.ubB[i]) {
+			return false
+		}
+	}
+	for _, s := range eq.solos {
+		if s.lo == nil || s.hi == nil {
+			return false
+		}
+		m, ok := safemath.Abs(*s.lo)
+		if !ok {
+			return false
+		}
+		m2, ok := safemath.Abs(*s.hi)
+		if !ok {
+			return false
+		}
+		if m2 > m {
+			m = m2
+		}
+		if !add(s.coeff, m) {
+			return false
+		}
+	}
+	return true
 }
 
 // exactFeasible enumerates the full iteration box when it is small and
 // fully bounded with no symbolic variables. Returns (answer, applied).
 func (t *tester) exactFeasible(eq *equation, psi []Dir) (bool, bool) {
-	size := 1
-	for i := range eq.ca {
-		if eq.ubA[i] == nil || eq.ubB[i] == nil {
-			return false, false
-		}
-		na := int(*eq.ubA[i]) + 1
-		nb := int(*eq.ubB[i]) + 1
-		if na <= 0 || nb <= 0 {
-			return false, true
-		}
-		size *= na * nb
-		if size > t.opts.maxExact() {
-			return false, false
-		}
+	size, ok := t.boxSize(eq)
+	if !ok || !sumBoundOK(eq) {
+		return false, false
 	}
-	for _, s := range eq.solos {
-		if s.lo == nil || s.hi == nil {
-			return false, false
-		}
-		n := int(*s.hi - *s.lo + 1)
-		if n <= 0 {
-			return false, true
-		}
-		size *= n
-		if size > t.opts.maxExact() {
-			return false, false
-		}
+	if size == 0 {
+		return false, true // an empty dimension: nothing ever executes
 	}
 	eq.method = "exact"
 
@@ -1122,7 +1268,12 @@ func (t *tester) testPolynomial(A, B *Access, ca, cb *iv.Classification) ([]*Dep
 	if !okA || !okB {
 		return nil, false
 	}
-	if (*ubA+1)*(*ubB+1) > int64(t.opts.maxExact()) {
+	na, okNA := safemath.Add(*ubA, 1)
+	nb, okNB := safemath.Add(*ubB, 1)
+	if !okNA || !okNB {
+		return nil, false
+	}
+	if sz, ok := safemath.Mul(na, nb); !ok || sz > int64(t.opts.maxExact()) {
 		return nil, false
 	}
 
@@ -1227,7 +1378,8 @@ func (t *tester) deltaApplicable(eq *equation) bool {
 	if len(eq.solos) != 0 || len(eq.ca) == 0 {
 		return false
 	}
-	size := 1
+	max := int64(t.opts.maxExact())
+	size := int64(1)
 	for i := range eq.ca {
 		if eq.ca[i] != eq.cb[i] {
 			return false
@@ -1235,12 +1387,18 @@ func (t *tester) deltaApplicable(eq *equation) bool {
 		if eq.ubA[i] == nil || eq.ubB[i] == nil {
 			return false
 		}
-		size *= int(*eq.ubA[i] + *eq.ubB[i] + 1)
-		if size > t.opts.maxExact() || size <= 0 {
+		n, ok := safemath.Add(*eq.ubA[i], *eq.ubB[i])
+		if ok {
+			n, ok = safemath.Add(n, 1)
+		}
+		if ok {
+			size, ok = mulCap(size, n, max)
+		}
+		if !ok || n <= 0 {
 			return false
 		}
 	}
-	return true
+	return sumBoundOK(eq)
 }
 
 // deltaSolve enumerates distance vectors d (d_k = hB_k - hA_k, each
@@ -1270,10 +1428,14 @@ func (t *tester) feasibleWithSlots(eq *equation, psi []Dir) bool {
 				c := pe.contrib[slots[i]]
 				// The term sits inside a form: formA - formB = 0 moves
 				// A-side constants negatively into rhs, B-side positively.
+				var ok bool
 				if pe.side == 0 {
-					adj -= c
+					adj, ok = safemath.Sub(adj, c)
 				} else {
-					adj += c
+					adj, ok = safemath.Add(adj, c)
+				}
+				if !ok {
+					return true // overflow: assume dependence
 				}
 				// slot ≡ (phase - h) mod p  ⇒  h ≡ (phase - slot) mod p.
 				r := ((pe.phase-slots[i])%pe.p + pe.p) % pe.p
@@ -1325,7 +1487,10 @@ func (t *tester) feasibleMods(eq *equation, psi []Dir, mods []modConstraint) boo
 		return ok
 	}
 	// Fall back to the affine machinery without the residues.
-	vars := substitute(eq, psi)
+	vars, ok := substitute(eq, psi)
+	if !ok {
+		return true // overflow: assume dependence
+	}
 	if vars == nil {
 		return false
 	}
@@ -1352,34 +1517,13 @@ func (t *tester) feasibleMods(eq *equation, psi []Dir, mods []modConstraint) boo
 
 // exactFeasibleMods is exactFeasible with per-side residue filters.
 func (t *tester) exactFeasibleMods(eq *equation, psi []Dir, mods []modConstraint) (bool, bool) {
-	size := 1
 	nd := len(eq.ca)
-	for i := 0; i < nd; i++ {
-		if eq.ubA[i] == nil || eq.ubB[i] == nil {
-			return false, false
-		}
-		na := int(*eq.ubA[i]) + 1
-		nb := int(*eq.ubB[i]) + 1
-		if na <= 0 || nb <= 0 {
-			return false, true
-		}
-		size *= na * nb
-		if size > t.opts.maxExact() {
-			return false, false
-		}
+	size, ok := t.boxSize(eq)
+	if !ok || !sumBoundOK(eq) {
+		return false, false
 	}
-	for _, s := range eq.solos {
-		if s.lo == nil || s.hi == nil {
-			return false, false
-		}
-		n := int(*s.hi - *s.lo + 1)
-		if n <= 0 {
-			return false, true
-		}
-		size *= n
-		if size > t.opts.maxExact() {
-			return false, false
-		}
+	if size == 0 {
+		return false, true // an empty dimension: nothing ever executes
 	}
 
 	okMod := func(dim int, side int, h int64) bool {

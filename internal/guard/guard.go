@@ -1,0 +1,204 @@
+// Package guard is the analysis pipeline's resource-limit and
+// fault-containment layer.
+//
+// The facade (package beyondiv) analyzes untrusted loop programs; a
+// hostile input must not be able to crash the process (panic), pin a
+// CPU forever (unbounded recursion or folding loops), or exhaust
+// memory (unbounded IR growth). guard provides:
+//
+//   - Limits: explicit ceilings on source size, nesting depth, IR/SSA
+//     size, loop-nest depth, and per-phase work, threaded through every
+//     pipeline stage as beyondiv.Options.Limits;
+//   - Budget: a per-phase step countdown that fails closed by
+//     panicking with a typed *LimitError, which the facade's phase
+//     wrapper converts into a structured *beyondiv.Error;
+//   - Inject: a test-only hook fired on entry to each guarded phase,
+//     used by the fault-injection suite to prove that every phase
+//     fails closed on both panics and limit hits.
+//
+// Limit hits deliberately travel as panics rather than error returns:
+// the enforcement points sit at the bottom of deep recursions (parser
+// descent, SCCP's worklist, the classifier's SCR walk) where threading
+// an error through every frame would distort the algorithms the
+// repository exists to present. The facade catches them at the phase
+// boundary; nothing escapes Analyze.
+package guard
+
+import "fmt"
+
+// Limits bounds the resources one analysis may consume. The zero value
+// of a field means "no limit at this enforcement point"; the facade
+// normalizes a caller's zero fields to the Default ceilings first, so
+// unlimited analysis must be requested explicitly with Unlimited.
+type Limits struct {
+	// MaxSourceBytes caps the length of the source text.
+	MaxSourceBytes int
+	// MaxNestDepth caps expression and statement nesting during
+	// parsing (and thereby every later recursion over the AST), so a
+	// thousand open parentheses become a diagnostic instead of a stack
+	// overflow.
+	MaxNestDepth int
+	// MaxSSAValues caps IR values across cfgbuild and SSA construction
+	// (φ insertion can be quadratic in the source size).
+	MaxSSAValues int
+	// MaxLoopDepth caps the loop-nest depth the classifier will walk.
+	MaxLoopDepth int
+	// MaxPhaseSteps is the per-phase work budget: SCCP worklist pops,
+	// classifier node visits, dependence pair tests.
+	MaxPhaseSteps int64
+
+	// Inject, when non-nil, is called with the phase name on entry to
+	// every guarded phase. It exists for fault-injection tests: the
+	// hook may panic (exercising panic containment) or panic with a
+	// *LimitError (exercising limit-hit handling). Production callers
+	// leave it nil.
+	Inject Inject
+}
+
+// Unlimited disables a limit explicitly when set on a Limits field
+// passed to the facade (which maps it to zero = unchecked).
+const Unlimited = -1
+
+// Default returns the production ceilings. They are generous — an
+// order of magnitude above anything the paper corpus needs — while
+// keeping worst-case work on hostile input bounded to roughly a
+// second.
+func Default() Limits {
+	return Limits{
+		MaxSourceBytes: 1 << 20,  // 1 MiB of source
+		MaxNestDepth:   4_096,    // parser recursion ceiling
+		MaxSSAValues:   1 << 20,  // ~1M IR values
+		MaxLoopDepth:   64,       // classifier loop-nest ceiling
+		MaxPhaseSteps:  50 << 20, // ~52M units of per-phase work
+	}
+}
+
+// Normalize fills zero fields from Default and maps negative
+// (Unlimited) fields to zero, the "unchecked" value at enforcement
+// points. The facade calls this once; enforcement sites then treat
+// zero as off and positive as a ceiling.
+func (l Limits) Normalize() Limits {
+	d := Default()
+	norm := func(v, def int) int {
+		switch {
+		case v < 0:
+			return 0
+		case v == 0:
+			return def
+		default:
+			return v
+		}
+	}
+	l.MaxSourceBytes = norm(l.MaxSourceBytes, d.MaxSourceBytes)
+	l.MaxNestDepth = norm(l.MaxNestDepth, d.MaxNestDepth)
+	l.MaxSSAValues = norm(l.MaxSSAValues, d.MaxSSAValues)
+	l.MaxLoopDepth = norm(l.MaxLoopDepth, d.MaxLoopDepth)
+	switch {
+	case l.MaxPhaseSteps < 0:
+		l.MaxPhaseSteps = 0
+	case l.MaxPhaseSteps == 0:
+		l.MaxPhaseSteps = d.MaxPhaseSteps
+	}
+	return l
+}
+
+// LimitError reports one resource ceiling hit. It is the panic payload
+// of Budget.Step and Check; the facade converts it into a
+// *beyondiv.Error carrying the phase.
+type LimitError struct {
+	Phase    string // pipeline phase that hit the ceiling
+	Resource string // which ceiling, e.g. "nest depth", "phase steps"
+	Limit    int64  // the configured ceiling
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("%s: %s limit exceeded (limit %d)", e.Phase, e.Resource, e.Limit)
+}
+
+// Check panics with a *LimitError when n exceeds the ceiling. A
+// ceiling of zero or less is unchecked.
+func Check(phase, resource string, n, limit int64) {
+	if limit > 0 && n > limit {
+		panic(&LimitError{Phase: phase, Resource: resource, Limit: limit})
+	}
+}
+
+// Budget is a countdown of one phase's work. A nil Budget, or one with
+// no ceiling, is unlimited. Budgets are not safe for concurrent use;
+// each phase owns its own.
+type Budget struct {
+	phase string
+	limit int64
+	left  int64
+}
+
+// Budget returns a step budget for the named phase from MaxPhaseSteps.
+func (l Limits) Budget(phase string) *Budget {
+	return &Budget{phase: phase, limit: l.MaxPhaseSteps, left: l.MaxPhaseSteps}
+}
+
+// Step consumes one unit of work, panicking with a *LimitError once
+// the budget is exhausted.
+func (b *Budget) Step() {
+	if b == nil || b.limit <= 0 {
+		return
+	}
+	b.left--
+	if b.left < 0 {
+		panic(&LimitError{Phase: b.phase, Resource: "phase steps", Limit: b.limit})
+	}
+}
+
+// Steps consumes n units of work at once.
+func (b *Budget) Steps(n int64) {
+	if b == nil || b.limit <= 0 {
+		return
+	}
+	b.left -= n
+	if b.left < 0 {
+		panic(&LimitError{Phase: b.phase, Resource: "phase steps", Limit: b.limit})
+	}
+}
+
+// Inject is the fault-injection hook type: called with each guarded
+// phase's name on entry. See Limits.Inject.
+type Inject func(phase string)
+
+// Fire invokes the hook if set; safe on a nil hook, so phase code
+// calls it unconditionally.
+func (i Inject) Fire(phase string) {
+	if i != nil {
+		i(phase)
+	}
+}
+
+// Fault is the panic payload of the PanicIn test helper; it carries
+// the phase so containment tests can assert attribution even when the
+// panic unwinds through an enclosing stage.
+type Fault struct {
+	Phase string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("injected fault in phase %s", f.Phase)
+}
+
+// PanicIn returns an inject hook that panics (with a *Fault) when the
+// named phase is entered.
+func PanicIn(phase string) Inject {
+	return func(p string) {
+		if p == phase {
+			panic(&Fault{Phase: phase})
+		}
+	}
+}
+
+// LimitIn returns an inject hook that simulates a resource-ceiling hit
+// (panics with a *LimitError) when the named phase is entered.
+func LimitIn(phase string) Inject {
+	return func(p string) {
+		if p == phase {
+			panic(&LimitError{Phase: phase, Resource: "injected", Limit: 0})
+		}
+	}
+}

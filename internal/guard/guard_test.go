@@ -1,0 +1,107 @@
+package guard
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeFillsDefaults(t *testing.T) {
+	n := Limits{}.Normalize()
+	d := Default()
+	if n.MaxSourceBytes != d.MaxSourceBytes || n.MaxNestDepth != d.MaxNestDepth ||
+		n.MaxSSAValues != d.MaxSSAValues || n.MaxLoopDepth != d.MaxLoopDepth ||
+		n.MaxPhaseSteps != d.MaxPhaseSteps {
+		t.Fatalf("zero Limits must normalize to Default(), got %+v", n)
+	}
+	n = Limits{MaxNestDepth: 7, MaxPhaseSteps: Unlimited}.Normalize()
+	if n.MaxNestDepth != 7 {
+		t.Fatalf("explicit field must survive, got %d", n.MaxNestDepth)
+	}
+	if n.MaxPhaseSteps != 0 {
+		t.Fatalf("Unlimited must normalize to 0 (unchecked), got %d", n.MaxPhaseSteps)
+	}
+	if n.MaxSourceBytes != Default().MaxSourceBytes {
+		t.Fatalf("unset field must default, got %d", n.MaxSourceBytes)
+	}
+}
+
+func TestBudgetPanicsWithLimitError(t *testing.T) {
+	b := Limits{MaxPhaseSteps: 3}.Budget("sccp")
+	b.Step()
+	b.Step()
+	b.Step()
+	defer func() {
+		p := recover()
+		le, ok := p.(*LimitError)
+		if !ok {
+			t.Fatalf("want *LimitError panic, got %v", p)
+		}
+		if le.Phase != "sccp" || le.Resource != "phase steps" || le.Limit != 3 {
+			t.Fatalf("wrong LimitError: %+v", le)
+		}
+	}()
+	b.Step()
+	t.Fatal("fourth Step must panic")
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	var nilB *Budget
+	nilB.Step() // must not panic
+	b := Limits{}.Budget("x")
+	for i := 0; i < 1000; i++ {
+		b.Step()
+	}
+	b.Steps(1 << 40)
+}
+
+func TestCheck(t *testing.T) {
+	Check("parse", "source bytes", 10, 0)  // unchecked
+	Check("parse", "source bytes", 10, 10) // at the ceiling is fine
+	defer func() {
+		if _, ok := recover().(*LimitError); !ok {
+			t.Fatal("Check above the ceiling must panic with *LimitError")
+		}
+	}()
+	Check("parse", "source bytes", 11, 10)
+}
+
+func TestLimitErrorMessage(t *testing.T) {
+	err := error(&LimitError{Phase: "iv", Resource: "loop depth", Limit: 64})
+	if !strings.Contains(err.Error(), "iv") || !strings.Contains(err.Error(), "loop depth") {
+		t.Fatalf("uninformative message: %q", err)
+	}
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatal("errors.As must find *LimitError")
+	}
+}
+
+func TestInjectHelpers(t *testing.T) {
+	var nilHook Inject
+	nilHook.Fire("anything") // no-op
+
+	hook := PanicIn("ssa")
+	hook.Fire("parse") // wrong phase: no-op
+	func() {
+		defer func() {
+			f, ok := recover().(*Fault)
+			if !ok || f.Phase != "ssa" {
+				t.Fatalf("PanicIn must panic with *Fault{ssa}, got %v", f)
+			}
+		}()
+		hook.Fire("ssa")
+	}()
+
+	limit := LimitIn("depend")
+	limit.Fire("iv")
+	func() {
+		defer func() {
+			le, ok := recover().(*LimitError)
+			if !ok || le.Phase != "depend" {
+				t.Fatalf("LimitIn must panic with *LimitError{depend}, got %v", le)
+			}
+		}()
+		limit.Fire("depend")
+	}()
+}

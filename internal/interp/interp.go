@@ -113,14 +113,21 @@ func evalDiv(x, y int64) int64 {
 	return x / y
 }
 
-// evalExp implements the shared exponentiation semantics.
+// evalExp implements the shared exponentiation semantics. Wrapping
+// square-and-multiply: multiplication mod 2^64 is associative, so this
+// produces bit-for-bit the same result as the naive product loop while
+// costing at most 63 iterations for any exponent — a hostile
+// `x ** 9e18` terminates immediately instead of spinning for years.
 func evalExp(x, k int64) int64 {
 	if k < 0 {
 		return 0
 	}
 	out := int64(1)
-	for ; k > 0; k-- {
-		out *= x
+	for ; k > 0; k >>= 1 {
+		if k&1 == 1 {
+			out *= x
+		}
+		x *= x
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"beyondiv/internal/ir"
 	"beyondiv/internal/loops"
 	"beyondiv/internal/rational"
+	"beyondiv/internal/safemath"
 )
 
 // This file implements the "algebra of types and operators" of §5.1:
@@ -376,6 +377,9 @@ func divCls(l *loops.Loop, x, y *Classification) *Classification {
 			if yi == 0 {
 				return invariant(l, IntExpr(0))
 			}
+			if xi == safemath.MinInt64 && yi == -1 {
+				return invariant(l, nil) // the one quotient that overflows
+			}
 			return invariant(l, IntExpr(xi/yi))
 		}
 	}
@@ -399,11 +403,14 @@ func expCls(l *loops.Loop, x, y *Classification) *Classification {
 			if yi < 0 {
 				return invariant(l, IntExpr(0))
 			}
-			out := int64(1)
-			for ; yi > 0; yi-- {
-				out *= xi
+			// Overflow-checked: an exact power that does not fit in
+			// int64 (or a hostile 9e18 exponent) degrades to an
+			// anonymous invariant rather than folding a wrapped value
+			// into the classification.
+			if out, ok := safemath.Pow(xi, yi); ok {
+				return invariant(l, IntExpr(out))
 			}
-			return invariant(l, IntExpr(out))
+			return invariant(l, nil)
 		}
 	}
 	if okx && y.Kind == Linear {

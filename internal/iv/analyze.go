@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"beyondiv/internal/guard"
 	"beyondiv/internal/ir"
 	"beyondiv/internal/loops"
 	"beyondiv/internal/obs"
@@ -20,6 +21,7 @@ type Analysis struct {
 	Consts *sccp.Result
 
 	opts   Options
+	budget *guard.Budget
 	byLoop map[*loops.Loop]map[*ir.Value]*Classification
 	trips  map[*loops.Loop]*TripCount
 	exits  map[*ir.Value]exitInfo // exit-value cache (empty entries cached too)
@@ -40,6 +42,11 @@ type Options struct {
 	// and per-decision provenance events. Nil disables telemetry at no
 	// cost.
 	Obs *obs.Recorder
+	// Limits bounds the classifier's work: loop-nest depth and a step
+	// budget charged per classified node. Ceiling hits panic with a
+	// *guard.LimitError, contained at the facade. The zero value is
+	// unchecked.
+	Limits guard.Limits
 }
 
 // Analyze classifies every scalar in every loop, innermost first
@@ -60,9 +67,11 @@ func AnalyzeWithOptions(info *ssa.Info, forest *loops.Forest, consts *sccp.Resul
 		trips:  map[*loops.Loop]*TripCount{},
 		exits:  map[*ir.Value]exitInfo{},
 	}
+	a.budget = opts.Limits.Budget("iv")
 	rec := opts.Obs
 	span := rec.Phase("iv")
 	for _, l := range forest.InnerToOuter() {
+		guard.Check("iv", "loop depth", int64(l.Depth), int64(opts.Limits.MaxLoopDepth))
 		var ls *obs.Span
 		if rec != nil {
 			ls = rec.Phase("loop " + l.Label)
@@ -354,6 +363,7 @@ func (a *Analysis) analyzeLoop(l *loops.Loop) {
 	ctx.cls = make([]*Classification, len(ctx.nodes))
 	comps := scc.Components(len(ctx.nodes), func(i int) []int { return ctx.nodes[i].succ })
 	for _, comp := range comps {
+		a.budget.Steps(int64(len(comp)))
 		if scc.IsTrivial(comp, func(i int) []int { return ctx.nodes[i].succ }) {
 			ctx.cls[comp[0]] = ctx.classifyTrivial(comp[0])
 		} else {

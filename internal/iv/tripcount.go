@@ -188,7 +188,14 @@ func (a *Analysis) exitTripCount(l *loops.Loop, exitBlock, target *ir.Block) *Tr
 			tc := &TripCount{State: TripFinite, Numer: d.Init, Div: div, Exit: exitBlock}
 			if iOK {
 				// Constant count: max(0, ceil(i/div)).
-				n := ceilDivRat(i, div)
+				n, ok := ceilDivRat(i, div)
+				if !ok {
+					// i/div left exact arithmetic (NaR): no count claim.
+					if rec := a.opts.Obs; rec != nil {
+						rec.Count("iv.tripcount.overflow")
+					}
+					return nil
+				}
 				if n < 0 {
 					n = 0
 				}
@@ -243,16 +250,21 @@ func (a *Analysis) equalityTripCount(l *loops.Loop, cond *ir.Value, exitBlock *i
 	return nil
 }
 
-// ceilDivRat computes ceil(x / d) for integer d > 0.
-func ceilDivRat(x rational.Rat, d int64) int64 {
+// ceilDivRat computes ceil(x / d) for integer d > 0. It reports
+// ok=false when x is NaR or the division overflows into NaR — dividing
+// by Den() without the check would be a divide-by-zero panic.
+func ceilDivRat(x rational.Rat, d int64) (int64, bool) {
 	q := x.Div(rational.FromInt(d))
+	if !q.Valid() {
+		return 0, false
+	}
 	// ceil of a rational p/q.
 	n, den := q.Num(), q.Den()
 	out := n / den
 	if n%den != 0 && n > 0 {
 		out++
 	}
-	return out
+	return out, true
 }
 
 // stayPositive builds the classification of the §5.2 canonical

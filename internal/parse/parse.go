@@ -23,9 +23,9 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
-	"strings"
 
 	"beyondiv/internal/ast"
+	"beyondiv/internal/guard"
 	"beyondiv/internal/obs"
 	"beyondiv/internal/scan"
 	"beyondiv/internal/token"
@@ -38,6 +38,13 @@ type parser struct {
 	toks []token.Token
 	pos  int
 	errs []error
+	// maxDepth bounds recursive descent (statement and expression
+	// nesting); 0 is unchecked. depth is the current recursion depth.
+	maxDepth int
+	depth    int
+	// limitErr records a hit nesting ceiling; parsing then fast-forwards
+	// to EOF and the error is surfaced once.
+	limitErr *guard.LimitError
 }
 
 // File parses a whole program.
@@ -46,18 +53,33 @@ func File(src string) (*ast.File, error) { return FileWithObs(src, nil) }
 // FileWithObs is File with telemetry: "scan" and "parse" phase spans
 // plus token and statement counters. rec may be nil.
 func FileWithObs(src string, rec *obs.Recorder) (*ast.File, error) {
+	return FileGuarded(src, rec, guard.Limits{})
+}
+
+// FileGuarded is FileWithObs under resource limits: the source length
+// is capped by lim.MaxSourceBytes and recursive descent by
+// lim.MaxNestDepth, so hostile input produces a diagnostic (wrapping a
+// *guard.LimitError) instead of a stack overflow. Zero limit fields
+// are unchecked. lim.Inject fires on entry to the "scan" and "parse"
+// phases.
+func FileGuarded(src string, rec *obs.Recorder, lim guard.Limits) (*ast.File, error) {
+	if lim.MaxSourceBytes > 0 && len(src) > lim.MaxSourceBytes {
+		return nil, &guard.LimitError{Phase: "scan", Resource: "source bytes", Limit: int64(lim.MaxSourceBytes)}
+	}
+	lim.Inject.Fire("scan")
 	span := rec.Phase("scan")
 	toks, scanErrs := scan.All(src)
 	rec.Add("scan.tokens", int64(len(toks)))
 	span.End()
 
+	lim.Inject.Fire("parse")
 	span = rec.Phase("parse")
 	defer span.End()
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, maxDepth: lim.MaxNestDepth}
 	p.errs = append(p.errs, scanErrs...)
 	f := &ast.File{}
 	p.skipSemis()
-	for !p.at(token.EOF) && len(p.errs) < maxErrors {
+	for !p.at(token.EOF) && len(p.errs) < maxErrors && p.limitErr == nil {
 		s := p.stmt()
 		if s != nil {
 			f.Stmts = append(f.Stmts, s)
@@ -65,15 +87,32 @@ func FileWithObs(src string, rec *obs.Recorder) (*ast.File, error) {
 		p.terminator()
 	}
 	rec.Add("parse.stmts", int64(len(f.Stmts)))
+	if p.limitErr != nil {
+		return f, errors.Join(append([]error{p.limitErr}, p.errs...)...)
+	}
 	if len(p.errs) > 0 {
-		msgs := make([]string, len(p.errs))
-		for i, e := range p.errs {
-			msgs[i] = e.Error()
-		}
-		return f, errors.New(strings.Join(msgs, "\n"))
+		return f, errors.Join(p.errs...)
 	}
 	return f, nil
 }
+
+// enter counts one level of recursive descent; it reports false (and
+// records the limit hit once) when the nesting ceiling is exceeded.
+// Every enter pairs with a deferred leave.
+func (p *parser) enter() bool {
+	p.depth++
+	if p.maxDepth > 0 && p.depth > p.maxDepth {
+		if p.limitErr == nil {
+			p.limitErr = &guard.LimitError{Phase: "parse", Resource: "nesting depth", Limit: int64(p.maxDepth)}
+			p.errorf("nesting deeper than %d levels", p.maxDepth)
+			p.pos = len(p.toks) // fast-forward to EOF; recursion unwinds
+		}
+		return false
+	}
+	return true
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // MustParse parses src and panics on error; intended for tests and for
 // the paper corpus, whose sources are fixed.
@@ -115,7 +154,13 @@ func (p *parser) expect(k token.Kind) token.Token {
 }
 
 func (p *parser) errorf(format string, args ...any) {
-	p.errs = append(p.errs, fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...)))
+	// Enforce maxErrors here, not only in the parse loops: a deep
+	// recursion unwinding at EOF would otherwise append one cascading
+	// diagnostic per open construct.
+	if len(p.errs) >= maxErrors {
+		return
+	}
+	p.errs = append(p.errs, &token.PosError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)})
 }
 
 func (p *parser) skipSemis() {
@@ -147,6 +192,10 @@ func (p *parser) sync() {
 }
 
 func (p *parser) stmt() ast.Stmt {
+	if !p.enter() {
+		return nil
+	}
+	defer p.leave()
 	switch p.cur().Kind {
 	case token.FOR:
 		return p.forStmt("")
@@ -312,12 +361,16 @@ func (p *parser) factor() ast.Expr {
 }
 
 func (p *parser) primary() ast.Expr {
+	if !p.enter() {
+		return &ast.Num{Value: 0, ValPos: p.cur().Pos}
+	}
+	defer p.leave()
 	switch p.cur().Kind {
 	case token.NUMBER:
 		t := p.next()
 		v, err := strconv.ParseInt(t.Lit, 10, 64)
-		if err != nil {
-			p.errs = append(p.errs, fmt.Errorf("%s: %v", t.Pos, err))
+		if err != nil && len(p.errs) < maxErrors {
+			p.errs = append(p.errs, &token.PosError{Pos: t.Pos, Msg: err.Error()})
 		}
 		return &ast.Num{Value: v, ValPos: t.Pos}
 	case token.IDENT:

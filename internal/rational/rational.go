@@ -14,7 +14,8 @@ package rational
 
 import (
 	"fmt"
-	"math/bits"
+
+	"beyondiv/internal/safemath"
 )
 
 // Rat is an exact rational number. The zero value is the rational 0.
@@ -115,41 +116,12 @@ func (r Rat) Sign() int {
 	}
 }
 
-// mul64 multiplies with overflow detection.
-func mul64(a, b int64) (int64, bool) {
-	hi, lo := bits.Mul64(uint64(abs64u(a)), uint64(abs64u(b)))
-	if hi != 0 || lo > 1<<63 {
-		return 0, false
-	}
-	neg := (a < 0) != (b < 0)
-	if lo == 1<<63 {
-		if neg {
-			return minI64, true
-		}
-		return 0, false
-	}
-	v := int64(lo)
-	if neg {
-		v = -v
-	}
-	return v, true
-}
-
-func abs64u(x int64) uint64 {
-	if x < 0 {
-		return uint64(-(x + 1)) + 1
-	}
-	return uint64(x)
-}
+// mul64 multiplies with overflow detection (internal/safemath holds
+// the shared implementation).
+func mul64(a, b int64) (int64, bool) { return safemath.Mul(a, b) }
 
 // add64 adds with overflow detection.
-func add64(a, b int64) (int64, bool) {
-	s := a + b
-	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
-		return 0, false
-	}
-	return s, true
-}
+func add64(a, b int64) (int64, bool) { return safemath.Add(a, b) }
 
 // Add returns r + s, or NaR on overflow or invalid input.
 func (r Rat) Add(s Rat) Rat {

@@ -33,8 +33,15 @@ func New(src string) *Scanner {
 // Errors returns the lexical errors encountered so far.
 func (s *Scanner) Errors() []error { return s.errs }
 
+// maxErrors bounds lexical diagnostics per file: a megabyte of garbage
+// input should not produce a megabyte of error report.
+const maxErrors = 20
+
 func (s *Scanner) errorf(p token.Pos, format string, args ...any) {
-	s.errs = append(s.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+	if len(s.errs) >= maxErrors {
+		return
+	}
+	s.errs = append(s.errs, &token.PosError{Pos: p, Msg: fmt.Sprintf(format, args...)})
 }
 
 func (s *Scanner) peek() byte {

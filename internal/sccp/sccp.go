@@ -9,8 +9,10 @@ package sccp
 import (
 	"fmt"
 
+	"beyondiv/internal/guard"
 	"beyondiv/internal/ir"
 	"beyondiv/internal/obs"
+	"beyondiv/internal/safemath"
 	"beyondiv/internal/ssa"
 )
 
@@ -77,8 +79,20 @@ func Run(info *ssa.Info) *Result { return RunWithObs(info, nil) }
 // RunWithObs is Run with telemetry: an "sccp" phase span plus a counter
 // of values proven constant. rec may be nil.
 func RunWithObs(info *ssa.Info, rec *obs.Recorder) *Result {
+	return RunGuarded(info, rec, guard.Limits{})
+}
+
+// RunGuarded is RunWithObs under resource limits: every worklist pop
+// charges the phase's step budget, so a pathological lattice cannot
+// spin the propagation forever (the budget panics with a
+// *guard.LimitError, contained at the facade). Folds that would
+// overflow int64 degrade the cell to bottom — "varying" — which is the
+// conservative direction for every consumer, and are counted under
+// "sccp.fold.overflow".
+func RunGuarded(info *ssa.Info, rec *obs.Recorder, lim guard.Limits) *Result {
 	span := rec.Phase("sccp")
 	defer span.End()
+	budget := lim.Budget("sccp")
 	f := info.Func
 	r := &Result{
 		cells:     make([]cell, f.NumValues()),
@@ -166,14 +180,24 @@ func RunWithObs(info *ssa.Info, rec *obs.Recorder) *Result {
 			x := r.cells[v.Args[0].ID]
 			switch x.state {
 			case constant:
-				lower(v, cell{state: constant, val: -x.val})
+				if n, ok := safemath.Neg(x.val); ok {
+					lower(v, cell{state: constant, val: n})
+				} else {
+					rec.Add("sccp.fold.overflow", 1)
+					lower(v, cell{state: bottom})
+				}
 			case bottom:
 				lower(v, cell{state: bottom})
 			}
 		default:
 			x, y := r.cells[v.Args[0].ID], r.cells[v.Args[1].ID]
 			if x.state == constant && y.state == constant {
-				lower(v, cell{state: constant, val: foldBinary(v.Op, x.val, y.val)})
+				if c, ok := foldBinary(v.Op, x.val, y.val); ok {
+					lower(v, cell{state: constant, val: c})
+				} else {
+					rec.Add("sccp.fold.overflow", 1)
+					lower(v, cell{state: bottom})
+				}
 			} else if x.state == bottom || y.state == bottom {
 				// A few operators are constant with one varying input.
 				if c, ok := foldPartial(v.Op, x, y); ok {
@@ -204,6 +228,7 @@ func RunWithObs(info *ssa.Info, rec *obs.Recorder) *Result {
 
 	for len(flowWork) > 0 || len(ssaWork) > 0 {
 		for len(ssaWork) > 0 {
+			budget.Step()
 			v := ssaWork[len(ssaWork)-1]
 			ssaWork = ssaWork[:len(ssaWork)-1]
 			inSSAWork[v.ID] = false
@@ -212,6 +237,7 @@ func RunWithObs(info *ssa.Info, rec *obs.Recorder) *Result {
 			}
 		}
 		if len(flowWork) > 0 {
+			budget.Step()
 			e := flowWork[len(flowWork)-1]
 			flowWork = flowWork[:len(flowWork)-1]
 			if execEdge[e] {
@@ -305,41 +331,45 @@ func currentOutEdges(b *ir.Block, r *Result) []flowEdge {
 }
 
 // foldBinary evaluates op on constants with the shared interpreter
-// semantics (x/0 == 0; x**k == 0 for k < 0).
-func foldBinary(op ir.Op, x, y int64) int64 {
+// semantics (x/0 == 0; x**k == 0 for k < 0). It reports ok=false when
+// the exact result does not fit in int64: the interpreter wraps there,
+// so folding would bake a wrapped value into the lattice and the caller
+// must degrade to bottom instead. Exponentiation is overflow-checked
+// square-and-multiply — a hostile `x ** 9e18` costs at most 63
+// iterations instead of one loop iteration per unit of the exponent.
+func foldBinary(op ir.Op, x, y int64) (int64, bool) {
 	switch op {
 	case ir.OpAdd:
-		return x + y
+		return safemath.Add(x, y)
 	case ir.OpSub:
-		return x - y
+		return safemath.Sub(x, y)
 	case ir.OpMul:
-		return x * y
+		return safemath.Mul(x, y)
 	case ir.OpDiv:
 		if y == 0 {
-			return 0
+			return 0, true
 		}
-		return x / y
+		if x == safemath.MinInt64 && y == -1 {
+			return 0, false // the one quotient that overflows
+		}
+		return x / y, true
 	case ir.OpExp:
 		if y < 0 {
-			return 0
+			return 0, true
 		}
-		out := int64(1)
-		for ; y > 0; y-- {
-			out *= x
-		}
-		return out
+		return safemath.Pow(x, y)
 	case ir.OpLess:
-		return b2i(x < y)
+		return b2i(x < y), true
 	case ir.OpLeq:
-		return b2i(x <= y)
+		return b2i(x <= y), true
 	case ir.OpGreater:
-		return b2i(x > y)
+		return b2i(x > y), true
 	case ir.OpGeq:
-		return b2i(x >= y)
+		return b2i(x >= y), true
 	case ir.OpEq:
-		return b2i(x == y)
+		return b2i(x == y), true
 	case ir.OpNeq:
-		return b2i(x != y)
+		return b2i(x != y), true
 	}
 	panic(fmt.Sprintf("sccp: cannot fold %s", op))
 }

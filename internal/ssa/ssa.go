@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"beyondiv/internal/dom"
+	"beyondiv/internal/guard"
 	"beyondiv/internal/ir"
 	"beyondiv/internal/obs"
 )
@@ -42,17 +43,26 @@ func Build(f *ir.Func) *Info { return BuildWithObs(f, nil) }
 // spans for the dominator tree, φ placement, renaming, and cleanup,
 // plus φ and value counters. rec may be nil.
 func BuildWithObs(f *ir.Func, rec *obs.Recorder) *Info {
+	return BuildGuarded(f, rec, guard.Limits{})
+}
+
+// BuildGuarded is BuildWithObs under resource limits: φ insertion — the
+// one step of Cytron construction that can blow the IR up quadratically
+// — stops (panicking with a *guard.LimitError, contained at the facade)
+// once the function exceeds lim.MaxSSAValues values.
+func BuildGuarded(f *ir.Func, rec *obs.Recorder, lim guard.Limits) *Info {
 	span := rec.Phase("ssa")
 	defer span.End()
 	sub := rec.Phase("dom")
 	tree := dom.New(f)
 	sub.End()
 	st := &state{
-		f:      f,
-		tree:   tree,
-		info:   &Info{Func: f, Dom: tree, VarOf: map[*ir.Value]string{}, Params: map[string]*ir.Value{}},
-		stacks: map[string][]*ir.Value{},
-		vers:   map[string]int{},
+		f:         f,
+		tree:      tree,
+		info:      &Info{Func: f, Dom: tree, VarOf: map[*ir.Value]string{}, Params: map[string]*ir.Value{}},
+		stacks:    map[string][]*ir.Value{},
+		vers:      map[string]int{},
+		maxValues: lim.MaxSSAValues,
 	}
 	sub = rec.Phase("place-phis")
 	st.placePhis()
@@ -95,6 +105,9 @@ type state struct {
 	vers map[string]int
 	// loadDef maps each LoadVar value to the definition it resolved to.
 	loadDef map[*ir.Value]*ir.Value
+	// maxValues caps the function's value count during φ insertion;
+	// zero is unchecked. See BuildGuarded.
+	maxValues int
 }
 
 // placePhis inserts φ values at the iterated dominance frontier of each
@@ -145,6 +158,7 @@ func (s *state) placePhis() {
 // newPhi creates a φ for variable name at the front of block w with one
 // slot per predecessor.
 func (s *state) newPhi(w *ir.Block, name string) *ir.Value {
+	guard.Check("ssa", "IR values", int64(s.f.NumValues()), int64(s.maxValues))
 	phi := s.f.NewValue(w, ir.OpPhi, make([]*ir.Value, len(w.Preds))...)
 	phi.Var = name
 	// NewValue appended it; move it before the block's other values so

@@ -130,6 +130,22 @@ type Pos struct {
 // String renders the position as "line:col".
 func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
 
+// IsZero reports whether p is the zero (no position) value.
+func (p Pos) IsZero() bool { return p == Pos{} }
+
+// PosError is a diagnostic anchored at a source position. The scanner
+// and parser produce these so callers (the beyondiv facade, the
+// commands) can surface structured positions instead of re-parsing
+// rendered strings.
+type PosError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error renders "line:col: msg", the format the diagnostics have
+// always used.
+func (e *PosError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
 // Token is a lexical token with its literal text and position.
 type Token struct {
 	Kind Kind
