@@ -17,8 +17,12 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Runs every benchmark, then re-measures the engine's headline numbers
+# (cold vs warm cache, sequential vs 4-worker batch) into
+# BENCH_engine.json.
 bench:
 	$(GO) test -bench=. -benchmem .
+	BENCH_JSON=BENCH_engine.json $(GO) test -run '^TestEngineBenchArtifact$$' -v .
 
 # Re-derive every figure and table of the paper.
 repro:

@@ -1,0 +1,162 @@
+// Engine benchmarks: what the pass-based refactor buys beyond the
+// single-shot pipeline. The batch benchmarks measure AnalyzeAll's
+// worker-pool throughput against sequential analysis of the same
+// corpus; the cache benchmarks measure a warm content-addressed hit
+// against a cold full run. `make bench` additionally writes the
+// headline numbers to BENCH_engine.json via TestEngineBenchArtifact.
+package beyondiv
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"beyondiv/internal/paper"
+)
+
+// benchCorpus is the examples corpus the batch benchmarks fan out
+// over: every paper program, replicated to the requested size so the
+// pool has real work on every worker.
+func benchCorpus(n int) []string {
+	var srcs []string
+	for len(srcs) < n {
+		for _, p := range paper.Corpus {
+			srcs = append(srcs, p.Source)
+			if len(srcs) == n {
+				break
+			}
+		}
+	}
+	return srcs
+}
+
+func runBatch(b *testing.B, jobs int) {
+	srcs := benchCorpus(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range AnalyzeBatch(srcs, Options{Jobs: jobs}) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(srcs)*b.N)/b.Elapsed().Seconds(), "programs/s")
+}
+
+// BenchmarkEngineBatch: AnalyzeAll throughput by worker count over the
+// 32-program corpus. jobs=1 is the sequential baseline.
+func BenchmarkEngineBatch(b *testing.B) {
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) { runBatch(b, jobs) })
+	}
+}
+
+// BenchmarkEngineCache: one source analyzed repeatedly, cold (no
+// cache, full pipeline every time) vs warm (content-addressed hit).
+func BenchmarkEngineCache(b *testing.B) {
+	src := paper.ByID("E6").Source
+	b.Run("cold", func(b *testing.B) {
+		an := NewAnalyzer(Options{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := an.Analyze(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		an := NewAnalyzer(Options{CacheEntries: 16})
+		if _, err := an.Analyze(src); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := an.Analyze(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestEngineBenchArtifact writes the engine's headline performance
+// numbers to the file named by BENCH_JSON (skipped when unset), so
+// `make bench` leaves a machine-readable perf trajectory in
+// BENCH_engine.json: cold vs warm-cache single analysis and
+// sequential vs 4-worker batch throughput. batch_speedup tracks the
+// host's parallelism (gomaxprocs/num_cpu are recorded alongside): on
+// a single-CPU machine expect ~1x, on 4+ cores ≥2x.
+func TestEngineBenchArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to write the benchmark artifact")
+	}
+	src := paper.ByID("E6").Source
+	cold := testing.Benchmark(func(b *testing.B) {
+		an := NewAnalyzer(Options{})
+		for i := 0; i < b.N; i++ {
+			if _, err := an.Analyze(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	warm := testing.Benchmark(func(b *testing.B) {
+		an := NewAnalyzer(Options{CacheEntries: 16})
+		if _, err := an.Analyze(src); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := an.Analyze(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	batch := func(jobs int) testing.BenchmarkResult {
+		srcs := benchCorpus(32)
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, r := range AnalyzeBatch(srcs, Options{Jobs: jobs}) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+	seq, par := batch(1), batch(4)
+
+	report := map[string]any{
+		"gomaxprocs":              runtime.GOMAXPROCS(0),
+		"num_cpu":                 runtime.NumCPU(),
+		"analyze_cold_ns_per_op":  cold.NsPerOp(),
+		"analyze_warm_ns_per_op":  warm.NsPerOp(),
+		"cache_speedup":           ratio(cold.NsPerOp(), warm.NsPerOp()),
+		"batch32_seq_ns_per_op":   seq.NsPerOp(),
+		"batch32_jobs4_ns_per_op": par.NsPerOp(),
+		"batch_speedup":           ratio(seq.NsPerOp(), par.NsPerOp()),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cache speedup %.1fx, batch speedup %.1fx", ratio(cold.NsPerOp(), warm.NsPerOp()), ratio(seq.NsPerOp(), par.NsPerOp()))
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

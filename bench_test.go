@@ -20,7 +20,7 @@ import (
 	"beyondiv/internal/cfgbuild"
 	"beyondiv/internal/classical"
 	"beyondiv/internal/depend"
-	"beyondiv/internal/ir"
+	"beyondiv/internal/engine"
 	"beyondiv/internal/iv"
 	"beyondiv/internal/loops"
 	"beyondiv/internal/obs"
@@ -42,19 +42,11 @@ type pipelineState struct {
 
 func buildPipeline(b *testing.B, src string) *pipelineState {
 	b.Helper()
-	file, err := parse.File(src)
+	st, err := engine.New(engine.Config{Passes: engine.Frontend()}).Analyze(src)
 	if err != nil {
 		b.Fatal(err)
 	}
-	res := cfgbuild.Build(file)
-	info := ssa.Build(res.Func)
-	forest := loops.Analyze(res.Func, info.Dom)
-	labels := map[*ir.Block]string{}
-	for _, li := range res.Loops {
-		labels[li.Header] = li.Label
-	}
-	forest.AttachLabels(labels)
-	return &pipelineState{info: info, forest: forest, consts: sccp.Run(info)}
+	return &pipelineState{info: st.SSA, forest: st.Forest, consts: st.Consts}
 }
 
 // countSSAValues sizes the SSA graph for per-node reporting.

@@ -6,7 +6,8 @@
 // strongly-connected-region algorithm over the Static Single Assignment
 // graph, plus the data dependence testing the classification enables.
 //
-// The package is a facade over the full pipeline:
+// The package is a facade over the analysis engine (internal/engine),
+// which executes the pipeline as explicit passes:
 //
 //	source → scan/parse → CFG → SSA (Cytron et al.) → loop nest →
 //	constant propagation (Wegman–Zadeck) → IV classification →
@@ -24,6 +25,11 @@
 //	fmt.Print(prog.ClassificationReport())
 //	fmt.Print(prog.DependenceReport())
 //
+// For corpora there is a batch mode — AnalyzeBatch fans sources out
+// over a bounded worker pool — and a content-addressed result cache
+// (NewAnalyzer with Options.CacheEntries) that makes repeated analysis
+// of hot sources a hash and a map hit.
+//
 // Programs are written in a small loop language with `for v = lo to hi
 // [by s]`, `loop { ... exit ... }`, `while`, `if`/`else`, integer
 // scalars, and one-dimensional arrays `a[expr]`; see internal/parse for
@@ -31,23 +37,16 @@
 package beyondiv
 
 import (
-	"errors"
 	"fmt"
-	"runtime/debug"
 
-	"beyondiv/internal/ast"
-	"beyondiv/internal/cfgbuild"
 	"beyondiv/internal/depend"
+	"beyondiv/internal/engine"
 	"beyondiv/internal/guard"
 	"beyondiv/internal/interp"
-	"beyondiv/internal/ir"
 	"beyondiv/internal/iv"
 	"beyondiv/internal/loops"
 	"beyondiv/internal/obs"
-	"beyondiv/internal/parse"
-	"beyondiv/internal/sccp"
 	"beyondiv/internal/ssa"
-	"beyondiv/internal/token"
 )
 
 // Program is a fully analyzed program.
@@ -64,7 +63,7 @@ type Program struct {
 	Loops *loops.Forest
 }
 
-// Options configure Analyze.
+// Options configure Analyze, NewAnalyzer and AnalyzeBatch.
 type Options struct {
 	// SkipDependences skips the §6 dependence analysis.
 	SkipDependences bool
@@ -75,96 +74,141 @@ type Options struct {
 	IV iv.Options
 	// Obs, when non-nil, records phase spans, counters and provenance
 	// events across every pipeline stage (see internal/obs). Nil keeps
-	// telemetry off at no cost.
+	// telemetry off at no cost. Batch workers record into forks of
+	// this recorder, merged back when the batch completes.
 	Obs *obs.Recorder
-	// Limits bounds the resources the analysis may consume on hostile
+	// Limits bounds the resources each analysis may consume on hostile
 	// input (source size, nesting depth, IR size, loop depth, per-phase
 	// work). Zero fields take guard.Default ceilings; set a field to
 	// guard.Unlimited to disable one check explicitly. A ceiling hit
 	// surfaces as a *Error, never as a hang or a crash.
 	Limits guard.Limits
+
+	// Jobs bounds the batch worker pool of AnalyzeAll/AnalyzeBatch:
+	// at most this many sources analyze concurrently (<= 0 means one
+	// worker per available CPU). Single-source Analyze ignores it.
+	Jobs int
+	// CacheEntries, when positive, gives the analyzer a private LRU
+	// result cache of that capacity, keyed by source hash + options
+	// fingerprint: re-analyzing an unchanged source returns the cached
+	// Program's artifacts without running the pipeline. Cached
+	// artifacts are shared — do not mutate them (e.g. via
+	// xform.ReduceStrength) when caching is on.
+	CacheEntries int
+	// Cache, when non-nil, overrides CacheEntries with an explicit
+	// cache, which may be shared across analyzers with different
+	// options; the fingerprint in each key keeps their entries apart.
+	Cache *Cache
+	// BatchSteps, when positive, is a shared guard budget for each
+	// AnalyzeAll/AnalyzeBatch call: every phase step of every source
+	// in the batch draws from one pool of this size, on top of the
+	// per-source Limits.
+	BatchSteps int64
 }
 
-// Error is the structured failure of one pipeline phase. Every error
-// AnalyzeWith returns is one of these: input diagnostics (scan/parse)
-// carry a Pos, resource-ceiling hits wrap a *guard.LimitError, and
-// contained panics — internal faults that would otherwise crash the
-// caller — carry the panicking goroutine's Stack.
-type Error struct {
-	Phase string    // pipeline phase that failed: "scan", "parse", ..., "depend"
-	Pos   token.Pos // source position, when the failure is an input diagnostic
-	Err   error     // underlying cause
-	Stack []byte    // stack trace of a contained panic; nil otherwise
+// Error is the structured failure of one pipeline phase, produced by
+// the engine's per-pass containment. Every error analysis returns is
+// one of these: input diagnostics (scan/parse) carry a Pos,
+// resource-ceiling hits wrap a *guard.LimitError, and contained panics
+// — internal faults that would otherwise crash the caller — carry the
+// panicking goroutine's Stack.
+type Error = engine.Error
+
+// Cache is a concurrency-safe LRU of analysis results, shareable
+// across analyzers; see Options.Cache and NewCache.
+type Cache = engine.Cache
+
+// NewCache returns a result cache holding up to capacity analyses.
+func NewCache(capacity int) *Cache { return engine.NewCache(capacity) }
+
+// fingerprint identifies the option fields that change analysis
+// results, for the content-addressed cache. Obs, Limits, Jobs and the
+// cache fields are excluded: they change how the pipeline runs, not
+// what it computes (Limits are fingerprinted by the engine itself,
+// since a ceiling changes which sources fail).
+func (o Options) fingerprint() string {
+	return fmt.Sprintf("skipdeps:%t|iv:%s|dep:%s",
+		o.SkipDependences, o.IV.Fingerprint(), o.Dependences.Fingerprint())
 }
 
-// Error renders "phase: cause"; input diagnostics keep their
-// "line:col: message" form inside the cause.
-func (e *Error) Error() string { return fmt.Sprintf("%s: %v", e.Phase, e.Err) }
+// passes composes the pipeline: the engine frontend, the classifier
+// pass, and — unless skipped — the dependence pass. This, together
+// with iv.Passes for the classifier-only entry point, is the only
+// pipeline composition in the codebase.
+func (o Options) passes() []engine.Pass {
+	ps := append(engine.Frontend(), iv.ClassifyPass(o.IV))
+	if !o.SkipDependences {
+		ps = append(ps, depend.Pass(o.Dependences))
+	}
+	return ps
+}
 
-// Unwrap exposes the underlying cause to errors.Is/As.
-func (e *Error) Unwrap() error { return e.Err }
+// Analyzer is a reusable analysis pipeline: one engine configuration,
+// any number of sources, analyzed one at a time (Analyze), as a
+// concurrent batch (AnalyzeAll), or out of the result cache when one
+// is configured. Analyzers are safe for concurrent use.
+type Analyzer struct {
+	eng *engine.Engine
+}
 
-// runPhase runs one pipeline phase with fault containment: any panic —
-// a guard ceiling hit, an injected test fault, or a genuine bug — is
-// converted into a *Error instead of escaping the facade, and an error
-// return is wrapped the same way. Telemetry spans opened inside the
-// phase have deferred End calls, which run during panic unwinding, so
-// a contained failure still leaves spans and counters recorded up to
-// the point of the fault.
-func runPhase(lim guard.Limits, phase string, fn func() error) (err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = contained(phase, p)
+// NewAnalyzer builds an analyzer from opts.
+func NewAnalyzer(opts Options) *Analyzer {
+	return &Analyzer{eng: engine.New(engine.Config{
+		Passes:       opts.passes(),
+		Obs:          opts.Obs,
+		Limits:       opts.Limits,
+		Jobs:         opts.Jobs,
+		Cache:        opts.Cache,
+		CacheEntries: opts.CacheEntries,
+		Fingerprint:  opts.fingerprint(),
+		BatchSteps:   opts.BatchSteps,
+	})}
+}
+
+// Analyze parses and analyzes one program.
+func (a *Analyzer) Analyze(source string) (*Program, error) {
+	st, err := a.eng.Analyze(source)
+	if err != nil {
+		return nil, err
+	}
+	return programOf(st), nil
+}
+
+// BatchResult is one source's outcome in a batch, in input order. Err,
+// when non-nil, is the source's own *Error; other sources of the batch
+// are unaffected by it.
+type BatchResult struct {
+	Index   int
+	Source  string
+	Program *Program
+	Err     error
+}
+
+// AnalyzeAll analyzes the sources as a batch over the analyzer's
+// worker pool (Options.Jobs) and returns one result per source, in
+// input order. Results are byte-identical to sequential Analyze calls,
+// whatever the worker count; per-worker telemetry merges back into
+// Options.Obs when the batch completes.
+func (a *Analyzer) AnalyzeAll(sources []string) []BatchResult {
+	items := a.eng.AnalyzeAll(sources)
+	out := make([]BatchResult, len(items))
+	for i, it := range items {
+		out[i] = BatchResult{Index: it.Index, Source: it.Source, Err: it.Err}
+		if it.State != nil {
+			out[i].Program = programOf(it.State)
 		}
-	}()
-	// The parse phase fires its own finer-grained hooks ("scan", then
-	// "parse") inside parse.FileGuarded.
-	if phase != "parse" {
-		lim.Inject.Fire(phase)
 	}
-	if ferr := fn(); ferr != nil {
-		return wrapError(phase, ferr)
-	}
-	return nil
+	return out
 }
 
-// contained converts a recovered panic value into a *Error. Typed
-// guard payloads carry their own phase attribution (a limit hit deep
-// in a shared helper may belong to an earlier-named phase than the one
-// whose wrapper caught it).
-func contained(phase string, p any) *Error {
-	switch v := p.(type) {
-	case *guard.LimitError:
-		if v.Phase != "" {
-			phase = v.Phase
-		}
-		return &Error{Phase: phase, Err: v}
-	case *guard.Fault:
-		if v.Phase != "" {
-			phase = v.Phase
-		}
-		return &Error{Phase: phase, Err: v, Stack: debug.Stack()}
-	case error:
-		return &Error{Phase: phase, Err: v, Stack: debug.Stack()}
-	default:
-		return &Error{Phase: phase, Err: fmt.Errorf("panic: %v", v), Stack: debug.Stack()}
+// programOf wraps an analyzed engine state as the public Program.
+func programOf(st *engine.State) *Program {
+	return &Program{
+		IV:    iv.AnalysisOf(st),
+		Deps:  depend.ResultOf(st),
+		SSA:   st.SSA,
+		Loops: st.Forest,
 	}
-}
-
-// wrapError wraps a phase's error return, lifting structured details:
-// the phase a *guard.LimitError names wins over the wrapper's label,
-// and the first positioned diagnostic contributes Pos.
-func wrapError(phase string, err error) *Error {
-	var le *guard.LimitError
-	if errors.As(err, &le) && le.Phase != "" {
-		phase = le.Phase
-	}
-	e := &Error{Phase: phase, Err: err}
-	var pe *token.PosError
-	if errors.As(err, &pe) {
-		e.Pos = pe.Pos
-	}
-	return e
 }
 
 // Analyze parses and analyzes a program.
@@ -179,84 +223,14 @@ func Analyze(source string) (*Program, error) {
 // — syntax error, resource-ceiling hit, or contained internal fault —
 // is returned as a *Error identifying the phase.
 func AnalyzeWith(source string, opts Options) (*Program, error) {
-	rec := opts.Obs
-	lim := opts.Limits.Normalize()
-	span := rec.Phase("analyze")
-	defer span.End()
+	return NewAnalyzer(opts).Analyze(source)
+}
 
-	var file *ast.File
-	if err := runPhase(lim, "parse", func() (perr error) {
-		file, perr = parse.FileGuarded(source, rec, lim)
-		return perr
-	}); err != nil {
-		return nil, err
-	}
-
-	var res *cfgbuild.Result
-	if err := runPhase(lim, "cfgbuild", func() error {
-		res = cfgbuild.BuildGuarded(file, rec, lim)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	var info *ssa.Info
-	if err := runPhase(lim, "ssa", func() error {
-		info = ssa.BuildGuarded(res.Func, rec, lim)
-		if errs := ssa.Verify(info); len(errs) != 0 {
-			// Internal invariant; surface every violation.
-			return errors.Join(errs...)
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	var forest *loops.Forest
-	if err := runPhase(lim, "loops", func() error {
-		forest = loops.AnalyzeWithObs(res.Func, info.Dom, rec)
-		labels := map[*ir.Block]string{}
-		for _, li := range res.Loops {
-			labels[li.Header] = li.Label
-		}
-		forest.AttachLabels(labels)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	var consts *sccp.Result
-	if err := runPhase(lim, "sccp", func() error {
-		consts = sccp.RunGuarded(info, rec, lim)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	var analysis *iv.Analysis
-	if err := runPhase(lim, "iv", func() error {
-		ivOpts := opts.IV
-		ivOpts.Obs = rec
-		ivOpts.Limits = lim
-		analysis = iv.AnalyzeWithOptions(info, forest, consts, ivOpts)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	p := &Program{IV: analysis, SSA: info, Loops: forest}
-	if !opts.SkipDependences {
-		if err := runPhase(lim, "depend", func() error {
-			depOpts := opts.Dependences
-			depOpts.Obs = rec
-			depOpts.Limits = lim
-			p.Deps = depend.Analyze(analysis, depOpts)
-			return nil
-		}); err != nil {
-			return nil, err
-		}
-	}
-	return p, nil
+// AnalyzeBatch analyzes sources concurrently over opts.Jobs workers;
+// it is NewAnalyzer(opts).AnalyzeAll(sources) for callers that do not
+// need to keep the analyzer (and its cache) across batches.
+func AnalyzeBatch(sources []string, opts Options) []BatchResult {
+	return NewAnalyzer(opts).AnalyzeAll(sources)
 }
 
 // ClassificationReport renders every loop's classifications, innermost

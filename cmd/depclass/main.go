@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	depclass [-input] [-classes] [-dot] [-pi] [-why] [-stats]
-//	         [-trace file] [-jsonl file] [-explain var] [file]
+//	depclass [-input] [-classes] [-dot] [-pi] [-why] [-jobs n] [-stats]
+//	         [-trace file] [-jsonl file] [-explain var] [file|dir ...]
 //
-// With no file, the program is read from standard input; a .go file
-// from examples/ has its embedded program extracted. -why prints each
-// dependence's provenance: the paper rule behind its decision procedure
-// and the classification chains of both subscripts.
+// With no arguments, one program is read from standard input; each
+// argument may be a program file, an examples-style .go file (the
+// embedded program is extracted), or a directory walked recursively
+// for such .go files. Multiple programs are analyzed as one batch —
+// concurrently with -jobs > 1 — and reported in input order under
+// per-file headers; one failing input does not stop the rest. -why
+// prints each dependence's provenance: the paper rule behind its
+// decision procedure and the classification chains of both subscripts.
 package main
 
 import (
@@ -29,31 +33,52 @@ var (
 	asDOT       = flag.Bool("dot", false, "emit the dependence graph in Graphviz DOT syntax")
 	piBlocks    = flag.Bool("pi", false, "print each loop's π-blocks (loop distribution partition)")
 	why         = flag.Bool("why", false, "print the provenance of every dependence edge")
+	jobs        = flag.Int("jobs", 1, "analyze inputs concurrently on `n` workers (0 = one per CPU)")
+	tel         cliutil.Telemetry
 )
 
 func main() {
-	var tel cliutil.Telemetry
 	tel.RegisterFlags()
 	flag.Parse()
-	src, err := cliutil.ReadProgram(flag.Arg(0))
+	srcs, err := cliutil.ReadPrograms(flag.Args())
 	if err != nil {
 		fatal(err)
 	}
 	if err := tel.Start(); err != nil {
 		fatal(err)
 	}
-	prog, err := beyondiv.AnalyzeWith(src, beyondiv.Options{
+	results := cliutil.AnalyzeSources(srcs, beyondiv.Options{
 		Dependences: depend.Options{IncludeInput: *withInput},
 		Obs:         tel.Recorder(),
+		Jobs:        *jobs,
 	})
-	if err != nil {
+	exit := 0
+	for i, r := range results {
+		if len(srcs) > 1 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("==== %s ====\n", srcs[i].Path)
+		}
+		if r.Err != nil {
+			if c := cliutil.Report("depclass", fmt.Errorf("%s: %w", srcs[i].Path, r.Err)); c > exit {
+				exit = c
+			}
+			continue
+		}
+		render(r.Program)
+	}
+	if err := tel.Finish(os.Stderr); err != nil {
 		fatal(err)
 	}
+	if exit != 0 {
+		os.Exit(exit)
+	}
+}
+
+func render(prog *beyondiv.Program) {
 	if *asDOT {
 		fmt.Print(prog.Deps.DOT())
-		if err := tel.Finish(os.Stderr); err != nil {
-			fatal(err)
-		}
 		return
 	}
 	if *withClasses {
@@ -92,9 +117,6 @@ func main() {
 				fmt.Println()
 			}
 		}
-	}
-	if err := tel.Finish(os.Stderr); err != nil {
-		fatal(err)
 	}
 }
 

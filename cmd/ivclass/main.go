@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	ivclass [-ssa] [-nested] [-json] [-stats] [-trace file]
-//	        [-jsonl file] [-explain var] [file]
+//	ivclass [-ssa] [-nested] [-json] [-jobs n] [-stats] [-trace file]
+//	        [-jsonl file] [-explain var] [file|dir ...]
 //
-// With no file, the program is read from standard input; a .go file
-// from examples/ has its embedded program extracted. -explain prints
-// the provenance chain (paper rule, SCR, feeding classifications) that
-// classified the named variable.
+// With no arguments, one program is read from standard input; each
+// argument may be a program file, an examples-style .go file (the
+// embedded program is extracted), or a directory walked recursively
+// for such .go files. Multiple programs are analyzed as one batch —
+// concurrently with -jobs > 1 — and reported in input order under
+// per-file headers; one failing input does not stop the rest.
+// -explain prints the provenance chain (paper rule, SCR, feeding
+// classifications) that classified the named variable.
 package main
 
 import (
@@ -29,26 +33,50 @@ var (
 	dumpSSA = flag.Bool("ssa", false, "also dump the SSA form")
 	nested  = flag.Bool("nested", false, "print nested tuples for multiloop IVs (outer-to-inner substitution)")
 	asJSON  = flag.Bool("json", false, "emit the report as JSON")
+	jobs    = flag.Int("jobs", 1, "analyze inputs concurrently on `n` workers (0 = one per CPU)")
+	tel     cliutil.Telemetry
 )
 
 func main() {
-	var tel cliutil.Telemetry
 	tel.RegisterFlags()
 	flag.Parse()
-	src, err := cliutil.ReadProgram(flag.Arg(0))
+	srcs, err := cliutil.ReadPrograms(flag.Args())
 	if err != nil {
 		fatal(err)
 	}
 	if err := tel.Start(); err != nil {
 		fatal(err)
 	}
-	prog, err := beyondiv.AnalyzeWith(src, beyondiv.Options{
+	results := cliutil.AnalyzeSources(srcs, beyondiv.Options{
 		SkipDependences: true,
 		Obs:             tel.Recorder(),
+		Jobs:            *jobs,
 	})
-	if err != nil {
+	exit := 0
+	for i, r := range results {
+		if len(srcs) > 1 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("==== %s ====\n", srcs[i].Path)
+		}
+		if r.Err != nil {
+			if c := cliutil.Report("ivclass", fmt.Errorf("%s: %w", srcs[i].Path, r.Err)); c > exit {
+				exit = c
+			}
+			continue
+		}
+		render(r.Program)
+	}
+	if err := tel.Finish(os.Stderr); err != nil {
 		fatal(err)
 	}
+	if exit != 0 {
+		os.Exit(exit)
+	}
+}
+
+func render(prog *beyondiv.Program) {
 	if *dumpSSA {
 		fmt.Print(prog.SSA.Func)
 		fmt.Println()
@@ -86,9 +114,6 @@ func main() {
 		} else {
 			fmt.Printf("\nno classified variable matches %q\n", tel.Explain)
 		}
-	}
-	if err := tel.Finish(os.Stderr); err != nil {
-		fatal(err)
 	}
 }
 

@@ -9,7 +9,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -18,20 +20,39 @@ import (
 	"beyondiv/internal/obs"
 )
 
-// Fatal prints err prefixed with the tool name and exits with a status
-// that distinguishes failure classes: 2 for a contained internal fault
-// (a *beyondiv.Error carrying a panic stack — a bug in the analyzer,
-// not in the input), 1 for everything else (syntax errors,
-// resource-ceiling hits, I/O failures). Structured errors already
-// render their phase and source position.
-func Fatal(tool string, err error) {
+// ExitCode classifies an analysis failure for a command's exit status:
+// 2 for a contained internal fault (a *beyondiv.Error carrying a panic
+// stack — a bug in the analyzer, not in the input), 1 for everything
+// else (syntax errors, resource-ceiling hits, I/O failures), 0 for
+// nil.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var be *beyondiv.Error
+	if errors.As(err, &be) && be.Stack != nil {
+		return 2
+	}
+	return 1
+}
+
+// Report prints err prefixed with the tool name (and a contained
+// fault's stack) without exiting, for batch tools that keep going
+// after one input fails; it returns ExitCode(err).
+func Report(tool string, err error) int {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
 	var be *beyondiv.Error
 	if errors.As(err, &be) && be.Stack != nil {
 		fmt.Fprintf(os.Stderr, "%s: internal fault contained; stack:\n%s", tool, be.Stack)
-		os.Exit(2)
 	}
-	os.Exit(1)
+	return ExitCode(err)
+}
+
+// Fatal prints err prefixed with the tool name and exits with a status
+// that distinguishes failure classes (see ExitCode). Structured errors
+// already render their phase and source position.
+func Fatal(tool string, err error) {
+	os.Exit(Report(tool, err))
 }
 
 // Telemetry bundles the telemetry flags of one command. Register the
@@ -143,6 +164,83 @@ func writeFileWith(path string, render func(io.Writer) error) error {
 	return f.Close()
 }
 
+// AnalyzeSources analyzes command-line sources through the engine: a
+// single source runs as a plain Analyze (so -stats keeps the familiar
+// one-"analyze" span shape), several run as one concurrent batch over
+// opts.Jobs workers. Results come back in input order; a failing
+// source carries its own error without affecting the rest.
+func AnalyzeSources(srcs []Source, opts beyondiv.Options) []beyondiv.BatchResult {
+	an := beyondiv.NewAnalyzer(opts)
+	if len(srcs) == 1 {
+		prog, err := an.Analyze(srcs[0].Text)
+		return []beyondiv.BatchResult{{Source: srcs[0].Text, Program: prog, Err: err}}
+	}
+	texts := make([]string, len(srcs))
+	for i, s := range srcs {
+		texts[i] = s.Text
+	}
+	return an.AnalyzeAll(texts)
+}
+
+// Source is one program resolved from the command line: the text to
+// analyze and the path it came from, for batch report headers.
+type Source struct {
+	Path string // display name; "<stdin>" when read from standard input
+	Text string
+}
+
+// ReadPrograms resolves a command's positional arguments into the
+// programs to analyze: no arguments reads one program from standard
+// input; each argument may be a program file, an examples-style .go
+// file (first backtick literal extracted), or a directory, walked
+// recursively in lexical order for .go files with embedded programs
+// (other .go files under it are skipped; a directory yielding no
+// programs is an error).
+func ReadPrograms(args []string) ([]Source, error) {
+	if len(args) == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		return []Source{{Path: "<stdin>", Text: string(b)}}, nil
+	}
+	var out []Source
+	for _, arg := range args {
+		fi, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			text, err := ReadProgram(arg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Source{Path: arg, Text: text})
+			continue
+		}
+		found := 0
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			text, err := ReadProgram(path)
+			if err != nil {
+				return nil // a .go file with no embedded program
+			}
+			out = append(out, Source{Path: path, Text: text})
+			found++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if found == 0 {
+			return nil, fmt.Errorf("%s: no .go files with embedded programs found", arg)
+		}
+	}
+	return out, nil
+}
+
 // ReadProgram reads a mini-language program: from standard input when
 // path is empty, from the file otherwise. A .go file (the examples/
 // directory embeds each program in a backtick string) yields its first
@@ -162,7 +260,7 @@ func ReadProgram(path string) (string, error) {
 	}
 	src := string(b)
 	if strings.HasSuffix(path, ".go") {
-		start := strings.IndexByte(src, '`')
+		start := rawStringStart(src)
 		if start < 0 {
 			return "", fmt.Errorf("%s: no backtick program literal found", path)
 		}
@@ -173,4 +271,25 @@ func ReadProgram(path string) (string, error) {
 		return src[start+1 : start+1+end], nil
 	}
 	return src, nil
+}
+
+// rawStringStart finds the opening backtick of the first raw string
+// literal in Go source, ignoring backticks inside // comments (doc
+// comments quote mini-language snippets), or -1. Raw strings cannot
+// contain backticks, so no deeper lexing is needed.
+func rawStringStart(src string) int {
+	inComment := false
+	for i := 0; i < len(src); i++ {
+		switch {
+		case inComment:
+			if src[i] == '\n' {
+				inComment = false
+			}
+		case src[i] == '/' && i+1 < len(src) && src[i+1] == '/':
+			inComment = true
+		case src[i] == '`':
+			return i
+		}
+	}
+	return -1
 }

@@ -195,6 +195,14 @@ type Options struct {
 	Limits guard.Limits
 }
 
+// Fingerprint identifies the option fields that change analysis
+// results, for content-addressed caching. Obs and Limits are excluded
+// — telemetry never changes results, and limits are fingerprinted by
+// the engine itself.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("input:%t,maxexact:%d", o.IncludeInput, o.maxExact())
+}
+
 func (o Options) maxExact() int {
 	if o.MaxExact > 0 {
 		return o.MaxExact

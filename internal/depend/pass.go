@@ -1,0 +1,31 @@
+package depend
+
+import (
+	"beyondiv/internal/engine"
+	"beyondiv/internal/iv"
+)
+
+// ArtifactKey is the engine State slot Pass fills; read it back with
+// ResultOf.
+const ArtifactKey = "depend"
+
+// Pass contributes the §6 dependence analysis to an engine pipeline.
+// It consumes the classification stored by iv.ClassifyPass and stores
+// the *Result under ArtifactKey, rethreading the run's recorder and
+// limits like every engine pass.
+func Pass(opts Options) engine.Pass {
+	return engine.Pass{Name: "depend", Run: func(st *engine.State) error {
+		o := opts
+		o.Obs = st.Obs()
+		o.Limits = st.Lim()
+		st.Put(ArtifactKey, Analyze(iv.AnalysisOf(st), o))
+		return nil
+	}}
+}
+
+// ResultOf returns the dependence result a Pass stored in st, or nil
+// when the pass has not run.
+func ResultOf(st *engine.State) *Result {
+	r, _ := st.Artifact(ArtifactKey).(*Result)
+	return r
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"beyondiv/internal/guard"
+	"beyondiv/internal/obs"
+)
+
+// Item is one source's outcome in a batch: its position in the input,
+// the analyzed state on success, or the *Error that failed it. A
+// failure is always the source's own — one source hitting its guard
+// ceiling neither aborts nor skews the rest of the batch.
+type Item struct {
+	Index  int
+	Source string
+	State  *State
+	Err    error
+}
+
+// AnalyzeAll fans the sources out over a bounded worker pool (Config.
+// Jobs workers, capped at the batch size) and returns one Item per
+// source, in input order. Results are deterministic: each source's
+// analysis is independent, so the outcome is byte-identical to running
+// Analyze sequentially, whatever the worker count.
+//
+// Telemetry: each worker records into a fork of the configured
+// recorder under a "worker N" span; forks merge back in worker order
+// once the batch is done, so counters aggregate exactly and no span
+// tree is ever written concurrently. Guarding: every source runs under
+// the engine's per-source limits, plus — when Config.BatchSteps is set
+// — a pool of steps shared by the whole batch.
+func (e *Engine) AnalyzeAll(sources []string) []Item {
+	rec := e.cfg.Obs
+	span := rec.Phase("analyze-all")
+	defer span.End()
+
+	lim := e.cfg.Limits
+	lim.Pool = guard.NewPool(e.cfg.BatchSteps)
+
+	items := make([]Item, len(sources))
+	jobs := e.cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(sources) {
+		jobs = len(sources)
+	}
+
+	if jobs <= 1 {
+		// Inline: same goroutine, same recorder, same span shape as
+		// repeated Analyze calls.
+		for i, src := range sources {
+			st, err := e.analyze(src, rec, lim)
+			items[i] = Item{Index: i, Source: src, State: st, Err: err}
+		}
+		return items
+	}
+
+	idx := make(chan int)
+	recs := make([]*obs.Recorder, jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		recs[w] = rec.Fork()
+		wg.Add(1)
+		go func(w int, wrec *obs.Recorder) {
+			defer wg.Done()
+			wspan := wrec.Phase(fmt.Sprintf("worker %d", w))
+			defer wspan.End()
+			for i := range idx {
+				st, err := e.analyze(sources[i], wrec, lim)
+				items[i] = Item{Index: i, Source: sources[i], State: st, Err: err}
+			}
+		}(w, recs[w])
+	}
+	for i := range sources {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, wrec := range recs {
+		rec.Absorb(wrec)
+	}
+	return items
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+)
+
+// cacheKey content-addresses one analysis: the SHA-256 of the engine's
+// fingerprint (caller options + limits + pass names) and the source
+// text. Two engines sharing a Cache never collide unless both their
+// options and their input agree — in which case sharing the result is
+// exactly right.
+type cacheKey [sha256.Size]byte
+
+// key hashes one source under this engine's fingerprint.
+func (e *Engine) key(source string) cacheKey {
+	h := sha256.New()
+	h.Write([]byte(e.fp))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// Cache is a concurrency-safe LRU of successful analysis results,
+// content-addressed by source hash + options fingerprint. Failed runs
+// are never cached (a limit hit under one budget is not a fact about
+// the source). States handed out on a hit are shared — they are
+// immutable after analysis, so sharing is safe; callers that mutate
+// artifacts (e.g. applying transformations to the SSA) should analyze
+// without a cache.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key cacheKey
+	st  *State
+}
+
+// NewCache returns an LRU holding up to capacity results; capacity <= 0
+// returns nil (no caching), which every method tolerates.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// get returns the cached state for key, refreshing its recency, or nil.
+func (c *Cache) get(key cacheKey) *State {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).st
+}
+
+// put inserts a result, evicting from the cold end past capacity, and
+// reports how many entries were evicted.
+func (c *Cache) put(key cacheKey, st *State) (evicted int64) {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent worker won the race to analyze the same source;
+		// keep the incumbent so later hits stay pointer-stable.
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, st: st})
+	for len(c.entries) > c.cap {
+		cold := c.order.Back()
+		c.order.Remove(cold)
+		delete(c.entries, cold.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}

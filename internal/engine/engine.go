@@ -1,0 +1,312 @@
+// Package engine is the analysis pipeline's execution layer: an
+// explicit pass architecture replacing the hard-coded call chains that
+// used to live (twice, with different safety properties) in the
+// beyondiv facade and iv.AnalyzeProgramWith.
+//
+// A Pass is one named phase producing a typed artifact into the shared
+// State; an Engine executes a pass list under the guard limits, panic
+// containment and telemetry threading that every entry point must
+// share. The package owns exactly the stages that do not depend on the
+// classifier — Frontend() is source → AST → CFG → SSA+dominators →
+// loop forest → SCCP lattice — while the classification and dependence
+// passes are contributed by their owning packages (iv.ClassifyPass,
+// depend.Pass), which import engine; engine imports neither, so
+// iv.AnalyzeProgramWith can itself run on the engine without an import
+// cycle. Artifacts of contributed passes live in a keyed slot on State
+// with typed accessors next to the pass definitions (iv.AnalysisOf,
+// depend.ResultOf).
+//
+// On top of single-shot Analyze the engine adds what the old call
+// chains could not express:
+//
+//   - AnalyzeAll: a bounded worker pool fanning a batch of sources out
+//     concurrently, with per-worker forked obs recorders merged back
+//     deterministically and an optional shared guard step pool so the
+//     batch as a whole has a work ceiling;
+//   - a content-addressed result cache (cache.go): an LRU keyed by
+//     source hash + options fingerprint, so repeated analysis of hot
+//     sources is a hash and a map hit.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"beyondiv/internal/ast"
+	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/guard"
+	"beyondiv/internal/ir"
+	"beyondiv/internal/loops"
+	"beyondiv/internal/obs"
+	"beyondiv/internal/parse"
+	"beyondiv/internal/sccp"
+	"beyondiv/internal/ssa"
+	"beyondiv/internal/token"
+)
+
+// State is the artifact store one analysis run threads through its
+// passes: each pass reads the slots of its predecessors and fills its
+// own. The frontend slots are typed; passes contributed from outside
+// the engine (classification, dependence) store under a string key via
+// Put and are read back through typed accessors in their own packages.
+// A State is immutable once Analyze returns it, so cached states are
+// shared freely across goroutines.
+type State struct {
+	Source string
+	File   *ast.File
+	CFG    *cfgbuild.Result
+	SSA    *ssa.Info
+	Forest *loops.Forest
+	Consts *sccp.Result
+
+	rec   *obs.Recorder
+	lim   guard.Limits
+	extra map[string]any
+}
+
+// Obs returns the recorder of the run this state belongs to; passes
+// thread it into the stages they call. Nil when telemetry is off.
+func (s *State) Obs() *obs.Recorder { return s.rec }
+
+// Lim returns the run's normalized guard limits.
+func (s *State) Lim() guard.Limits { return s.lim }
+
+// Put stores a contributed pass's artifact under key.
+func (s *State) Put(key string, artifact any) { s.extra[key] = artifact }
+
+// Artifact returns the artifact stored under key, or nil.
+func (s *State) Artifact(key string) any { return s.extra[key] }
+
+// Pass is one named pipeline phase. Run reads its inputs from the
+// state and stores its artifact back; an error return or a panic —
+// a guard ceiling hit, an injected fault, or a genuine bug — is
+// contained by the engine and surfaces as a *Error naming the pass.
+type Pass struct {
+	// Name is the phase name used for error attribution, telemetry
+	// spans and the guard.Inject fault hook.
+	Name string
+	// OwnInject marks a pass that fires guard inject hooks itself at a
+	// finer grain (the parse pass fires "scan" then "parse" inside
+	// parse.FileGuarded); the engine then does not fire Name on entry.
+	OwnInject bool
+	// Run executes the pass.
+	Run func(st *State) error
+}
+
+// Frontend returns the classifier-independent pipeline prefix: parse →
+// cfgbuild → ssa (verified) → loops (labels attached) → sccp. Every
+// entry point composes its pipeline by appending to this one
+// definition.
+func Frontend() []Pass {
+	return []Pass{
+		{Name: "parse", OwnInject: true, Run: func(st *State) error {
+			file, err := parse.FileGuarded(st.Source, st.rec, st.lim)
+			if err != nil {
+				return err
+			}
+			st.File = file
+			return nil
+		}},
+		{Name: "cfgbuild", Run: func(st *State) error {
+			st.CFG = cfgbuild.BuildGuarded(st.File, st.rec, st.lim)
+			return nil
+		}},
+		{Name: "ssa", Run: func(st *State) error {
+			st.SSA = ssa.BuildGuarded(st.CFG.Func, st.rec, st.lim)
+			if errs := ssa.Verify(st.SSA); len(errs) != 0 {
+				// Internal invariant; surface every violation.
+				return errors.Join(errs...)
+			}
+			return nil
+		}},
+		{Name: "loops", Run: func(st *State) error {
+			st.Forest = loops.AnalyzeWithObs(st.CFG.Func, st.SSA.Dom, st.rec)
+			labels := map[*ir.Block]string{}
+			for _, li := range st.CFG.Loops {
+				labels[li.Header] = li.Label
+			}
+			st.Forest.AttachLabels(labels)
+			return nil
+		}},
+		{Name: "sccp", Run: func(st *State) error {
+			st.Consts = sccp.RunGuarded(st.SSA, st.rec, st.lim)
+			return nil
+		}},
+	}
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Passes is the pipeline, in execution order; typically
+	// engine.Frontend() plus the contributed analysis passes.
+	Passes []Pass
+	// Obs, when non-nil, records phase spans, counters and provenance
+	// for every run (batch workers record into forks merged back).
+	Obs *obs.Recorder
+	// Limits bounds each source's analysis; normalized once at New, so
+	// zero fields take guard.Default ceilings on every entry path.
+	Limits guard.Limits
+	// Jobs is AnalyzeAll's worker count; <= 0 means one worker per
+	// available CPU, and the pool never exceeds the batch size.
+	Jobs int
+	// Cache, when non-nil, memoizes successful runs content-addressed
+	// by source hash + fingerprint. A cache may be shared by several
+	// engines; differing fingerprints keep their entries apart.
+	Cache *Cache
+	// CacheEntries, when positive and Cache is nil, gives the engine a
+	// private LRU of that capacity.
+	CacheEntries int
+	// Fingerprint distinguishes option sets that change analysis
+	// results (ablation switches, dependence options); it is mixed
+	// into every cache key together with the limits and pass names.
+	Fingerprint string
+	// BatchSteps, when positive, is a shared guard budget for one
+	// AnalyzeAll call: every phase step of every source draws from
+	// this pool on top of the per-phase budgets.
+	BatchSteps int64
+}
+
+// Engine executes one configured pipeline over any number of sources.
+// Engines are safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	cache *Cache
+	fp    string // full cache-key prefix: caller fingerprint + limits + passes
+}
+
+// New builds an engine. The configured limits are normalized here —
+// engine entry points never run unguarded.
+func New(cfg Config) *Engine {
+	cfg.Limits = cfg.Limits.Normalize()
+	e := &Engine{cfg: cfg, cache: cfg.Cache}
+	if e.cache == nil && cfg.CacheEntries > 0 {
+		e.cache = NewCache(cfg.CacheEntries)
+	}
+	l := cfg.Limits
+	e.fp = fmt.Sprintf("%s|limits:%d,%d,%d,%d,%d|passes:", cfg.Fingerprint,
+		l.MaxSourceBytes, l.MaxNestDepth, l.MaxSSAValues, l.MaxLoopDepth, l.MaxPhaseSteps)
+	for _, p := range cfg.Passes {
+		e.fp += p.Name + ","
+	}
+	return e
+}
+
+// Analyze runs the pipeline on one source. On hostile or malformed
+// input it never panics and never hangs: every pass runs under the
+// engine's limits with panic containment, and any failure — syntax
+// error, resource-ceiling hit, or contained internal fault — returns
+// as a *Error identifying the pass.
+func (e *Engine) Analyze(source string) (*State, error) {
+	return e.analyze(source, e.cfg.Obs, e.cfg.Limits)
+}
+
+// analyze is Analyze against an explicit recorder and limits (batch
+// workers substitute their forked recorder and the shared-pool
+// limits).
+func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits) (*State, error) {
+	span := rec.Phase("analyze")
+	defer span.End()
+
+	var key cacheKey
+	if e.cache != nil {
+		key = e.key(source)
+		if st := e.cache.get(key); st != nil {
+			rec.Count("engine.cache.hit")
+			return st, nil
+		}
+		rec.Count("engine.cache.miss")
+	}
+
+	st := &State{Source: source, rec: rec, lim: lim, extra: map[string]any{}}
+	for _, p := range e.cfg.Passes {
+		if err := runPass(lim, p, st); err != nil {
+			return nil, err
+		}
+	}
+	if e.cache != nil {
+		if evicted := e.cache.put(key, st); evicted > 0 {
+			rec.Add("engine.cache.evict", evicted)
+		}
+	}
+	return st, nil
+}
+
+// runPass runs one pass with fault containment: any panic — a guard
+// ceiling hit, an injected test fault, or a genuine bug — is converted
+// into a *Error instead of escaping the engine, and an error return is
+// wrapped the same way. Telemetry spans opened inside the pass have
+// deferred End calls, which run during panic unwinding, so a contained
+// failure still leaves spans and counters recorded up to the fault.
+func runPass(lim guard.Limits, p Pass, st *State) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = contained(p.Name, r)
+		}
+	}()
+	if !p.OwnInject {
+		lim.Inject.Fire(p.Name)
+	}
+	if ferr := p.Run(st); ferr != nil {
+		return wrapError(p.Name, ferr)
+	}
+	return nil
+}
+
+// Error is the structured failure of one pipeline pass. Every error
+// the engine returns is one of these: input diagnostics (scan/parse)
+// carry a Pos, resource-ceiling hits wrap a *guard.LimitError, and
+// contained panics — internal faults that would otherwise crash the
+// caller — carry the panicking goroutine's Stack.
+type Error struct {
+	Phase string    // pipeline phase that failed: "scan", "parse", ..., "depend"
+	Pos   token.Pos // source position, when the failure is an input diagnostic
+	Err   error     // underlying cause
+	Stack []byte    // stack trace of a contained panic; nil otherwise
+}
+
+// Error renders "phase: cause"; input diagnostics keep their
+// "line:col: message" form inside the cause.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %v", e.Phase, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// contained converts a recovered panic value into a *Error. Typed
+// guard payloads carry their own phase attribution (a limit hit deep
+// in a shared helper may belong to an earlier-named phase than the one
+// whose wrapper caught it).
+func contained(phase string, p any) *Error {
+	switch v := p.(type) {
+	case *guard.LimitError:
+		if v.Phase != "" {
+			phase = v.Phase
+		}
+		return &Error{Phase: phase, Err: v}
+	case *guard.Fault:
+		if v.Phase != "" {
+			phase = v.Phase
+		}
+		return &Error{Phase: phase, Err: v, Stack: debug.Stack()}
+	case error:
+		return &Error{Phase: phase, Err: v, Stack: debug.Stack()}
+	default:
+		return &Error{Phase: phase, Err: fmt.Errorf("panic: %v", v), Stack: debug.Stack()}
+	}
+}
+
+// wrapError wraps a pass's error return, lifting structured details:
+// the phase a *guard.LimitError names wins over the wrapper's label,
+// and the first positioned diagnostic contributes Pos.
+func wrapError(phase string, err error) *Error {
+	var le *guard.LimitError
+	if errors.As(err, &le) && le.Phase != "" {
+		phase = le.Phase
+	}
+	e := &Error{Phase: phase, Err: err}
+	var pe *token.PosError
+	if errors.As(err, &pe) {
+		e.Pos = pe.Pos
+	}
+	return e
+}

@@ -24,7 +24,10 @@
 // boundary; nothing escapes Analyze.
 package guard
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Limits bounds the resources one analysis may consume. The zero value
 // of a field means "no limit at this enforcement point"; the facade
@@ -46,6 +49,13 @@ type Limits struct {
 	// MaxPhaseSteps is the per-phase work budget: SCCP worklist pops,
 	// classifier node visits, dependence pair tests.
 	MaxPhaseSteps int64
+
+	// Pool, when non-nil, is a shared step budget drawn down by every
+	// Budget built from these Limits in addition to its per-phase
+	// countdown. The engine's batch mode uses one Pool across all
+	// sources of a batch so the whole batch — not just each source —
+	// has a work ceiling. Nil means no shared ceiling.
+	Pool *Pool
 
 	// Inject, when non-nil, is called with the phase name on entry to
 	// every guarded phase. It exists for fault-injection tests: the
@@ -124,39 +134,69 @@ func Check(phase, resource string, n, limit int64) {
 }
 
 // Budget is a countdown of one phase's work. A nil Budget, or one with
-// no ceiling, is unlimited. Budgets are not safe for concurrent use;
-// each phase owns its own.
+// no ceiling and no shared pool, is unlimited. Budgets are not safe for
+// concurrent use; each phase owns its own. The shared Pool, if any, is.
 type Budget struct {
 	phase string
 	limit int64
 	left  int64
+	pool  *Pool
 }
 
-// Budget returns a step budget for the named phase from MaxPhaseSteps.
+// Budget returns a step budget for the named phase from MaxPhaseSteps,
+// also drawing down the shared Pool when one is set.
 func (l Limits) Budget(phase string) *Budget {
-	return &Budget{phase: phase, limit: l.MaxPhaseSteps, left: l.MaxPhaseSteps}
+	return &Budget{phase: phase, limit: l.MaxPhaseSteps, left: l.MaxPhaseSteps, pool: l.Pool}
 }
 
 // Step consumes one unit of work, panicking with a *LimitError once
 // the budget is exhausted.
 func (b *Budget) Step() {
-	if b == nil || b.limit <= 0 {
-		return
-	}
-	b.left--
-	if b.left < 0 {
-		panic(&LimitError{Phase: b.phase, Resource: "phase steps", Limit: b.limit})
-	}
+	b.Steps(1)
 }
 
 // Steps consumes n units of work at once.
 func (b *Budget) Steps(n int64) {
-	if b == nil || b.limit <= 0 {
+	if b == nil {
 		return
 	}
-	b.left -= n
-	if b.left < 0 {
-		panic(&LimitError{Phase: b.phase, Resource: "phase steps", Limit: b.limit})
+	if b.limit > 0 {
+		b.left -= n
+		if b.left < 0 {
+			panic(&LimitError{Phase: b.phase, Resource: "phase steps", Limit: b.limit})
+		}
+	}
+	b.pool.Take(b.phase, n)
+}
+
+// Pool is a concurrency-safe shared work budget: a batch of analyses
+// draws every phase step from one pool in addition to the per-phase
+// countdowns, bounding the batch's total work. A nil Pool is unlimited.
+type Pool struct {
+	limit int64
+	left  atomic.Int64
+}
+
+// NewPool returns a pool of total steps. total <= 0 returns nil (no
+// shared ceiling).
+func NewPool(total int64) *Pool {
+	if total <= 0 {
+		return nil
+	}
+	p := &Pool{limit: total}
+	p.left.Store(total)
+	return p
+}
+
+// Take consumes n steps, panicking with a *LimitError attributed to
+// phase once the pool is exhausted. Safe on a nil pool and for
+// concurrent use.
+func (p *Pool) Take(phase string, n int64) {
+	if p == nil {
+		return
+	}
+	if p.left.Add(-n) < 0 {
+		panic(&LimitError{Phase: phase, Resource: "shared step pool", Limit: p.limit})
 	}
 }
 

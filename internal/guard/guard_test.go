@@ -105,3 +105,68 @@ func TestInjectHelpers(t *testing.T) {
 		limit.Fire("depend")
 	}()
 }
+
+// TestPoolSharedBudget: a pool counts down across budgets built from
+// the same Limits and fails closed with a "shared step pool" limit.
+func TestPoolSharedBudget(t *testing.T) {
+	lim := Limits{MaxPhaseSteps: 100, Pool: NewPool(5)}
+	b1 := lim.Budget("sccp")
+	b2 := lim.Budget("iv")
+	b1.Steps(3)
+	b2.Steps(2) // pool exactly drained; per-phase budgets far from done
+	defer func() {
+		le, ok := recover().(*LimitError)
+		if !ok || le.Resource != "shared step pool" || le.Phase != "iv" || le.Limit != 5 {
+			t.Fatalf("recover() = %v, want shared step pool limit in iv", le)
+		}
+	}()
+	b2.Step()
+	t.Fatal("exhausted pool did not panic")
+}
+
+// TestPoolNilAndZero: no pool means no shared ceiling, and NewPool of
+// a non-positive total returns nil.
+func TestPoolNilAndZero(t *testing.T) {
+	if NewPool(0) != nil || NewPool(-7) != nil {
+		t.Error("NewPool(<=0) must return nil")
+	}
+	var p *Pool
+	p.Take("iv", 1<<40) // nil pool: unlimited, no panic
+	b := Limits{MaxPhaseSteps: 10}.Budget("iv")
+	b.Steps(9) // only the per-phase ceiling applies
+}
+
+// TestPoolConcurrentTake: concurrent draws never let total consumption
+// exceed the pool (run with -race).
+func TestPoolConcurrentTake(t *testing.T) {
+	const total, workers = 1000, 8
+	p := NewPool(total)
+	overdrawn := make(chan int, workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			n := 0
+			defer func() {
+				if recover() != nil {
+					overdrawn <- n
+				} else {
+					overdrawn <- -1 // never hit the ceiling
+				}
+			}()
+			for {
+				p.Take("iv", 1)
+				n++
+			}
+		}()
+	}
+	granted := 0
+	for g := 0; g < workers; g++ {
+		if n := <-overdrawn; n >= 0 {
+			granted += n
+		} else {
+			t.Fatal("a worker drew forever from a finite pool")
+		}
+	}
+	if granted > total {
+		t.Errorf("pool granted %d steps, ceiling %d", granted, total)
+	}
+}

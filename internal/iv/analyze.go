@@ -25,6 +25,11 @@ type Analysis struct {
 	byLoop map[*loops.Loop]map[*ir.Value]*Classification
 	trips  map[*loops.Loop]*TripCount
 	exits  map[*ir.Value]exitInfo // exit-value cache (empty entries cached too)
+
+	// Lookup indexes built once at construction; first definition wins
+	// for duplicate names, matching the old linear-scan order.
+	byName  map[string]*ir.Value
+	byLabel map[string]*loops.Loop
 }
 
 // Options toggle parts of the analysis off, for the ablation studies in
@@ -49,6 +54,15 @@ type Options struct {
 	Limits guard.Limits
 }
 
+// Fingerprint identifies the option fields that change analysis
+// results, for content-addressed caching: two runs whose fingerprints
+// and sources agree produce identical classifications. Obs and Limits
+// are excluded — telemetry never changes results, and limits are
+// fingerprinted by the engine itself.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("closedforms:%t,exitvalues:%t", !o.DisableClosedForms, !o.DisableExitValues)
+}
+
 // Analyze classifies every scalar in every loop, innermost first
 // (paper §5.3). The sccp result may be nil; constants then stay
 // symbolic.
@@ -66,6 +80,25 @@ func AnalyzeWithOptions(info *ssa.Info, forest *loops.Forest, consts *sccp.Resul
 		byLoop: map[*loops.Loop]map[*ir.Value]*Classification{},
 		trips:  map[*loops.Loop]*TripCount{},
 		exits:  map[*ir.Value]exitInfo{},
+
+		byName:  map[string]*ir.Value{},
+		byLabel: map[string]*loops.Loop{},
+	}
+	for _, b := range info.Func.Blocks {
+		for _, v := range b.Values {
+			if v.Name != "" {
+				if _, ok := a.byName[v.Name]; !ok {
+					a.byName[v.Name] = v
+				}
+			}
+		}
+	}
+	for _, l := range forest.Loops {
+		if l.Label != "" {
+			if _, ok := a.byLabel[l.Label]; !ok {
+				a.byLabel[l.Label] = l
+			}
+		}
 	}
 	a.budget = opts.Limits.Budget("iv")
 	rec := opts.Obs

@@ -1,13 +1,14 @@
 package iv
 
 import (
-	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/engine"
 	"beyondiv/internal/ir"
 	"beyondiv/internal/loops"
-	"beyondiv/internal/parse"
-	"beyondiv/internal/sccp"
-	"beyondiv/internal/ssa"
 )
+
+// ArtifactKey is the engine State slot ClassifyPass fills; read it
+// back with AnalysisOf.
+const ArtifactKey = "iv"
 
 // AnalyzeProgram runs the full pipeline on mini-language source:
 // parse → CFG → SSA → loop nest → constants → classification.
@@ -17,26 +18,61 @@ func AnalyzeProgram(src string) (*Analysis, error) {
 
 // AnalyzeProgramWith is AnalyzeProgram with classifier options; a
 // non-nil opts.Obs records every stage's phase span and counters.
+//
+// The pipeline executes on the analysis engine, so this entry point
+// has the same safety contract as the beyondiv facade: every phase
+// runs under opts.Limits (zero fields take the guard.Default
+// ceilings) with panic containment, and any failure returns as a
+// *engine.Error naming the phase — hostile input cannot hang or crash
+// the caller here any more than it can through the facade.
 func AnalyzeProgramWith(src string, opts Options) (*Analysis, error) {
-	rec := opts.Obs
-	file, err := parse.FileWithObs(src, rec)
+	eng := engine.New(engine.Config{
+		Passes: Passes(opts),
+		Obs:    opts.Obs,
+		Limits: opts.Limits,
+	})
+	st, err := eng.Analyze(src)
 	if err != nil {
 		return nil, err
 	}
-	res := cfgbuild.BuildWithObs(file, rec)
-	info := ssa.BuildWithObs(res.Func, rec)
-	forest := loops.AnalyzeWithObs(res.Func, info.Dom, rec)
-	labels := map[*ir.Block]string{}
-	for _, li := range res.Loops {
-		labels[li.Header] = li.Label
-	}
-	forest.AttachLabels(labels)
-	consts := sccp.RunWithObs(info, rec)
-	return AnalyzeWithOptions(info, forest, consts, opts), nil
+	return AnalysisOf(st), nil
+}
+
+// Passes is the classification pipeline: the engine frontend plus the
+// classifier pass.
+func Passes(opts Options) []engine.Pass {
+	return append(engine.Frontend(), ClassifyPass(opts))
+}
+
+// ClassifyPass contributes the induction-variable classification to an
+// engine pipeline, storing the *Analysis under ArtifactKey. The pass
+// rethreads the run's recorder and limits, so batch workers and the
+// facade configure telemetry and guards in exactly one place.
+func ClassifyPass(opts Options) engine.Pass {
+	return engine.Pass{Name: "iv", Run: func(st *engine.State) error {
+		o := opts
+		o.Obs = st.Obs()
+		o.Limits = st.Lim()
+		st.Put(ArtifactKey, AnalyzeWithOptions(st.SSA, st.Forest, st.Consts, o))
+		return nil
+	}}
+}
+
+// AnalysisOf returns the classification a ClassifyPass stored in st,
+// or nil when the pass has not run.
+func AnalysisOf(st *engine.State) *Analysis {
+	a, _ := st.Artifact(ArtifactKey).(*Analysis)
+	return a
 }
 
 // ValueByName finds the SSA value with the given name ("i2"), or nil.
+// Lookups hit an index built at analysis construction; values created
+// by later transformations (e.g. strength reduction) fall back to a
+// scan.
 func (a *Analysis) ValueByName(name string) *ir.Value {
+	if v, ok := a.byName[name]; ok {
+		return v
+	}
 	for _, b := range a.SSA.Func.Blocks {
 		for _, v := range b.Values {
 			if v.Name == name {
@@ -49,10 +85,5 @@ func (a *Analysis) ValueByName(name string) *ir.Value {
 
 // LoopByLabel finds the loop labeled name ("L7"), or nil.
 func (a *Analysis) LoopByLabel(label string) *loops.Loop {
-	for _, l := range a.Forest.Loops {
-		if l.Label == label {
-			return l
-		}
-	}
-	return nil
+	return a.byLabel[label]
 }

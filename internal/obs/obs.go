@@ -131,6 +131,53 @@ func (s *Span) End() {
 	r.cur = s.parent
 }
 
+// Fork returns a recorder that shares r's epoch, clock and allocation
+// source but records into its own span tree, counter registry and
+// provenance log. Batch workers record into forks concurrently — one
+// recorder's span nesting is a single stack, so concurrent Phase calls
+// on a shared recorder would interleave — and the parent merges each
+// fork back with Absorb once the worker is done. Fork of a nil
+// recorder is nil (telemetry stays off).
+func (r *Recorder) Fork() *Recorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Recorder{
+		epoch:    r.epoch,
+		now:      r.now,
+		mallocs:  r.mallocs,
+		counters: map[string]int64{},
+	}
+}
+
+// Absorb merges a quiescent forked recorder into r: the fork's root
+// spans attach under r's currently open span (or become roots), its
+// counters add into r's registry, and its provenance events append.
+// The fork must not record concurrently with, or after, the merge.
+// No-op when either recorder is nil.
+func (r *Recorder) Absorb(fork *Recorder) {
+	if r == nil || fork == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fork.mu.Lock()
+	defer fork.mu.Unlock()
+	if r.cur != nil {
+		r.cur.Children = append(r.cur.Children, fork.roots...)
+	} else {
+		r.roots = append(r.roots, fork.roots...)
+	}
+	for k, v := range fork.counters {
+		r.counters[k] += v
+	}
+	r.decisions = append(r.decisions, fork.decisions...)
+	fork.roots, fork.decisions = nil, nil
+	fork.counters = map[string]int64{}
+}
+
 // Spans returns the recorded root spans (children reachable through
 // them). The tree must not be modified while recording continues.
 func (r *Recorder) Spans() []*Span {

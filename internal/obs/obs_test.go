@@ -329,3 +329,100 @@ func equalStrings(a, b []string) bool {
 	}
 	return true
 }
+
+// TestForkAbsorb: forks record independently and merge back under the
+// parent's open span with counters summed and decisions appended.
+func TestForkAbsorb(t *testing.T) {
+	r := New()
+	root := r.Phase("analyze-all")
+
+	f1, f2 := r.Fork(), r.Fork()
+	w1 := f1.Phase("worker 0")
+	f1.Phase("analyze").End()
+	f1.Count("iv.classified")
+	f1.Decide("i1", "basic", "from fork 1")
+	w1.End()
+	w2 := f2.Phase("worker 1")
+	f2.Phase("analyze").End()
+	f2.Add("iv.classified", 2)
+	w2.End()
+
+	r.Absorb(f1)
+	r.Absorb(f2)
+	root.End()
+
+	roots := r.Spans()
+	if len(roots) != 1 || roots[0].Name != "analyze-all" {
+		t.Fatalf("roots = %v", spanNames(roots))
+	}
+	if got := spanNames(roots[0].Children); !equalStrings(got, []string{"worker 0", "worker 1"}) {
+		t.Fatalf("children = %v", got)
+	}
+	if got := spanNames(roots[0].Children[0].Children); !equalStrings(got, []string{"analyze"}) {
+		t.Errorf("worker 0 children = %v", got)
+	}
+	if got := r.Counter("iv.classified"); got != 3 {
+		t.Errorf("merged counter = %d, want 3", got)
+	}
+	if d := r.Decisions(); len(d) != 1 || d[0].Detail != "from fork 1" {
+		t.Errorf("merged decisions = %v", d)
+	}
+	// The fork is drained by the merge; absorbing it again adds nothing.
+	r.Absorb(f1)
+	if got := r.Counter("iv.classified"); got != 3 {
+		t.Errorf("re-absorb changed counter to %d", got)
+	}
+}
+
+// TestForkAbsorbNoOpenSpan: absorbed roots become roots of the parent
+// when nothing is open, and nil recorders stay no-ops.
+func TestForkAbsorbNoOpenSpan(t *testing.T) {
+	r := New()
+	f := r.Fork()
+	f.Phase("worker 0").End()
+	r.Absorb(f)
+	if got := spanNames(r.Spans()); !equalStrings(got, []string{"worker 0"}) {
+		t.Errorf("roots = %v", got)
+	}
+
+	var nilRec *Recorder
+	if nilRec.Fork() != nil {
+		t.Error("Fork of a nil recorder is non-nil")
+	}
+	nilRec.Absorb(f) // must not panic
+	r.Absorb(nil)    // must not panic
+}
+
+// TestForkConcurrentRecording: many forks recording at once then
+// merging is race-free (run with -race) and loses nothing.
+func TestForkConcurrentRecording(t *testing.T) {
+	r := New()
+	root := r.Phase("analyze-all")
+	const workers = 8
+	forks := make([]*Recorder, workers)
+	done := make(chan int, workers)
+	for g := 0; g < workers; g++ {
+		forks[g] = r.Fork()
+		go func(f *Recorder) {
+			s := f.Phase("worker")
+			for i := 0; i < 500; i++ {
+				f.Count("c")
+			}
+			s.End()
+			done <- 1
+		}(forks[g])
+	}
+	for g := 0; g < workers; g++ {
+		<-done
+	}
+	for _, f := range forks {
+		r.Absorb(f)
+	}
+	root.End()
+	if got := r.Counter("c"); got != workers*500 {
+		t.Errorf("Counter = %d, want %d", got, workers*500)
+	}
+	if got := len(r.Spans()[0].Children); got != workers {
+		t.Errorf("%d worker spans, want %d", got, workers)
+	}
+}
