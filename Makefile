@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test test-race bench repro fuzz-smoke clean
+.PHONY: check build vet test test-race bench bench-smoke repro fuzz-smoke clean
 
 # The full gate: what CI (and every PR) must pass.
 check: build vet test-race
@@ -19,10 +19,17 @@ test-race:
 
 # Runs every benchmark, then re-measures the engine's headline numbers
 # (cold vs warm cache, sequential vs 4-worker batch) into
-# BENCH_engine.json.
+# BENCH_engine.json and the dense-ID hot-path deltas (cold ns/op and
+# allocs/op against the pre-rework baseline) into BENCH_hotpath.json.
 bench:
 	$(GO) test -bench=. -benchmem .
 	BENCH_JSON=BENCH_engine.json $(GO) test -run '^TestEngineBenchArtifact$$' -v .
+	BENCH_JSON=BENCH_hotpath.json $(GO) test -run '^TestHotpathBenchArtifact$$' -v .
+
+# One short iteration of every benchmark, no JSON artifacts: keeps the
+# benchmark code compiling and running in CI without timing assertions.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x .
 
 # Re-derive every figure and table of the paper.
 repro:

@@ -98,7 +98,7 @@ func main() {
 // classOfVar finds the header φ for the named variable and classifies it.
 func classOfVar(a *iv.Analysis, header *ir.Block, name string) *iv.Classification {
 	for _, v := range header.Values {
-		if v.Op == ir.OpPhi && a.SSA.VarOf[v] == name {
+		if v.Op == ir.OpPhi && a.SSA.VarOf(v) == name {
 			return a.ClassOf(a.Forest.ByHeader(header), v)
 		}
 	}

@@ -1,0 +1,65 @@
+// Regression tests for the dense-ID/scratch-arena hot path: the alloc
+// budget of a cold analysis must not creep back up, and reusing one
+// engine's scratch arena across runs must be invisible in the results.
+package beyondiv
+
+import (
+	"testing"
+
+	"beyondiv/internal/paper"
+	"beyondiv/internal/progen"
+)
+
+// TestAnalyzeAllocBound pins an allocation upper bound for a
+// representative mid-size program through the facade. The bound has
+// ~30% headroom over the measured cost of the dense-indexed pipeline
+// (~4.9k allocs), so ordinary drift passes but reintroducing per-run
+// maps or per-SCR table churn on the hot path fails loudly.
+func TestAnalyzeAllocBound(t *testing.T) {
+	src := progen.MixedClasses(8)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Analyze(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const bound = 6500
+	if allocs > bound {
+		t.Errorf("Analyze(MixedClasses(8)) = %.0f allocs per run, want ≤ %d", allocs, bound)
+	}
+	t.Logf("%.0f allocs per run (bound %d)", allocs, bound)
+}
+
+// TestScratchArenaReuse proves arena recycling is semantically inert:
+// one engine analyzing a sequence of programs — sized so recycled
+// tables are variously too small, too large, and stamped with stale
+// generations — must report bit-identical results to a fresh engine per
+// program.
+func TestScratchArenaReuse(t *testing.T) {
+	var srcs []string
+	for _, p := range paper.Corpus {
+		srcs = append(srcs, p.Source)
+	}
+	// Interleave a large generated program so table sizes shrink and
+	// grow between consecutive runs.
+	srcs = append(srcs, progen.MixedClasses(12), paper.Corpus[0].Source, progen.StraightLineLoop(512))
+
+	shared := NewAnalyzer(Options{})
+	for round := 0; round < 2; round++ {
+		for i, src := range srcs {
+			got, err := shared.Analyze(src)
+			if err != nil {
+				t.Fatalf("round %d src %d: shared engine: %v", round, i, err)
+			}
+			want, err := NewAnalyzer(Options{}).Analyze(src)
+			if err != nil {
+				t.Fatalf("round %d src %d: fresh engine: %v", round, i, err)
+			}
+			if g, w := got.ClassificationReport(), want.ClassificationReport(); g != w {
+				t.Errorf("round %d src %d: classification diverges with arena reuse\nshared:\n%s\nfresh:\n%s", round, i, g, w)
+			}
+			if g, w := got.DependenceReport(), want.DependenceReport(); g != w {
+				t.Errorf("round %d src %d: dependences diverge with arena reuse\nshared:\n%s\nfresh:\n%s", round, i, g, w)
+			}
+		}
+	}
+}

@@ -196,7 +196,7 @@ func checkAgreement(t *testing.T, src string) {
 
 func headerPhiOf(a *iv.Analysis, l *loops.Loop, name string) *ir.Value {
 	for _, v := range l.Header.Values {
-		if v.Op == ir.OpPhi && a.SSA.VarOf[v] == name {
+		if v.Op == ir.OpPhi && a.SSA.VarOf(v) == name {
 			return v
 		}
 	}

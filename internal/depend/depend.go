@@ -20,6 +20,7 @@ package depend
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -28,6 +29,7 @@ import (
 	"beyondiv/internal/iv"
 	"beyondiv/internal/loops"
 	"beyondiv/internal/obs"
+	"beyondiv/internal/scratch"
 )
 
 // Access is one array reference.
@@ -39,6 +41,17 @@ type Access struct {
 	// Order is the access's program position for intra-iteration
 	// ordering.
 	Order int
+
+	// Per-access test setup, derived once by the tester and reused
+	// across the O(pairs) loop: the subscript classification, its
+	// wrap-around-unwrapped refinement with the §6 after-iterations
+	// order, and the affine iteration form.
+	cls       *iv.Classification
+	unwrapped *iv.Classification
+	after     int
+	form      *iv.IterForm
+	clsDone   bool
+	formDone  bool
 }
 
 // String renders e.g. "a[i2] (write at b3)".
@@ -193,6 +206,11 @@ type Options struct {
 	// *guard.LimitError, contained at the facade. The zero value is
 	// unchecked.
 	Limits guard.Limits
+	// Scratch, when non-nil, lends the tester reusable working tables
+	// for the duration of one Analyze call. Excluded from Fingerprint —
+	// table reuse never changes results — and never retained by the
+	// returned Result, so a cached Result cannot pin or share an arena.
+	Scratch *scratch.Arena
 }
 
 // Fingerprint identifies the option fields that change analysis
@@ -233,6 +251,12 @@ func Analyze(a *iv.Analysis, opts Options) *Result {
 	sort.Strings(arrays)
 
 	tester := &tester{a: a, opts: opts, budget: opts.Limits.Budget("depend")}
+	if opts.Scratch != nil {
+		tester.scr = scratch.Get[dependScratch](&opts.Scratch.Depend)
+		tester.opts.Scratch = nil // the Result must never retain the arena
+	} else {
+		tester.scr = &dependScratch{}
+	}
 	for _, name := range arrays {
 		list := byArray[name]
 		for i := 0; i < len(list); i++ {
@@ -273,7 +297,7 @@ func (r *Result) collectAccesses() {
 			}
 		}
 	}
-	sort.Slice(r.Accesses, func(i, j int) bool { return r.Accesses[i].Order < r.Accesses[j].Order })
+	slices.SortFunc(r.Accesses, byOrder)
 }
 
 // Report renders all dependences in a stable order.
@@ -287,22 +311,38 @@ func (r *Result) Report() string {
 	return sb.String()
 }
 
+// byOrder sorts accesses by program position — the shared comparator
+// for every deterministic access ordering (slices.SortFunc).
+func byOrder(a, b *Access) int { return a.Order - b.Order }
+
 // commonLoops returns the loops enclosing both accesses, outermost
-// first.
+// first. The shared loops are exactly the ancestors of the two nests'
+// lowest common ancestor, found by walking the deeper chain up to equal
+// depth and then both chains in lockstep — no allocation beyond the
+// result.
 func commonLoops(a, b *Access) []*loops.Loop {
-	anc := map[*loops.Loop]bool{}
-	for l := a.Loop; l != nil; l = l.Parent {
-		anc[l] = true
-	}
-	var out []*loops.Loop
-	for l := b.Loop; l != nil; l = l.Parent {
-		if anc[l] {
-			out = append(out, l)
+	la, lb := a.Loop, b.Loop
+	for la != nil && lb != nil && la != lb {
+		switch {
+		case la.Depth > lb.Depth:
+			la = la.Parent
+		case lb.Depth > la.Depth:
+			lb = lb.Parent
+		default:
+			la, lb = la.Parent, lb.Parent
 		}
 	}
-	// Collected inner→outer; reverse.
-	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
-		out[i], out[j] = out[j], out[i]
+	if la == nil || lb == nil {
+		return nil
+	}
+	n := 0
+	for l := la; l != nil; l = l.Parent {
+		n++
+	}
+	out := make([]*loops.Loop, n)
+	for l := la; l != nil; l = l.Parent {
+		n--
+		out[n] = l
 	}
 	return out
 }

@@ -2,7 +2,7 @@ package depend
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -20,7 +20,7 @@ func (r *Result) DOT() string {
 
 	// Nodes, deterministic order.
 	accs := append([]*Access(nil), r.Accesses...)
-	sort.Slice(accs, func(i, j int) bool { return accs[i].Order < accs[j].Order })
+	slices.SortFunc(accs, byOrder)
 	id := map[*Access]string{}
 	for i, ac := range accs {
 		name := fmt.Sprintf("n%d", i)

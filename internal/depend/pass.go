@@ -11,13 +11,14 @@ const ArtifactKey = "depend"
 
 // Pass contributes the §6 dependence analysis to an engine pipeline.
 // It consumes the classification stored by iv.ClassifyPass and stores
-// the *Result under ArtifactKey, rethreading the run's recorder and
-// limits like every engine pass.
+// the *Result under ArtifactKey, rethreading the run's recorder,
+// limits, and scratch arena like every engine pass.
 func Pass(opts Options) engine.Pass {
 	return engine.Pass{Name: "depend", Run: func(st *engine.State) error {
 		o := opts
 		o.Obs = st.Obs()
 		o.Limits = st.Lim()
+		o.Scratch = st.Scratch()
 		st.Put(ArtifactKey, Analyze(iv.AnalysisOf(st), o))
 		return nil
 	}}

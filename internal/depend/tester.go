@@ -2,6 +2,7 @@ package depend
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"beyondiv/internal/dom"
@@ -28,6 +29,8 @@ type tester struct {
 	budget *guard.Budget
 	// pdom is the postdominator tree, built on first use (§5.4).
 	pdom *dom.Tree
+	// scr holds the reusable equation-building tables for this run.
+	scr *dependScratch
 }
 
 // postDom lazily builds the postdominator tree.
@@ -80,14 +83,16 @@ func (t *tester) testPair(A, B *Access) ([]*Dependence, bool) {
 		}
 	}
 
-	clsA := t.subscriptClass(A)
-	clsB := t.subscriptClass(B)
-
-	// Wrap-around subscripts shift onto their induction sequence, with
-	// the §6 after-k-iterations flag.
-	after := 0
-	clsA, after = unwrap(clsA, after)
-	clsB, after = unwrap(clsB, after)
+	// Subscript classifications, wrap-around subscripts already shifted
+	// onto their induction sequence with the §6 after-k-iterations flag;
+	// derived once per access and reused across every pair it joins.
+	t.subscriptClass(A)
+	t.subscriptClass(B)
+	clsA, clsB := A.unwrapped, B.unwrapped
+	after := A.after
+	if B.after > after {
+		after = B.after
+	}
 
 	// Periodic subscripts with known rings (§6, L22; also flip-flop
 	// pairs like the paper's L12).
@@ -161,12 +166,18 @@ func (t *tester) record(A, B *Access, method string, deps []*Dependence, indepen
 	return deps, independent
 }
 
-// subscriptClass classifies an access's subscript within its loop.
+// subscriptClass classifies an access's subscript within its loop,
+// memoizing both the raw class and its unwrapped refinement on the
+// access so the pairwise loop derives each access's facts exactly once.
 func (t *tester) subscriptClass(ac *Access) *iv.Classification {
-	if ac.Loop == nil {
-		return nil
+	if !ac.clsDone {
+		ac.clsDone = true
+		if ac.Loop != nil {
+			ac.cls = t.a.ClassOf(ac.Loop, ac.Value.Args[0])
+		}
+		ac.unwrapped, ac.after = unwrap(ac.cls, 0)
 	}
-	return t.a.ClassOf(ac.Loop, ac.Value.Args[0])
+	return ac.cls
 }
 
 // unwrap peels wrap-around subscripts onto their post-warm-up class.
@@ -199,16 +210,21 @@ func shiftClass(inner *iv.Classification, order int, l *loops.Loop) *iv.Classifi
 }
 
 // formOf builds the iteration form of an access's subscript, through
-// the possibly unwrapped classification.
+// the possibly unwrapped classification. The form is memoized on the
+// access: cls is always the access's own unwrapped classification, so
+// the result is a per-access fact independent of the pairing.
 func (t *tester) formOf(ac *Access, cls *iv.Classification) *iv.IterForm {
-	if ac.Loop == nil {
-		// Outside loops: expand the raw subscript value.
-		return t.a.IterFormOf(nil, ac.Value.Args[0])
+	if !ac.formDone {
+		ac.formDone = true
+		switch {
+		case ac.Loop == nil:
+			// Outside loops: expand the raw subscript value.
+			ac.form = t.a.IterFormOf(nil, ac.Value.Args[0])
+		case cls != nil:
+			ac.form = t.a.IterFormOfClass(ac.Loop, cls)
+		}
 	}
-	if cls == nil {
-		return nil
-	}
-	return t.a.IterFormOfClass(ac.Loop, cls)
+	return ac.form
 }
 
 // assumed emits the conservative catch-all dependences for an untestable
@@ -653,9 +669,15 @@ type modConstraint struct {
 // buildEquation clears denominators and splits the two forms into
 // common-loop coefficients, solo variables, and symbols.
 func (t *tester) buildEquation(A, B *Access, fa, fb *iv.IterForm, common []*loops.Loop) (*equation, bool) {
-	inCommon := map[*loops.Loop]int{}
-	for i, l := range common {
-		inCommon[l] = i
+	// The common nest is at most a few loops deep: a linear scan beats
+	// allocating a lookup map per pair.
+	inCommon := func(l *loops.Loop) (int, bool) {
+		for i, cl := range common {
+			if cl == l {
+				return i, true
+			}
+		}
+		return 0, false
 	}
 
 	// Collect all rationals to scale to integers.
@@ -715,7 +737,7 @@ func (t *tester) buildEquation(A, B *Access, fa, fb *iv.IterForm, common []*loop
 	zero := int64(0)
 	soloLoop := func(f *iv.IterForm, sign int64, ac *Access) {
 		for _, l := range f.Loops() {
-			if _, ok := inCommon[l]; ok {
+			if _, ok := inCommon(l); ok {
 				continue
 			}
 			c := take(f.Coeffs[l])
@@ -737,24 +759,30 @@ func (t *tester) buildEquation(A, B *Access, fa, fb *iv.IterForm, common []*loop
 	soloLoop(fb, -1, B)
 
 	// Symbols: matching coefficients cancel; leftovers are free
-	// unbounded integers (conservative).
-	syms := map[*ir.Value]int64{}
+	// unbounded integers (conservative). The accumulator is the run
+	// scratch's dense value-id table, and leftovers emit in value-id
+	// order so the equation is deterministic.
+	scr := t.scr
+	scr.beginEquation()
 	for v, c := range fa.Syms {
-		s, ok := safemath.Add(syms[v], take(c))
+		slot := scr.symAccum(v)
+		s, ok := safemath.Add(*slot, take(c))
 		if !ok {
 			okAll = false
 		}
-		syms[v] = s
+		*slot = s
 	}
 	for v, c := range fb.Syms {
-		s, ok := safemath.Sub(syms[v], take(c))
+		slot := scr.symAccum(v)
+		s, ok := safemath.Sub(*slot, take(c))
 		if !ok {
 			okAll = false
 		}
-		syms[v] = s
+		*slot = s
 	}
-	for _, c := range syms {
-		if c != 0 {
+	slices.SortFunc(scr.symTouched, ir.ByID)
+	for _, v := range scr.symTouched {
+		if c := scr.symCoeff[v.ID]; c != 0 {
 			eq.solos = append(eq.solos, variable{coeff: c})
 		}
 	}
@@ -764,7 +792,7 @@ func (t *tester) buildEquation(A, B *Access, fa, fb *iv.IterForm, common []*loop
 	addPer := func(f *iv.IterForm, side int) bool {
 		for _, pt := range f.Per {
 			cls := pt.Cls
-			dim, ok := inCommon[cls.Loop]
+			dim, ok := inCommon(cls.Loop)
 			if !ok {
 				return false
 			}

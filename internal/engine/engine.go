@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync"
 
 	"beyondiv/internal/ast"
 	"beyondiv/internal/cfgbuild"
@@ -41,6 +42,7 @@ import (
 	"beyondiv/internal/obs"
 	"beyondiv/internal/parse"
 	"beyondiv/internal/sccp"
+	"beyondiv/internal/scratch"
 	"beyondiv/internal/ssa"
 	"beyondiv/internal/token"
 )
@@ -60,9 +62,10 @@ type State struct {
 	Forest *loops.Forest
 	Consts *sccp.Result
 
-	rec   *obs.Recorder
-	lim   guard.Limits
-	extra map[string]any
+	rec     *obs.Recorder
+	lim     guard.Limits
+	extra   map[string]any
+	scratch *scratch.Arena
 }
 
 // Obs returns the recorder of the run this state belongs to; passes
@@ -71,6 +74,12 @@ func (s *State) Obs() *obs.Recorder { return s.rec }
 
 // Lim returns the run's normalized guard limits.
 func (s *State) Lim() guard.Limits { return s.lim }
+
+// Scratch returns the run's scratch arena, valid only while passes are
+// executing: the engine detaches it before the state is cached or
+// returned, so passes must never stash it in an artifact. Nil on entry
+// paths that run without an engine-owned arena.
+func (s *State) Scratch() *scratch.Arena { return s.scratch }
 
 // Put stores a contributed pass's artifact under key.
 func (s *State) Put(key string, artifact any) { s.extra[key] = artifact }
@@ -113,7 +122,7 @@ func Frontend() []Pass {
 			return nil
 		}},
 		{Name: "ssa", Run: func(st *State) error {
-			st.SSA = ssa.BuildGuarded(st.CFG.Func, st.rec, st.lim)
+			st.SSA = ssa.BuildScratch(st.CFG.Func, st.rec, st.lim, st.scratch)
 			if errs := ssa.Verify(st.SSA); len(errs) != 0 {
 				// Internal invariant; surface every violation.
 				return errors.Join(errs...)
@@ -130,7 +139,7 @@ func Frontend() []Pass {
 			return nil
 		}},
 		{Name: "sccp", Run: func(st *State) error {
-			st.Consts = sccp.RunGuarded(st.SSA, st.rec, st.lim)
+			st.Consts = sccp.RunScratch(st.SSA, st.rec, st.lim, st.scratch)
 			return nil
 		}},
 	}
@@ -173,6 +182,11 @@ type Engine struct {
 	cfg   Config
 	cache *Cache
 	fp    string // full cache-key prefix: caller fingerprint + limits + passes
+
+	// arenas recycles scratch arenas across runs: each analyze call
+	// checks one out for the duration of its pass list, so a batch
+	// worker reuses a single arena across its whole source stream.
+	arenas sync.Pool
 }
 
 // New builds an engine. The configured limits are normalized here —
@@ -218,12 +232,24 @@ func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits) (*S
 		rec.Count("engine.cache.miss")
 	}
 
-	st := &State{Source: source, rec: rec, lim: lim, extra: map[string]any{}}
+	ar, _ := e.arenas.Get().(*scratch.Arena)
+	if ar == nil {
+		ar = &scratch.Arena{}
+	}
+	st := &State{Source: source, rec: rec, lim: lim, extra: map[string]any{}, scratch: ar}
 	for _, p := range e.cfg.Passes {
 		if err := runPass(lim, p, st); err != nil {
+			// Scratch tables self-reset on acquisition, so the arena is
+			// reusable even after a contained mid-pass fault.
+			st.scratch = nil
+			e.arenas.Put(ar)
 			return nil, err
 		}
 	}
+	// Detach before the state escapes: cached states are shared across
+	// goroutines and must not alias a recycled arena.
+	st.scratch = nil
+	e.arenas.Put(ar)
 	if e.cache != nil {
 		if evicted := e.cache.put(key, st); evicted > 0 {
 			rec.Add("engine.cache.evict", evicted)

@@ -32,7 +32,7 @@ func RunSSAHooked(info *ssa.Info, cfg Config, hooks Hooks) (*Result, error) {
 	// Record the final value of each named definition.
 	record := func(v *ir.Value, x int64) {
 		vals[v.ID] = x
-		if name, ok := info.VarOf[v]; ok {
+		if name := info.VarOf(v); name != "" {
 			scalars[name] = x
 		}
 		if hooks.OnEval != nil {

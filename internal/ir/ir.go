@@ -109,6 +109,10 @@ type Value struct {
 	Pos   token.Pos
 }
 
+// ByID orders values by SSA id — the comparator every deterministic
+// sort in the analyses shares (for slices.SortFunc).
+func ByID(a, b *Value) int { return a.ID - b.ID }
+
 // ArgIndexOf returns the position of arg within v.Args, or -1.
 func (v *Value) ArgIndexOf(arg *Value) int {
 	for i, a := range v.Args {

@@ -2,7 +2,7 @@ package iv
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"beyondiv/internal/guard"
@@ -11,6 +11,7 @@ import (
 	"beyondiv/internal/obs"
 	"beyondiv/internal/scc"
 	"beyondiv/internal/sccp"
+	"beyondiv/internal/scratch"
 	"beyondiv/internal/ssa"
 )
 
@@ -22,6 +23,7 @@ type Analysis struct {
 
 	opts   Options
 	budget *guard.Budget
+	scr    *classifyScratch // live only while AnalyzeWithOptions runs
 	byLoop map[*loops.Loop]map[*ir.Value]*Classification
 	trips  map[*loops.Loop]*TripCount
 	exits  map[*ir.Value]exitInfo // exit-value cache (empty entries cached too)
@@ -52,6 +54,13 @@ type Options struct {
 	// *guard.LimitError, contained at the facade. The zero value is
 	// unchecked.
 	Limits guard.Limits
+	// Scratch, when non-nil, is the per-run arena the classifier draws
+	// its working tables from; the engine threads one per worker. Nil
+	// allocates fresh tables (one-shot runs). Like Obs and Limits it is
+	// excluded from Fingerprint — scratch reuse cannot change results —
+	// and the analysis drops its reference before returning, so a
+	// cached Analysis never pins (or shares) an arena.
+	Scratch *scratch.Arena
 }
 
 // Fingerprint identifies the option fields that change analysis
@@ -101,6 +110,11 @@ func AnalyzeWithOptions(info *ssa.Info, forest *loops.Forest, consts *sccp.Resul
 		}
 	}
 	a.budget = opts.Limits.Budget("iv")
+	if opts.Scratch != nil {
+		a.scr = scratch.Get[classifyScratch](&opts.Scratch.IV)
+	} else {
+		a.scr = &classifyScratch{}
+	}
 	rec := opts.Obs
 	span := rec.Phase("iv")
 	for _, l := range forest.InnerToOuter() {
@@ -117,6 +131,10 @@ func AnalyzeWithOptions(info *ssa.Info, forest *loops.Forest, consts *sccp.Resul
 		ls.End()
 	}
 	span.End()
+	// Detach the arena: the Analysis outlives the run (it is cached and
+	// shared across goroutines), the scratch tables do not.
+	a.scr = nil
+	a.opts.Scratch = nil
 	return a
 }
 
@@ -229,12 +247,14 @@ func (a *Analysis) exprClass(l *loops.Loop, e *Expr) *Classification {
 		return unknown()
 	}
 	acc := invariant(l, ConstExpr(e.Const))
-	// Deterministic order.
+	// Deterministic order. Locally allocated on purpose: exprClass can
+	// re-enter itself through ClassOf, so it cannot share the scratch
+	// sort buffer the non-recursive exprClsLocal uses.
 	terms := make([]*ir.Value, 0, len(e.Terms))
 	for v := range e.Terms {
 		terms = append(terms, v)
 	}
-	sort.Slice(terms, func(i, j int) bool { return terms[i].ID < terms[j].ID })
+	slices.SortFunc(terms, ir.ByID)
 	for _, v := range terms {
 		c := a.ClassOf(l, v)
 		acc = addCls(l, acc, scaleCls(l, c, e.Terms[v]))
@@ -268,20 +288,15 @@ type node struct {
 }
 
 type loopCtx struct {
-	a      *Analysis
-	l      *loops.Loop
-	nodes  []node
-	idx    map[*ir.Value]int // direct member values
-	exitI  map[*ir.Value]int // inner-loop values -> exit node
-	cls    []*Classification
-	exitOK map[int]bool // guard-check memo for exit nodes
-	// sccStamp/curStamp implement allocation-free SCC membership tests.
-	sccStamp []int
-	curStamp int
-	// famOffsets/famState are the linear-family solver's reusable side
-	// tables (entries are reset per component).
-	famOffsets []*Expr
-	famState   []uint8
+	a   *Analysis
+	l   *loops.Loop
+	scr *classifyScratch
+	// nodes and cls alias the scratch buffers (stored back when the
+	// loop completes, so capacity carries to the next loop). The old
+	// idx/exitI value maps and the per-SCR working maps live in scr as
+	// dense id-indexed tables.
+	nodes []node
+	cls   []*Classification
 	// storedArrays caches which arrays the loop writes (for the §5.1
 	// invariant-load rule); nil until first use.
 	storedArrays map[string]bool
@@ -311,11 +326,14 @@ func (ctx *loopCtx) exprClsLocal(e *Expr) *Classification {
 		return unknown()
 	}
 	acc := invariant(ctx.l, ConstExpr(e.Const))
-	terms := make([]*ir.Value, 0, len(e.Terms))
+	// The scratch sort buffer is safe here: exprClsLocal never
+	// re-enters itself (operandCls reads finished classifications).
+	terms := ctx.scr.terms[:0]
 	for v := range e.Terms {
 		terms = append(terms, v)
 	}
-	sort.Slice(terms, func(i, j int) bool { return terms[i].ID < terms[j].ID })
+	slices.SortFunc(terms, ir.ByID)
+	ctx.scr.terms = terms
 	for _, v := range terms {
 		acc = addCls(ctx.l, acc, scaleCls(ctx.l, ctx.operandCls(v), e.Terms[v]))
 		if acc.Kind == Unknown {
@@ -332,11 +350,11 @@ func (ctx *loopCtx) checkedExit(id int) *Expr {
 	if !n.exit || n.expr == nil {
 		return n.expr
 	}
-	if ok, seen := ctx.exitOK[id]; seen {
-		if !ok {
-			return nil
-		}
+	switch ctx.scr.exitOK[id] {
+	case 1:
 		return n.expr
+	case 2:
+		return nil
 	}
 	ok := true
 	for _, g := range n.guards {
@@ -346,15 +364,18 @@ func (ctx *loopCtx) checkedExit(id int) *Expr {
 			break
 		}
 	}
-	ctx.exitOK[id] = ok
 	if !ok {
+		ctx.scr.exitOK[id] = 2
 		return nil
 	}
+	ctx.scr.exitOK[id] = 1
 	return n.expr
 }
 
 func (a *Analysis) analyzeLoop(l *loops.Loop) {
-	ctx := &loopCtx{a: a, l: l, idx: map[*ir.Value]int{}, exitI: map[*ir.Value]int{}, exitOK: map[int]bool{}}
+	scr := a.scr
+	scr.sizeValueTables(a.SSA.Func.NumValues())
+	ctx := &loopCtx{a: a, l: l, scr: scr, nodes: scr.nodes[:0]}
 
 	// Direct members: values in blocks whose innermost loop is l.
 	for _, b := range l.Blocks {
@@ -362,39 +383,49 @@ func (a *Analysis) analyzeLoop(l *loops.Loop) {
 			continue
 		}
 		for _, v := range b.Values {
-			ctx.idx[v] = len(ctx.nodes)
+			ctx.setIdx(v, len(ctx.nodes))
 			ctx.nodes = append(ctx.nodes, node{v: v})
 		}
 	}
+	direct := len(ctx.nodes) // exit nodes are appended after this point
 
-	// Edges; a worklist because exit nodes appear while wiring.
+	// Edges; a worklist because exit nodes appear while wiring. Each
+	// node's successor list is carved full-capacity from the shared
+	// edge buffer once the node's edges are complete, so later nodes'
+	// appends can never clobber it.
+	edges := scr.edges[:0]
 	for i := 0; i < len(ctx.nodes); i++ {
-		n := &ctx.nodes[i]
-		if n.exit {
-			if n.expr != nil {
-				terms := make([]*ir.Value, 0, len(n.expr.Terms))
-				for t := range n.expr.Terms {
+		base := len(edges)
+		if ctx.nodes[i].exit {
+			if e := ctx.nodes[i].expr; e != nil {
+				terms := scr.terms[:0]
+				for t := range e.Terms {
 					terms = append(terms, t)
 				}
-				sort.Slice(terms, func(x, y int) bool { return terms[x].ID < terms[y].ID })
+				slices.SortFunc(terms, ir.ByID)
+				scr.terms = terms
 				for _, t := range terms {
 					if id, ok := ctx.edgeTarget(t); ok {
-						n.succ = append(n.succ, id)
+						edges = append(edges, id)
 					}
 				}
-				n = &ctx.nodes[i] // edgeTarget may grow ctx.nodes
 			}
-			continue
+		} else {
+			for _, arg := range ctx.nodes[i].v.Args {
+				if id, ok := ctx.edgeTarget(arg); ok {
+					edges = append(edges, id)
+				}
+			}
 		}
-		for _, arg := range n.v.Args {
-			if id, ok := ctx.edgeTarget(arg); ok {
-				ctx.nodes[i].succ = append(ctx.nodes[i].succ, id)
-			}
+		if len(edges) > base {
+			ctx.nodes[i].succ = edges[base:len(edges):len(edges)]
 		}
 	}
+	scr.edges = edges
 
-	ctx.cls = make([]*Classification, len(ctx.nodes))
-	comps := scc.Components(len(ctx.nodes), func(i int) []int { return ctx.nodes[i].succ })
+	scr.sizeNodeTables(len(ctx.nodes))
+	ctx.cls = scr.cls
+	comps := scc.ComponentsScratch(len(ctx.nodes), func(i int) []int { return ctx.nodes[i].succ }, &scr.scc)
 	for _, comp := range comps {
 		a.budget.Steps(int64(len(comp)))
 		if scc.IsTrivial(comp, func(i int) []int { return ctx.nodes[i].succ }) {
@@ -404,33 +435,34 @@ func (a *Analysis) analyzeLoop(l *loops.Loop) {
 		}
 	}
 
-	out := make(map[*ir.Value]*Classification, len(ctx.idx))
-	for v, id := range ctx.idx {
-		c := ctx.cls[id]
+	out := make(map[*ir.Value]*Classification, direct)
+	for i := 0; i < direct; i++ {
+		c := ctx.cls[i]
 		if c == nil {
 			c = unknown()
 		}
-		out[v] = c
+		out[ctx.nodes[i].v] = c
 	}
 	a.byLoop[l] = out
+	scr.nodes = ctx.nodes
 }
 
 // edgeTarget resolves an operand to a graph node, creating exit-value
 // nodes for inner-loop operands. Loop-external operands are leaves
 // (no edge).
 func (ctx *loopCtx) edgeTarget(arg *ir.Value) (int, bool) {
-	if id, ok := ctx.idx[arg]; ok {
+	if id, ok := ctx.idxOf(arg); ok {
 		return id, true
 	}
 	inner := ctx.a.Forest.InnermostContaining(arg.Block)
 	if inner == nil || !ctx.l.ContainsLoop(inner) || inner == ctx.l {
 		return 0, false // external leaf
 	}
-	if id, ok := ctx.exitI[arg]; ok {
+	if id, ok := ctx.exitNodeOf(arg); ok {
 		return id, true
 	}
 	id := len(ctx.nodes)
-	ctx.exitI[arg] = id
+	ctx.setExitNode(arg, id)
 	ei := ctx.a.exitValue(arg)
 	ctx.nodes = append(ctx.nodes, node{v: arg, exit: true, expr: ei.expr, guards: ei.guards})
 	return id, true
@@ -439,13 +471,7 @@ func (ctx *loopCtx) edgeTarget(arg *ir.Value) (int, bool) {
 // operandCls classifies an operand of a node: another node's (already
 // computed) classification, or a leaf.
 func (ctx *loopCtx) operandCls(arg *ir.Value) *Classification {
-	if id, ok := ctx.idx[arg]; ok {
-		if ctx.cls[id] != nil {
-			return ctx.cls[id]
-		}
-		return unknown()
-	}
-	if id, ok := ctx.exitI[arg]; ok {
+	if id, ok := ctx.nodeOf(arg); ok {
 		if ctx.cls[id] != nil {
 			return ctx.cls[id]
 		}
@@ -619,7 +645,7 @@ func (a *Analysis) Report() string {
 			}
 			vals = append(vals, v)
 		}
-		sort.Slice(vals, func(i, j int) bool { return vals[i].ID < vals[j].ID })
+		slices.SortFunc(vals, ir.ByID)
 		for _, v := range vals {
 			fmt.Fprintf(&sb, "  %s = %s\n", v, m[v])
 		}

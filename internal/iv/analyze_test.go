@@ -778,7 +778,7 @@ func TestDeepNestStress(t *testing.T) {
 		for _, l := range a.Forest.Loops {
 			var phi *ir.Value
 			for _, v := range l.Header.Values {
-				if v.Op == ir.OpPhi && a.SSA.VarOf[v] == "i"+itoa(l.Depth-1) {
+				if v.Op == ir.OpPhi && a.SSA.VarOf(v) == "i"+itoa(l.Depth-1) {
 					phi = v
 				}
 			}

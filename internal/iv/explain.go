@@ -2,7 +2,7 @@ package iv
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"beyondiv/internal/ir"
@@ -178,7 +178,7 @@ func (a *Analysis) scrMembers(c *Classification) []*ir.Value {
 			out = append(out, v)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, ir.ByID)
 	return out
 }
 
@@ -238,7 +238,7 @@ func (a *Analysis) ExplainVar(name string) string {
 				vals = append(vals, v)
 			}
 		}
-		sort.Slice(vals, func(i, j int) bool { return vals[i].ID < vals[j].ID })
+		slices.SortFunc(vals, ir.ByID)
 		for _, v := range vals {
 			sb.WriteString(a.Explain(l, v))
 		}
@@ -256,10 +256,8 @@ func (a *Analysis) varMatches(v *ir.Value, name string) bool {
 	if v.Name == name {
 		return true
 	}
-	if a.SSA != nil {
-		if src, ok := a.SSA.VarOf[v]; ok && src == name {
-			return true
-		}
+	if a.SSA != nil && a.SSA.VarOf(v) == name {
+		return true
 	}
 	base := strings.TrimRight(v.Name, "0123456789")
 	return base == name

@@ -8,7 +8,7 @@ package iv
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"beyondiv/internal/ir"
@@ -202,7 +202,7 @@ func (e *Expr) String() string {
 	for v, c := range e.Terms {
 		terms = append(terms, term{v, c})
 	}
-	sort.Slice(terms, func(i, j int) bool { return terms[i].v.ID < terms[j].v.ID })
+	slices.SortFunc(terms, func(a, b term) int { return ir.ByID(a.v, b.v) })
 
 	var sb strings.Builder
 	wrote := false

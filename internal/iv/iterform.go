@@ -2,7 +2,7 @@ package iv
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"beyondiv/internal/ir"
@@ -121,11 +121,11 @@ func (g *IterForm) Loops() []*loops.Loop {
 	for l := range g.Coeffs {
 		out = append(out, l)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Depth != out[j].Depth {
-			return out[i].Depth < out[j].Depth
+	slices.SortFunc(out, func(a, b *loops.Loop) int {
+		if a.Depth != b.Depth {
+			return a.Depth - b.Depth
 		}
-		return out[i].Header.ID < out[j].Header.ID
+		return a.Header.ID - b.Header.ID
 	})
 	return out
 }
@@ -146,7 +146,7 @@ func (g *IterForm) String() string {
 	for v := range g.Syms {
 		syms = append(syms, v)
 	}
-	sort.Slice(syms, func(i, j int) bool { return syms[i].ID < syms[j].ID })
+	slices.SortFunc(syms, ir.ByID)
 	for _, v := range syms {
 		writeTerm(&sb, g.Syms[v], v.String(), one)
 	}

@@ -46,13 +46,15 @@ func Passes(opts Options) []engine.Pass {
 
 // ClassifyPass contributes the induction-variable classification to an
 // engine pipeline, storing the *Analysis under ArtifactKey. The pass
-// rethreads the run's recorder and limits, so batch workers and the
-// facade configure telemetry and guards in exactly one place.
+// rethreads the run's recorder, limits, and scratch arena, so batch
+// workers and the facade configure telemetry, guards, and table reuse
+// in exactly one place.
 func ClassifyPass(opts Options) engine.Pass {
 	return engine.Pass{Name: "iv", Run: func(st *engine.State) error {
 		o := opts
 		o.Obs = st.Obs()
 		o.Limits = st.Lim()
+		o.Scratch = st.Scratch()
 		st.Put(ArtifactKey, AnalyzeWithOptions(st.SSA, st.Forest, st.Consts, o))
 		return nil
 	}}

@@ -1,7 +1,7 @@
 package iv
 
 import (
-	"sort"
+	"slices"
 
 	"beyondiv/internal/ir"
 	"beyondiv/internal/loops"
@@ -56,7 +56,7 @@ func (a *Analysis) ReportData() []LoopReport {
 				vals = append(vals, v)
 			}
 		}
-		sort.Slice(vals, func(i, j int) bool { return vals[i].ID < vals[j].ID })
+		slices.SortFunc(vals, ir.ByID)
 		for _, v := range vals {
 			c := m[v]
 			vr := ValueReport{
@@ -104,7 +104,7 @@ func (a *Analysis) Families(l *loops.Loop) map[*ir.Value][]*ir.Value {
 		out[c.HeadPhi] = append(out[c.HeadPhi], v)
 	}
 	for _, members := range out {
-		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+		slices.SortFunc(members, ir.ByID)
 	}
 	return out
 }

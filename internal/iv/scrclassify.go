@@ -20,15 +20,13 @@ import (
 func (ctx *loopCtx) classifySCR(comp []int) {
 	// Membership via a reusable stamp array: profiling shows per-SCC
 	// map allocation dominates large loops otherwise.
-	if len(ctx.sccStamp) < len(ctx.nodes) {
-		ctx.sccStamp = make([]int, len(ctx.nodes))
-	}
-	ctx.curStamp++
+	scr := ctx.scr
+	scr.curStamp++
 	for _, id := range comp {
-		ctx.sccStamp[id] = ctx.curStamp
+		scr.sccStamp[id] = scr.curStamp
 	}
-	inSCC := func(id int) bool { return ctx.sccStamp[id] == ctx.curStamp }
-	var headers []int
+	inSCC := func(id int) bool { return scr.sccStamp[id] == scr.curStamp }
+	headers := scr.headers[:0]
 	otherPhis := 0
 	for _, id := range comp {
 		n := ctx.nodes[id]
@@ -43,6 +41,7 @@ func (ctx *loopCtx) classifySCR(comp []int) {
 			}
 		}
 	}
+	scr.headers = headers
 
 	if len(headers) >= 2 && otherPhis == 0 && ctx.tryPeriodic(comp, inSCC, headers) {
 		ctx.recordSCR(headers[0])
@@ -126,15 +125,18 @@ func (ctx *loopCtx) headPhiArgs(headID int) (init *ir.Value, carried []*ir.Value
 // header φs and copies. Each φ delays the ring by one iteration.
 func (ctx *loopCtx) tryPeriodic(comp []int, inSCC func(int) bool, headers []int) bool {
 	period := len(headers)
+	scr := ctx.scr
 	// Verify shape: every node is a φ (header) or Copy with exactly one
-	// in-SCC operand.
-	next := make(map[int]int, len(comp)) // node -> its unique in-SCC operand
+	// in-SCC operand. next[id] is the unique in-SCC operand; every comp
+	// id is assigned below before the walk reads it, so the reused
+	// table needs no reset.
+	next := scr.next
 	for _, id := range comp {
 		n := ctx.nodes[id]
 		if n.exit {
 			return false
 		}
-		var inOps []int
+		inOp, inCount := 0, 0
 		switch n.v.Op {
 		case ir.OpPhi:
 			if !ctx.isHeaderPhi(id) {
@@ -142,28 +144,38 @@ func (ctx *loopCtx) tryPeriodic(comp []int, inSCC func(int) bool, headers []int)
 			}
 			_, carried := splitPhiArgs(ctx.l, n.v)
 			for _, c := range carried {
-				if cid, ok := ctx.idx[c]; ok && inSCC(cid) {
-					inOps = append(inOps, cid)
+				if cid, ok := ctx.idxOf(c); ok && inSCC(cid) {
+					inOp, inCount = cid, inCount+1
 				}
 			}
 		case ir.OpCopy:
-			if cid, ok := ctx.idx[n.v.Args[0]]; ok && inSCC(cid) {
-				inOps = append(inOps, cid)
+			if cid, ok := ctx.idxOf(n.v.Args[0]); ok && inSCC(cid) {
+				inOp, inCount = cid, 1
 			}
 		default:
 			return false
 		}
-		if len(inOps) != 1 {
+		if inCount != 1 {
 			return false
 		}
-		next[id] = inOps[0]
+		next[id] = inOp
 	}
 
-	// Walk the cycle assigning phases: a φ shifts phase by one.
+	// Walk the cycle assigning phases: a φ shifts phase by one. The
+	// assigned counter replaces the old map-length check for "the walk
+	// visited every component member exactly once".
 	head := headers[0]
-	phase := map[int]int{}
+	phase := scr.phase
+	for _, id := range comp {
+		scr.phaseSet[id] = false
+	}
+	assigned := 0
 	id, ph := head, 0
 	for range comp {
+		if !scr.phaseSet[id] {
+			scr.phaseSet[id] = true
+			assigned++
+		}
 		phase[id] = ((ph % period) + period) % period
 		if ctx.isHeaderPhi(id) {
 			ph = phase[id] - 1 // operand is one iteration "ahead"
@@ -172,7 +184,7 @@ func (ctx *loopCtx) tryPeriodic(comp []int, inSCC func(int) bool, headers []int)
 		}
 		id = next[id]
 	}
-	if id != head || len(phase) != len(comp) {
+	if id != head || assigned != len(comp) {
 		return false // not a single simple cycle
 	}
 
@@ -207,12 +219,8 @@ func (ctx *loopCtx) tryLinearFamily(comp []int, inSCC func(int) bool, headID int
 	// Dense side tables, reused across SCCs (allocating per-SCC would be
 	// quadratic over thousands of small components): this is the hottest
 	// classification path, and per-SCC maps showed up in the profile.
-	if len(ctx.famOffsets) < len(ctx.nodes) {
-		ctx.famOffsets = make([]*Expr, len(ctx.nodes))
-		ctx.famState = make([]uint8, len(ctx.nodes))
-	}
-	offsets := ctx.famOffsets
-	state := ctx.famState
+	offsets := ctx.scr.famOffsets
+	state := ctx.scr.famState
 	for _, id := range comp {
 		offsets[id] = nil
 		state[id] = 0 // 0 unseen, 1 visiting, 2 done
@@ -257,7 +265,7 @@ func (ctx *loopCtx) tryLinearFamily(comp []int, inSCC func(int) bool, headID int
 	}
 	var step *Expr
 	for _, c := range carried {
-		cid, ok := ctx.idx[c]
+		cid, ok := ctx.idxOf(c)
 		if !ok || !inSCC(cid) {
 			return false
 		}
@@ -288,10 +296,7 @@ func (ctx *loopCtx) tryLinearFamily(comp []int, inSCC func(int) bool, headID int
 // when the node breaks the linear-family rules.
 func (ctx *loopCtx) valueOffset(v *ir.Value, inSCC func(int) bool, offset func(int) *Expr) *Expr {
 	inOp := func(arg *ir.Value) (int, bool) {
-		id, ok := ctx.idx[arg]
-		if !ok {
-			id, ok = ctx.exitI[arg]
-		}
+		id, ok := ctx.nodeOf(arg)
 		if !ok || !inSCC(id) {
 			return 0, false
 		}
@@ -362,10 +367,7 @@ func (ctx *loopCtx) exitOffset(expr *Expr, inSCC func(int) bool, offset func(int
 	var base *Expr
 	rest := ConstExpr(expr.Const)
 	for t, c := range expr.Terms {
-		id, ok := ctx.idx[t]
-		if !ok {
-			id, ok = ctx.exitI[t]
-		}
+		id, ok := ctx.nodeOf(t)
 		if ok && inSCC(id) {
 			if base != nil || !c.Equal(rational.FromInt(1)) {
 				return nil
@@ -404,26 +406,26 @@ func (ctx *loopCtx) tryCumulative(comp []int, inSCC func(int) bool, headID int) 
 	if initArg == nil || len(carried) != 1 {
 		return false
 	}
-	carriedID, ok := ctx.idx[carried[0]]
-	if !ok {
-		carriedID, ok = ctx.exitI[carried[0]]
-	}
+	carriedID, ok := ctx.nodeOf(carried[0])
 	if !ok || !inSCC(carriedID) {
 		return false
 	}
 
-	vals := make(map[int]*symVal, len(comp))
-	state := make(map[int]int, len(comp))
+	// Dense memo: symState 0 = unseen, 1 = visiting (cycle guard),
+	// 2 = done — symVals[id] is meaningful (possibly nil) only at 2.
+	scr := ctx.scr
+	for _, id := range comp {
+		scr.symState[id] = 0
+	}
 	var eval func(id int) *symVal
 	eval = func(id int) *symVal {
-		if sv, ok := vals[id]; ok {
-			return sv
-		}
-		if state[id] == 1 {
+		switch scr.symState[id] {
+		case 2:
+			return scr.symVals[id]
+		case 1:
 			return nil
 		}
-		state[id] = 1
-		defer func() { state[id] = 2 }()
+		scr.symState[id] = 1
 		var sv *symVal
 		if id == headID {
 			sv = &symVal{a: rational.FromInt(1), b: invariant(ctx.l, IntExpr(0))}
@@ -432,7 +434,8 @@ func (ctx *loopCtx) tryCumulative(comp []int, inSCC func(int) bool, headID int) 
 		} else {
 			sv = ctx.symValue(ctx.nodes[id].v, inSCC, eval)
 		}
-		vals[id] = sv
+		scr.symVals[id] = sv
+		scr.symState[id] = 2
 		return sv
 	}
 
@@ -441,7 +444,7 @@ func (ctx *loopCtx) tryCumulative(comp []int, inSCC func(int) bool, headID int) 
 			return false
 		}
 	}
-	cv := vals[carriedID]
+	cv := scr.symVals[carriedID]
 	a, beta := cv.a, cv.b
 	if !a.Valid() || beta.Kind == Unknown {
 		return false
@@ -487,14 +490,14 @@ func (ctx *loopCtx) tryCumulative(comp []int, inSCC func(int) bool, headID int) 
 
 	// Closed forms by simulation + Vandermonde solve (§4.3), when the
 	// initial value and β are numeric.
-	series := ctx.simulate(init, a, beta, comp, vals)
+	haveSeries := ctx.simulate(init, a, beta, comp)
 	for _, id := range comp {
-		sv := vals[id]
+		sv := scr.symVals[id]
 		var cls *Classification
 		if sv.a.IsZero() {
 			cls = sv.b // does not depend on the recurrence at all
-		} else if series != nil {
-			cls = ctx.solveClosedForm(headCls, series[id])
+		} else if haveSeries {
+			cls = ctx.solveClosedForm(headCls, scr.series[id])
 		}
 		if cls == nil {
 			cls = ctx.classOnlyMember(headCls, sv)
@@ -518,10 +521,7 @@ func (ctx *loopCtx) tryCumulative(comp []int, inSCC func(int) bool, headID int) 
 // symValue evaluates one operation over symVals.
 func (ctx *loopCtx) symValue(v *ir.Value, inSCC func(int) bool, eval func(int) *symVal) *symVal {
 	arg := func(w *ir.Value) *symVal {
-		id, ok := ctx.idx[w]
-		if !ok {
-			id, ok = ctx.exitI[w]
-		}
+		id, ok := ctx.nodeOf(w)
 		if ok && inSCC(id) {
 			return eval(id)
 		}
@@ -591,10 +591,7 @@ func (ctx *loopCtx) symExit(expr *Expr, inSCC func(int) bool, eval func(int) *sy
 	a := rational.FromInt(0)
 	b := invariant(ctx.l, ConstExpr(expr.Const))
 	for t, c := range expr.Terms {
-		id, ok := ctx.idx[t]
-		if !ok {
-			id, ok = ctx.exitI[t]
-		}
+		id, ok := ctx.nodeOf(t)
 		if ok && inSCC(id) {
 			sv := eval(id)
 			if sv == nil {
@@ -617,44 +614,50 @@ func (ctx *loopCtx) symExit(expr *Expr, inSCC func(int) bool, eval func(int) *sy
 }
 
 // simulate runs the recurrence numerically and records each member's
-// value series, returning nil when the pieces are not numeric.
-func (ctx *loopCtx) simulate(init *Expr, a rational.Rat, beta *Classification, comp []int, vals map[int]*symVal) map[int][]rational.Rat {
+// value series into the scratch series table, reporting false when the
+// pieces are not numeric. The series slices are only read before the
+// next component is classified (the matrix solver copies what it
+// keeps), so their backing arrays are reused freely.
+func (ctx *loopCtx) simulate(init *Expr, a rational.Rat, beta *Classification, comp []int) bool {
 	if ctx.a.opts.DisableClosedForms {
-		return nil
+		return false
 	}
 	x0, ok := init.ConstVal()
 	if !ok {
-		return nil
+		return false
 	}
 	steps := ctx.seriesLength(a, beta)
 	if steps == 0 {
-		return nil
+		return false
 	}
-	series := make(map[int][]rational.Rat, len(comp))
+	scr := ctx.scr
+	for _, id := range comp {
+		scr.series[id] = scr.series[id][:0]
+	}
 	x := x0
 	for h := int64(0); h < int64(steps); h++ {
 		for _, id := range comp {
-			sv := vals[id]
+			sv := scr.symVals[id]
 			bv, ok := betaEval(sv.b, h)
 			if !ok {
-				return nil
+				return false
 			}
 			mv := sv.a.Mul(x).Add(bv)
 			if !mv.Valid() {
-				return nil
+				return false
 			}
-			series[id] = append(series[id], mv)
+			scr.series[id] = append(scr.series[id], mv)
 		}
 		bv, ok := betaEval(beta, h)
 		if !ok {
-			return nil
+			return false
 		}
 		x = a.Mul(x).Add(bv)
 		if !x.Valid() {
-			return nil
+			return false
 		}
 	}
-	return series
+	return true
 }
 
 // betaEval evaluates a numeric classification at iteration h.
@@ -710,7 +713,7 @@ func (ctx *loopCtx) seriesLength(a rational.Rat, beta *Classification) int {
 // shape (polynomial or geometric) and cross-checks the fit on the last
 // sample.
 func (ctx *loopCtx) solveClosedForm(head *Classification, series []rational.Rat) *Classification {
-	if series == nil {
+	if len(series) == 0 {
 		return nil
 	}
 	n := len(series)
@@ -913,8 +916,12 @@ func (ctx *loopCtx) tryMonotonic(comp []int, inSCC func(int) bool, headID int) b
 		return false
 	}
 
-	ranges := make(map[int]*valRange, len(comp))
-	state := make(map[int]int, len(comp))
+	// Dense memo: rngState 0 = unseen, 1 = visiting, 2 = done —
+	// ranges[id] is meaningful (possibly nil) only at 2.
+	scr := ctx.scr
+	for _, id := range comp {
+		scr.rngState[id] = 0
+	}
 	allNonNeg, allNonPos := true, true
 
 	recordInc := func(r valRange) {
@@ -927,10 +934,7 @@ func (ctx *loopCtx) tryMonotonic(comp []int, inSCC func(int) bool, headID int) b
 	}
 
 	inOp := func(w *ir.Value) (int, bool) {
-		id, ok := ctx.idx[w]
-		if !ok {
-			id, ok = ctx.exitI[w]
-		}
+		id, ok := ctx.nodeOf(w)
 		if !ok || !inSCC(id) {
 			return 0, false
 		}
@@ -939,14 +943,13 @@ func (ctx *loopCtx) tryMonotonic(comp []int, inSCC func(int) bool, headID int) b
 
 	var rng func(id int) *valRange
 	rng = func(id int) *valRange {
-		if r, ok := ranges[id]; ok {
-			return r
-		}
-		if state[id] == 1 {
+		switch scr.rngState[id] {
+		case 2:
+			return scr.ranges[id]
+		case 1:
 			return nil
 		}
-		state[id] = 1
-		defer func() { state[id] = 2 }()
+		scr.rngState[id] = 1
 		var out *valRange
 		if id == headID {
 			out = &valRange{lo: bound{val: rational.FromInt(0)}, hi: bound{val: rational.FromInt(0)}}
@@ -958,7 +961,8 @@ func (ctx *loopCtx) tryMonotonic(comp []int, inSCC func(int) bool, headID int) b
 				out = ctx.valueRange(n.v, inOp, rng, recordInc)
 			}
 		}
-		ranges[id] = out
+		scr.ranges[id] = out
+		scr.rngState[id] = 2
 		return out
 	}
 
@@ -976,7 +980,7 @@ func (ctx *loopCtx) tryMonotonic(comp []int, inSCC func(int) bool, headID int) b
 		if !ok {
 			return false
 		}
-		r := ranges[cid]
+		r := scr.ranges[cid]
 		if first {
 			step = *r
 			first = false
@@ -999,7 +1003,7 @@ func (ctx *loopCtx) tryMonotonic(comp []int, inSCC func(int) bool, headID int) b
 
 	headV := ctx.nodes[headID].v
 	for _, id := range comp {
-		r := ranges[id]
+		r := scr.ranges[id]
 		strict := stepStrict ||
 			(dir > 0 && !r.lo.inf && r.lo.val.Sign() > 0) ||
 			(dir < 0 && !r.hi.inf && r.hi.val.Sign() < 0)
@@ -1078,10 +1082,7 @@ func (ctx *loopCtx) exitRange(expr *Expr, inSCC func(int) bool, rng func(int) *v
 	var base *valRange
 	inc := valRange{lo: bound{val: expr.Const}, hi: bound{val: expr.Const}}
 	for t, c := range expr.Terms {
-		id, ok := ctx.idx[t]
-		if !ok {
-			id, ok = ctx.exitI[t]
-		}
+		id, ok := ctx.nodeOf(t)
 		if ok && inSCC(id) {
 			if base != nil || !c.Equal(rational.FromInt(1)) {
 				return nil
@@ -1103,6 +1104,14 @@ func (ctx *loopCtx) exitRange(expr *Expr, inSCC func(int) bool, rng func(int) *v
 }
 
 // ---- monotonic growth with multiplications (§4.4's extension) ----
+
+// growth is tryMonotonicGrowth's per-node verdict, memoized in the
+// scratch growths table.
+type growth struct {
+	ok       bool
+	strict   bool // strictly greater than the header value each pass
+	innerPhi bool // reached through a non-header φ
+}
 
 // tryMonotonicGrowth handles SCRs that mix additions and
 // multiplications ("Multiply operations can also be allowed, such as
@@ -1130,19 +1139,15 @@ func (ctx *loopCtx) tryMonotonicGrowth(comp []int, inSCC func(int) bool, headID 
 	one := rational.FromInt(1)
 	initGE1 := init.Cmp(one) >= 0
 
-	type growth struct {
-		ok       bool
-		strict   bool // strictly greater than the header value each pass
-		innerPhi bool // reached through a non-header φ
+	// Dense memo: grState 0 = unseen, 1 = visiting, 2 = done —
+	// growths[id] is the node's memoized verdict only at 2.
+	scr := ctx.scr
+	for _, id := range comp {
+		scr.grState[id] = 0
 	}
-	memo := map[int]*growth{}
-	state := map[int]int{}
 
 	inOp := func(w *ir.Value) (int, bool) {
-		id, found := ctx.idx[w]
-		if !found {
-			id, found = ctx.exitI[w]
-		}
+		id, found := ctx.nodeOf(w)
 		if !found || !inSCC(id) {
 			return 0, false
 		}
@@ -1156,16 +1161,16 @@ func (ctx *loopCtx) tryMonotonicGrowth(comp []int, inSCC func(int) bool, headID 
 
 	var eval func(id int) *growth
 	eval = func(id int) *growth {
-		if g, done := memo[id]; done {
-			return g
-		}
-		if state[id] == 1 {
+		switch scr.grState[id] {
+		case 2:
+			return &scr.growths[id]
+		case 1:
 			return &growth{} // malformed cycle
 		}
-		state[id] = 1
-		defer func() { state[id] = 2 }()
-		g := &growth{}
-		defer func() { memo[id] = g }()
+		scr.grState[id] = 1
+		scr.growths[id] = growth{}
+		g := &scr.growths[id]
+		defer func() { scr.grState[id] = 2 }()
 		if id == headID {
 			g.ok = true
 			return g

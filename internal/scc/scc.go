@@ -14,48 +14,74 @@
 // goroutine stack.
 package scc
 
+// frame is an explicit DFS frame: node v, and the position within
+// succ(v) to resume at.
+type frame struct {
+	v    int
+	next int
+	adj  []int
+}
+
+// Scratch holds the working tables of one Tarjan run so repeated runs
+// (one per loop per analysis, many per batch) reuse allocations. The
+// component slices returned by ComponentsScratch are carved from
+// Scratch.compBuf and remain valid only until the next call with the
+// same scratch.
+type Scratch struct {
+	index   []int
+	lowlink []int
+	onStack []bool
+	stack   []int
+	frames  []frame
+	comps   [][]int
+	compBuf []int
+}
+
 // Components computes the strongly connected components of the directed
 // graph with nodes 0..n-1 and successor function succ. Components are
 // returned in Tarjan pop order: every component appears after all
 // components reachable from it. Nodes within a component are in stack
 // order (no particular guarantee beyond membership).
 func Components(n int, succ func(int) []int) [][]int {
+	return ComponentsScratch(n, succ, &Scratch{})
+}
+
+// ComponentsScratch is Components with caller-owned working storage.
+// The returned slice and its component slices alias s's buffers and are
+// invalidated by the next call using the same scratch.
+func ComponentsScratch(n int, succ func(int) []int, s *Scratch) [][]int {
 	if n == 0 {
 		return nil
 	}
 	const unvisited = -1
-	index := make([]int, n)
-	lowlink := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = unvisited
+	s.index = growInts(s.index, n)
+	s.lowlink = growInts(s.lowlink, n)
+	if cap(s.onStack) < n {
+		s.onStack = make([]bool, n)
+	} else {
+		s.onStack = s.onStack[:n]
 	}
-	var (
-		stack   []int // Tarjan value stack
-		comps   [][]int
-		counter int
-	)
-
-	// frame is an explicit DFS frame: node v, and the position within
-	// succ(v) to resume at.
-	type frame struct {
-		v    int
-		next int
-		adj  []int
+	for i := 0; i < n; i++ {
+		s.index[i] = unvisited
+		s.onStack[i] = false
 	}
-	var frames []frame
+	stack := s.stack[:0]
+	frames := s.frames[:0]
+	comps := s.comps[:0]
+	compBuf := s.compBuf[:0]
+	counter := 0
 
 	push := func(v int) {
-		index[v] = counter
-		lowlink[v] = counter
+		s.index[v] = counter
+		s.lowlink[v] = counter
 		counter++
 		stack = append(stack, v)
-		onStack[v] = true
+		s.onStack[v] = true
 		frames = append(frames, frame{v: v, adj: succ(v)})
 	}
 
 	for root := 0; root < n; root++ {
-		if index[root] != unvisited {
+		if s.index[root] != unvisited {
 			continue
 		}
 		push(root)
@@ -65,13 +91,13 @@ func Components(n int, succ func(int) []int) [][]int {
 			for f.next < len(f.adj) {
 				w := f.adj[f.next]
 				f.next++
-				if index[w] == unvisited {
+				if s.index[w] == unvisited {
 					push(w)
 					advanced = true
 					break
 				}
-				if onStack[w] && index[w] < lowlink[f.v] {
-					lowlink[f.v] = index[w]
+				if s.onStack[w] && s.index[w] < s.lowlink[f.v] {
+					s.lowlink[f.v] = s.index[w]
 				}
 			}
 			if advanced {
@@ -82,27 +108,40 @@ func Components(n int, succ func(int) []int) [][]int {
 			frames = frames[:len(frames)-1]
 			if len(frames) > 0 {
 				parent := &frames[len(frames)-1]
-				if lowlink[v] < lowlink[parent.v] {
-					lowlink[parent.v] = lowlink[v]
+				if s.lowlink[v] < s.lowlink[parent.v] {
+					s.lowlink[parent.v] = s.lowlink[v]
 				}
 			}
-			if lowlink[v] == index[v] {
-				// v is the root of a component; pop it.
-				var comp []int
+			if s.lowlink[v] == s.index[v] {
+				// v is the root of a component; pop it. Each component is
+				// carved full-capacity from the shared buffer so a later
+				// component's appends cannot overwrite it.
+				base := len(compBuf)
 				for {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp = append(comp, w)
+					s.onStack[w] = false
+					compBuf = append(compBuf, w)
 					if w == v {
 						break
 					}
 				}
-				comps = append(comps, comp)
+				comps = append(comps, compBuf[base:len(compBuf):len(compBuf)])
 			}
 		}
 	}
+	s.stack = stack
+	s.frames = frames
+	s.comps = comps
+	s.compBuf = compBuf
 	return comps
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // Map returns, for each node, the index of its component within the slice

@@ -13,6 +13,7 @@ import (
 	"beyondiv/internal/ir"
 	"beyondiv/internal/obs"
 	"beyondiv/internal/safemath"
+	"beyondiv/internal/scratch"
 	"beyondiv/internal/ssa"
 )
 
@@ -90,6 +91,26 @@ func RunWithObs(info *ssa.Info, rec *obs.Recorder) *Result {
 // conservative direction for every consumer, and are counted under
 // "sccp.fold.overflow".
 func RunGuarded(info *ssa.Info, rec *obs.Recorder, lim guard.Limits) *Result {
+	return RunScratch(info, rec, lim, nil)
+}
+
+// solveScratch holds the propagation's transient dense tables, reusable
+// across runs via the scratch arena. Everything retained in the Result
+// is freshly allocated.
+type solveScratch struct {
+	users     [][]*ir.Value // value ID → consuming values (SSA edges)
+	controlOf [][]*ir.Block // value ID → blocks whose branch condition it is
+	blocks    []*ir.Block   // block ID → block
+	edgeSet   []bool        // from.ID*2 + succ slot → edge executable
+	flowWork  []flowEdge    // CFG edges to process
+	ssaWork   []*ir.Value   // values whose inputs changed
+	inSSAWork []bool        // value ID → already queued
+}
+
+// RunScratch is RunGuarded drawing its transient working tables from
+// ar, the run's scratch arena; nil allocates fresh tables for a
+// one-shot run.
+func RunScratch(info *ssa.Info, rec *obs.Recorder, lim guard.Limits, ar *scratch.Arena) *Result {
 	span := rec.Phase("sccp")
 	defer span.End()
 	budget := lim.Budget("sccp")
@@ -100,11 +121,17 @@ func RunGuarded(info *ssa.Info, rec *obs.Recorder, lim guard.Limits) *Result {
 		info:      info,
 	}
 
-	// users[v.ID] lists the values consuming v (SSA edges).
-	users := make([][]*ir.Value, f.NumValues())
-	// controlOf[v.ID] lists blocks whose branch condition is v.
-	controlOf := make([][]*ir.Block, f.NumValues())
+	var scr *solveScratch
+	if ar != nil {
+		scr = scratch.Get[solveScratch](&ar.SCCP)
+	} else {
+		scr = &solveScratch{}
+	}
+	users := scratch.GrowReuse(scr.users, f.NumValues())
+	controlOf := scratch.GrowReuse(scr.controlOf, f.NumValues())
+	blocks := scratch.Grow(scr.blocks, f.NumBlocks())
 	for _, b := range f.Blocks {
+		blocks[b.ID] = b
 		for _, v := range b.Values {
 			for _, a := range v.Args {
 				users[a.ID] = append(users[a.ID], v)
@@ -115,12 +142,21 @@ func RunGuarded(info *ssa.Info, rec *obs.Recorder, lim guard.Limits) *Result {
 		}
 	}
 
-	// execEdge[(from,to)] tracks executable CFG edges; φ meets consult it.
-	execEdge := map[flowEdge]bool{}
+	// Executable CFG edges, indexed from.ID*2 + successor slot (every
+	// block has at most two successors); φ meets consult it. A
+	// conditional with both arms targeting the same block marks and
+	// tests both slots together, preserving the collapsed semantics the
+	// (from,to)-keyed set had.
+	execEdge := edgeSet(scratch.Grow(scr.edgeSet, 2*f.NumBlocks()))
 
-	var flowWork []flowEdge // CFG edges to process
-	var ssaWork []*ir.Value // values whose inputs changed
-	inSSAWork := make([]bool, f.NumValues())
+	flowWork := scr.flowWork[:0]  // CFG edges to process
+	ssaWork := scr.ssaWork[:0]    // values whose inputs changed
+	inSSAWork := scratch.Grow(scr.inSSAWork, f.NumValues())
+	defer func() {
+		scr.users, scr.controlOf, scr.blocks = users, controlOf, blocks
+		scr.edgeSet, scr.inSSAWork = []bool(execEdge), inSSAWork
+		scr.flowWork, scr.ssaWork = flowWork[:0], ssaWork[:0]
+	}()
 
 	pushSSA := func(v *ir.Value) {
 		if !inSSAWork[v.ID] {
@@ -151,7 +187,7 @@ func RunGuarded(info *ssa.Info, rec *obs.Recorder, lim guard.Limits) *Result {
 		}
 		for _, b := range controlOf[v.ID] {
 			if r.execBlock[b.ID] {
-				flowWork = append(flowWork, branchTargets(b, next)...)
+				flowWork = appendTargets(flowWork, b, next)
 			}
 		}
 	}
@@ -170,7 +206,7 @@ func RunGuarded(info *ssa.Info, rec *obs.Recorder, lim guard.Limits) *Result {
 		case ir.OpPhi:
 			meet := cell{state: top}
 			for i, a := range v.Args {
-				if !execEdge[flowEdge{v.Block.Preds[i].ID, v.Block.ID}] {
+				if !execEdge.has(v.Block.Preds[i], v.Block.ID) {
 					continue
 				}
 				meet = meetCells(meet, r.cells[a.ID])
@@ -224,7 +260,7 @@ func RunGuarded(info *ssa.Info, rec *obs.Recorder, lim guard.Limits) *Result {
 	// Entry's outgoing edges under the current (empty) lattice: a plain
 	// block contributes its single edge now; a conditional contributes
 	// its edges once its control value lowers (the controlOf hook).
-	flowWork = append(flowWork, currentOutEdges(f.Entry, r)...)
+	flowWork = appendCurrentOut(flowWork, f.Entry, r)
 
 	for len(flowWork) > 0 || len(ssaWork) > 0 {
 		for len(ssaWork) > 0 {
@@ -240,11 +276,12 @@ func RunGuarded(info *ssa.Info, rec *obs.Recorder, lim guard.Limits) *Result {
 			budget.Step()
 			e := flowWork[len(flowWork)-1]
 			flowWork = flowWork[:len(flowWork)-1]
-			if execEdge[e] {
+			from := blocks[e.from]
+			if execEdge.has(from, e.to) {
 				continue
 			}
-			execEdge[e] = true
-			to := blockByID(f, e.to)
+			execEdge.mark(from, e.to)
+			to := blocks[e.to]
 			// Re-evaluate φs in the target: a new edge became executable.
 			for _, v := range to.Values {
 				if v.Op == ir.OpPhi {
@@ -256,7 +293,7 @@ func RunGuarded(info *ssa.Info, rec *obs.Recorder, lim guard.Limits) *Result {
 			first := !r.execBlock[to.ID]
 			markBlock(to)
 			if first {
-				flowWork = append(flowWork, currentOutEdges(to, r)...)
+				flowWork = appendCurrentOut(flowWork, to, r)
 			}
 		}
 	}
@@ -270,13 +307,27 @@ func RunGuarded(info *ssa.Info, rec *obs.Recorder, lim guard.Limits) *Result {
 	return r
 }
 
-func blockByID(f *ir.Func, id int) *ir.Block {
-	for _, b := range f.Blocks {
-		if b.ID == id {
-			return b
+// edgeSet tracks executable CFG edges densely: slot from.ID*2+i is edge
+// i of block from. Both has and mark scan every successor slot matching
+// the target block so that a two-armed branch into one block behaves as
+// a single collapsed edge, exactly like a (from,to)-keyed set.
+type edgeSet []bool
+
+func (s edgeSet) has(from *ir.Block, to int) bool {
+	for i, succ := range from.Succs {
+		if succ.ID == to && s[from.ID*2+i] {
+			return true
 		}
 	}
-	panic("sccp: unknown block id")
+	return false
+}
+
+func (s edgeSet) mark(from *ir.Block, to int) {
+	for i, succ := range from.Succs {
+		if succ.ID == to {
+			s[from.ID*2+i] = true
+		}
+	}
 }
 
 func meetCells(a, b cell) cell {
@@ -297,37 +348,36 @@ func meetCells(a, b cell) cell {
 // flowEdge identifies a CFG edge by block IDs.
 type flowEdge struct{ from, to int }
 
-// branchTargets returns the executable out-edges of b given its control
+// appendTargets appends the executable out-edges of b given its control
 // lattice value.
-func branchTargets(b *ir.Block, ctl cell) []flowEdge {
-	type edge = flowEdge
+func appendTargets(dst []flowEdge, b *ir.Block, ctl cell) []flowEdge {
 	switch b.Kind {
 	case ir.BlockPlain:
-		return []edge{{b.ID, b.Succs[0].ID}}
+		return append(dst, flowEdge{b.ID, b.Succs[0].ID})
 	case ir.BlockExit:
-		return nil
+		return dst
 	}
 	switch ctl.state {
 	case constant:
 		if ctl.val != 0 {
-			return []edge{{b.ID, b.Succs[0].ID}}
+			return append(dst, flowEdge{b.ID, b.Succs[0].ID})
 		}
-		return []edge{{b.ID, b.Succs[1].ID}}
+		return append(dst, flowEdge{b.ID, b.Succs[1].ID})
 	case bottom:
-		return []edge{{b.ID, b.Succs[0].ID}, {b.ID, b.Succs[1].ID}}
+		return append(dst, flowEdge{b.ID, b.Succs[0].ID}, flowEdge{b.ID, b.Succs[1].ID})
 	default: // top: not yet known, wait
-		return nil
+		return dst
 	}
 }
 
-// currentOutEdges returns the out-edges known executable under b's
+// appendCurrentOut appends the out-edges known executable under b's
 // current control lattice; a still-top conditional contributes nothing
 // yet (the controlOf hook in lower fires when it resolves).
-func currentOutEdges(b *ir.Block, r *Result) []flowEdge {
+func appendCurrentOut(dst []flowEdge, b *ir.Block, r *Result) []flowEdge {
 	if b.Kind == ir.BlockIf {
-		return branchTargets(b, r.cells[b.Control.ID])
+		return appendTargets(dst, b, r.cells[b.Control.ID])
 	}
-	return branchTargets(b, cell{state: bottom})
+	return appendTargets(dst, b, cell{state: bottom})
 }
 
 // foldBinary evaluates op on constants with the shared interpreter

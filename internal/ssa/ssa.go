@@ -13,27 +13,51 @@
 //     (variable name + version, numbered from 1 in renaming order);
 //   - variables read before any write are materialized as Param values
 //     in the entry block (symbolic inputs like `n`).
+//
+// Construction works on dense tables indexed by value/block ID and by
+// interned per-function variable indices — no pointer-keyed maps on the
+// hot path — and all transient tables live in a reusable scratch
+// arena (see BuildScratch) so batch runs stop paying the allocation
+// tax.
 package ssa
 
 import (
 	"fmt"
+	"strconv"
 
 	"beyondiv/internal/dom"
 	"beyondiv/internal/guard"
 	"beyondiv/internal/ir"
 	"beyondiv/internal/obs"
+	"beyondiv/internal/scratch"
 )
 
 // Info is the result of SSA construction.
 type Info struct {
 	Func *ir.Func
 	Dom  *dom.Tree
-	// VarOf maps each SSA definition (φ, param, or store-bound value) to
-	// its source variable name.
-	VarOf map[*ir.Value]string
 	// Params maps variable names to their Param values, for variables
 	// that are inputs to the program.
 	Params map[string]*ir.Value
+
+	// varNames is the function's interned variable symbol table (sorted)
+	// and varOf maps value ID → index into it (-1: not a definition).
+	varNames []string
+	varOf    []int32
+}
+
+// VarOf returns the source variable an SSA definition (φ, param, or
+// store-bound value) carries, or "" when v defines no variable. Values
+// created after SSA construction (e.g. by transformations) are outside
+// the dense table and report "".
+func (i *Info) VarOf(v *ir.Value) string {
+	if v == nil || v.ID < 0 || v.ID >= len(i.varOf) {
+		return ""
+	}
+	if x := i.varOf[v.ID]; x >= 0 {
+		return i.varNames[x]
+	}
+	return ""
 }
 
 // Build converts f to SSA form in place and returns the Info.
@@ -51,19 +75,34 @@ func BuildWithObs(f *ir.Func, rec *obs.Recorder) *Info {
 // — stops (panicking with a *guard.LimitError, contained at the facade)
 // once the function exceeds lim.MaxSSAValues values.
 func BuildGuarded(f *ir.Func, rec *obs.Recorder, lim guard.Limits) *Info {
+	return BuildScratch(f, rec, lim, nil)
+}
+
+// BuildScratch is BuildGuarded drawing its transient working tables
+// (definition stacks, φ worklists, use counts, …) from ar, the run's
+// scratch arena; a nil arena allocates fresh tables for a one-shot
+// build. Only working storage is arena-backed — everything retained in
+// the returned Info is freshly allocated.
+func BuildScratch(f *ir.Func, rec *obs.Recorder, lim guard.Limits, ar *scratch.Arena) *Info {
 	span := rec.Phase("ssa")
 	defer span.End()
 	sub := rec.Phase("dom")
 	tree := dom.New(f)
 	sub.End()
+	var scr *buildScratch
+	if ar != nil {
+		scr = scratch.Get[buildScratch](&ar.SSA)
+	} else {
+		scr = &buildScratch{}
+	}
 	st := &state{
 		f:         f,
 		tree:      tree,
-		info:      &Info{Func: f, Dom: tree, VarOf: map[*ir.Value]string{}, Params: map[string]*ir.Value{}},
-		stacks:    map[string][]*ir.Value{},
-		vers:      map[string]int{},
+		info:      &Info{Func: f, Dom: tree, Params: map[string]*ir.Value{}},
+		scr:       scr,
 		maxValues: lim.MaxSSAValues,
 	}
+	st.internVars()
 	sub = rec.Phase("place-phis")
 	st.placePhis()
 	sub.End()
@@ -92,71 +131,140 @@ func BuildGuarded(f *ir.Func, rec *obs.Recorder, lim guard.Limits) *Info {
 	return st.info
 }
 
+// buildScratch holds every transient table one SSA construction needs,
+// reusable across runs. Tables are (re)sized and cleared by the state
+// methods that use them; nothing here survives into the returned Info.
+type buildScratch struct {
+	varIdx   map[string]int32 // interning: variable name → index
+	stacks   [][]*ir.Value    // per-variable reaching-definition stacks
+	defSites [][]*ir.Block    // per-variable StoreVar blocks
+	vers     []int32          // per-variable next SSA version
+	loadDef  []*ir.Value      // value ID → definition a LoadVar resolved to
+	uses     []int32          // value ID → use count (dead-φ pruning)
+	phiGen   []uint32         // block ID → stamp: φ already placed (this var)
+	workGen  []uint32         // block ID → stamp: block already enqueued
+	gen      uint32           // current stamp for phiGen/workGen
+	work     []*ir.Block      // φ-placement worklist
+	pushed   []int32          // shared stack of pushed var indices (rename)
+	frames   []renameFrame    // explicit dominator-tree walk stack
+	valsA    []*ir.Value      // hoistParams split buffers
+	valsB    []*ir.Value
+	nameBuf  []byte // assignNames number formatting
+}
+
+type renameFrame struct {
+	b    *ir.Block
+	next int // next dominator-tree child to visit
+	base int // pushed-stack watermark to pop back to
+}
+
+
 type state struct {
 	f    *ir.Func
 	tree *dom.Tree
 	info *Info
+	scr  *buildScratch
 
-	// phiVar maps inserted φ values to their variable.
-	phiVar map[*ir.Value]string
-	// stacks holds the current definition stack per variable.
-	stacks map[string][]*ir.Value
-	// vers is the next SSA version number per variable.
-	vers map[string]int
-	// loadDef maps each LoadVar value to the definition it resolved to.
-	loadDef map[*ir.Value]*ir.Value
 	// maxValues caps the function's value count during φ insertion;
 	// zero is unchecked. See BuildGuarded.
 	maxValues int
 }
 
+// internVars builds the per-function symbol table: variable names in
+// sorted order (so φ placement iterates variables deterministically,
+// exactly as the map-based implementation did via VarNames).
+func (s *state) internVars() {
+	names := s.f.VarNames()
+	s.info.varNames = names
+	scr := s.scr
+	if scr.varIdx == nil {
+		scr.varIdx = make(map[string]int32, len(names))
+	} else {
+		clear(scr.varIdx)
+	}
+	for i, n := range names {
+		scr.varIdx[n] = int32(i)
+	}
+	nv := len(names)
+	scr.stacks = scratch.GrowReuse(scr.stacks, nv)
+	scr.defSites = scratch.GrowReuse(scr.defSites, nv)
+	scr.vers = scratch.Grow(scr.vers, nv)
+	nb := s.f.NumBlocks()
+	scr.phiGen = scratch.Grow(scr.phiGen, nb)
+	scr.workGen = scratch.Grow(scr.workGen, nb)
+	scr.gen = 0
+	s.info.varOf = make([]int32, 0, s.f.NumValues())
+}
+
+// varIndex returns the interned index of a variable name; every name
+// reaching here came from a LoadVar/StoreVar/Param op, so it is always
+// present.
+func (s *state) varIndex(name string) int32 { return s.scr.varIdx[name] }
+
+// setVarOf records that def carries the variable with index x, growing
+// the dense table to cover IDs minted after interning (φs, params).
+// First binding wins, as in the original map semantics.
+func (s *state) setVarOf(def *ir.Value, x int32) {
+	vo := s.info.varOf
+	for def.ID >= len(vo) {
+		vo = append(vo, -1)
+	}
+	if vo[def.ID] < 0 {
+		vo[def.ID] = x
+	}
+	s.info.varOf = vo
+}
+
 // placePhis inserts φ values at the iterated dominance frontier of each
 // variable's store sites.
 func (s *state) placePhis() {
-	s.phiVar = map[*ir.Value]string{}
+	scr := s.scr
 	df := s.tree.Frontiers()
 
-	defSites := map[string][]*ir.Block{}
 	for _, b := range s.tree.ReversePostorder() {
 		for _, v := range b.Values {
 			if v.Op == ir.OpStoreVar {
-				defSites[v.Var] = append(defSites[v.Var], b)
+				x := s.varIndex(v.Var)
+				scr.defSites[x] = append(scr.defSites[x], b)
 			}
 		}
 	}
 
-	for _, name := range s.f.VarNames() {
-		sites := defSites[name]
+	for x := range s.info.varNames {
+		sites := scr.defSites[x]
 		if len(sites) == 0 {
 			continue
 		}
-		hasPhi := map[*ir.Block]bool{}
-		work := append([]*ir.Block(nil), sites...)
-		inWork := map[*ir.Block]bool{}
+		// Membership via generation stamps: one bump covers both the
+		// φ-placed and in-worklist sets for this variable.
+		scr.gen++
+		gen := scr.gen
+		work := append(scr.work[:0], sites...)
 		for _, b := range work {
-			inWork[b] = true
+			scr.workGen[b.ID] = gen
 		}
 		for len(work) > 0 {
-			x := work[len(work)-1]
+			blk := work[len(work)-1]
 			work = work[:len(work)-1]
-			for _, w := range df[x.ID] {
-				if hasPhi[w] {
+			for _, w := range df[blk.ID] {
+				if scr.phiGen[w.ID] == gen {
 					continue
 				}
-				hasPhi[w] = true
-				phi := s.newPhi(w, name)
-				s.phiVar[phi] = name
-				if !inWork[w] {
-					inWork[w] = true
+				scr.phiGen[w.ID] = gen
+				s.newPhi(w, s.info.varNames[x])
+				if scr.workGen[w.ID] != gen {
+					scr.workGen[w.ID] = gen
 					work = append(work, w)
 				}
 			}
 		}
+		scr.work = work[:0]
 	}
 }
 
 // newPhi creates a φ for variable name at the front of block w with one
-// slot per predecessor.
+// slot per predecessor. The φ carries its variable in Var, which the
+// rename walk reads back.
 func (s *state) newPhi(w *ir.Block, name string) *ir.Value {
 	guard.Check("ssa", "IR values", int64(s.f.NumValues()), int64(s.maxValues))
 	phi := s.f.NewValue(w, ir.OpPhi, make([]*ir.Value, len(w.Preds))...)
@@ -169,11 +277,12 @@ func (s *state) newPhi(w *ir.Block, name string) *ir.Value {
 	return phi
 }
 
-func (s *state) currentDef(name string) *ir.Value {
-	if st := s.stacks[name]; len(st) > 0 {
+func (s *state) currentDef(x int32) *ir.Value {
+	if st := s.scr.stacks[x]; len(st) > 0 {
 		return st[len(st)-1]
 	}
 	// No definition reaches here: the variable is a symbolic input.
+	name := s.info.varNames[x]
 	if p, ok := s.info.Params[name]; ok {
 		return p
 	}
@@ -181,31 +290,28 @@ func (s *state) currentDef(name string) *ir.Value {
 	// entry block once renaming finishes (see hoistParams).
 	p := s.f.NewValue(s.f.Entry, ir.OpParam)
 	p.Var = name
-	s.bindVar(p, name)
+	s.setVarOf(p, x)
 	s.info.Params[name] = p
 	return p
 }
 
-// bindVar records that def carries variable name. SSA names proper are
-// assigned after dead-φ pruning (assignNames) so that version numbers
-// count only surviving definitions, matching the paper's numbering.
-func (s *state) bindVar(def *ir.Value, name string) {
-	if _, ok := s.info.VarOf[def]; !ok {
-		s.info.VarOf[def] = name
-	}
-}
-
 // assignNames numbers each variable's surviving definitions from 1 in
-// reverse-postorder program order ("i1", "i2", ...).
+// reverse-postorder program order ("i1", "i2", ...). Names are assigned
+// after dead-φ pruning so that version numbers count only surviving
+// definitions, matching the paper's numbering.
 func (s *state) assignNames() {
+	scr := s.scr
+	varOf := s.info.varOf
 	for _, b := range s.tree.ReversePostorder() {
 		for _, v := range b.Values {
-			name, ok := s.info.VarOf[v]
-			if !ok || v.Name != "" {
+			if v.ID >= len(varOf) || varOf[v.ID] < 0 || v.Name != "" {
 				continue
 			}
-			s.vers[name]++
-			v.Name = fmt.Sprintf("%s%d", name, s.vers[name])
+			x := varOf[v.ID]
+			scr.vers[x]++
+			buf := append(scr.nameBuf[:0], s.info.varNames[x]...)
+			scr.nameBuf = strconv.AppendInt(buf, int64(scr.vers[x]), 10)
+			v.Name = string(scr.nameBuf)
 		}
 	}
 }
@@ -215,8 +321,8 @@ func (s *state) assignNames() {
 func (s *state) resolve(v *ir.Value) {
 	for i, a := range v.Args {
 		if a != nil && a.Op == ir.OpLoadVar {
-			d, ok := s.loadDef[a]
-			if !ok {
+			d := s.scr.loadDef[a.ID]
+			if d == nil {
 				panic(fmt.Sprintf("ssa: load %s of %q resolved after use", a, a.Var))
 			}
 			v.Args[i] = d
@@ -226,55 +332,60 @@ func (s *state) resolve(v *ir.Value) {
 
 // rename performs the dominator-tree walk.
 func (s *state) rename(entry *ir.Block) {
-	if s.loadDef == nil {
-		s.loadDef = map[*ir.Value]*ir.Value{}
-	}
-	type frame struct {
-		b      *ir.Block
-		next   int // next dominator-tree child to visit
-		pushed []string
-	}
-	stack := []frame{{b: entry, pushed: s.renameBlock(entry)}}
+	scr := s.scr
+	// All LoadVar values predate φ insertion, so the current value count
+	// bounds every ID the table is indexed by.
+	scr.loadDef = scratch.Grow(scr.loadDef, s.f.NumValues())
+	scr.pushed = scr.pushed[:0]
+	stack := scr.frames[:0]
+	stack = append(stack, renameFrame{b: entry, base: 0})
+	s.renameBlock(entry)
 	for len(stack) > 0 {
 		fr := &stack[len(stack)-1]
 		children := s.tree.Children(fr.b)
 		if fr.next < len(children) {
 			c := children[fr.next]
 			fr.next++
-			stack = append(stack, frame{b: c, pushed: s.renameBlock(c)})
+			stack = append(stack, renameFrame{b: c, base: len(scr.pushed)})
+			s.renameBlock(c)
 			continue
 		}
-		for _, name := range fr.pushed {
-			st := s.stacks[name]
-			s.stacks[name] = st[:len(st)-1]
+		for i := len(scr.pushed) - 1; i >= fr.base; i-- {
+			x := scr.pushed[i]
+			st := scr.stacks[x]
+			scr.stacks[x] = st[:len(st)-1]
 		}
+		scr.pushed = scr.pushed[:fr.base]
 		stack = stack[:len(stack)-1]
 	}
+	scr.frames = stack[:0]
 }
 
 // renameBlock processes one block: φ defs, loads, stores, ordinary
-// values, the control value, and successor φ arguments. It returns the
-// variables pushed, for the caller to pop.
-func (s *state) renameBlock(b *ir.Block) []string {
-	var pushed []string
-	push := func(name string, def *ir.Value) {
-		s.stacks[name] = append(s.stacks[name], def)
-		pushed = append(pushed, name)
+// values, the control value, and successor φ arguments. Pushed
+// definitions are recorded on the shared pushed stack; the rename walk
+// pops them when the block's dominator subtree is done.
+func (s *state) renameBlock(b *ir.Block) {
+	scr := s.scr
+	push := func(x int32, def *ir.Value) {
+		scr.stacks[x] = append(scr.stacks[x], def)
+		scr.pushed = append(scr.pushed, x)
 	}
 
 	for _, v := range b.Values {
 		switch v.Op {
 		case ir.OpPhi:
-			name := s.phiVar[v]
-			s.bindVar(v, name)
-			push(name, v)
+			x := s.varIndex(v.Var)
+			s.setVarOf(v, x)
+			push(x, v)
 		case ir.OpLoadVar:
-			s.loadDef[v] = s.currentDef(v.Var)
+			scr.loadDef[v.ID] = s.currentDef(s.varIndex(v.Var))
 		case ir.OpStoreVar:
 			s.resolve(v)
 			def := v.Args[0]
-			s.bindVar(def, v.Var)
-			push(v.Var, def)
+			x := s.varIndex(v.Var)
+			s.setVarOf(def, x)
+			push(x, def)
 		default:
 			s.resolve(v)
 		}
@@ -287,19 +398,16 @@ func (s *state) renameBlock(b *ir.Block) []string {
 			if v.Op != ir.OpPhi {
 				break
 			}
-			if name, ok := s.phiVar[v]; ok {
-				v.Args[slot] = s.currentDef(name)
-			}
+			v.Args[slot] = s.currentDef(s.varIndex(v.Var))
 		}
 	}
-	return pushed
 }
 
 // hoistParams moves Param values to the front of the entry block so the
 // textual order matches dominance order.
 func (s *state) hoistParams() {
 	entry := s.f.Entry
-	var params, rest []*ir.Value
+	params, rest := s.scr.valsA[:0], s.scr.valsB[:0]
 	for _, v := range entry.Values {
 		if v.Op == ir.OpParam {
 			params = append(params, v)
@@ -307,7 +415,9 @@ func (s *state) hoistParams() {
 			rest = append(rest, v)
 		}
 	}
-	entry.Values = append(params, rest...)
+	entry.Values = append(entry.Values[:0], params...)
+	entry.Values = append(entry.Values, rest...)
+	s.scr.valsA, s.scr.valsB = params[:0], rest[:0]
 }
 
 // stripLoadsStores removes the now-dead scalar load/store instructions.
@@ -328,17 +438,18 @@ func (s *state) stripLoadsStores() {
 // uses; they arise for variables whose crossing definitions are never
 // read. Leaving them would create spurious cycles in the SSA graph.
 func (s *state) pruneDeadPhis() {
-	uses := map[*ir.Value]int{}
+	uses := scratch.Grow(s.scr.uses, s.f.NumValues())
+	s.scr.uses = uses
 	for _, b := range s.f.Blocks {
 		for _, v := range b.Values {
 			for _, a := range v.Args {
 				if a != v { // self-reference doesn't keep a φ alive
-					uses[a]++
+					uses[a.ID]++
 				}
 			}
 		}
 		if b.Control != nil {
-			uses[b.Control]++
+			uses[b.Control.ID]++
 		}
 	}
 	changed := true
@@ -347,11 +458,11 @@ func (s *state) pruneDeadPhis() {
 		for _, b := range s.f.Blocks {
 			out := b.Values[:0]
 			for _, v := range b.Values {
-				dead := (v.Op == ir.OpPhi || v.Op == ir.OpParam) && uses[v] == 0
+				dead := (v.Op == ir.OpPhi || v.Op == ir.OpParam) && uses[v.ID] == 0
 				if dead {
 					for _, a := range v.Args {
 						if a != v {
-							uses[a]--
+							uses[a.ID]--
 						}
 					}
 					changed = true
@@ -374,11 +485,17 @@ func (s *state) pruneDeadPhis() {
 func Verify(info *Info) []error {
 	f, tree := info.Func, info.Dom
 	var errs []error
-	defBlock := map[*ir.Value]*ir.Block{}
+	defBlock := make([]*ir.Block, f.NumValues())
 	for _, b := range f.Blocks {
 		for _, v := range b.Values {
-			defBlock[v] = b
+			defBlock[v.ID] = b
 		}
+	}
+	defOf := func(v *ir.Value) *ir.Block {
+		if v.ID >= 0 && v.ID < len(defBlock) {
+			return defBlock[v.ID]
+		}
+		return nil
 	}
 	for _, b := range f.Blocks {
 		if !tree.Reachable(b) {
@@ -399,8 +516,8 @@ func Verify(info *Info) []error {
 						errs = append(errs, fmt.Errorf("%s: φ arg %d is nil", v, i))
 						continue
 					}
-					d, ok := defBlock[a]
-					if !ok {
+					d := defOf(a)
+					if d == nil {
 						errs = append(errs, fmt.Errorf("%s: φ arg %s has no defining block", v, a))
 						continue
 					}
@@ -411,8 +528,8 @@ func Verify(info *Info) []error {
 				continue
 			}
 			for _, a := range v.Args {
-				d, ok := defBlock[a]
-				if !ok {
+				d := defOf(a)
+				if d == nil {
 					errs = append(errs, fmt.Errorf("%s: arg %s has no defining block", v, a))
 					continue
 				}
@@ -427,7 +544,7 @@ func Verify(info *Info) []error {
 			}
 		}
 		if c := b.Control; c != nil {
-			if d, ok := defBlock[c]; !ok || (d != b && !tree.Dominates(d, b)) {
+			if d := defOf(c); d == nil || (d != b && !tree.Dominates(d, b)) {
 				errs = append(errs, fmt.Errorf("%s: control %s not dominated by its def", b, c))
 			}
 		}

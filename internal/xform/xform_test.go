@@ -122,7 +122,7 @@ L9: for i = 1 to n {
 
 func findHeaderPhi(a *iv.Analysis, l *loops.Loop, name string) *ir.Value {
 	for _, v := range l.Header.Values {
-		if v.Op == ir.OpPhi && a.SSA.VarOf[v] == name {
+		if v.Op == ir.OpPhi && a.SSA.VarOf(v) == name {
 			return v
 		}
 	}
