@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet test test-race bench bench-smoke repro fuzz-smoke clean
+.PHONY: check build fmt vet test test-race bench bench-smoke repro fuzz-smoke clean
 
 # The full gate: what CI (and every PR) must pass.
-check: build vet test-race
+check: build fmt vet test-race
+
+# gofmt as a check: fails listing any file that is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -19,12 +24,15 @@ test-race:
 
 # Runs every benchmark, then re-measures the engine's headline numbers
 # (cold vs warm cache, sequential vs 4-worker batch) into
-# BENCH_engine.json and the dense-ID hot-path deltas (cold ns/op and
-# allocs/op against the pre-rework baseline) into BENCH_hotpath.json.
+# BENCH_engine.json, the dense-ID hot-path deltas (cold ns/op and
+# allocs/op against the pre-rework baseline) into BENCH_hotpath.json,
+# and the transformation layer's cost profile (Optimize vs Analyze,
+# validation overhead, clone vs frontend rebuild) into BENCH_xform.json.
 bench:
 	$(GO) test -bench=. -benchmem .
 	BENCH_JSON=BENCH_engine.json $(GO) test -run '^TestEngineBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_hotpath.json $(GO) test -run '^TestHotpathBenchArtifact$$' -v .
+	BENCH_JSON=BENCH_xform.json $(GO) test -run '^TestXformBenchArtifact$$' -v .
 
 # One short iteration of every benchmark, no JSON artifacts: keeps the
 # benchmark code compiling and running in CI without timing assertions.

@@ -1,0 +1,146 @@
+// Transformation-layer benchmarks: what the full
+// analyze-transform-validate pipeline costs on top of plain analysis,
+// what translation validation itself costs, and how cheap the
+// clone-on-transform copy is next to rebuilding the program from
+// source. `make bench` additionally writes the headline numbers to
+// BENCH_xform.json via TestXformBenchArtifact.
+package beyondiv
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"beyondiv/internal/ir"
+)
+
+// benchOptimize measures repeated Optimize runs of optSrc — a program
+// where every default pass has work — through a warm analysis cache, so
+// the measured cost is the transform pipeline itself (clone, rewrites,
+// re-analysis, validation), not the frontend.
+func benchOptimize(skipValidation bool) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		an := NewAnalyzer(Options{CacheEntries: 16, SkipValidation: skipValidation})
+		if _, err := an.Optimize(optSrc); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := an.Optimize(optSrc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkOptimize(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		skip bool
+	}{{"validated", false}, {"novalidate", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			an := NewAnalyzer(Options{CacheEntries: 16, SkipValidation: bc.skip})
+			if _, err := an.Optimize(optSrc); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := an.Optimize(optSrc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClone: the dense-ID-preserving deep copy clone-on-transform
+// rests on, alone (scratch-reusing and cold), next to what it replaces
+// — re-running the frontend on the source.
+func BenchmarkClone(b *testing.B) {
+	prog, err := Analyze(optSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("scratch", func(b *testing.B) {
+		cs := &ir.CloneScratch{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if prog.SSA.Clone(cs) == nil {
+				b.Fatal("nil clone")
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if prog.SSA.Clone(nil) == nil {
+				b.Fatal("nil clone")
+			}
+		}
+	})
+}
+
+// TestXformBenchArtifact writes the transformation layer's headline
+// numbers to the file named by BENCH_JSON (skipped when unset), so
+// `make bench` leaves BENCH_xform.json next to the engine and hot-path
+// artifacts: full validated Optimize vs validation off, both as deltas
+// over the cold-analysis baseline the optimizer builds on, the clone
+// cost relative to that baseline, and the rewrite volume per run.
+func TestXformBenchArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to write the benchmark artifact")
+	}
+	res, err := Optimize(optSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyze := benchColdAnalyze(optSrc)
+	validated := benchOptimize(false)
+	unvalidated := benchOptimize(true)
+	prog, err := Analyze(optSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := testing.Benchmark(func(b *testing.B) {
+		cs := &ir.CloneScratch{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			prog.SSA.Clone(cs)
+		}
+	})
+
+	report := map[string]any{
+		"gomaxprocs":                    runtime.GOMAXPROCS(0),
+		"num_cpu":                       runtime.NumCPU(),
+		"analyze_cold_ns_per_op":        analyze.NsPerOp(),
+		"optimize_ns_per_op":            validated.NsPerOp(),
+		"optimize_allocs_per_op":        validated.AllocsPerOp(),
+		"optimize_novalidate_ns_per_op": unvalidated.NsPerOp(),
+		"optimize_vs_analyze":           ratio(validated.NsPerOp(), analyze.NsPerOp()),
+		"validation_overhead":           ratio(validated.NsPerOp(), unvalidated.NsPerOp()),
+		"clone_ns_per_op":               clone.NsPerOp(),
+		"clone_allocs_per_op":           clone.AllocsPerOp(),
+		"clone_vs_analyze":              ratio(clone.NsPerOp(), analyze.NsPerOp()),
+		"rewrites_per_run":              res.Rewrites,
+		"rounds_per_run":                res.Rounds,
+		"validations_per_run":           res.Validations,
+	}
+	writeBenchJSON(t, path, report)
+	t.Logf("optimize %.1fx analyze (%.1fx of it validation); clone is %.2fx an analyze; %d rewrites in %d rounds",
+		ratio(validated.NsPerOp(), analyze.NsPerOp()),
+		ratio(validated.NsPerOp(), unvalidated.NsPerOp()),
+		ratio(clone.NsPerOp(), analyze.NsPerOp()), res.Rewrites, res.Rounds)
+
+	// The structural claims behind clone-on-transform: the private copy
+	// must be much cheaper than re-running the frontend, and the
+	// pipeline must actually rewrite this program.
+	if r := ratio(clone.NsPerOp(), analyze.NsPerOp()); r > 0.5 {
+		t.Errorf("clone costs %.2fx a full analysis; expected well under 0.5x", r)
+	}
+	if res.Rewrites == 0 {
+		t.Error("benchmark program not rewritten; the numbers measure nothing")
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"beyondiv/internal/loops"
 	"beyondiv/internal/obs"
 	"beyondiv/internal/ssa"
+	"beyondiv/internal/xform"
 )
 
 // Program is a fully analyzed program.
@@ -91,9 +92,10 @@ type Options struct {
 	// CacheEntries, when positive, gives the analyzer a private LRU
 	// result cache of that capacity, keyed by source hash + options
 	// fingerprint: re-analyzing an unchanged source returns the cached
-	// Program's artifacts without running the pipeline. Cached
-	// artifacts are shared — do not mutate them (e.g. via
-	// xform.ReduceStrength) when caching is on.
+	// Program's artifacts without running the pipeline. Cached artifacts
+	// are shared and immutable; Optimize works on a private clone of the
+	// cached program (clone-on-transform), so optimizing a cache hit is
+	// always safe.
 	CacheEntries int
 	// Cache, when non-nil, overrides CacheEntries with an explicit
 	// cache, which may be shared across analyzers with different
@@ -104,6 +106,22 @@ type Options struct {
 	// in the batch draws from one pool of this size, on top of the
 	// per-source Limits.
 	BatchSteps int64
+
+	// Passes names the transform pipeline Optimize runs, in order
+	// (normalize, peel, strength, ivsub, dce — see xform.PassNames).
+	// Empty means the full pipeline in canonical order. Unknown names
+	// surface as an error from Optimize. Analyze ignores this field, and
+	// it stays out of the cache fingerprint: analysis results are shared
+	// between analyzers whatever their transform pipeline.
+	Passes []string
+	// MaxRounds caps Optimize's fixed-point iteration over the pipeline
+	// (<= 0 means 10); iteration normally stops earlier, at the first
+	// round with no rewrites.
+	MaxRounds int
+	// SkipValidation disables the per-pass translation validation that
+	// replays original vs transformed program through the interpreter
+	// (ssa.Verify still runs after every pass). Meant for benchmarks.
+	SkipValidation bool
 }
 
 // Error is the structured failure of one pipeline phase, produced by
@@ -145,24 +163,36 @@ func (o Options) passes() []engine.Pass {
 
 // Analyzer is a reusable analysis pipeline: one engine configuration,
 // any number of sources, analyzed one at a time (Analyze), as a
-// concurrent batch (AnalyzeAll), or out of the result cache when one
-// is configured. Analyzers are safe for concurrent use.
+// concurrent batch (AnalyzeAll), optimized (Optimize/OptimizeAll), or
+// out of the result cache when one is configured. Analyzers are safe
+// for concurrent use.
 type Analyzer struct {
 	eng *engine.Engine
+	// passErr records an unresolvable Options.Passes name; surfaced by
+	// the Optimize entry points (Analyze does not need the pipeline).
+	passErr error
 }
 
 // NewAnalyzer builds an analyzer from opts.
 func NewAnalyzer(opts Options) *Analyzer {
+	names := opts.Passes
+	if len(names) == 0 {
+		names = xform.PassNames()
+	}
+	transforms, passErr := xform.Passes(names)
 	return &Analyzer{eng: engine.New(engine.Config{
-		Passes:       opts.passes(),
-		Obs:          opts.Obs,
-		Limits:       opts.Limits,
-		Jobs:         opts.Jobs,
-		Cache:        opts.Cache,
-		CacheEntries: opts.CacheEntries,
-		Fingerprint:  opts.fingerprint(),
-		BatchSteps:   opts.BatchSteps,
-	})}
+		Passes:         opts.passes(),
+		Obs:            opts.Obs,
+		Limits:         opts.Limits,
+		Jobs:           opts.Jobs,
+		Cache:          opts.Cache,
+		CacheEntries:   opts.CacheEntries,
+		Fingerprint:    opts.fingerprint(),
+		BatchSteps:     opts.BatchSteps,
+		Transforms:     transforms,
+		MaxRounds:      opts.MaxRounds,
+		SkipValidation: opts.SkipValidation,
+	}), passErr: passErr}
 }
 
 // Analyze parses and analyzes one program.
@@ -201,6 +231,86 @@ func (a *Analyzer) AnalyzeAll(sources []string) []BatchResult {
 	return out
 }
 
+// PassStat records one transform pass execution that changed the
+// program during Optimize: the pass, its fixed-point round, and its
+// rewrite count.
+type PassStat = engine.PassStat
+
+// OptimizeResult is the outcome of optimizing one source.
+type OptimizeResult struct {
+	// Program is the transformed program with every analysis recomputed
+	// on it — classifications, dependences, SSA — so reports and Run
+	// work on the optimized form.
+	Program *Program
+	// Original is the program as analyzed, before any transformation.
+	// It may be a shared cache hit; Optimize never mutates it.
+	Original *Program
+	// Stats lists the pass executions that changed the program, in
+	// execution order; Rounds and Rewrites aggregate them.
+	Stats    []PassStat
+	Rounds   int
+	Rewrites int
+	// Validations counts the interpreter replays that checked the
+	// transformed program against the original.
+	Validations int
+}
+
+// Optimize analyzes one source (through the cache, when configured) and
+// runs the transform pipeline (Options.Passes) over a private clone,
+// iterating to a fixed point with re-analysis and — unless
+// Options.SkipValidation — interpreter translation validation after
+// every mutating pass. The analyzed Program is never mutated, cached or
+// not; the returned Program is the transformed clone.
+func (a *Analyzer) Optimize(source string) (*OptimizeResult, error) {
+	if a.passErr != nil {
+		return nil, a.passErr
+	}
+	res, err := a.eng.Optimize(source)
+	if err != nil {
+		return nil, err
+	}
+	return optimizeResultOf(res), nil
+}
+
+// OptimizeBatchResult is one source's outcome in an OptimizeAll batch.
+type OptimizeBatchResult struct {
+	Index  int
+	Source string
+	Result *OptimizeResult
+	Err    error
+}
+
+// OptimizeAll optimizes the sources as a batch over the analyzer's
+// worker pool, with the same ordering, isolation and telemetry
+// guarantees as AnalyzeAll.
+func (a *Analyzer) OptimizeAll(sources []string) []OptimizeBatchResult {
+	out := make([]OptimizeBatchResult, len(sources))
+	if a.passErr != nil {
+		for i, src := range sources {
+			out[i] = OptimizeBatchResult{Index: i, Source: src, Err: a.passErr}
+		}
+		return out
+	}
+	for i, it := range a.eng.OptimizeAll(sources) {
+		out[i] = OptimizeBatchResult{Index: it.Index, Source: it.Source, Err: it.Err}
+		if it.Result != nil {
+			out[i].Result = optimizeResultOf(it.Result)
+		}
+	}
+	return out
+}
+
+func optimizeResultOf(res *engine.Optimized) *OptimizeResult {
+	return &OptimizeResult{
+		Program:     programOf(res.State),
+		Original:    programOf(res.Original),
+		Stats:       res.Stats,
+		Rounds:      res.Rounds,
+		Rewrites:    res.Rewrites,
+		Validations: res.Validations,
+	}
+}
+
 // programOf wraps an analyzed engine state as the public Program.
 func programOf(st *engine.State) *Program {
 	return &Program{
@@ -231,6 +341,25 @@ func AnalyzeWith(source string, opts Options) (*Program, error) {
 // need to keep the analyzer (and its cache) across batches.
 func AnalyzeBatch(sources []string, opts Options) []BatchResult {
 	return NewAnalyzer(opts).AnalyzeAll(sources)
+}
+
+// Optimize analyzes and optimizes a program with the default pipeline
+// and full translation validation.
+func Optimize(source string) (*OptimizeResult, error) {
+	return OptimizeWith(source, Options{})
+}
+
+// OptimizeWith analyzes and optimizes a program with options; see
+// (*Analyzer).Optimize for the pipeline and safety contract.
+func OptimizeWith(source string, opts Options) (*OptimizeResult, error) {
+	return NewAnalyzer(opts).Optimize(source)
+}
+
+// OptimizeBatch optimizes sources concurrently over opts.Jobs workers;
+// it is NewAnalyzer(opts).OptimizeAll(sources) for callers that do not
+// need to keep the analyzer (and its cache) across batches.
+func OptimizeBatch(sources []string, opts Options) []OptimizeBatchResult {
+	return NewAnalyzer(opts).OptimizeAll(sources)
 }
 
 // ClassificationReport renders every loop's classifications, innermost

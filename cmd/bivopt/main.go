@@ -1,24 +1,34 @@
 // Command bivopt is the "compiler driver" view of the library: it runs
-// the full analysis over a program and reports, per loop, everything an
+// the full analysis over programs and reports, per loop, everything an
 // optimizer would act on —
 //
 //   - the §3–§4 classification of every scalar,
 //   - §5.2 trip counts,
 //   - wrap-around variables that loop peeling would fix (§4.1),
-//   - strength-reduction candidates (§1) and, with -apply, the rewrite
-//     itself (verified against the interpreter),
+//   - strength-reduction candidates (§1) and, with -apply, the whole
+//     transformation pipeline — normalize, peel, strength reduction,
+//     induction-variable substitution, dead-code sweep — run through
+//     the engine with clone-on-transform, fixed-point re-analysis and
+//     interpreter translation validation after every pass,
 //   - §6 dependences, parallelizability, interchange legality and
 //     distribution π-blocks for every loop pair/nest.
 //
 // Usage:
 //
-//	bivopt [-apply] [-stats] [-trace file] [-jsonl file] [-explain var]
-//	       [-cpuprofile file] [-memprofile file] [file]
+//	bivopt [-apply] [-passes list] [-jobs n] [-no-validate] [-stats]
+//	       [-trace file] [-jsonl file] [-explain var]
+//	       [-cpuprofile file] [-memprofile file] [file|dir ...]
 //
-// The file may be a mini-language program, or one of the examples'
-// main.go files (the embedded program is extracted). -stats prints
-// phase timings and pipeline counters to standard error; -trace writes
-// a Chrome trace-event file; -explain prints the provenance chain that
+// With no arguments, one program is read from standard input; each
+// argument may be a mini-language program, an examples-style .go file
+// (the embedded program is extracted), or a directory walked
+// recursively for such files. Multiple programs run as one batch —
+// concurrently with -jobs > 1 — and report in input order under
+// per-file headers; one failing input does not stop the rest. -passes
+// selects and orders the -apply pipeline (comma-separated; default
+// "normalize,peel,strength,ivsub,dce"). -stats prints phase timings and
+// pipeline counters to standard error; -trace writes a Chrome
+// trace-event file; -explain prints the provenance chain that
 // classified a variable.
 package main
 
@@ -26,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"beyondiv"
 	"beyondiv/internal/cliutil"
@@ -37,24 +48,93 @@ import (
 	"beyondiv/internal/xform"
 )
 
-var apply = flag.Bool("apply", false, "apply strength reduction and re-verify behaviour")
+var (
+	apply      = flag.Bool("apply", false, "run the transformation pipeline and report before/after")
+	passesFlag = flag.String("passes", "", "comma-separated -apply pipeline (default: "+strings.Join(xform.PassNames(), ",")+")")
+	jobs       = flag.Int("jobs", 1, "process inputs concurrently on `n` workers (0 = one per CPU)")
+	noValidate = flag.Bool("no-validate", false, "skip interpreter translation validation of -apply rewrites")
+	tel        cliutil.Telemetry
+)
 
 func main() {
-	var tel cliutil.Telemetry
 	tel.RegisterFlags()
 	flag.Parse()
-	src, err := cliutil.ReadProgram(flag.Arg(0))
+	srcs, err := cliutil.ReadPrograms(flag.Args())
 	if err != nil {
 		fatal(err)
 	}
 	if err := tel.Start(); err != nil {
 		fatal(err)
 	}
-	prog, err := beyondiv.AnalyzeWith(src, beyondiv.Options{Obs: tel.Recorder()})
-	if err != nil {
-		fatal(err)
+	opts := beyondiv.Options{
+		Obs:            tel.Recorder(),
+		Jobs:           *jobs,
+		Passes:         passList(*passesFlag),
+		SkipValidation: *noValidate,
 	}
 
+	exit := 0
+	report := func(i int, prog *beyondiv.Program, err error) bool {
+		if len(srcs) > 1 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("==== %s ====\n", srcs[i].Path)
+		}
+		if err != nil {
+			if c := cliutil.Report("bivopt", fmt.Errorf("%s: %w", srcs[i].Path, err)); c > exit {
+				exit = c
+			}
+			return false
+		}
+		render(prog)
+		return true
+	}
+
+	if *apply {
+		for i, r := range cliutil.OptimizeSources(srcs, opts) {
+			if report(i, resultProgram(r.Result), r.Err) {
+				renderApplied(r.Result)
+			}
+		}
+	} else {
+		for i, r := range cliutil.AnalyzeSources(srcs, opts) {
+			report(i, r.Program, r.Err)
+		}
+	}
+
+	if err := tel.Finish(os.Stderr); err != nil {
+		fatal(err)
+	}
+	if exit != 0 {
+		os.Exit(exit)
+	}
+}
+
+func passList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func resultProgram(r *beyondiv.OptimizeResult) *beyondiv.Program {
+	if r == nil {
+		return nil
+	}
+	return r.Original
+}
+
+// render prints the analysis view of one program (pre-transformation
+// when -apply is on: the opportunities listed are the ones the pipeline
+// then acts on).
+func render(prog *beyondiv.Program) {
 	fmt.Println("== classification ==")
 	fmt.Print(prog.ClassificationReport())
 
@@ -109,24 +189,34 @@ func main() {
 			}
 		}
 	}
-
-	if *apply {
-		fmt.Println("\n== strength reduction ==")
-		before := countMuls(prog.SSA)
-		n := xform.ReduceStrength(prog.IV)
-		if errs := ssa.Verify(prog.SSA); len(errs) != 0 {
-			fatal(fmt.Errorf("SSA verification failed after rewrite: %v", errs[0]))
-		}
-		after := countMuls(prog.SSA)
-		fmt.Printf("rewrote %d multiplications; dynamic multiplies %d -> %d (n=16 probe)\n",
-			n, before, after)
-	}
-
-	if err := tel.Finish(os.Stderr); err != nil {
-		fatal(err)
-	}
 }
 
+// renderApplied prints what the -apply pipeline did: per-pass rewrite
+// stats per fixed-point round, the dynamic multiplication probe before
+// and after, and the classification of the transformed program (where
+// strength-reduced recurrences reappear as fresh linear IVs).
+func renderApplied(r *beyondiv.OptimizeResult) {
+	fmt.Println("\n== transformation pipeline ==")
+	if len(r.Stats) == 0 {
+		fmt.Println("no rewrites applied (pipeline at fixed point immediately)")
+		return
+	}
+	for _, s := range r.Stats {
+		fmt.Printf("round %d: %-9s %d rewrites\n", s.Round, s.Name, s.Rewrites)
+	}
+	fmt.Printf("%d rewrites in %d rounds; %d translation validations passed\n",
+		r.Rewrites, r.Rounds, r.Validations)
+
+	before := countMuls(r.Original.SSA)
+	after := countMuls(r.Program.SSA)
+	fmt.Printf("dynamic multiplies %d -> %d (n=16 probe)\n", before, after)
+
+	fmt.Println("\n== classification (transformed) ==")
+	fmt.Print(r.Program.ClassificationReport())
+}
+
+// countMuls executes the program on a fixed probe input and counts the
+// multiplications evaluated — the dynamic effect of strength reduction.
 func countMuls(info *ssa.Info) int {
 	muls := 0
 	_, err := interp.RunSSAHooked(info, interp.Config{

@@ -40,14 +40,14 @@ var fuzzSeeds = []string{
 // finish quickly with a clean result or a structured error.
 func adversarialSeeds() []string {
 	return []string{
-		"k = 7 ** 99",                         // fold would overflow int64
-		"k = 2 ** 9223372036854775807",        // naive pow loop would never return
-		"x = 9223372036854775807 + 1",         // MaxInt64 overflow in folding
-		"x = (0 - 9223372036854775807) / -1",  // near-MinInt64 division
-		"for i = 0 to 9223372036854775807 { a[i] = i }",    // 2^63 iterations
+		"k = 7 ** 99",                                                     // fold would overflow int64
+		"k = 2 ** 9223372036854775807",                                    // naive pow loop would never return
+		"x = 9223372036854775807 + 1",                                     // MaxInt64 overflow in folding
+		"x = (0 - 9223372036854775807) / -1",                              // near-MinInt64 division
+		"for i = 0 to 9223372036854775807 { a[i] = i }",                   // 2^63 iterations
 		"s = 0\nfor i = 1 to 5 { s = s + 4611686018427387904\na[s] = i }", // wrapping sum subscript
 		"L1: for i = 1 to 10 { a[4611686018427387904 * i] = a[2305843009213693952 * i] }",
-		"loop { x = x + 1 }", // no exit: interp step limits must hold
+		"loop { x = x + 1 }",                                                     // no exit: interp step limits must hold
 		strings.Repeat("if x < 1 { ", 200) + "y = 1" + strings.Repeat(" }", 200), // deep statement nest
 		"z = " + strings.Repeat("(", 150) + "1" + strings.Repeat(")", 150),       // deep expression nest
 		"w = 1" + strings.Repeat(" + 1", 400),                                    // wide expression

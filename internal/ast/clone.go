@@ -1,0 +1,75 @@
+package ast
+
+import "fmt"
+
+// CloneFile returns a deep copy of the file: no node is shared with the
+// original, so AST-level transformations (normalization, peeling) can
+// rewrite the copy in place while the original — which may belong to a
+// cached analysis shared across goroutines — stays immutable.
+func CloneFile(f *File) *File {
+	return &File{Stmts: CloneStmts(f.Stmts)}
+}
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(list []Stmt) []Stmt {
+	out := make([]Stmt, len(list))
+	for i, s := range list {
+		out[i] = CloneStmt(s)
+	}
+	return out
+}
+
+// CloneStmt deep-copies one statement.
+func CloneStmt(s Stmt) Stmt {
+	switch v := s.(type) {
+	case *Assign:
+		return &Assign{LHS: CloneExpr(v.LHS), RHS: CloneExpr(v.RHS)}
+	case *For:
+		return &For{
+			Label: v.Label, Var: &Ident{Name: v.Var.Name, NamePos: v.Var.NamePos},
+			Lo: CloneExpr(v.Lo), Hi: CloneExpr(v.Hi), Step: cloneExprOrNil(v.Step),
+			Body: &Block{Stmts: CloneStmts(v.Body.Stmts)}, KwPos: v.KwPos,
+		}
+	case *Loop:
+		return &Loop{Label: v.Label, Body: &Block{Stmts: CloneStmts(v.Body.Stmts)}, KwPos: v.KwPos}
+	case *While:
+		return &While{Label: v.Label, Cond: CloneExpr(v.Cond), Body: &Block{Stmts: CloneStmts(v.Body.Stmts)}, KwPos: v.KwPos}
+	case *If:
+		out := &If{Cond: CloneExpr(v.Cond), Then: &Block{Stmts: CloneStmts(v.Then.Stmts)}, KwPos: v.KwPos}
+		if v.Else != nil {
+			out.Else = &Block{Stmts: CloneStmts(v.Else.Stmts)}
+		}
+		return out
+	case *Exit:
+		return &Exit{KwPos: v.KwPos}
+	case *Block:
+		return &Block{Stmts: CloneStmts(v.Stmts), LPos: v.LPos}
+	default:
+		panic(fmt.Sprintf("ast: cannot clone %T", s))
+	}
+}
+
+// CloneExpr deep-copies one expression.
+func CloneExpr(e Expr) Expr {
+	switch v := e.(type) {
+	case *Ident:
+		return &Ident{Name: v.Name, NamePos: v.NamePos}
+	case *Num:
+		return &Num{Value: v.Value, ValPos: v.ValPos}
+	case *Bin:
+		return &Bin{Op: v.Op, X: CloneExpr(v.X), Y: CloneExpr(v.Y)}
+	case *Unary:
+		return &Unary{Op: v.Op, X: CloneExpr(v.X), OpPos: v.OpPos}
+	case *Index:
+		return &Index{Name: v.Name, NamePos: v.NamePos, Sub: CloneExpr(v.Sub)}
+	default:
+		panic(fmt.Sprintf("ast: cannot clone %T", e))
+	}
+}
+
+func cloneExprOrNil(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	return CloneExpr(e)
+}

@@ -1,0 +1,71 @@
+package ast_test
+
+import (
+	"testing"
+
+	"beyondiv/internal/ast"
+	"beyondiv/internal/parse"
+)
+
+const cloneSrc = `
+j = 0
+m = -5
+L1: for i = 1 to n by 2 {
+	if i > 3 {
+		a[m] = j / 2
+	} else {
+		a[i] = -j
+	}
+	m = j
+	j = j + i ** 2
+}
+while j > 0 {
+	j = j - 1
+}
+loop {
+	exit
+}
+`
+
+func TestCloneFileDeep(t *testing.T) {
+	f, err := parse.File(cloneSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.String()
+	c := ast.CloneFile(f)
+	if got := c.String(); got != before {
+		t.Fatalf("clone renders differently:\n--- original\n%s--- clone\n%s", before, got)
+	}
+
+	// No node may be shared: mutate every ident, number and statement
+	// list in the clone, then check the original still renders the same.
+	ast.Walk(c, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			v.Name = v.Name + "x"
+		case *ast.Num:
+			v.Value += 40
+		case *ast.For:
+			v.Label = "Lx"
+			v.Body.Stmts = append(v.Body.Stmts, &ast.Exit{})
+		}
+		return true
+	})
+	c.Stmts = append(c.Stmts, &ast.Exit{})
+	if got := f.String(); got != before {
+		t.Fatalf("mutating the clone changed the original:\n--- before\n%s--- after\n%s", before, got)
+	}
+}
+
+func TestCloneExprNil(t *testing.T) {
+	f, err := parse.File("for i = 1 to n { a[i] = i }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The for has no Step: clone must preserve nil rather than panic.
+	c := ast.CloneFile(f)
+	if c.Stmts[0].(*ast.For).Step != nil {
+		t.Fatal("nil Step cloned to non-nil")
+	}
+}

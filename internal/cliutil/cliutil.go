@@ -182,6 +182,23 @@ func AnalyzeSources(srcs []Source, opts beyondiv.Options) []beyondiv.BatchResult
 	return an.AnalyzeAll(texts)
 }
 
+// OptimizeSources runs the engine's analyze-transform-validate pipeline
+// over command-line sources, mirroring AnalyzeSources' shape: one
+// source runs inline, several run as a concurrent batch over opts.Jobs
+// workers, and results come back in input order with per-source errors.
+func OptimizeSources(srcs []Source, opts beyondiv.Options) []beyondiv.OptimizeBatchResult {
+	an := beyondiv.NewAnalyzer(opts)
+	if len(srcs) == 1 {
+		res, err := an.Optimize(srcs[0].Text)
+		return []beyondiv.OptimizeBatchResult{{Source: srcs[0].Text, Result: res, Err: err}}
+	}
+	texts := make([]string, len(srcs))
+	for i, s := range srcs {
+		texts[i] = s.Text
+	}
+	return an.OptimizeAll(texts)
+}
+
 // Source is one program resolved from the command line: the text to
 // analyze and the path it came from, for batch report headers.
 type Source struct {

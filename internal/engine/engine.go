@@ -45,6 +45,7 @@ import (
 	"beyondiv/internal/scratch"
 	"beyondiv/internal/ssa"
 	"beyondiv/internal/token"
+	"beyondiv/internal/validate"
 )
 
 // State is the artifact store one analysis run threads through its
@@ -174,6 +175,24 @@ type Config struct {
 	// AnalyzeAll call: every phase step of every source draws from
 	// this pool on top of the per-phase budgets.
 	BatchSteps int64
+	// Transforms is the mutating pipeline Optimize runs after analysis,
+	// in execution order (AST-tier passes should precede SSA-tier ones;
+	// see Tier). Empty makes Optimize equivalent to Analyze. Transform
+	// results are never cached, and pass names deliberately stay out of
+	// the cache fingerprint, so an Optimize engine shares analysis cache
+	// entries with a plain Analyze engine.
+	Transforms []TransformPass
+	// MaxRounds caps Optimize's fixed-point iteration over the transform
+	// pipeline; <= 0 means 10. Convergence normally ends iteration well
+	// before the cap (a round in which no pass rewrites anything).
+	MaxRounds int
+	// SkipValidation disables the per-pass interpreter translation
+	// validation (ssa.Verify still runs after every rebuild). Meant for
+	// benchmarks; correctness-sensitive callers should leave it off.
+	SkipValidation bool
+	// Validate tunes the translation-validation grid; the zero value
+	// uses the validate package defaults.
+	Validate validate.Options
 }
 
 // Engine executes one configured pipeline over any number of sources.

@@ -1,0 +1,385 @@
+// Transformation layer: mutating passes as first-class engine citizens.
+//
+// Analysis passes fill artifact slots; transform passes rewrite the
+// program those artifacts describe. The engine keeps the two honest
+// with clone-on-transform: Optimize never mutates the analyzed state it
+// starts from (which may be cache-shared across goroutines) — the first
+// mutating pass of each tier works on a private deep copy (ast.CloneFile
+// for the AST, ssa.Info.Clone — dense-ID-preserving — for the SSA
+// program), and every artifact consumed by later passes is recomputed on
+// that copy. Each pass declares its tier, which is its invalidation
+// contract: after an AST rewrite the engine rebuilds CFG, SSA and all
+// analyses; after an SSA rewrite it refreshes dominators and reruns the
+// loop, constant and contributed analysis passes. Rounds iterate to a
+// fixed point so rewrites compose (a strength-reduced φ is re-classified
+// as linear and can seed the next round's rewrites at an outer loop).
+//
+// Every mutating pass runs under the same regime as analysis passes —
+// guard limits, panic containment, obs spans and counters — plus two
+// checks analysis never needed: ssa.Verify after every rebuild, and
+// translation validation (internal/validate) replaying original vs
+// transformed program through the interpreter over a grid of inputs.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"beyondiv/internal/ast"
+	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/guard"
+	"beyondiv/internal/ir"
+	"beyondiv/internal/obs"
+	"beyondiv/internal/scratch"
+	"beyondiv/internal/ssa"
+	"beyondiv/internal/validate"
+)
+
+// Tier says which program representation a TransformPass rewrites, and
+// thereby what the engine must rebuild once it reports changes.
+type Tier uint8
+
+const (
+	// TierAST passes rewrite st.File (normalization, peeling); the
+	// engine rebuilds CFG, SSA and every analysis afterwards. List AST
+	// passes before SSA passes: an AST rebuild regenerates the IR, so
+	// SSA rewrites earlier in the same round would be discarded (the
+	// fixed-point rounds redo them, at redundant cost).
+	TierAST Tier = iota
+	// TierSSA passes rewrite the SSA graph of st.SSA.Func in place
+	// (strength reduction, IV substitution, dead-code elimination); the
+	// engine refreshes dominators, reverifies SSA and reruns the loop,
+	// constant and contributed analysis passes afterwards.
+	TierSSA
+)
+
+// TransformPass is one mutating pipeline phase. Run rewrites the
+// working program and reports how many rewrites it performed; zero
+// means "nothing to do" and skips re-analysis, which is also how the
+// fixed point is detected. By the time Run executes, the state it sees
+// is a private clone of the analyzed original with analyses recomputed
+// on the clone — a pass may freely mutate its tier's representation and
+// must never see (or touch) a cache-shared artifact. Errors and panics
+// are contained exactly like analysis passes, surfacing as *Error with
+// phase "xform.<name>".
+type TransformPass struct {
+	Name string
+	Tier Tier
+	Run  func(st *State) (rewrites int, err error)
+}
+
+// PassStat records one transform pass execution that changed the
+// program: which pass, in which fixed-point round, and how many
+// rewrites it made.
+type PassStat struct {
+	Name     string
+	Round    int
+	Rewrites int
+}
+
+// Optimized is the outcome of one Optimize run.
+type Optimized struct {
+	// Original is the analyzed input state — possibly a shared cache
+	// hit, never mutated by the optimizer.
+	Original *State
+	// State is the transformed program with all analyses recomputed on
+	// it; it aliases Original when no pass changed anything.
+	State *State
+	// Stats lists the pass executions that changed the program, in
+	// execution order.
+	Stats []PassStat
+	// Rounds is the number of fixed-point rounds executed; Rewrites the
+	// total across passes.
+	Rounds   int
+	Rewrites int
+	// Validations counts the interp translation-validation replays that
+	// guarded this result (0 when validation is disabled or nothing
+	// changed).
+	Validations int
+}
+
+// Optimize analyzes one source (through the cache, when configured) and
+// runs the engine's transform pipeline over a private clone, iterating
+// passes to a fixed point with re-analysis after every change. It has
+// the same safety contract as Analyze — guarded, contained, never a
+// hang — plus the transform-layer guarantees: the analyzed state stays
+// immutable, ssa.Verify holds after every pass, and unless validation
+// is disabled, original and transformed programs are interp-equivalent
+// over the validation grid.
+func (e *Engine) Optimize(source string) (*Optimized, error) {
+	return e.optimize(source, e.cfg.Obs, e.cfg.Limits)
+}
+
+func (e *Engine) optimize(source string, rec *obs.Recorder, lim guard.Limits) (*Optimized, error) {
+	span := rec.Phase("optimize")
+	defer span.End()
+
+	orig, err := e.analyze(source, rec, lim)
+	if err != nil {
+		return nil, err
+	}
+	if len(e.cfg.Transforms) == 0 {
+		return &Optimized{Original: orig, State: orig, Rounds: 0}, nil
+	}
+
+	ar, _ := e.arenas.Get().(*scratch.Arena)
+	if ar == nil {
+		ar = &scratch.Arena{}
+	}
+	extra := make(map[string]any, len(orig.extra))
+	for k, v := range orig.extra {
+		extra[k] = v
+	}
+	st := &State{
+		Source:  source,
+		File:    orig.File,
+		CFG:     orig.CFG,
+		SSA:     orig.SSA,
+		Forest:  orig.Forest,
+		Consts:  orig.Consts,
+		rec:     rec,
+		lim:     lim,
+		extra:   extra,
+		scratch: ar,
+	}
+	r := &optimizer{e: e, orig: orig, st: st}
+	out, err := r.run()
+	// Detach before the state escapes; the arena is reusable even after
+	// a contained fault (tables self-reset on acquisition).
+	st.scratch = nil
+	e.arenas.Put(ar)
+	return out, err
+}
+
+// optimizer threads one Optimize run's clone-on-transform bookkeeping.
+type optimizer struct {
+	e    *Engine
+	orig *State
+	st   *State
+
+	astPrivate bool // st.File no longer aliases orig's
+	irPrivate  bool // st.SSA (and CFG/analyses) no longer alias orig's
+
+	stats       []PassStat
+	rewrites    int
+	validations int
+}
+
+func (r *optimizer) run() (*Optimized, error) {
+	maxRounds := r.e.cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	rec := r.st.rec
+	rounds := 0
+	for round := 1; round <= maxRounds; round++ {
+		rounds = round
+		rec.Count("engine.opt.rounds")
+		changed := false
+		for _, p := range r.e.cfg.Transforms {
+			if err := r.prepare(p.Tier); err != nil {
+				return nil, err
+			}
+			n, err := runTransform(r.st, p)
+			if err != nil {
+				return nil, err
+			}
+			rec.Add("xform."+p.Name+".rewrites", int64(n))
+			if n == 0 {
+				continue
+			}
+			changed = true
+			r.stats = append(r.stats, PassStat{Name: p.Name, Round: round, Rewrites: n})
+			r.rewrites += n
+			if err := r.reanalyze(p.Tier); err != nil {
+				return nil, err
+			}
+			if err := r.validate(p.Name); err != nil {
+				return nil, err
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := r.st
+	if !r.irPrivate {
+		// Nothing rewrote the IR; hand back the analyzed original so
+		// callers see pointer-identical artifacts on a no-op pipeline.
+		out = r.orig
+	}
+	return &Optimized{
+		Original:    r.orig,
+		State:       out,
+		Stats:       r.stats,
+		Rounds:      rounds,
+		Rewrites:    r.rewrites,
+		Validations: r.validations,
+	}, nil
+}
+
+// prepare gives the working state a private copy of the representation
+// the pass is about to mutate (clone-on-transform). The AST copy is a
+// plain deep clone; the SSA copy is the dense-ID-preserving ir clone
+// with analyses recomputed on it, since every existing artifact points
+// into the original's values and loops.
+func (r *optimizer) prepare(t Tier) error {
+	switch t {
+	case TierAST:
+		if !r.astPrivate {
+			r.st.File = ast.CloneFile(r.st.File)
+			r.astPrivate = true
+		}
+	case TierSSA:
+		if !r.irPrivate {
+			cs := scratch.Get[ir.CloneScratch](&r.st.scratch.IR)
+			r.st.SSA = r.st.SSA.Clone(cs)
+			loopsInfo := make([]cfgbuild.LoopInfo, len(r.st.CFG.Loops))
+			for i, li := range r.st.CFG.Loops {
+				loopsInfo[i] = li
+				loopsInfo[i].Header = cs.BlockByID(li.Header.ID)
+			}
+			r.st.CFG = &cfgbuild.Result{Func: r.st.SSA.Func, Loops: loopsInfo}
+			r.irPrivate = true
+			r.st.rec.Count("engine.opt.clones")
+			return r.reanalyze(TierSSA)
+		}
+	}
+	return nil
+}
+
+// reanalyze rebuilds every artifact a tier's rewrite invalidated, by
+// re-running the engine's own analysis passes on the working state:
+// everything after parse for an AST rewrite, everything after SSA
+// construction (plus a dominator refresh and SSA reverification) for an
+// SSA rewrite. Contributed passes (classification, dependence) rerun in
+// both cases, so transforms always compose against fresh
+// classifications — the re-classification between fixed-point rounds.
+func (r *optimizer) reanalyze(t Tier) error {
+	span := r.st.rec.Phase("reanalyze")
+	defer span.End()
+	skip := map[string]bool{"parse": true}
+	if t == TierSSA {
+		skip["cfgbuild"], skip["ssa"] = true, true
+		r.st.SSA.RefreshDom()
+		if errs := ssa.Verify(r.st.SSA); len(errs) != 0 {
+			return &Error{Phase: "reanalyze", Err: errors.Join(errs...)}
+		}
+	} else {
+		// The AST rebuild regenerates the IR from the rewritten File;
+		// whatever SSA state existed is replaced wholesale, so the
+		// working IR is private from here on.
+		r.irPrivate = true
+	}
+	for _, p := range r.e.cfg.Passes {
+		if skip[p.Name] {
+			continue
+		}
+		if err := runPass(r.st.lim, p, r.st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate replays original vs working program through the interpreter
+// over the configured grid (translation validation). Phase attribution
+// names the pass whose rewrite is being checked.
+func (r *optimizer) validate(pass string) error {
+	if r.e.cfg.SkipValidation {
+		return nil
+	}
+	span := r.st.rec.Phase("validate")
+	defer span.End()
+	r.validations++
+	r.st.rec.Count("engine.opt.validations")
+	if err := validate.Funcs(r.orig.SSA, r.st.SSA, r.e.cfg.Validate); err != nil {
+		return &Error{Phase: "xform." + pass + ".validate", Err: err}
+	}
+	return nil
+}
+
+// runTransform executes one mutating pass with the analysis passes'
+// fault containment, under the phase name "xform.<name>".
+func runTransform(st *State, p TransformPass) (n int, err error) {
+	phase := "xform." + p.Name
+	span := st.rec.Phase(phase)
+	defer span.End()
+	defer func() {
+		if r := recover(); r != nil {
+			n, err = 0, contained(phase, r)
+		}
+	}()
+	st.lim.Inject.Fire(phase)
+	n, ferr := p.Run(st)
+	if ferr != nil {
+		return 0, wrapError(phase, ferr)
+	}
+	return n, nil
+}
+
+// OptItem is one source's outcome in an OptimizeAll batch.
+type OptItem struct {
+	Index  int
+	Source string
+	Result *Optimized
+	Err    error
+}
+
+// OptimizeAll is Optimize over the batch worker pool: the same bounded
+// fan-out, forked-recorder merging, shared step pool and per-source
+// failure isolation as AnalyzeAll, applied to the full
+// analyze-transform-validate pipeline.
+func (e *Engine) OptimizeAll(sources []string) []OptItem {
+	rec := e.cfg.Obs
+	span := rec.Phase("optimize-all")
+	defer span.End()
+
+	lim := e.cfg.Limits
+	lim.Pool = guard.NewPool(e.cfg.BatchSteps)
+
+	items := make([]OptItem, len(sources))
+	jobs := e.cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(sources) {
+		jobs = len(sources)
+	}
+
+	if jobs <= 1 {
+		for i, src := range sources {
+			res, err := e.optimize(src, rec, lim)
+			items[i] = OptItem{Index: i, Source: src, Result: res, Err: err}
+		}
+		return items
+	}
+
+	idx := make(chan int)
+	recs := make([]*obs.Recorder, jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		recs[w] = rec.Fork()
+		wg.Add(1)
+		go func(w int, wrec *obs.Recorder) {
+			defer wg.Done()
+			wspan := wrec.Phase(fmt.Sprintf("worker %d", w))
+			defer wspan.End()
+			for i := range idx {
+				res, err := e.optimize(sources[i], wrec, lim)
+				items[i] = OptItem{Index: i, Source: sources[i], Result: res, Err: err}
+			}
+		}(w, recs[w])
+	}
+	for i := range sources {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, wrec := range recs {
+		rec.Absorb(wrec)
+	}
+	return items
+}

@@ -1,0 +1,155 @@
+package ir
+
+// CloneScratch holds the dense ID-indexed remap tables one Clone call
+// uses, reusable across clones (the engine keeps one per worker arena).
+// The tables describe the most recent clone until the next CloneScratch
+// call overwrites them; callers that need the old→new mapping (to remap
+// a dominator tree's companions, parameter maps, loop headers) must
+// read it before reusing the scratch.
+type CloneScratch struct {
+	vals []*Value // old value ID → cloned value
+	blks []*Block // old block ID → cloned block
+}
+
+// ValueByID returns the clone of the value with the given ID, or nil
+// for IDs never defined (or defined by since-deleted values).
+func (cs *CloneScratch) ValueByID(id int) *Value {
+	if id < 0 || id >= len(cs.vals) {
+		return nil
+	}
+	return cs.vals[id]
+}
+
+// BlockByID returns the clone of the block with the given ID, or nil.
+func (cs *CloneScratch) BlockByID(id int) *Block {
+	if id < 0 || id >= len(cs.blks) {
+		return nil
+	}
+	return cs.blks[id]
+}
+
+// Clone returns a deep copy of the function: fresh blocks and values
+// with every internal reference (args, φ inputs, successor and
+// predecessor lists, block controls, entry/exit) remapped into the
+// copy. IDs are preserved exactly — including gaps left by deleted
+// values — so dense ID-indexed tables built against the original (SSA
+// variable tables, scratch arenas) remain valid against the clone, and
+// nextValueID/nextBlockID carry over so new values appended to the
+// clone never collide with originals. This is what lets transformations
+// run clone-on-write: a cached analysis keeps its Func bit-identical
+// while the optimizer mutates the copy.
+func (f *Func) Clone() *Func { return f.CloneScratch(nil) }
+
+// CloneScratch is Clone drawing its remap tables from cs (nil allocates
+// fresh ones). The copy itself is slab-allocated: one backing array for
+// all values, one for all blocks, and shared pointer slabs carved per
+// list with full three-index caps, so growing any list on the clone
+// reallocates instead of clobbering a neighbour.
+func (f *Func) CloneScratch(cs *CloneScratch) *Func {
+	if cs == nil {
+		cs = &CloneScratch{}
+	}
+	cs.vals = growCleared(cs.vals, f.nextValueID)
+	cs.blks = growCleared(cs.blks, f.nextBlockID)
+
+	nvals, nargs, nedges := 0, 0, 0
+	for _, b := range f.Blocks {
+		nvals += len(b.Values)
+		nedges += len(b.Succs) + len(b.Preds)
+		for _, v := range b.Values {
+			nargs += len(v.Args)
+		}
+	}
+
+	nf := &Func{nextValueID: f.nextValueID, nextBlockID: f.nextBlockID}
+	vslab := make([]Value, nvals)
+	bslab := make([]Block, len(f.Blocks))
+	vptrs := make([]*Value, nvals+nargs)
+	bptrs := make([]*Block, nedges+len(f.Blocks))
+
+	// First pass: materialize every block and value so references can
+	// resolve in any direction on the second pass.
+	vi := 0
+	for i, b := range f.Blocks {
+		nb := &bslab[i]
+		nb.ID, nb.Kind, nb.Comment = b.ID, b.Kind, b.Comment
+		cs.blks[b.ID] = nb
+		for _, v := range b.Values {
+			nv := &vslab[vi]
+			vi++
+			nv.ID, nv.Op, nv.Block = v.ID, v.Op, nb
+			nv.Const, nv.Var, nv.Name, nv.Pos = v.Const, v.Var, v.Name, v.Pos
+			cs.vals[v.ID] = nv
+		}
+	}
+
+	// Second pass: wire lists and references through the remap tables.
+	nf.Blocks = carveBlocks(&bptrs, len(f.Blocks))
+	vi = 0
+	for i, b := range f.Blocks {
+		nb := cs.blks[b.ID]
+		nf.Blocks[i] = nb
+		nb.Values = carveValues(&vptrs, len(b.Values))
+		for j, v := range b.Values {
+			nv := &vslab[vi]
+			vi++
+			nb.Values[j] = nv
+			if len(v.Args) > 0 {
+				nv.Args = carveValues(&vptrs, len(v.Args))
+				for k, a := range v.Args {
+					nv.Args[k] = cs.vals[a.ID]
+				}
+			}
+		}
+		if b.Control != nil {
+			nb.Control = cs.vals[b.Control.ID]
+		}
+		if len(b.Succs) > 0 {
+			nb.Succs = carveBlocks(&bptrs, len(b.Succs))
+			for j, s := range b.Succs {
+				nb.Succs[j] = cs.blks[s.ID]
+			}
+		}
+		if len(b.Preds) > 0 {
+			nb.Preds = carveBlocks(&bptrs, len(b.Preds))
+			for j, p := range b.Preds {
+				nb.Preds[j] = cs.blks[p.ID]
+			}
+		}
+	}
+	if f.Entry != nil {
+		nf.Entry = cs.blks[f.Entry.ID]
+	}
+	if f.Exit != nil {
+		nf.Exit = cs.blks[f.Exit.ID]
+	}
+	return nf
+}
+
+// carveValues takes the next n pointers off the slab with a full cap,
+// so appends to the carved slice reallocate rather than alias the slab.
+func carveValues(slab *[]*Value, n int) []*Value {
+	out := (*slab)[:n:n]
+	*slab = (*slab)[n:]
+	return out
+}
+
+func carveBlocks(slab *[]*Block, n int) []*Block {
+	out := (*slab)[:n:n]
+	*slab = (*slab)[n:]
+	return out
+}
+
+// growCleared resizes a remap table to n cleared entries, reusing
+// capacity when it can (the scratch idiom: correctness never depends on
+// what a recycled table left behind).
+func growCleared[T any](s []*T, n int) []*T {
+	if cap(s) < n {
+		return make([]*T, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}

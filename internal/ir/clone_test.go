@@ -1,0 +1,149 @@
+// Clone tests: dense-ID preservation, structural equality, and — the
+// property clone-on-transform rests on — full independence of the copy:
+// no mutation of the clone, including appends to its slices, may reach
+// the original.
+package ir_test
+
+import (
+	"testing"
+
+	"beyondiv/internal/ir"
+)
+
+// buildLoopFunc hand-builds entry → header ⇄ body, header → exit with a
+// φ-carried counter, exercising every pointer kind a clone must remap:
+// args, φs, block controls, Succs/Preds, Entry/Exit.
+func buildLoopFunc() *ir.Func {
+	f := ir.NewFunc()
+	entry := f.NewBlock(ir.BlockPlain)
+	header := f.NewBlock(ir.BlockIf)
+	body := f.NewBlock(ir.BlockPlain)
+	exit := f.NewBlock(ir.BlockExit)
+	f.Entry, f.Exit = entry, exit
+
+	link := func(from, to *ir.Block) {
+		from.Succs = append(from.Succs, to)
+		to.Preds = append(to.Preds, from)
+	}
+	link(entry, header)
+	link(header, body)
+	link(header, exit)
+	link(body, header)
+
+	zero := f.NewValue(entry, ir.OpConst)
+	zero.Const = 0
+	limit := f.NewValue(entry, ir.OpParam)
+	limit.Var = "n"
+
+	phi := f.NewValue(header, ir.OpPhi, zero, nil)
+	phi.Name = "i1"
+	cond := f.NewValue(header, ir.OpLess, phi, limit)
+	header.Control = cond
+
+	one := f.NewValue(body, ir.OpConst)
+	one.Const = 1
+	inc := f.NewValue(body, ir.OpAdd, phi, one)
+	phi.Args[1] = inc
+
+	st := f.NewValue(body, ir.OpStoreElem, phi, inc)
+	st.Var = "a"
+	return f
+}
+
+func TestCloneStructure(t *testing.T) {
+	f := buildLoopFunc()
+	cs := &ir.CloneScratch{}
+	nf := f.CloneScratch(cs)
+
+	if got, want := nf.String(), f.String(); got != want {
+		t.Fatalf("clone renders differently:\n--- original\n%s--- clone\n%s", want, got)
+	}
+	if nf.Entry == f.Entry || nf.Exit == f.Exit {
+		t.Fatal("clone shares entry/exit blocks with the original")
+	}
+	for _, b := range f.Blocks {
+		nb := cs.BlockByID(b.ID)
+		if nb == nil || nb == b {
+			t.Fatalf("block %d not freshly cloned", b.ID)
+		}
+		if nb.ID != b.ID {
+			t.Fatalf("block ID changed: %d -> %d", b.ID, nb.ID)
+		}
+		for _, v := range b.Values {
+			nv := cs.ValueByID(v.ID)
+			if nv == nil || nv == v {
+				t.Fatalf("value %d not freshly cloned", v.ID)
+			}
+			if nv.ID != v.ID || nv.Op != v.Op || nv.Const != v.Const || nv.Var != v.Var || nv.Name != v.Name {
+				t.Fatalf("value %d fields differ after clone", v.ID)
+			}
+			if nv.Block != nb {
+				t.Fatalf("value %d back-pointer not remapped", v.ID)
+			}
+			for i, a := range v.Args {
+				if nv.Args[i] != cs.ValueByID(a.ID) {
+					t.Fatalf("value %d arg %d not remapped", v.ID, i)
+				}
+			}
+		}
+	}
+	// ID allocation continues past the original's range on the clone.
+	nb := nf.Blocks[len(nf.Blocks)-1]
+	v := nf.NewValue(nb, ir.OpConst)
+	if v.ID != f.NumValues() {
+		t.Fatalf("clone's next value ID = %d, want %d", v.ID, f.NumValues())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := buildLoopFunc()
+	before := f.String()
+	nf := f.Clone()
+
+	// Field mutations on the clone.
+	for _, b := range nf.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpConst {
+				v.Const += 100
+			}
+		}
+	}
+	// Append growth on every cloned slice: the clone's slices are carved
+	// at full capacity, so appends must reallocate, never overwrite the
+	// original's adjacent slab entries.
+	for _, b := range nf.Blocks {
+		nf.NewValue(b, ir.OpConst)
+		b.Succs = append(b.Succs, b)
+		b.Preds = append(b.Preds, b)
+	}
+	for _, b := range nf.Blocks {
+		for _, v := range b.Values {
+			if len(v.Args) > 0 {
+				v.Args = append(v.Args, v)
+			}
+		}
+	}
+	if got := f.String(); got != before {
+		t.Fatalf("mutating the clone changed the original:\n--- before\n%s--- after\n%s", before, got)
+	}
+}
+
+func TestCloneScratchReuse(t *testing.T) {
+	f := buildLoopFunc()
+	cs := &ir.CloneScratch{}
+	first := f.CloneScratch(cs)
+	second := f.CloneScratch(cs)
+	if first.String() != f.String() || second.String() != f.String() {
+		t.Fatal("reused scratch produced a bad clone")
+	}
+	// The remap tables now describe the second clone only.
+	if cs.ValueByID(0) == nil || cs.ValueByID(0).Block.ID != 0 {
+		t.Fatal("scratch remap table invalid after reuse")
+	}
+	for _, b := range second.Blocks {
+		if cs.BlockByID(b.ID) != b {
+			t.Fatal("scratch maps to stale clone after reuse")
+		}
+	}
+	_ = first
+}

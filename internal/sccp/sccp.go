@@ -149,8 +149,8 @@ func RunScratch(info *ssa.Info, rec *obs.Recorder, lim guard.Limits, ar *scratch
 	// (from,to)-keyed set had.
 	execEdge := edgeSet(scratch.Grow(scr.edgeSet, 2*f.NumBlocks()))
 
-	flowWork := scr.flowWork[:0]  // CFG edges to process
-	ssaWork := scr.ssaWork[:0]    // values whose inputs changed
+	flowWork := scr.flowWork[:0] // CFG edges to process
+	ssaWork := scr.ssaWork[:0]   // values whose inputs changed
 	inSSAWork := scratch.Grow(scr.inSSAWork, f.NumValues())
 	defer func() {
 		scr.users, scr.controlOf, scr.blocks = users, controlOf, blocks

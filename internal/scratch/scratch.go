@@ -27,6 +27,8 @@ type Arena struct {
 	SCCP   any // *sccp solver scratch
 	IV     any // *iv classifier scratch (embeds the scc scratch)
 	Depend any // *depend tester scratch
+	IR     any // *ir.CloneScratch: clone-on-transform remap tables
+	Xform  any // *xform transformation scratch (gen-stamped done tables)
 }
 
 // Get returns the typed scratch struct in *slot, allocating it on first

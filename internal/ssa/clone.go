@@ -1,0 +1,41 @@
+package ssa
+
+import (
+	"beyondiv/internal/dom"
+	"beyondiv/internal/ir"
+)
+
+// Clone deep-copies the SSA program for clone-on-transform: the Func is
+// cloned dense-ID-preserving (so the variable symbol table stays valid
+// by construction), Params are remapped into the copy, and the
+// dominator tree is rebuilt over the cloned CFG — same algorithm, same
+// graph, same tree. The interned variable tables are shared with the
+// original: they are immutable after construction, and values created
+// on the clone after this point fall outside the dense table and report
+// no variable, exactly as they do on an original Info.
+//
+// cs supplies the clone's remap tables (nil allocates fresh ones); on
+// return it maps the original's value and block IDs to their clones,
+// until the next clone reuses it.
+func (i *Info) Clone(cs *ir.CloneScratch) *Info {
+	if cs == nil {
+		cs = &ir.CloneScratch{}
+	}
+	nf := i.Func.CloneScratch(cs)
+	params := make(map[string]*ir.Value, len(i.Params))
+	for name, v := range i.Params {
+		params[name] = cs.ValueByID(v.ID)
+	}
+	return &Info{
+		Func:     nf,
+		Dom:      dom.New(nf),
+		Params:   params,
+		varNames: i.varNames,
+		varOf:    i.varOf,
+	}
+}
+
+// RefreshDom recomputes the dominator tree after a transformation
+// changed the CFG or, more commonly, revalidates it after SSA-graph
+// rewrites (new values, rewired φs) that left the block graph intact.
+func (i *Info) RefreshDom() { i.Dom = dom.New(i.Func) }

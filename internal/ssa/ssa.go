@@ -158,7 +158,6 @@ type renameFrame struct {
 	base int // pushed-stack watermark to pop back to
 }
 
-
 type state struct {
 	f    *ir.Func
 	tree *dom.Tree

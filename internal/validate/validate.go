@@ -1,0 +1,159 @@
+// Package validate is the translation-validation harness for the
+// transformation layer: it checks that an optimized program is
+// observably equivalent to the original by running both through the SSA
+// interpreter (internal/interp) over a deterministic grid of parameter
+// assignments and comparing the observable outcome bit for bit — the
+// final value of every source scalar and the complete array store
+// trace, in order.
+//
+// This is the mechanical answer to "does the rewrite preserve the
+// loop's algebra?": rather than trusting the classification a transform
+// consumed, every engine transform pass is replayed against the
+// interpreter, in the spirit of the verified polynomial loop reasoning
+// of Humenberger et al. and de Oliveira et al. — except checked
+// dynamically on a grid, which is exactly what two interpreters buy.
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"beyondiv/internal/interp"
+	"beyondiv/internal/ssa"
+)
+
+// Options configure the grid.
+type Options struct {
+	// Grid is the candidate value set each parameter draws from; the
+	// default mixes negative, zero, small and moderate trip counts.
+	Grid []int64
+	// MaxRuns caps the number of parameter assignments tried (the full
+	// cross product is enumerated when it is smaller). Default 48.
+	MaxRuns int
+	// MaxSteps is the step budget for the original program; the
+	// transformed program gets a proportional slack budget, since
+	// rewrites legitimately change the executed instruction count.
+	// Default 200000.
+	MaxSteps int
+}
+
+func (o Options) grid() []int64 {
+	if len(o.Grid) > 0 {
+		return o.Grid
+	}
+	return []int64{-3, -1, 0, 1, 2, 3, 7, 16}
+}
+
+func (o Options) maxRuns() int {
+	if o.MaxRuns > 0 {
+		return o.MaxRuns
+	}
+	return 48
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps > 0 {
+		return o.MaxSteps
+	}
+	return 200_000
+}
+
+// Funcs checks that xf is observably equivalent to orig over the grid:
+// for every tried parameter assignment, the array store traces are
+// identical element for element and every scalar the original program
+// reports has the identical final value in the transformed one (the
+// transformed program may introduce fresh scalars — normalization
+// counters — but may never change or lose an original one). Parameter
+// assignments under which the original exceeds the step budget are
+// skipped: there is no ground truth to compare against. Returns nil on
+// equivalence, or an error naming the first diverging assignment and
+// observation.
+func Funcs(orig, xf *ssa.Info, opts Options) error {
+	names := make([]string, 0, len(orig.Params))
+	for n := range orig.Params {
+		names = append(names, n)
+	}
+	slices.Sort(names)
+
+	grid := opts.grid()
+	runs := 1
+	for range names {
+		if runs > opts.maxRuns() {
+			break
+		}
+		runs *= len(grid)
+	}
+	if runs > opts.maxRuns() {
+		runs = opts.maxRuns()
+	}
+
+	params := map[string]int64{}
+	for r := 0; r < runs; r++ {
+		// Mixed-radix enumeration: run r assigns digit (r / len^i) % len
+		// of the grid to parameter i — deterministic, and the first run
+		// is all-grid[0].
+		x := r
+		for _, n := range names {
+			params[n] = grid[x%len(grid)]
+			x /= len(grid)
+		}
+		if err := compareOnce(orig, xf, params, opts.maxSteps()); err != nil {
+			return fmt.Errorf("validate: params %v: %w", fmtParams(names, params), err)
+		}
+	}
+	return nil
+}
+
+// compareOnce runs both programs under one parameter assignment.
+func compareOnce(orig, xf *ssa.Info, params map[string]int64, maxSteps int) error {
+	want, err := interp.RunSSA(orig, interp.Config{Params: params, MaxSteps: maxSteps})
+	if errors.Is(err, interp.ErrStepLimit) {
+		return nil // no ground truth under this assignment
+	}
+	if err != nil {
+		return fmt.Errorf("original program failed: %w", err)
+	}
+	// The transformed program gets slack: added instructions (peeled
+	// bodies, normalization restores) must not fail validation on budget
+	// alone, while introduced non-termination still surfaces.
+	got, err := interp.RunSSA(xf, interp.Config{Params: params, MaxSteps: 4*maxSteps + 1024})
+	if err != nil {
+		return fmt.Errorf("transformed program failed: %w", err)
+	}
+	if len(want.Writes) != len(got.Writes) {
+		return fmt.Errorf("store trace length differs: %d writes originally, %d transformed",
+			len(want.Writes), len(got.Writes))
+	}
+	for i := range want.Writes {
+		if want.Writes[i] != got.Writes[i] {
+			return fmt.Errorf("store %d differs: %s[%d]=%d originally, %s[%d]=%d transformed",
+				i, want.Writes[i].Array, want.Writes[i].Index, want.Writes[i].Value,
+				got.Writes[i].Array, got.Writes[i].Index, got.Writes[i].Value)
+		}
+	}
+	for name, w := range want.Scalars {
+		g, ok := got.Scalars[name]
+		if !ok {
+			return fmt.Errorf("scalar %s lost by the transformation (originally %d)", name, w)
+		}
+		if g != w {
+			return fmt.Errorf("scalar %s differs: %d originally, %d transformed", name, w, g)
+		}
+	}
+	return nil
+}
+
+func fmtParams(names []string, params map[string]int64) string {
+	if len(names) == 0 {
+		return "{}"
+	}
+	out := "{"
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", n, params[n])
+	}
+	return out + "}"
+}

@@ -1,0 +1,116 @@
+package validate_test
+
+import (
+	"strings"
+	"testing"
+
+	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/guard"
+	"beyondiv/internal/parse"
+	"beyondiv/internal/ssa"
+	"beyondiv/internal/validate"
+)
+
+func buildSSA(t *testing.T, src string) *ssa.Info {
+	t.Helper()
+	f, err := parse.File(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := guard.Default()
+	res := cfgbuild.BuildGuarded(f, nil, lim)
+	return ssa.BuildScratch(res.Func, nil, lim, nil)
+}
+
+func TestFuncsEquivalent(t *testing.T) {
+	src := `
+	j = 0
+	for i = 1 to n {
+		j = j + i
+		a[j] = i
+	}
+	`
+	// Two independent builds of the same source are trivially
+	// equivalent; this pins the harness's plumbing (param enumeration,
+	// trace comparison) on a loop whose behaviour varies with n across
+	// the grid, including negative and zero trip counts.
+	orig := buildSSA(t, src)
+	xf := buildSSA(t, src)
+	if err := validate.Funcs(orig, xf, validate.Options{}); err != nil {
+		t.Fatalf("identical programs reported divergent: %v", err)
+	}
+}
+
+func TestFuncsCatchesScalarChange(t *testing.T) {
+	orig := buildSSA(t, `
+	j = 0
+	for i = 1 to n { j = j + 2 }
+	`)
+	xf := buildSSA(t, `
+	j = 0
+	for i = 1 to n { j = j + 3 }
+	`)
+	err := validate.Funcs(orig, xf, validate.Options{})
+	if err == nil {
+		t.Fatal("divergent scalar not caught")
+	}
+	if !strings.Contains(err.Error(), "scalar j differs") {
+		t.Fatalf("wrong diagnosis: %v", err)
+	}
+}
+
+func TestFuncsCatchesStoreChange(t *testing.T) {
+	orig := buildSSA(t, `for i = 1 to n { a[i] = i }`)
+	xf := buildSSA(t, `for i = 1 to n { a[i + 1] = i }`)
+	err := validate.Funcs(orig, xf, validate.Options{})
+	if err == nil {
+		t.Fatal("divergent store trace not caught")
+	}
+	if !strings.Contains(err.Error(), "store") {
+		t.Fatalf("wrong diagnosis: %v", err)
+	}
+}
+
+func TestFuncsCatchesLostScalar(t *testing.T) {
+	orig := buildSSA(t, `k = n * 2`)
+	xf := buildSSA(t, `q = n * 2`)
+	err := validate.Funcs(orig, xf, validate.Options{})
+	if err == nil || !strings.Contains(err.Error(), "scalar k lost") {
+		t.Fatalf("lost scalar not caught: %v", err)
+	}
+}
+
+func TestFuncsExtraScalarAllowed(t *testing.T) {
+	// Transformations may introduce fresh scalars (normalization
+	// counters); only original scalars are compared.
+	orig := buildSSA(t, `k = n * 2`)
+	xf := buildSSA(t, `
+	extra = 7
+	k = n * 2
+	`)
+	if err := validate.Funcs(orig, xf, validate.Options{}); err != nil {
+		t.Fatalf("extra scalar rejected: %v", err)
+	}
+}
+
+func TestFuncsSkipsUnboundedOriginal(t *testing.T) {
+	// The original never terminates: no assignment yields ground truth,
+	// so validation must skip every run rather than fail or hang.
+	orig := buildSSA(t, `loop { j = j + 1 }`)
+	xf := buildSSA(t, `loop { j = j + 2 }`)
+	if err := validate.Funcs(orig, xf, validate.Options{MaxSteps: 1000}); err != nil {
+		t.Fatalf("step-limited original should skip, got: %v", err)
+	}
+}
+
+func TestFuncsGridCap(t *testing.T) {
+	// Five parameters over the default 8-value grid is 32768 full cross
+	// products; MaxRuns must cap enumeration (and still find this
+	// first-run divergence: every parameter at grid[0]).
+	orig := buildSSA(t, `k = p1 + p2 + p3 + p4 + p5`)
+	xf := buildSSA(t, `k = p1 + p2 + p3 + p4 + p5 + 1`)
+	err := validate.Funcs(orig, xf, validate.Options{MaxRuns: 10})
+	if err == nil {
+		t.Fatal("divergence within capped runs not caught")
+	}
+}

@@ -1,0 +1,61 @@
+package xform
+
+import (
+	"beyondiv/internal/ir"
+	"beyondiv/internal/ssa"
+)
+
+// EliminateDeadCode removes SSA values that no observable outcome
+// depends on — the detached scaffolding substitution rewrites leave
+// behind (constants and operand chains whose only consumer was a
+// replaced multiplication).
+//
+// Observability matches the interpreter's contract exactly, which is
+// what translation validation compares: array stores, branch controls,
+// and every value carrying a source variable name (the interpreter
+// reports those as final scalar values) are roots, plus parameters
+// (the symbol table in ssa.Info.Params points at them). Everything
+// reachable from a root through argument edges is live; the rest is
+// swept. Returns the number of values removed; SSA form stays valid.
+func EliminateDeadCode(info *ssa.Info) int {
+	f := info.Func
+	live := make([]bool, f.NumValues())
+	var work []*ir.Value
+	visit := func(v *ir.Value) {
+		if !live[v.ID] {
+			live[v.ID] = true
+			work = append(work, v)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Values {
+			if v.Op == ir.OpStoreElem || v.Op == ir.OpParam || info.VarOf(v) != "" {
+				visit(v)
+			}
+		}
+		if b.Control != nil {
+			visit(b.Control)
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, a := range v.Args {
+			visit(a)
+		}
+	}
+
+	removed := 0
+	for _, b := range f.Blocks {
+		out := b.Values[:0]
+		for _, v := range b.Values {
+			if live[v.ID] {
+				out = append(out, v)
+			} else {
+				removed++
+			}
+		}
+		b.Values = out
+	}
+	return removed
+}

@@ -37,6 +37,12 @@ func NormalizeFor(f *ast.For, counter string) (ast.Stmt, bool) {
 		}
 		step = s
 	}
+	// Already normal (index from a literal 0, unit step): rewriting
+	// would only mint a fresh counter. The skip also makes the transform
+	// idempotent, which the engine's fixed-point rounds require.
+	if lo, ok := constOf(f.Lo); ok && lo == 0 && step == 1 {
+		return f, false
+	}
 	if assignsAny(f.Body, varsOf(f.Lo, f.Hi, f.Var)) {
 		return f, false
 	}

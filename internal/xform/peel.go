@@ -7,8 +7,6 @@
 package xform
 
 import (
-	"fmt"
-
 	"beyondiv/internal/ast"
 	"beyondiv/internal/token"
 )
@@ -56,7 +54,7 @@ func PeelFor(f *ast.For) ast.Stmt {
 	}
 	guarded := &ast.If{
 		Cond: &ast.Bin{Op: stay, X: &ast.Ident{Name: f.Var.Name}, Y: f.Hi},
-		Then: &ast.Block{Stmts: append(cloneStmts(f.Body.Stmts), residual)},
+		Then: &ast.Block{Stmts: append(ast.CloneStmts(f.Body.Stmts), residual)},
 	}
 	return &ast.Block{Stmts: []ast.Stmt{peeledVar, guarded}}
 }
@@ -113,67 +111,4 @@ func constOf(e ast.Expr) (int64, bool) {
 		return -c, ok
 	}
 	return 0, false
-}
-
-// cloneStmts deep-copies a statement list so the peeled copy and the
-// residual loop body do not share AST nodes.
-func cloneStmts(list []ast.Stmt) []ast.Stmt {
-	out := make([]ast.Stmt, len(list))
-	for i, s := range list {
-		out[i] = cloneStmt(s)
-	}
-	return out
-}
-
-func cloneStmt(s ast.Stmt) ast.Stmt {
-	switch v := s.(type) {
-	case *ast.Assign:
-		return &ast.Assign{LHS: cloneExpr(v.LHS), RHS: cloneExpr(v.RHS)}
-	case *ast.For:
-		return &ast.For{
-			Label: v.Label, Var: &ast.Ident{Name: v.Var.Name},
-			Lo: cloneExpr(v.Lo), Hi: cloneExpr(v.Hi), Step: cloneExprOrNil(v.Step),
-			Body: &ast.Block{Stmts: cloneStmts(v.Body.Stmts)}, KwPos: v.KwPos,
-		}
-	case *ast.Loop:
-		return &ast.Loop{Label: v.Label, Body: &ast.Block{Stmts: cloneStmts(v.Body.Stmts)}, KwPos: v.KwPos}
-	case *ast.While:
-		return &ast.While{Label: v.Label, Cond: cloneExpr(v.Cond), Body: &ast.Block{Stmts: cloneStmts(v.Body.Stmts)}, KwPos: v.KwPos}
-	case *ast.If:
-		out := &ast.If{Cond: cloneExpr(v.Cond), Then: &ast.Block{Stmts: cloneStmts(v.Then.Stmts)}, KwPos: v.KwPos}
-		if v.Else != nil {
-			out.Else = &ast.Block{Stmts: cloneStmts(v.Else.Stmts)}
-		}
-		return out
-	case *ast.Exit:
-		return &ast.Exit{KwPos: v.KwPos}
-	case *ast.Block:
-		return &ast.Block{Stmts: cloneStmts(v.Stmts), LPos: v.LPos}
-	default:
-		panic(fmt.Sprintf("xform: cannot clone %T", s))
-	}
-}
-
-func cloneExprOrNil(e ast.Expr) ast.Expr {
-	if e == nil {
-		return nil
-	}
-	return cloneExpr(e)
-}
-
-func cloneExpr(e ast.Expr) ast.Expr {
-	switch v := e.(type) {
-	case *ast.Ident:
-		return &ast.Ident{Name: v.Name, NamePos: v.NamePos}
-	case *ast.Num:
-		return &ast.Num{Value: v.Value, ValPos: v.ValPos}
-	case *ast.Bin:
-		return &ast.Bin{Op: v.Op, X: cloneExpr(v.X), Y: cloneExpr(v.Y)}
-	case *ast.Unary:
-		return &ast.Unary{Op: v.Op, X: cloneExpr(v.X), OpPos: v.OpPos}
-	case *ast.Index:
-		return &ast.Index{Name: v.Name, NamePos: v.NamePos, Sub: cloneExpr(v.Sub)}
-	default:
-		panic(fmt.Sprintf("xform: cannot clone %T", e))
-	}
 }

@@ -1,0 +1,229 @@
+package xform
+
+import (
+	"fmt"
+	"strings"
+
+	"beyondiv/internal/ast"
+	"beyondiv/internal/engine"
+	"beyondiv/internal/iv"
+	"beyondiv/internal/scratch"
+)
+
+// This file packages the transformations as engine.TransformPass values
+// so the engine's Optimize pipeline can run them with clone-on-transform,
+// re-analysis, verification and translation validation. The pass names
+// (in canonical order) are:
+//
+//	normalize  AST  §6.1 loop normalization (index from 0, step 1)
+//	peel       AST  §4.1 first-iteration peeling, classification-driven:
+//	                only loops in which some value classified WrapAround
+//	strength   SSA  §1 classical strength reduction of const·linear
+//	ivsub      SSA  §5 induction-variable substitution of any Linear
+//	                multiplicative value (symbolic init/step allowed)
+//	dce        SSA  sweep of values no observable outcome depends on
+//
+// AST-tier passes precede SSA-tier ones so a round never discards SSA
+// rewrites (see engine.Tier).
+
+// PassNames returns the canonical pipeline order.
+func PassNames() []string { return []string{"normalize", "peel", "strength", "ivsub", "dce"} }
+
+// DefaultPasses returns the full pipeline in canonical order.
+func DefaultPasses() []engine.TransformPass {
+	ps, _ := Passes(PassNames())
+	return ps
+}
+
+// Passes resolves pass names (in the given order) to the transform
+// pipeline, erroring on an unknown name. Names are case-sensitive; see
+// PassNames for the vocabulary.
+func Passes(names []string) ([]engine.TransformPass, error) {
+	out := make([]engine.TransformPass, 0, len(names))
+	for _, n := range names {
+		p, ok := passByName(n)
+		if !ok {
+			return nil, fmt.Errorf("xform: unknown pass %q (available: %s)",
+				n, strings.Join(PassNames(), ", "))
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func passByName(name string) (engine.TransformPass, bool) {
+	switch name {
+	case "normalize":
+		return engine.TransformPass{Name: "normalize", Tier: engine.TierAST, Run: func(st *engine.State) (int, error) {
+			_, n := NormalizeProgram(st.File)
+			chargeBudget(st, "normalize", n)
+			return n, nil
+		}}, true
+	case "peel":
+		return engine.TransformPass{Name: "peel", Tier: engine.TierAST, Run: runPeel}, true
+	case "strength":
+		return engine.TransformPass{Name: "strength", Tier: engine.TierSSA, Run: func(st *engine.State) (int, error) {
+			a, err := analysisOf(st, "strength")
+			if err != nil {
+				return 0, err
+			}
+			n := ReduceStrengthScratch(a, xformScratch(st))
+			chargeBudget(st, "strength", n)
+			return n, nil
+		}}, true
+	case "ivsub":
+		return engine.TransformPass{Name: "ivsub", Tier: engine.TierSSA, Run: func(st *engine.State) (int, error) {
+			a, err := analysisOf(st, "ivsub")
+			if err != nil {
+				return 0, err
+			}
+			n := SubstituteIVsScratch(a, xformScratch(st))
+			chargeBudget(st, "ivsub", n)
+			return n, nil
+		}}, true
+	case "dce":
+		return engine.TransformPass{Name: "dce", Tier: engine.TierSSA, Run: func(st *engine.State) (int, error) {
+			n := EliminateDeadCode(st.SSA)
+			chargeBudget(st, "dce", n)
+			return n, nil
+		}}, true
+	}
+	return engine.TransformPass{}, false
+}
+
+// runPeel peels exactly the loops the classification flags: a loop is
+// peeled when some value in it classified WrapAround, which is the
+// paper's §4.1 recipe ("peel off the first iteration of the loop"). One
+// peel lowers a wrap-around chain's order by one, so the fixed-point
+// rounds converge once every chain bottoms out as Linear.
+func runPeel(st *engine.State) (int, error) {
+	a, err := analysisOf(st, "peel")
+	if err != nil {
+		return 0, err
+	}
+	want := map[string]bool{}
+	for _, l := range a.Forest.InnerToOuter() {
+		if l.Label == "" {
+			continue
+		}
+		for _, cls := range a.LoopClassifications(l) {
+			if cls.Kind == iv.WrapAround {
+				want[l.Label] = true
+				break
+			}
+		}
+	}
+	if len(want) == 0 {
+		return 0, nil
+	}
+	n := peelByEffectiveLabel(st.File, want)
+	chargeBudget(st, "peel", n)
+	return n, nil
+}
+
+// peelByEffectiveLabel peels every for-loop whose *effective* label —
+// the explicit source label, or the "L<n>" cfgbuild synthesizes,
+// counting every loop statement in build (pre-order) order — is in
+// labels. The numbering is recomputed the same way cfgbuild.label does,
+// so classification results keyed by loop label map back onto the AST
+// even for unlabeled loops.
+func peelByEffectiveLabel(file *ast.File, labels map[string]bool) int {
+	byNode := map[*ast.For]string{}
+	nextLabel := 0
+	assign := func(explicit string) string {
+		nextLabel++
+		if explicit != "" {
+			return explicit
+		}
+		return fmt.Sprintf("L%d", nextLabel)
+	}
+	var number func(list []ast.Stmt)
+	number = func(list []ast.Stmt) {
+		for _, s := range list {
+			switch v := s.(type) {
+			case *ast.For:
+				byNode[v] = assign(v.Label)
+				number(v.Body.Stmts)
+			case *ast.Loop:
+				assign(v.Label)
+				number(v.Body.Stmts)
+			case *ast.While:
+				assign(v.Label)
+				number(v.Body.Stmts)
+			case *ast.If:
+				number(v.Then.Stmts)
+				if v.Else != nil {
+					number(v.Else.Stmts)
+				}
+			case *ast.Block:
+				number(v.Stmts)
+			}
+		}
+	}
+	number(file.Stmts)
+
+	count := 0
+	var rewrite func(list []ast.Stmt) []ast.Stmt
+	rewrite = func(list []ast.Stmt) []ast.Stmt {
+		out := make([]ast.Stmt, 0, len(list))
+		for _, s := range list {
+			switch v := s.(type) {
+			case *ast.For:
+				v.Body.Stmts = rewrite(v.Body.Stmts)
+				if labels[byNode[v]] {
+					count++
+					peeled := PeelFor(v).(*ast.Block)
+					out = append(out, peeled.Stmts...)
+					continue
+				}
+				out = append(out, v)
+			case *ast.Loop:
+				v.Body.Stmts = rewrite(v.Body.Stmts)
+				out = append(out, v)
+			case *ast.While:
+				v.Body.Stmts = rewrite(v.Body.Stmts)
+				out = append(out, v)
+			case *ast.If:
+				v.Then.Stmts = rewrite(v.Then.Stmts)
+				if v.Else != nil {
+					v.Else.Stmts = rewrite(v.Else.Stmts)
+				}
+				out = append(out, v)
+			default:
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	file.Stmts = rewrite(file.Stmts)
+	return count
+}
+
+// analysisOf fetches the classification artifact a transform consumes,
+// with a diagnosable failure when the pipeline was assembled without
+// iv.ClassifyPass.
+func analysisOf(st *engine.State, pass string) (*iv.Analysis, error) {
+	a := iv.AnalysisOf(st)
+	if a == nil {
+		return nil, fmt.Errorf("%s: no classification artifact in state (pipeline missing iv.ClassifyPass)", pass)
+	}
+	return a, nil
+}
+
+// xformScratch returns the arena's transform scratch slot, or nil for
+// arena-less (one-shot) runs.
+func xformScratch(st *engine.State) *Scratch {
+	if ar := st.Scratch(); ar != nil {
+		return scratch.Get[Scratch](&ar.Xform)
+	}
+	return nil
+}
+
+// chargeBudget draws one guarded step per rewrite from the pass's phase
+// budget, so a pathological fixed-point interaction hits a limit error
+// instead of burning unbounded work.
+func chargeBudget(st *engine.State, pass string, n int) {
+	if n > 0 {
+		st.Lim().Budget("xform." + pass).Steps(int64(n))
+	}
+}

@@ -2,13 +2,44 @@ package xform
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"beyondiv/internal/ir"
 	"beyondiv/internal/iv"
 	"beyondiv/internal/loops"
 	"beyondiv/internal/rational"
 )
+
+// Scratch is the transformation layer's arena slot (scratch.Arena.
+// Xform): a generation-stamped dense done table keyed by value ID, so
+// repeated transform runs on one worker reuse the allocation and reset
+// by bumping the generation instead of clearing or reallocating a map.
+type Scratch struct {
+	gen  uint32
+	done []uint32
+}
+
+// begin opens a fresh generation; stamps from prior runs become stale
+// in O(1). On the (effectively unreachable) 2^32nd run the table is
+// hard-cleared so stale stamps can never alias the new generation.
+func (s *Scratch) begin() {
+	s.gen++
+	if s.gen == 0 {
+		clear(s.done)
+		s.gen = 1
+	}
+}
+
+func (s *Scratch) marked(id int) bool { return id < len(s.done) && s.done[id] == s.gen }
+
+func (s *Scratch) mark(id int) {
+	if id >= len(s.done) {
+		grown := make([]uint32, id+1+len(s.done)/2)
+		copy(grown, s.done)
+		s.done = grown
+	}
+	s.done[id] = s.gen
+}
 
 // ReduceStrength performs classical strength reduction on the SSA form,
 // driven by the unified classification: each multiplication c·v inside
@@ -19,14 +50,20 @@ import (
 // in inner loops").
 //
 // Returns the number of multiplications reduced. The transformed
-// function stays in valid SSA form (ssa.Verify holds).
-func ReduceStrength(a *iv.Analysis) int {
-	rec := a.Obs()
-	span := rec.Phase("xform.strength")
-	defer span.End()
+// function stays in valid SSA form (ssa.Verify holds). Telemetry and
+// guard budgets are the engine pipeline's concern (see Passes); direct
+// callers get the bare rewrite.
+func ReduceStrength(a *iv.Analysis) int { return ReduceStrengthScratch(a, nil) }
+
+// ReduceStrengthScratch is ReduceStrength against an explicit scratch
+// table (nil allocates a private one), for callers holding an arena.
+func ReduceStrengthScratch(a *iv.Analysis, scr *Scratch) int {
+	if scr == nil {
+		scr = &Scratch{}
+	}
+	scr.begin()
 	reduced := 0
 	counter := 0
-	done := map[*ir.Value]bool{}
 	// Inner loops first: a multiplication is reduced at the innermost
 	// level where its operand actually varies.
 	for _, l := range a.Forest.InnerToOuter() {
@@ -35,16 +72,15 @@ func ReduceStrength(a *iv.Analysis) int {
 			continue
 		}
 		for _, m := range mulCandidates(a, l) {
-			if done[m] {
+			if scr.marked(m.ID) {
 				continue
 			}
 			if reduceOne(a, l, pre, m, &counter) {
-				done[m] = true
+				scr.mark(m.ID)
 				reduced++
 			}
 		}
 	}
-	rec.Add("xform.strength.rewrites", int64(reduced))
 	return reduced
 }
 
@@ -60,7 +96,7 @@ func mulCandidates(a *iv.Analysis, l *loops.Loop) []*ir.Value {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, ir.ByID)
 	return out
 }
 
@@ -85,13 +121,8 @@ func reduceOne(a *iv.Analysis, l *loops.Loop, pre *ir.Block, m *ir.Value, counte
 	}
 	// Materialize c·Init in the preheader; every atom must dominate it.
 	scaled := iv.ScaleExpr(cls.Init, rational.FromInt(c))
-	if scaled == nil {
+	if scaled == nil || !dominatesAll(a, scaled, pre) {
 		return false
-	}
-	for atom := range scaled.Terms {
-		if !a.SSA.Dom.Dominates(atom.Block, pre) {
-			return false
-		}
 	}
 	init := materialize(a.SSA.Func, pre, scaled)
 	if init == nil {
@@ -99,54 +130,101 @@ func reduceOne(a *iv.Analysis, l *loops.Loop, pre *ir.Block, m *ir.Value, counte
 	}
 
 	f := a.SSA.Func
-	*counter++
-	name := fmt.Sprintf("sr%d", *counter)
+	stepV := f.NewValue(pre, ir.OpConst)
+	stepV.Const = ns
 
-	// φ at the loop header.
+	*counter++
+	phi := insertRecurrence(f, l, init, stepV, fmt.Sprintf("sr%d", *counter))
+
+	// Replace every use of m with the φ (c·v(h) == φ(h) at any point of
+	// iteration h) and retire m itself.
+	replaceUses(f, m, phi)
+	retireValue(m, phi)
+	return true
+}
+
+// insertRecurrence builds the φ-maintained linear recurrence every
+// substitution-style rewrite shares: a φ at the front of l's header
+// taking init on entry edges and φ+step on each back edge. init and
+// step must be available in (dominate) the preheader.
+func insertRecurrence(f *ir.Func, l *loops.Loop, init, step *ir.Value, name string) *ir.Value {
 	phi := f.NewValue(l.Header, ir.OpPhi, make([]*ir.Value, len(l.Header.Preds))...)
 	phi.Name = name + "phi"
+	// NewValue appended the φ; rotate it to the front, where verification
+	// (and every consumer) expects φs to live.
 	vals := l.Header.Values
 	copy(vals[1:], vals[:len(vals)-1])
 	vals[0] = phi
 
-	// Increment in each latch.
-	latchVals := map[*ir.Block]*ir.Value{}
+	incs := map[*ir.Block]*ir.Value{}
 	for _, latch := range l.Latches {
-		stepC := f.NewValue(latch, ir.OpConst)
-		stepC.Const = ns
-		add := f.NewValue(latch, ir.OpAdd, phi, stepC)
+		add := f.NewValue(latch, ir.OpAdd, phi, step)
 		add.Name = fmt.Sprintf("%sinc%d", name, latch.ID)
-		latchVals[latch] = add
+		incs[latch] = add
 	}
 	for i, p := range l.Header.Preds {
-		if inc, isLatch := latchVals[p]; isLatch {
+		if inc, isLatch := incs[p]; isLatch {
 			phi.Args[i] = inc
 		} else {
 			phi.Args[i] = init
 		}
 	}
+	return phi
+}
 
-	// Replace every use of m with the φ (c·v(h) == φ(h) at any point of
-	// iteration h).
+// replaceUses rewrites every use of old — argument positions and block
+// controls — to point at new.
+func replaceUses(f *ir.Func, old, new *ir.Value) {
 	for _, b := range f.Blocks {
 		for _, w := range b.Values {
-			if w != m {
-				w.ReplaceArg(m, phi)
+			if w != old {
+				w.ReplaceArg(old, new)
 			}
 		}
-		if b.Control == m {
-			b.Control = phi
+		if b.Control == old {
+			b.Control = new
 		}
 	}
-	// Drop m itself.
-	mb := m.Block
-	out := mb.Values[:0]
-	for _, w := range mb.Values {
-		if w != m {
-			out = append(out, w)
+}
+
+// retireValue rewrites v's defining op into a Copy of repl. The uses of
+// v have already been redirected, but v itself may be observable — it
+// can carry a source variable name the interpreter reports as a final
+// scalar — so it must keep producing the same number at the same
+// program point rather than disappear. Unobservable retired copies are
+// swept by the dce pass.
+func retireValue(v, repl *ir.Value) {
+	v.Op = ir.OpCopy
+	v.Args = append(v.Args[:0], repl)
+	v.Const = 0
+	v.Var = ""
+}
+
+// dominatesAll reports whether every atom of e dominates b (i.e. the
+// expression can be materialized in b).
+func dominatesAll(a *iv.Analysis, e *iv.Expr, b *ir.Block) bool {
+	for atom := range e.Terms {
+		if !a.SSA.Dom.Dominates(atom.Block, b) {
+			return false
 		}
 	}
-	mb.Values = out
+	return true
+}
+
+// integralExpr reports whether e materializes without leaving the
+// integers: constant part and every coefficient integral.
+func integralExpr(e *iv.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if !e.Const.IsInt() {
+		return false
+	}
+	for _, c := range e.Terms {
+		if !c.IsInt() {
+			return false
+		}
+	}
 	return true
 }
 
@@ -167,18 +245,10 @@ func constTimesValue(a *iv.Analysis, m *ir.Value) (int64, *ir.Value, bool) {
 // must dominate b (they are loop-external values and b is the
 // preheader).
 func materialize(f *ir.Func, b *ir.Block, e *iv.Expr) *ir.Value {
-	if e == nil {
+	if !integralExpr(e) {
 		return nil
 	}
-	k, isInt := e.Const.Int()
-	if !isInt {
-		return nil
-	}
-	for _, c := range e.Terms {
-		if !c.IsInt() {
-			return nil
-		}
-	}
+	k, _ := e.Const.Int()
 	acc := f.NewValue(b, ir.OpConst)
 	acc.Const = k
 
@@ -186,12 +256,9 @@ func materialize(f *ir.Func, b *ir.Block, e *iv.Expr) *ir.Value {
 	for v := range e.Terms {
 		terms = append(terms, v)
 	}
-	sort.Slice(terms, func(i, j int) bool { return terms[i].ID < terms[j].ID })
+	slices.SortFunc(terms, ir.ByID)
 	for _, v := range terms {
-		coeff, isInt := e.Terms[v].Int()
-		if !isInt {
-			return nil
-		}
+		coeff, _ := e.Terms[v].Int()
 		var term *ir.Value
 		if coeff == 1 {
 			term = v

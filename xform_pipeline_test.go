@@ -1,0 +1,250 @@
+// Facade-level tests of the Optimize pipeline: the cache-mutation
+// regression (optimizing a cache hit twice leaves the cached analysis
+// byte-identical), determinism of the transformed output, and the
+// corpus-wide differential sweep — every corpus and generated program
+// through several pipeline permutations with translation validation on.
+package beyondiv
+
+import (
+	"strings"
+	"testing"
+
+	"beyondiv/internal/iv"
+	"beyondiv/internal/paper"
+	"beyondiv/internal/progen"
+	"beyondiv/internal/ssa"
+	"beyondiv/internal/xform"
+)
+
+// optSrc has work for every default pass: a non-normal loop bound, a
+// wrap-around scalar (m), a strength-reduction candidate (3*i), and the
+// dead values the rewrites leave behind.
+const optSrc = `
+j = 0
+m = 100
+L1: for i = 1 to n {
+	k = 3 * i
+	a[k] = j + m
+	m = i
+	j = j + i
+}
+`
+
+// TestOptimizeCachedProgramImmutable is the Issue 5 regression: seed
+// the cache, optimize the same source twice, and require the cached
+// analysis to come back byte-identical — clone-on-transform means a
+// cache hit is never mutated, no matter how many pipelines run over it.
+func TestOptimizeCachedProgramImmutable(t *testing.T) {
+	an := NewAnalyzer(Options{CacheEntries: 4})
+	cached, err := an.Analyze(optSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcBefore := cached.SSA.Func.String()
+	reportBefore := cached.ClassificationReport()
+
+	for round := 1; round <= 2; round++ {
+		res, err := an.Optimize(optSrc)
+		if err != nil {
+			t.Fatalf("optimize round %d: %v", round, err)
+		}
+		if res.Original.SSA != cached.SSA {
+			t.Fatalf("optimize round %d did not hit the cache", round)
+		}
+		if res.Rewrites == 0 {
+			t.Fatalf("optimize round %d: pipeline did not fire on %q", round, optSrc)
+		}
+		if got := cached.SSA.Func.String(); got != funcBefore {
+			t.Fatalf("round %d mutated the cached program:\n--- before\n%s--- after\n%s",
+				round, funcBefore, got)
+		}
+		if got := cached.ClassificationReport(); got != reportBefore {
+			t.Fatalf("round %d mutated the cached classification:\n--- before\n%s--- after\n%s",
+				round, reportBefore, got)
+		}
+	}
+}
+
+// TestOptimizeDeterministic: two cold runs of the same pipeline produce
+// byte-identical transformed programs, reports and stats — the ordered
+// candidate walks (slices.SortFunc on ir.ByID) leave no map-iteration
+// nondeterminism.
+func TestOptimizeDeterministic(t *testing.T) {
+	run := func() (string, string, []PassStat) {
+		res, err := Optimize(optSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Program.SSA.Func.String(), res.Program.ClassificationReport(), res.Stats
+	}
+	f1, r1, s1 := run()
+	f2, r2, s2 := run()
+	if f1 != f2 {
+		t.Errorf("transformed program differs across runs:\n--- first\n%s--- second\n%s", f1, f2)
+	}
+	if r1 != r2 {
+		t.Errorf("transformed report differs across runs:\n--- first\n%s--- second\n%s", r1, r2)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("stats differ across runs: %+v vs %+v", s1, s2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Errorf("stat %d differs: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+}
+
+// hasLinearWithPrefix reports whether some loop classifies a value whose
+// SSA name carries the prefix as linear — the re-classification check
+// that a strength-reduced (sr) or substituted (ivs) recurrence is a
+// first-class IV of the transformed program.
+func hasLinearWithPrefix(p *Program, prefix string) bool {
+	for _, l := range p.Loops.InnerToOuter() {
+		for v, c := range p.IV.LoopClassifications(l) {
+			if c.Kind == iv.Linear && strings.HasPrefix(v.Name, prefix) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestOptimizeReclassifiesReducedIV(t *testing.T) {
+	res, err := Optimize(optSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	for _, s := range res.Stats {
+		if s.Name == "strength" && s.Rewrites > 0 {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatalf("strength reduction did not fire on %q; stats: %+v", optSrc, res.Stats)
+	}
+	if !hasLinearWithPrefix(res.Program, "sr") {
+		t.Errorf("no strength-reduced value re-classified as linear:\n%s",
+			res.Program.ClassificationReport())
+	}
+}
+
+// TestOptimizeCorpusDifferential sweeps every corpus program and a set
+// of generated ones through pipeline permutations with translation
+// validation ON: any rewrite that changes observable behaviour fails the
+// run, and the transformed program must verify as well-formed SSA. This
+// is the paper-scale soundness net for the whole transformation layer.
+func TestOptimizeCorpusDifferential(t *testing.T) {
+	var sources []string
+	for i := range paper.Corpus {
+		sources = append(sources, paper.Corpus[i].Source)
+	}
+	sources = append(sources,
+		progen.StraightLineLoop(6),
+		progen.MutualChain(3),
+		progen.MixedClasses(2),
+		progen.NestedLoops(3),
+		progen.DerivedChain(3),
+		progen.DepWorkload(7),
+		progen.New().Program(1),
+		progen.New().Program(42),
+	)
+
+	pipelines := [][]string{
+		nil, // canonical full pipeline
+		{"normalize"},
+		{"peel"},
+		{"strength"},
+		{"ivsub"},
+		{"dce"},
+		{"strength", "ivsub", "dce"},
+		{"peel", "normalize", "strength", "dce"}, // permuted AST order
+	}
+	if testing.Short() {
+		pipelines = [][]string{nil}
+	}
+
+	for pi, passes := range pipelines {
+		an := NewAnalyzer(Options{Passes: passes, CacheEntries: len(sources)})
+		for si, src := range sources {
+			res, err := an.Optimize(src)
+			if err != nil {
+				t.Errorf("pipeline %v source %d: %v\nsource:\n%s", passes, si, err, src)
+				continue
+			}
+			if errs := ssa.Verify(res.Program.SSA); len(errs) != 0 {
+				t.Errorf("pipeline %v source %d: transformed SSA malformed: %v", passes, si, errs)
+			}
+			// Whenever strength reduction fired, the recurrence it planted
+			// must re-classify as a linear IV of the transformed program.
+			for _, s := range res.Stats {
+				if s.Name == "strength" && s.Rewrites > 0 && !hasLinearWithPrefix(res.Program, "sr") {
+					t.Errorf("pipeline %v source %d: sr recurrence not linear after re-analysis", passes, si)
+				}
+			}
+		}
+		_ = pi
+	}
+}
+
+// TestOptimizeUnknownPass: a typo in Options.Passes surfaces from every
+// Optimize entry point, naming the vocabulary, and poisons the whole
+// batch rather than one item.
+func TestOptimizeUnknownPass(t *testing.T) {
+	_, err := OptimizeWith(optSrc, Options{Passes: []string{"strengt"}})
+	if err == nil || !strings.Contains(err.Error(), "strengt") {
+		t.Fatalf("unknown pass not reported: %v", err)
+	}
+	for _, name := range xform.PassNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not list available pass %q: %v", name, err)
+		}
+	}
+	items := OptimizeBatch([]string{optSrc, optSrc}, Options{Passes: []string{"strengt"}})
+	for i, it := range items {
+		if it.Err == nil {
+			t.Errorf("batch item %d missing pass-resolution error", i)
+		}
+	}
+}
+
+// TestOptimizeBatchMatchesSequential: the concurrent optimize batch is
+// byte-for-byte the sequential result, per source.
+func TestOptimizeBatchMatchesSequential(t *testing.T) {
+	sources := []string{
+		optSrc,
+		progen.StraightLineLoop(4),
+		progen.MixedClasses(1),
+		"j = )syntax error(",
+		progen.NestedLoops(2),
+	}
+	seq := NewAnalyzer(Options{})
+	want := make([]string, len(sources))
+	wantErr := make([]bool, len(sources))
+	for i, src := range sources {
+		res, err := seq.Optimize(src)
+		if err != nil {
+			wantErr[i] = true
+			continue
+		}
+		want[i] = res.Program.SSA.Func.String()
+	}
+	items := OptimizeBatch(sources, Options{Jobs: 3})
+	for i, it := range items {
+		if wantErr[i] {
+			if it.Err == nil {
+				t.Errorf("item %d: batch succeeded where sequential failed", i)
+			}
+			continue
+		}
+		if it.Err != nil {
+			t.Errorf("item %d: %v", i, it.Err)
+			continue
+		}
+		if got := it.Result.Program.SSA.Func.String(); got != want[i] {
+			t.Errorf("item %d: batch result differs from sequential:\n--- sequential\n%s--- batch\n%s",
+				i, want[i], got)
+		}
+	}
+}
