@@ -27,12 +27,16 @@ test-race:
 # BENCH_engine.json, the dense-ID hot-path deltas (cold ns/op and
 # allocs/op against the pre-rework baseline) into BENCH_hotpath.json,
 # and the transformation layer's cost profile (Optimize vs Analyze,
-# validation overhead, clone vs frontend rebuild) into BENCH_xform.json.
+# validation overhead, clone vs frontend rebuild) into BENCH_xform.json,
+# and the process-metrics tier's cost (identical analysis loops with
+# and without a registry and flight recorder, plus a snapshot of what
+# the instrumented loop recorded) into BENCH_obs.json.
 bench:
 	$(GO) test -bench=. -benchmem .
 	BENCH_JSON=BENCH_engine.json $(GO) test -run '^TestEngineBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_hotpath.json $(GO) test -run '^TestHotpathBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_xform.json $(GO) test -run '^TestXformBenchArtifact$$' -v .
+	BENCH_JSON=BENCH_obs.json $(GO) test -count=1 -run '^TestObsBenchArtifact$$' -v .
 
 # One short iteration of every benchmark, no JSON artifacts: keeps the
 # benchmark code compiling and running in CI without timing assertions.

@@ -1,0 +1,305 @@
+// Observability cost and end-to-end coverage: what the process-level
+// metrics tier costs when on, that it costs nothing when off, and
+// that the full stack — engine instrumentation, registry, flight
+// recorder, debug HTTP server — works wired together the way the
+// commands wire it. `make bench` writes the overhead numbers and a
+// registry snapshot to BENCH_obs.json via TestObsBenchArtifact; CI's
+// bench-smoke job runs the same test as a <5% overhead gate.
+package beyondiv
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"beyondiv/internal/guard"
+	"beyondiv/internal/obs/debugserv"
+	"beyondiv/internal/obs/metrics"
+	"beyondiv/internal/paper"
+)
+
+// analyzeWindow measures the process CPU time of iters full-pipeline
+// analyses of the corpus through one analyzer configured with opts.
+// Three choices squeeze the noise out of a window so a few percent of
+// instrumentation cost is resolvable: the iteration count is fixed
+// (unlike testing.Benchmark's adaptive b.N) so an off window and an
+// on window do byte-identical work; CPU time rather than wall clock
+// keeps a shared box's noisy neighbors out of the measurement; and
+// the GC is paused for the window (after a fresh collection) because
+// the per-window GC cycle count is quantized — a ±1-cycle difference
+// would swamp the signal, and the instrumentation allocates nothing,
+// so pausing is fair to both sides.
+func analyzeWindow(t *testing.T, opts Options, iters int) time.Duration {
+	srcs := benchCorpus(8)
+	an := NewAnalyzer(opts)
+	old := debug.SetGCPercent(-1)
+	runtime.GC()
+	start := processCPUTime()
+	for i := 0; i < iters; i++ {
+		for _, src := range srcs {
+			if _, err := an.Analyze(src); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d := processCPUTime() - start
+	debug.SetGCPercent(old)
+	return d
+}
+
+// analyzeAllocs reports mallocs per corpus analysis for opts, via the
+// runtime's exact allocation counter.
+func analyzeAllocs(t *testing.T, opts Options) int64 {
+	srcs := benchCorpus(8)
+	an := NewAnalyzer(opts)
+	for _, src := range srcs { // warm pools and lazily-built tables
+		if _, err := an.Analyze(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const n = 50
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < n; i++ {
+		for _, src := range srcs {
+			if _, err := an.Analyze(src); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return int64(m1.Mallocs-m0.Mallocs) / n
+}
+
+// instrSequenceNS microbenchmarks the exact per-run instrumentation
+// sequence the engine executes with metrics and flight on: one wall
+// clock read, one monotonic read per pass boundary plus the pre-loop
+// mark, a histogram observation per pass plus the whole-run one (each
+// behind the same name-to-handle map lookup instr.pass does), and one
+// flight-recorder entry. Measuring the small quantity directly is
+// what makes the overhead gate resolvable: reps are cheap enough for
+// hundreds of thousands of iterations, so this number is stable to a
+// few percent even on a noisy shared box, where an end-to-end off/on
+// subtraction of two ~300µs measurements is not.
+func instrSequenceNS(t *testing.T, passNames []string, source string) float64 {
+	reg := metrics.NewRegistry()
+	fl := metrics.NewFlight(64, 16)
+	phase := map[string]*metrics.Histogram{}
+	for _, n := range append([]string{"analyze"}, passNames...) {
+		phase[n] = reg.Hist("phase." + n)
+	}
+	run := func() {
+		start := time.Now()
+		mark := time.Since(start)
+		for _, p := range passNames {
+			d := time.Since(start)
+			if h, ok := phase[p]; ok {
+				h.Observe((d - mark).Nanoseconds())
+			}
+			mark = d
+		}
+		if h, ok := phase["analyze"]; ok {
+			h.Observe(mark.Nanoseconds())
+		}
+		fl.Record(metrics.Run{Start: start, DurUS: mark.Microseconds(), Source: source, Bytes: len(source)})
+	}
+	const reps = 200_000
+	for i := 0; i < reps/10; i++ { // warm
+		run()
+	}
+	best := time.Duration(math.MaxInt64)
+	for trial := 0; trial < 5; trial++ {
+		runtime.GC()
+		start := processCPUTime()
+		for i := 0; i < reps; i++ {
+			run()
+		}
+		if d := processCPUTime() - start; d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / reps
+}
+
+// TestObsBenchArtifact measures the metrics tier's overhead and gates
+// it at 5%. The per-run instrumentation cost is microbenchmarked
+// directly (instrSequenceNS) and divided by the median baseline
+// analysis time from fixed-work windows — measuring the ~1µs quantity
+// head-on instead of subtracting two noisy end-to-end timings, so the
+// gate resolves single percents on shared CI boxes. An instrumented
+// end-to-end window still runs to feed the registry snapshot in the
+// artifact and to sanity-check the wiring. With BENCH_JSON set it
+// writes BENCH_obs.json: the overhead ratio plus a snapshot of what
+// the instrumented run recorded (per-phase p50/p99, counters), so the
+// artifact doubles as a fixture of the registry's shape. Skipped
+// unless BENCH_JSON or OBS_GATE is set (CI's bench-smoke job sets
+// OBS_GATE=1).
+func TestObsBenchArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" && os.Getenv("OBS_GATE") == "" {
+		t.Skip("set BENCH_JSON=<path> or OBS_GATE=1 to measure observability overhead")
+	}
+
+	reg := metrics.NewRegistry()
+	fl := metrics.NewFlight(64, 16)
+	onOpts := Options{Metrics: reg, Flight: fl}
+
+	// Baseline: median uninstrumented per-analysis time over fixed-work
+	// windows, interleaved with instrumented windows that both feed the
+	// artifact's registry snapshot and keep the two sides symmetric.
+	const rounds, iters = 7, 100
+	analyzeWindow(t, Options{}, iters) // warm both configurations once
+	analyzeWindow(t, onOpts, iters)
+	var offs, ons []time.Duration
+	for i := 0; i < rounds; i++ {
+		offs = append(offs, analyzeWindow(t, Options{}, iters))
+		ons = append(ons, analyzeWindow(t, onOpts, iters))
+	}
+	slices.Sort(offs)
+	slices.Sort(ons)
+	perRun := float64(offs[len(offs)/2].Nanoseconds()) / (iters * 8) // 8 corpus programs per iter
+	offNS := offs[len(offs)/2].Nanoseconds() / iters
+	onNS := ons[len(ons)/2].Nanoseconds() / iters
+
+	passNames := []string{"parse", "cfgbuild", "ssa", "loops", "sccp", "iv", "depend"}
+	instrNS := instrSequenceNS(t, passNames, benchCorpus(1)[0])
+	overhead := 1 + instrNS/perRun
+	t.Logf("baseline %.0f ns/analysis, instrumentation %.0f ns/analysis: overhead %.3fx (e2e off %d on %d ns/op)",
+		perRun, instrNS, overhead, offNS, onNS)
+
+	if path != "" {
+		snap := reg.Snapshot()
+		phases := map[string]map[string]int64{}
+		for name, h := range snap.Hists {
+			if strings.HasPrefix(name, "phase.") && !strings.HasSuffix(name, ".allocs") {
+				phases[name] = map[string]int64{"count": h.Count, "p50": h.P50, "p99": h.P99}
+			}
+		}
+		writeBenchJSON(t, path, map[string]any{
+			"gomaxprocs":               runtime.GOMAXPROCS(0),
+			"num_cpu":                  runtime.NumCPU(),
+			"metrics_off_ns_per_op":    offNS,
+			"metrics_on_ns_per_op":     onNS,
+			"instr_ns_per_analysis":    instrNS,
+			"baseline_ns_per_analysis": perRun,
+			"overhead_ratio":           overhead,
+			"metrics_off_allocs":       analyzeAllocs(t, Options{}),
+			"metrics_on_allocs":        analyzeAllocs(t, onOpts),
+			"registry_counters":        snap.Counters,
+			"registry_phase_latencies": phases,
+		})
+	}
+
+	if overhead > 1.05 {
+		t.Errorf("metrics-on overhead %.3fx exceeds the 5%% budget (instrumentation %.0f ns on a %.0f ns analysis)",
+			overhead, instrNS, perRun)
+	}
+}
+
+// TestDebugServEndToEnd wires the stack exactly like a command with
+// -debug-addr: a cached analyzer feeding a registry and flight
+// recorder, a batch over the paper corpus plus one fault-injected
+// run, and the debug server scraped over real HTTP. /metrics must
+// show per-phase percentiles and cache counters in both formats, and
+// /lastruns must contain the fault run with its phase and stack.
+func TestDebugServEndToEnd(t *testing.T) {
+	reg := metrics.NewRegistry()
+	fl := metrics.NewFlight(64, 16)
+	opts := Options{Metrics: reg, Flight: fl, CacheEntries: 64, Jobs: 2}
+
+	var srcs []string
+	for _, p := range paper.Corpus {
+		srcs = append(srcs, p.Source)
+	}
+	an := NewAnalyzer(opts)
+	for _, r := range an.AnalyzeAll(srcs) {
+		if r.Err != nil {
+			t.Fatalf("%d: %v", r.Index, r.Err)
+		}
+	}
+	for _, r := range an.AnalyzeAll(srcs) { // all cache hits
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	fopts := opts
+	fopts.CacheEntries = 0
+	fopts.Limits.Inject = guard.PanicIn("iv")
+	if _, err := NewAnalyzer(fopts).Analyze(srcs[0]); err == nil {
+		t.Fatal("fault injection did not fail the run")
+	}
+
+	srv, err := debugserv.Serve("127.0.0.1:0", reg, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	prom := get("/metrics")
+	for _, want := range []string{
+		"biv_phase_parse_p50", "biv_phase_iv_p99", "biv_phase_analyze_count",
+		"biv_engine_cache_hit", "biv_engine_cache_miss", "biv_engine_fault_iv 1",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics?format=json")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["engine.cache.hit"] < int64(len(srcs)) {
+		t.Errorf("cache hits = %d, want >= %d", snap.Counters["engine.cache.hit"], len(srcs))
+	}
+	for _, phase := range []string{"parse", "ssa", "iv", "depend", "analyze"} {
+		h := snap.Hists["phase."+phase]
+		if h.Count == 0 || h.P99 < h.P50 || h.P50 <= 0 {
+			t.Errorf("phase.%s histogram: count=%d p50=%d p99=%d", phase, h.Count, h.P50, h.P99)
+		}
+	}
+
+	var runs struct {
+		Recent []metrics.Run `json:"recent"`
+		Failed []metrics.Run `json:"failed"`
+	}
+	if err := json.Unmarshal([]byte(get("/lastruns")), &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs.Failed) != 1 {
+		t.Fatalf("failed ring has %d runs, want 1", len(runs.Failed))
+	}
+	f := runs.Failed[0]
+	if !f.Fault || f.Phase != "iv" || f.Stack == "" {
+		t.Errorf("fault run = phase=%q fault=%v stack=%d bytes", f.Phase, f.Fault, len(f.Stack))
+	}
+	cached := 0
+	for _, r := range runs.Recent {
+		if r.Cached {
+			cached++
+		}
+	}
+	if cached < len(srcs) {
+		t.Errorf("flight shows %d cached runs, want >= %d", cached, len(srcs))
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"beyondiv/internal/iv"
 	"beyondiv/internal/loops"
 	"beyondiv/internal/obs"
+	"beyondiv/internal/obs/metrics"
 	"beyondiv/internal/ssa"
 	"beyondiv/internal/xform"
 )
@@ -78,6 +79,19 @@ type Options struct {
 	// telemetry off at no cost. Batch workers record into forks of
 	// this recorder, merged back when the batch completes.
 	Obs *obs.Recorder
+	// Metrics, when non-nil, receives the process-lifetime aggregates
+	// the engine emits on every run: per-phase latency and allocation
+	// histograms, cache hit/miss/evict, batch fan-out, guard-limit
+	// trips, contained faults and transform/validation outcomes. Where
+	// Obs is one run's story, a registry accumulates across every run
+	// of every analyzer sharing it, and is what the -debug-addr server
+	// exposes. Nil keeps metrics off at no cost.
+	Metrics *metrics.Registry
+	// Flight, when non-nil, is the flight recorder: every analysis and
+	// optimization outcome is captured as a condensed run record, with
+	// runs that end in a contained fault held in a dedicated ring that
+	// healthy traffic cannot evict. Nil keeps capture off at no cost.
+	Flight *metrics.Flight
 	// Limits bounds the resources each analysis may consume on hostile
 	// input (source size, nesting depth, IR size, loop depth, per-phase
 	// work). Zero fields take guard.Default ceilings; set a field to
@@ -140,10 +154,11 @@ type Cache = engine.Cache
 func NewCache(capacity int) *Cache { return engine.NewCache(capacity) }
 
 // fingerprint identifies the option fields that change analysis
-// results, for the content-addressed cache. Obs, Limits, Jobs and the
-// cache fields are excluded: they change how the pipeline runs, not
-// what it computes (Limits are fingerprinted by the engine itself,
-// since a ceiling changes which sources fail).
+// results, for the content-addressed cache. Obs, Metrics, Flight,
+// Limits, Jobs and the cache fields are excluded: they change how the
+// pipeline runs (or what it reports about itself), not what it
+// computes (Limits are fingerprinted by the engine itself, since a
+// ceiling changes which sources fail).
 func (o Options) fingerprint() string {
 	return fmt.Sprintf("skipdeps:%t|iv:%s|dep:%s",
 		o.SkipDependences, o.IV.Fingerprint(), o.Dependences.Fingerprint())
@@ -183,6 +198,8 @@ func NewAnalyzer(opts Options) *Analyzer {
 	return &Analyzer{eng: engine.New(engine.Config{
 		Passes:         opts.passes(),
 		Obs:            opts.Obs,
+		Metrics:        opts.Metrics,
+		Flight:         opts.Flight,
 		Limits:         opts.Limits,
 		Jobs:           opts.Jobs,
 		Cache:          opts.Cache,

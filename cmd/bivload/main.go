@@ -1,0 +1,127 @@
+// Command bivload drives the analysis pipeline under sustained load:
+// it analyzes a corpus of programs in a loop for a fixed duration,
+// publishing process-lifetime metrics and a flight recorder of recent
+// runs as it goes. It exists to exercise the observability stack the
+// way a long-running service would — point -debug-addr at a port,
+// curl /metrics for per-phase p50/p99 latencies while the load runs,
+// /lastruns for the most recent analyses — and doubles as a quick
+// steady-state throughput probe.
+//
+// Usage:
+//
+//	bivload [-d duration] [-jobs n] [-cache n] [-inject phase] [-hold]
+//	        [-debug-addr addr] [-stats] [-trace file] [file|dir ...]
+//
+// With no arguments, one program is read from standard input; each
+// argument may be a program file, an examples-style .go file (the
+// embedded program is extracted), or a directory walked recursively
+// for such files. Every iteration analyzes the whole corpus as one
+// batch over -jobs workers. -cache gives the analyzer a result cache
+// of that capacity, turning steady state into cache hits (useful for
+// watching the hit counters move). -inject makes one extra analysis
+// per iteration fail with a contained fault in the named phase, so
+// /lastruns always has a failed run to look at. -hold keeps the
+// debug server (and the process) alive after the load finishes, until
+// interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"beyondiv"
+	"beyondiv/internal/cliutil"
+	"beyondiv/internal/guard"
+	"beyondiv/internal/obs/metrics"
+)
+
+var (
+	duration = flag.Duration("d", 5*time.Second, "how long to sustain the load")
+	jobs     = flag.Int("jobs", 0, "analyze each batch on `n` workers (0 = one per CPU)")
+	cacheN   = flag.Int("cache", 0, "result-cache capacity (0 = no cache)")
+	inject   = flag.String("inject", "", "fault one extra run per iteration in `phase` (e.g. sccp), exercising contained-fault capture")
+	hold     = flag.Bool("hold", false, "keep serving -debug-addr after the load finishes, until interrupted")
+	tel      cliutil.Telemetry
+)
+
+func main() {
+	tel.RegisterObsFlags()
+	flag.Parse()
+	srcs, err := cliutil.ReadPrograms(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if err := tel.Start(); err != nil {
+		fatal(err)
+	}
+
+	opts := beyondiv.Options{Jobs: *jobs, CacheEntries: *cacheN}
+	tel.Apply(&opts)
+	// The summary below reads the registry, so run with one even when
+	// no debug server asked for it.
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+		opts.Metrics = reg
+	}
+	an := beyondiv.NewAnalyzer(opts)
+
+	var faulty *beyondiv.Analyzer
+	if *inject != "" {
+		fopts := opts
+		fopts.CacheEntries, fopts.Cache = 0, nil // faults must not be masked by the cache
+		fopts.Limits.Inject = guard.PanicIn(*inject)
+		faulty = beyondiv.NewAnalyzer(fopts)
+	}
+
+	texts := make([]string, len(srcs))
+	for i, s := range srcs {
+		texts[i] = s.Text
+	}
+
+	start := time.Now()
+	iterations, runs, errs := 0, 0, 0
+	for time.Since(start) < *duration {
+		for _, r := range an.AnalyzeAll(texts) {
+			runs++
+			if r.Err != nil {
+				errs++
+			}
+		}
+		if faulty != nil {
+			if _, err := faulty.Analyze(texts[0]); err != nil {
+				errs++
+			}
+			runs++
+		}
+		iterations++
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%d iterations over %d programs in %s: %d analyses (%.0f/s), %d errors\n",
+		iterations, len(srcs), elapsed.Round(time.Millisecond), runs,
+		float64(runs)/elapsed.Seconds(), errs)
+	snap := reg.Snapshot()
+	if h, ok := snap.Hists["phase.analyze"]; ok && h.Count > 0 {
+		fmt.Printf("analyze latency p50 %s  p90 %s  p99 %s\n",
+			time.Duration(h.P50), time.Duration(h.P90), time.Duration(h.P99))
+	}
+	if hits := snap.Counters["engine.cache.hit"]; hits > 0 {
+		fmt.Printf("cache: %d hits, %d misses\n", hits, snap.Counters["engine.cache.miss"])
+	}
+
+	if *hold && tel.DebugURL() != "" {
+		fmt.Fprintf(os.Stderr, "holding; debug server at %s (interrupt to exit)\n", tel.DebugURL())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+	if err := tel.Finish(os.Stderr); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) { cliutil.Fatal("bivload", err) }

@@ -16,7 +16,7 @@
 // Usage:
 //
 //	bivopt [-apply] [-passes list] [-jobs n] [-no-validate] [-stats]
-//	       [-trace file] [-jsonl file] [-explain var]
+//	       [-trace file] [-jsonl file] [-explain var] [-debug-addr addr]
 //	       [-cpuprofile file] [-memprofile file] [file|dir ...]
 //
 // With no arguments, one program is read from standard input; each
@@ -57,7 +57,7 @@ var (
 )
 
 func main() {
-	tel.RegisterFlags()
+	tel.RegisterObsFlags()
 	flag.Parse()
 	srcs, err := cliutil.ReadPrograms(flag.Args())
 	if err != nil {
@@ -67,11 +67,11 @@ func main() {
 		fatal(err)
 	}
 	opts := beyondiv.Options{
-		Obs:            tel.Recorder(),
 		Jobs:           *jobs,
 		Passes:         passList(*passesFlag),
 		SkipValidation: *noValidate,
 	}
+	tel.Apply(&opts)
 
 	exit := 0
 	report := func(i int, prog *beyondiv.Program, err error) bool {

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	depclass [-input] [-classes] [-dot] [-pi] [-why] [-jobs n] [-stats]
-//	         [-trace file] [-jsonl file] [-explain var] [file|dir ...]
+//	         [-trace file] [-jsonl file] [-explain var] [-debug-addr addr]
+//	         [file|dir ...]
 //
 // With no arguments, one program is read from standard input; each
 // argument may be a program file, an examples-style .go file (the
@@ -38,7 +39,7 @@ var (
 )
 
 func main() {
-	tel.RegisterFlags()
+	tel.RegisterObsFlags()
 	flag.Parse()
 	srcs, err := cliutil.ReadPrograms(flag.Args())
 	if err != nil {
@@ -47,11 +48,12 @@ func main() {
 	if err := tel.Start(); err != nil {
 		fatal(err)
 	}
-	results := cliutil.AnalyzeSources(srcs, beyondiv.Options{
+	opts := beyondiv.Options{
 		Dependences: depend.Options{IncludeInput: *withInput},
-		Obs:         tel.Recorder(),
 		Jobs:        *jobs,
-	})
+	}
+	tel.Apply(&opts)
+	results := cliutil.AnalyzeSources(srcs, opts)
 	exit := 0
 	for i, r := range results {
 		if len(srcs) > 1 {

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	paperrepro [-id E6] [-q] [-stats] [-trace file] [-jsonl file]
-//	           [-cpuprofile file] [-memprofile file]
+//	           [-cpuprofile file] [-memprofile file] [-debug-addr addr]
 //
 // With -stats or -trace, one recorder is shared across the whole
 // corpus, so the counters aggregate every experiment's pipeline.
@@ -36,7 +36,7 @@ var (
 )
 
 func main() {
-	tel.RegisterFlags()
+	tel.RegisterObsFlags()
 	flag.Parse()
 	if err := tel.Start(); err != nil {
 		cliutil.Fatal("paperrepro", err)
@@ -87,7 +87,7 @@ func runProgram(p *paper.Program) int {
 	if !*quiet {
 		fmt.Println(indent(strings.TrimRight(p.Source, "\n")))
 	}
-	a, err := iv.AnalyzeProgramWith(p.Source, iv.Options{Obs: tel.Recorder()})
+	a, err := iv.AnalyzeProgramWith(p.Source, ivOptions())
 	if err != nil {
 		fmt.Println("ERROR:", err)
 		return 1
@@ -168,7 +168,7 @@ func runDependenceExamples() {
 		if !*quiet {
 			fmt.Println(indent(strings.TrimRight(src, "\n")))
 		}
-		a, err := iv.AnalyzeProgramWith(src, iv.Options{Obs: tel.Recorder()})
+		a, err := iv.AnalyzeProgramWith(src, ivOptions())
 		if err != nil {
 			fmt.Println("ERROR:", err)
 			return
@@ -181,6 +181,16 @@ func runDependenceExamples() {
 	show("L22: periodic = translates to distance mod 2", paper.ByID("E14").Source)
 	show("L23/L24: normalization study (triangular)", paper.ByID("E15").Source)
 	show("Figure 10: monotonic directions", paper.ByID("E12").Source)
+}
+
+// ivOptions threads the shared observability backends into the
+// classifier-only entry point this command drives the corpus through.
+func ivOptions() iv.Options {
+	return iv.Options{
+		Obs:     tel.Recorder(),
+		Metrics: tel.Registry(),
+		Flight:  tel.Flight(),
+	}
 }
 
 func rats(vs ...int64) []rational.Rat {

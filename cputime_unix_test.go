@@ -1,0 +1,21 @@
+//go:build unix
+
+package beyondiv
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the process's cumulative user+system CPU
+// time. The overhead gate diffs it across measurement windows: unlike
+// wall clock, CPU time doesn't count involuntary descheduling, so a
+// noisy neighbor on a shared box can't land its burst on one side of
+// an off/on comparison.
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -1,7 +1,9 @@
 // Package cliutil holds the observability plumbing shared by the
 // commands: the -stats/-trace/-jsonl/-explain/-cpuprofile/-memprofile
-// flag set, lazy recorder construction, pprof start/stop, and program
-// input reading (including extraction from the examples' Go files).
+// per-run flag set, the -debug-addr process-lifetime tier (metrics
+// registry, flight recorder, debug HTTP server), lazy recorder
+// construction, pprof start/stop, and program input reading
+// (including extraction from the examples' Go files).
 package cliutil
 
 import (
@@ -18,6 +20,8 @@ import (
 
 	"beyondiv"
 	"beyondiv/internal/obs"
+	"beyondiv/internal/obs/debugserv"
+	"beyondiv/internal/obs/metrics"
 )
 
 // ExitCode classifies an analysis failure for a command's exit status:
@@ -55,9 +59,13 @@ func Fatal(tool string, err error) {
 	os.Exit(Report(tool, err))
 }
 
-// Telemetry bundles the telemetry flags of one command. Register the
-// flags before flag.Parse, call Start after it, run the analysis with
-// Recorder(), and Finish at the end.
+// Telemetry bundles the observability flags of one command: the
+// per-run tier (-stats/-trace/-jsonl, backed by an obs.Recorder) and
+// the process-lifetime tier (-debug-addr, backed by a metrics
+// registry, a flight recorder and the debugserv HTTP server).
+// Register the flags with RegisterObsFlags before flag.Parse, call
+// Start after it, thread the backends into the analysis with Apply
+// (or Recorder/Registry/Flight individually), and Finish at the end.
 type Telemetry struct {
 	Stats      bool
 	TracePath  string
@@ -65,20 +73,38 @@ type Telemetry struct {
 	Explain    string
 	CPUProfile string
 	MemProfile string
+	DebugAddr  string
 
 	rec     *obs.Recorder
+	reg     *metrics.Registry
+	fl      *metrics.Flight
+	srv     *debugserv.Server
 	cpuFile *os.File
 }
 
-// RegisterFlags installs the telemetry flags on the default flag set.
-func (t *Telemetry) RegisterFlags() {
+// flightRuns is the debug server's flight-recorder depth: the last 64
+// analyses, with the last 16 failed ones retained separately.
+const (
+	flightRuns    = 64
+	flightErrRuns = 16
+)
+
+// RegisterObsFlags installs the full observability flag set — the
+// per-run telemetry flags plus -debug-addr — on the default flag set.
+// This is the one place the commands' observability wiring lives;
+// each main.go just calls this, then Start/Apply/Finish.
+func (t *Telemetry) RegisterObsFlags() {
 	flag.BoolVar(&t.Stats, "stats", false, "print phase timings and pipeline counters")
 	flag.StringVar(&t.TracePath, "trace", "", "write a Chrome trace-event file (chrome://tracing, Perfetto) to `path`")
 	flag.StringVar(&t.JSONLPath, "jsonl", "", "write spans, counters and provenance events as JSON lines to `path`")
 	flag.StringVar(&t.Explain, "explain", "", "print the classification provenance chain of `var` (e.g. j, or the SSA version j3)")
 	flag.StringVar(&t.CPUProfile, "cpuprofile", "", "write a CPU profile to `path`")
 	flag.StringVar(&t.MemProfile, "memprofile", "", "write a heap profile to `path`")
+	flag.StringVar(&t.DebugAddr, "debug-addr", "", "serve /metrics, /healthz, /lastruns and /debug/pprof on `addr` (e.g. localhost:6060) while the command runs")
 }
+
+// RegisterFlags is RegisterObsFlags under its historical name.
+func (t *Telemetry) RegisterFlags() { t.RegisterObsFlags() }
 
 // Recorder returns the recorder to thread through the pipeline: non-nil
 // exactly when some flag needs a recording, nil (telemetry off at zero
@@ -90,8 +116,54 @@ func (t *Telemetry) Recorder() *obs.Recorder {
 	return t.rec
 }
 
-// Start begins CPU profiling when requested.
+// Registry returns the process-lifetime metrics registry: non-nil
+// exactly when -debug-addr asked for the debug server.
+func (t *Telemetry) Registry() *metrics.Registry {
+	if t.reg == nil && t.DebugAddr != "" {
+		t.reg = metrics.NewRegistry()
+	}
+	return t.reg
+}
+
+// Flight returns the flight recorder behind /lastruns: non-nil exactly
+// when -debug-addr asked for the debug server.
+func (t *Telemetry) Flight() *metrics.Flight {
+	if t.fl == nil && t.DebugAddr != "" {
+		t.fl = metrics.NewFlight(flightRuns, flightErrRuns)
+	}
+	return t.fl
+}
+
+// Apply threads every observability backend the flags enabled into
+// opts; with no observability flags set all three stay nil and the
+// pipeline runs at full speed.
+func (t *Telemetry) Apply(opts *beyondiv.Options) {
+	opts.Obs = t.Recorder()
+	opts.Metrics = t.Registry()
+	opts.Flight = t.Flight()
+}
+
+// DebugURL returns "http://<addr>" of the running debug server, empty
+// when none is serving.
+func (t *Telemetry) DebugURL() string {
+	if t.srv == nil {
+		return ""
+	}
+	return "http://" + t.srv.Addr()
+}
+
+// Start begins CPU profiling and, when -debug-addr is set, the debug
+// HTTP server (announced on stderr, since the bound port matters for
+// addresses like ":0").
 func (t *Telemetry) Start() error {
+	if t.DebugAddr != "" && t.srv == nil {
+		srv, err := debugserv.Serve(t.DebugAddr, t.Registry(), t.Flight())
+		if err != nil {
+			return err
+		}
+		t.srv = srv
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s\n", srv.Addr())
+	}
 	if t.CPUProfile == "" {
 		return nil
 	}
@@ -107,9 +179,16 @@ func (t *Telemetry) Start() error {
 	return nil
 }
 
-// Finish stops profiling and renders the recording: the -stats text
-// report to w, and the -trace / -jsonl files.
+// Finish stops profiling, shuts the debug server down, and renders
+// the recording: the -stats text report to w, and the -trace / -jsonl
+// files.
 func (t *Telemetry) Finish(w io.Writer) error {
+	if t.srv != nil {
+		if err := t.srv.Close(); err != nil {
+			return err
+		}
+		t.srv = nil
+	}
 	if t.cpuFile != nil {
 		pprof.StopCPUProfile()
 		if err := t.cpuFile.Close(); err != nil {

@@ -48,6 +48,12 @@ func (e *Engine) AnalyzeAll(sources []string) []Item {
 	if jobs > len(sources) {
 		jobs = len(sources)
 	}
+	if e.ins != nil {
+		e.ins.count("engine.batch")
+		e.ins.reg.Add("engine.batch.sources", int64(len(sources)))
+		e.ins.reg.SetGauge("engine.batch.workers", int64(jobs))
+	}
+	defer e.poolGauges(lim.Pool)
 
 	if jobs <= 1 {
 		// Inline: same goroutine, same recorder, same span shape as
@@ -84,4 +90,14 @@ func (e *Engine) AnalyzeAll(sources []string) []Item {
 		rec.Absorb(wrec)
 	}
 	return items
+}
+
+// poolGauges publishes a finished batch's shared-step-pool state —
+// how much of the ceiling the batch left unspent.
+func (e *Engine) poolGauges(pool *guard.Pool) {
+	if e.ins == nil || pool == nil {
+		return
+	}
+	e.ins.reg.SetGauge("guard.pool.limit", pool.Limit())
+	e.ins.reg.SetGauge("guard.pool.remaining", pool.Remaining())
 }

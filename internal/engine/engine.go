@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"beyondiv/internal/ast"
 	"beyondiv/internal/cfgbuild"
@@ -40,6 +41,7 @@ import (
 	"beyondiv/internal/ir"
 	"beyondiv/internal/loops"
 	"beyondiv/internal/obs"
+	"beyondiv/internal/obs/metrics"
 	"beyondiv/internal/parse"
 	"beyondiv/internal/sccp"
 	"beyondiv/internal/scratch"
@@ -154,6 +156,18 @@ type Config struct {
 	// Obs, when non-nil, records phase spans, counters and provenance
 	// for every run (batch workers record into forks merged back).
 	Obs *obs.Recorder
+	// Metrics, when non-nil, receives the process-lifetime aggregates:
+	// per-phase latency and allocation histograms, cache
+	// hit/miss/evict, batch fan-out, guard-limit trips, contained
+	// faults, and transform/validation outcomes. Unlike Obs — one
+	// run's span tree — a registry accumulates across every run of
+	// every engine that shares it, and is what debugserv serves.
+	Metrics *metrics.Registry
+	// Flight, when non-nil, is the flight recorder: each Analyze or
+	// Optimize outcome is captured as a condensed metrics.Run, with
+	// runs ending in a contained fault kept in a dedicated ring so
+	// healthy traffic cannot evict them.
+	Flight *metrics.Flight
 	// Limits bounds each source's analysis; normalized once at New, so
 	// zero fields take guard.Default ceilings on every entry path.
 	Limits guard.Limits
@@ -201,6 +215,7 @@ type Engine struct {
 	cfg   Config
 	cache *Cache
 	fp    string // full cache-key prefix: caller fingerprint + limits + passes
+	ins   *instr // nil unless Metrics or Flight is configured
 
 	// arenas recycles scratch arenas across runs: each analyze call
 	// checks one out for the duration of its pass list, so a batch
@@ -212,7 +227,7 @@ type Engine struct {
 // engine entry points never run unguarded.
 func New(cfg Config) *Engine {
 	cfg.Limits = cfg.Limits.Normalize()
-	e := &Engine{cfg: cfg, cache: cfg.Cache}
+	e := &Engine{cfg: cfg, cache: cfg.Cache, ins: newInstr(&cfg)}
 	if e.cache == nil && cfg.CacheEntries > 0 {
 		e.cache = NewCache(cfg.CacheEntries)
 	}
@@ -240,15 +255,26 @@ func (e *Engine) Analyze(source string) (*State, error) {
 func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits) (*State, error) {
 	span := rec.Phase("analyze")
 	defer span.End()
+	var start time.Time
+	if e.ins != nil {
+		start = time.Now()
+	}
 
 	var key cacheKey
 	if e.cache != nil {
 		key = e.key(source)
 		if st := e.cache.get(key); st != nil {
 			rec.Count("engine.cache.hit")
+			if e.ins != nil {
+				e.ins.count("engine.cache.hit")
+				e.ins.record(source, start, time.Since(start), span, nil, true)
+			}
 			return st, nil
 		}
 		rec.Count("engine.cache.miss")
+		if e.ins != nil {
+			e.ins.count("engine.cache.miss")
+		}
 	}
 
 	ar, _ := e.arenas.Get().(*scratch.Arena)
@@ -256,12 +282,33 @@ func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits) (*S
 		ar = &scratch.Arena{}
 	}
 	st := &State{Source: source, rec: rec, lim: lim, extra: map[string]any{}, scratch: ar}
+	// Chain cumulative time.Since(start) readings across pass
+	// boundaries: each pass's duration is the delta to the previous
+	// boundary. Since only reads the monotonic clock — measurably
+	// cheaper than time.Now's wall+monotonic pair — so the metrics
+	// tier costs one monotonic read per pass.
+	var mark time.Duration
+	if e.ins != nil {
+		mark = time.Since(start)
+	}
 	for _, p := range e.cfg.Passes {
-		if err := runPass(lim, p, st); err != nil {
+		err := runPass(lim, p, st)
+		if e.ins != nil {
+			d := time.Since(start)
+			e.ins.pass(p.Name, d-mark)
+			mark = d
+		}
+		if err != nil {
 			// Scratch tables self-reset on acquisition, so the arena is
 			// reusable even after a contained mid-pass fault.
 			st.scratch = nil
 			e.arenas.Put(ar)
+			if e.ins != nil {
+				e.ins.fail(err)
+				// mark was read just after the failing pass — no extra
+				// clock read needed.
+				e.ins.record(source, start, mark, span, err, false)
+			}
 			return nil, err
 		}
 	}
@@ -272,7 +319,17 @@ func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits) (*S
 	if e.cache != nil {
 		if evicted := e.cache.put(key, st); evicted > 0 {
 			rec.Add("engine.cache.evict", evicted)
+			if e.ins != nil {
+				e.ins.reg.Add("engine.cache.evict", evicted)
+			}
 		}
+	}
+	if e.ins != nil {
+		// mark, read at the last pass boundary, doubles as the run's
+		// duration; the cache put between there and here is noise.
+		e.ins.pass("analyze", mark)
+		e.ins.allocs(span)
+		e.ins.record(source, start, mark, span, nil, false)
 	}
 	return st, nil
 }

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"beyondiv/internal/guard"
+	"beyondiv/internal/obs"
+	"beyondiv/internal/obs/metrics"
+)
+
+// instr bundles the engine's process-lifetime observability backends:
+// the metrics registry (per-phase latency and allocation histograms,
+// cache/batch/guard/transform counters) and the flight recorder of
+// recent runs. A nil *instr is the instrumentation-off value — every
+// call site checks the pointer first, so a run without Config.Metrics
+// or Config.Flight pays exactly the nil comparisons and keeps the
+// hot-path allocation profile untouched.
+//
+// Where the per-run *obs.Recorder answers "what did this analysis
+// do", instr answers "what has this process been doing": the same
+// phases and counters, aggregated across every run and every worker.
+type instr struct {
+	reg *metrics.Registry
+	fl  *metrics.Flight
+	// phase and alloc map a phase name to its pre-created latency and
+	// allocation histograms. Built once at engine construction from
+	// the configured pass and transform names and never written
+	// again, so the per-pass hot path is a lock-free read-only map
+	// hit instead of a string concatenation plus a registry lookup
+	// per observation.
+	phase map[string]*metrics.Histogram
+	alloc map[string]*metrics.Histogram
+}
+
+// newInstr returns nil unless at least one backend is configured.
+// Both fields are individually nil-safe (the metrics package's types
+// no-op on nil receivers), so a partial configuration needs no
+// per-site guards.
+func newInstr(cfg *Config) *instr {
+	if cfg.Metrics == nil && cfg.Flight == nil {
+		return nil
+	}
+	in := &instr{
+		reg:   cfg.Metrics,
+		fl:    cfg.Flight,
+		phase: map[string]*metrics.Histogram{},
+		alloc: map[string]*metrics.Histogram{},
+	}
+	if in.reg != nil {
+		names := []string{"analyze", "optimize", "reanalyze", "validate"}
+		for _, p := range cfg.Passes {
+			names = append(names, p.Name)
+		}
+		for _, p := range cfg.Transforms {
+			names = append(names, "xform."+p.Name)
+		}
+		for _, n := range names {
+			in.phase[n] = in.reg.Hist("phase." + n)
+			in.alloc[n] = in.reg.Hist("phase." + n + ".allocs")
+		}
+	}
+	return in
+}
+
+// pass records one completed phase into its latency histogram,
+// "phase.<name>" in nanoseconds. Failed passes record too — a phase
+// that burned 50ms before hitting its ceiling belongs in the tail.
+func (in *instr) pass(name string, d time.Duration) {
+	if h, ok := in.phase[name]; ok {
+		h.Observe(d.Nanoseconds())
+		return
+	}
+	if in.reg == nil {
+		return // flight-only: don't pay the concat for a nil registry
+	}
+	in.reg.ObserveDuration("phase."+name, d)
+}
+
+// count increments a registry counter.
+func (in *instr) count(name string) {
+	in.reg.Inc(name)
+}
+
+// allocs feeds the per-phase allocation histograms from a finished
+// analyze span's children. The recorder already paid for the memstats
+// reads, so this costs nothing extra on runs without telemetry (span
+// is nil) and nothing per-pass on runs with it.
+func (in *instr) allocs(span *obs.Span) {
+	if span == nil || in.reg == nil {
+		return
+	}
+	for _, c := range span.Children {
+		if c.Allocs == 0 {
+			continue
+		}
+		if h, ok := in.alloc[c.Name]; ok {
+			h.Observe(int64(c.Allocs))
+			continue
+		}
+		in.reg.Observe("phase."+c.Name+".allocs", int64(c.Allocs))
+	}
+}
+
+// fail attributes one failed run to counters: every failure bumps
+// engine.err, a resource-ceiling hit bumps
+// guard.trip.<phase>.<resource>, and a contained panic bumps
+// engine.fault.<phase>.
+func (in *instr) fail(err error) {
+	in.reg.Inc("engine.err")
+	var ee *Error
+	if !errors.As(err, &ee) {
+		return
+	}
+	var le *guard.LimitError
+	switch {
+	case errors.As(ee.Err, &le):
+		in.reg.Inc("guard.trip." + metrics.Sanitize(ee.Phase) + "." + metrics.Sanitize(le.Resource))
+	case ee.Stack != nil:
+		in.reg.Inc("engine.fault." + metrics.Sanitize(ee.Phase))
+	}
+}
+
+// record captures one run in the flight recorder: duration, a source
+// preview, the condensed span tree when a recorder was active, and —
+// for failures — the error, its phase attribution and (for contained
+// panics) the stack.
+func (in *instr) record(source string, start time.Time, dur time.Duration, span *obs.Span, err error, cached bool) {
+	if in.fl == nil {
+		return
+	}
+	run := metrics.Run{
+		Start:  start,
+		DurUS:  dur.Microseconds(),
+		Source: source,
+		Bytes:  len(source),
+		Cached: cached,
+	}
+	if span != nil {
+		run.Spans = metrics.Condense(span.Children, 4)
+	}
+	if err != nil {
+		run.Err = err.Error()
+		var ee *Error
+		if errors.As(err, &ee) {
+			run.Phase = ee.Phase
+			if ee.Stack != nil {
+				run.Fault = true
+				run.Stack = string(ee.Stack)
+			}
+		}
+	}
+	in.fl.Record(run)
+}

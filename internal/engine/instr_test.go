@@ -1,0 +1,181 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"beyondiv/internal/engine"
+	"beyondiv/internal/guard"
+	"beyondiv/internal/obs"
+	"beyondiv/internal/obs/metrics"
+)
+
+// TestMetricsFedByAnalyze: a configured registry receives per-phase
+// latency histograms and cache counters; the flight recorder captures
+// each run with its span tree.
+func TestMetricsFedByAnalyze(t *testing.T) {
+	reg := metrics.NewRegistry()
+	fl := metrics.NewFlight(16, 4)
+	rec := obs.New()
+	e := frontend(engine.Config{Obs: rec, Metrics: reg, Flight: fl, CacheEntries: 8})
+
+	if _, err := e.Analyze(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Analyze(src); err != nil { // cache hit
+		t.Fatal(err)
+	}
+
+	for _, phase := range []string{"parse", "cfgbuild", "ssa", "loops", "sccp", "analyze"} {
+		h := reg.Hist("phase." + phase)
+		if h.Count() != 1 {
+			t.Errorf("phase.%s histogram count = %d, want 1", phase, h.Count())
+		}
+		if p99 := h.Percentile(0.99); p99 <= 0 {
+			t.Errorf("phase.%s p99 = %d, want > 0", phase, p99)
+		}
+	}
+	if reg.Counter("engine.cache.miss") != 1 || reg.Counter("engine.cache.hit") != 1 {
+		t.Errorf("cache counters miss=%d hit=%d, want 1/1",
+			reg.Counter("engine.cache.miss"), reg.Counter("engine.cache.hit"))
+	}
+	// With a recorder active, alloc histograms ride along.
+	if reg.Hist("phase.parse.allocs").Count() == 0 {
+		t.Error("phase.parse.allocs histogram empty despite active recorder")
+	}
+
+	recent, failed := fl.Snapshot()
+	if len(recent) != 2 || len(failed) != 0 {
+		t.Fatalf("flight = %d recent / %d failed, want 2/0", len(recent), len(failed))
+	}
+	if recent[0].Cached || !recent[1].Cached {
+		t.Errorf("cached flags = %v/%v, want false/true", recent[0].Cached, recent[1].Cached)
+	}
+	if len(recent[0].Spans) == 0 {
+		t.Error("uncached run has no condensed spans")
+	}
+}
+
+// TestMetricsWithoutRecorder: metrics work with tracing off — latency
+// histograms still fill, alloc histograms (which need the recorder's
+// memstats reads) stay empty.
+func TestMetricsWithoutRecorder(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := frontend(engine.Config{Metrics: reg})
+	if _, err := e.Analyze(src); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Hist("phase.ssa").Count() != 1 {
+		t.Error("phase.ssa histogram empty without recorder")
+	}
+	if reg.Hist("phase.ssa.allocs").Count() != 0 {
+		t.Error("alloc histogram filled without a recorder to measure")
+	}
+}
+
+// TestMetricsFaultAttribution: a contained panic bumps
+// engine.fault.<phase> and lands in the flight recorder's failed ring
+// with Fault set and a stack; a guard-limit trip bumps
+// guard.trip.<phase>.<resource>.
+func TestMetricsFaultAttribution(t *testing.T) {
+	reg := metrics.NewRegistry()
+	fl := metrics.NewFlight(8, 4)
+	e := frontend(engine.Config{
+		Metrics: reg, Flight: fl,
+		Limits: guard.Limits{Inject: guard.PanicIn("sccp")},
+	})
+	if _, err := e.Analyze(src); err == nil {
+		t.Fatal("injected fault did not fail the run")
+	}
+	if reg.Counter("engine.fault.sccp") != 1 || reg.Counter("engine.err") != 1 {
+		t.Errorf("fault counters = %d/%d, want 1/1",
+			reg.Counter("engine.fault.sccp"), reg.Counter("engine.err"))
+	}
+	_, failed := fl.Snapshot()
+	if len(failed) != 1 {
+		t.Fatalf("failed ring has %d runs, want 1", len(failed))
+	}
+	f := failed[0]
+	if !f.Fault || f.Phase != "sccp" || f.Stack == "" || !strings.Contains(f.Err, "injected fault") {
+		t.Errorf("failed run = %+v", f)
+	}
+
+	lim := frontend(engine.Config{
+		Metrics: reg,
+		Limits:  guard.Limits{MaxPhaseSteps: 5},
+	})
+	if _, err := lim.Analyze(src); err == nil {
+		t.Fatal("step ceiling did not fail the run")
+	}
+	found := false
+	for name, v := range reg.Snapshot().Counters {
+		if strings.HasPrefix(name, "guard.trip.") && v > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no guard.trip.* counter recorded: %v", reg.Snapshot().Counters)
+	}
+}
+
+// TestMetricsBatchAndPool: AnalyzeAll publishes fan-out counters and
+// the shared-pool gauges, and concurrent workers feed one registry
+// without losing observations.
+func TestMetricsBatchAndPool(t *testing.T) {
+	reg := metrics.NewRegistry()
+	e := frontend(engine.Config{
+		Obs: obs.New(), Metrics: reg, Jobs: 4, BatchSteps: 1 << 20,
+	})
+	sources := make([]string, 8)
+	for i := range sources {
+		sources[i] = src
+	}
+	for _, it := range e.AnalyzeAll(sources) {
+		if it.Err != nil {
+			t.Fatal(it.Err)
+		}
+	}
+	if reg.Counter("engine.batch") != 1 || reg.Counter("engine.batch.sources") != 8 {
+		t.Errorf("batch counters = %d/%d",
+			reg.Counter("engine.batch"), reg.Counter("engine.batch.sources"))
+	}
+	if reg.Gauge("engine.batch.workers") != 4 {
+		t.Errorf("workers gauge = %d, want 4", reg.Gauge("engine.batch.workers"))
+	}
+	if reg.Hist("phase.analyze").Count() != 8 {
+		t.Errorf("phase.analyze count = %d, want 8", reg.Hist("phase.analyze").Count())
+	}
+	limit, remaining := reg.Gauge("guard.pool.limit"), reg.Gauge("guard.pool.remaining")
+	if limit != 1<<20 || remaining <= 0 || remaining >= limit {
+		t.Errorf("pool gauges limit=%d remaining=%d", limit, remaining)
+	}
+}
+
+// TestMetricsOptimize: transform rounds, rewrites and validation
+// outcomes reach the registry.
+func TestMetricsOptimize(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := engine.Config{
+		Passes:  engine.Frontend(),
+		Metrics: reg,
+		Transforms: []engine.TransformPass{{
+			Name: "noop", Tier: engine.TierSSA,
+			Run: func(st *engine.State) (int, error) { return 0, nil },
+		}},
+	}
+	if _, err := engine.New(cfg).Optimize(src); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("engine.opt.rounds") != 1 {
+		t.Errorf("opt.rounds = %d, want 1", reg.Counter("engine.opt.rounds"))
+	}
+	if reg.Counter("xform.noop.rewrites") != 0 {
+		t.Errorf("noop rewrites = %d", reg.Counter("xform.noop.rewrites"))
+	}
+	if reg.Hist("phase.xform.noop").Count() != 1 {
+		t.Errorf("xform latency count = %d, want 1", reg.Hist("phase.xform.noop").Count())
+	}
+	if reg.Hist("phase.optimize").Count() != 1 {
+		t.Errorf("optimize latency count = %d, want 1", reg.Hist("phase.optimize").Count())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"beyondiv/internal/ast"
 	"beyondiv/internal/cfgbuild"
@@ -115,6 +116,10 @@ func (e *Engine) Optimize(source string) (*Optimized, error) {
 func (e *Engine) optimize(source string, rec *obs.Recorder, lim guard.Limits) (*Optimized, error) {
 	span := rec.Phase("optimize")
 	defer span.End()
+	var start time.Time
+	if e.ins != nil {
+		start = time.Now()
+	}
 
 	orig, err := e.analyze(source, rec, lim)
 	if err != nil {
@@ -150,6 +155,17 @@ func (e *Engine) optimize(source string, rec *obs.Recorder, lim guard.Limits) (*
 	// a contained fault (tables self-reset on acquisition).
 	st.scratch = nil
 	e.arenas.Put(ar)
+	if e.ins != nil {
+		dur := time.Since(start)
+		e.ins.pass("optimize", dur)
+		if err != nil {
+			// The analysis succeeded (it recorded its own run above);
+			// this failure is the transform stage's, so the flight
+			// recorder gets a second, failed entry for the source.
+			e.ins.fail(err)
+			e.ins.record(source, start, dur, span, err, false)
+		}
+	}
 	return out, err
 }
 
@@ -173,20 +189,34 @@ func (r *optimizer) run() (*Optimized, error) {
 		maxRounds = 10
 	}
 	rec := r.st.rec
+	ins := r.e.ins
 	rounds := 0
 	for round := 1; round <= maxRounds; round++ {
 		rounds = round
 		rec.Count("engine.opt.rounds")
+		if ins != nil {
+			ins.count("engine.opt.rounds")
+		}
 		changed := false
 		for _, p := range r.e.cfg.Transforms {
 			if err := r.prepare(p.Tier); err != nil {
 				return nil, err
 			}
+			var t0 time.Time
+			if ins != nil {
+				t0 = time.Now()
+			}
 			n, err := runTransform(r.st, p)
+			if ins != nil {
+				ins.pass("xform."+p.Name, time.Since(t0))
+			}
 			if err != nil {
 				return nil, err
 			}
 			rec.Add("xform."+p.Name+".rewrites", int64(n))
+			if ins != nil {
+				ins.reg.Add("xform."+p.Name+".rewrites", int64(n))
+			}
 			if n == 0 {
 				continue
 			}
@@ -244,6 +274,9 @@ func (r *optimizer) prepare(t Tier) error {
 			r.st.CFG = &cfgbuild.Result{Func: r.st.SSA.Func, Loops: loopsInfo}
 			r.irPrivate = true
 			r.st.rec.Count("engine.opt.clones")
+			if r.e.ins != nil {
+				r.e.ins.count("engine.opt.clones")
+			}
 			return r.reanalyze(TierSSA)
 		}
 	}
@@ -260,6 +293,10 @@ func (r *optimizer) prepare(t Tier) error {
 func (r *optimizer) reanalyze(t Tier) error {
 	span := r.st.rec.Phase("reanalyze")
 	defer span.End()
+	if ins := r.e.ins; ins != nil {
+		t0 := time.Now()
+		defer func() { ins.pass("reanalyze", time.Since(t0)) }()
+	}
 	skip := map[string]bool{"parse": true}
 	if t == TierSSA {
 		skip["cfgbuild"], skip["ssa"] = true, true
@@ -295,7 +332,22 @@ func (r *optimizer) validate(pass string) error {
 	defer span.End()
 	r.validations++
 	r.st.rec.Count("engine.opt.validations")
-	if err := validate.Funcs(r.orig.SSA, r.st.SSA, r.e.cfg.Validate); err != nil {
+	ins := r.e.ins
+	var t0 time.Time
+	if ins != nil {
+		t0 = time.Now()
+	}
+	err := validate.Funcs(r.orig.SSA, r.st.SSA, r.e.cfg.Validate)
+	if ins != nil {
+		ins.pass("validate", time.Since(t0))
+		ins.count("engine.opt.validations")
+		if err != nil {
+			ins.count("xform." + pass + ".validate.fail")
+		} else {
+			ins.count("xform." + pass + ".validate.pass")
+		}
+	}
+	if err != nil {
 		return &Error{Phase: "xform." + pass + ".validate", Err: err}
 	}
 	return nil
@@ -348,6 +400,12 @@ func (e *Engine) OptimizeAll(sources []string) []OptItem {
 	if jobs > len(sources) {
 		jobs = len(sources)
 	}
+	if e.ins != nil {
+		e.ins.count("engine.batch")
+		e.ins.reg.Add("engine.batch.sources", int64(len(sources)))
+		e.ins.reg.SetGauge("engine.batch.workers", int64(jobs))
+	}
+	defer e.poolGauges(lim.Pool)
 
 	if jobs <= 1 {
 		for i, src := range sources {

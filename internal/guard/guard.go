@@ -200,6 +200,27 @@ func (p *Pool) Take(phase string, n int64) {
 	}
 }
 
+// Remaining returns the steps left in the pool, never negative (an
+// exhausted pool reads zero even though the losing Take drove the
+// internal counter below it). Zero on a nil pool.
+func (p *Pool) Remaining() int64 {
+	if p == nil {
+		return 0
+	}
+	if left := p.left.Load(); left > 0 {
+		return left
+	}
+	return 0
+}
+
+// Limit returns the pool's configured total. Zero on a nil pool.
+func (p *Pool) Limit() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.limit
+}
+
 // Inject is the fault-injection hook type: called with each guarded
 // phase's name on entry. See Limits.Inject.
 type Inject func(phase string)

@@ -1,0 +1,99 @@
+// Package debugserv is the live introspection endpoint of the
+// observability stack: a small opt-in HTTP server that exposes the
+// process-lifetime metrics.Registry, the flight recorder of recent
+// analyses, Go's pprof profiles and a health probe. Every command
+// grows a -debug-addr flag (via cliutil) that starts one; with the
+// flag unset nothing listens and nothing is paid.
+//
+// Routes:
+//
+//	/metrics   registry snapshot — Prometheus text 0.0.4 by default,
+//	           JSON with ?format=json (or an Accept: application/json
+//	           header)
+//	/healthz   liveness: "ok" plus uptime
+//	/lastruns  flight-recorder contents — the last N analyses and the
+//	           last M failed ones, JSON
+//	/debug/pprof/...  net/http/pprof as usual
+package debugserv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"beyondiv/internal/obs/metrics"
+)
+
+// Server is a running debug endpoint. Close it to release the port.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Serve starts the debug server on addr (":0" picks a free port).
+// reg and fl may be nil; the corresponding endpoints then serve empty
+// documents rather than erroring, so the server is always safe to
+// point tooling at.
+func Serve(addr string, reg *metrics.Registry, fl *metrics.Flight) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugserv: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = snap.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok\nuptime %s\n", time.Since(s.start).Round(time.Millisecond))
+	})
+	mux.HandleFunc("/lastruns", func(w http.ResponseWriter, _ *http.Request) {
+		recent, failed := fl.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Recent []metrics.Run `json:"recent"`
+			Failed []metrics.Run `json:"failed"`
+		}{recent, failed})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43210" after
+// Serve("127.0.0.1:0", ...).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server. Safe on nil.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,129 @@
+package debugserv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"beyondiv/internal/obs/metrics"
+)
+
+func get(t *testing.T, url string, hdr map[string]string) (string, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Add("engine.cache.hit", 3)
+	reg.ObserveDuration("phase.parse", 42*time.Microsecond)
+	fl := metrics.NewFlight(8, 4)
+	fl.Record(metrics.Run{Source: "for i := 0; i < n; i++ {}", DurUS: 17})
+	fl.Record(metrics.Run{Source: "bad", Err: "contained panic", Phase: "iv", Fault: true, Stack: "goroutine 1 [running]"})
+
+	s, err := Serve("127.0.0.1:0", reg, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	body, ctype := get(t, base+"/metrics", nil)
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ctype)
+	}
+	for _, want := range []string{"biv_engine_cache_hit 3", "biv_phase_parse_count 1", "biv_phase_parse_p50"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body, ctype = get(t, base+"/metrics?format=json", nil)
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("/metrics?format=json content-type = %q", ctype)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics json: %v", err)
+	}
+	if snap.Counters["engine.cache.hit"] != 3 || snap.Hists["phase.parse"].Count != 1 {
+		t.Errorf("json snapshot = %+v", snap)
+	}
+	if body, _ = get(t, base+"/metrics", map[string]string{"Accept": "application/json"}); !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("Accept: application/json did not switch to JSON: %q", body[:40])
+	}
+
+	body, _ = get(t, base+"/healthz", nil)
+	if !strings.HasPrefix(body, "ok\n") {
+		t.Errorf("/healthz = %q", body)
+	}
+
+	body, _ = get(t, base+"/lastruns", nil)
+	var runs struct {
+		Recent []metrics.Run `json:"recent"`
+		Failed []metrics.Run `json:"failed"`
+	}
+	if err := json.Unmarshal([]byte(body), &runs); err != nil {
+		t.Fatalf("/lastruns json: %v", err)
+	}
+	if len(runs.Recent) != 2 || len(runs.Failed) != 1 {
+		t.Fatalf("/lastruns = %d recent, %d failed", len(runs.Recent), len(runs.Failed))
+	}
+	if f := runs.Failed[0]; !f.Fault || f.Phase != "iv" || f.Err != "contained panic" {
+		t.Errorf("failed run = %+v", f)
+	}
+
+	body, _ = get(t, base+"/debug/pprof/cmdline", nil)
+	if body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestServeNilBackends(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+	body, _ := get(t, base+"/metrics?format=json", nil)
+	if !strings.Contains(body, "\"counters\"") {
+		t.Errorf("/metrics with nil registry = %q", body)
+	}
+	body, _ = get(t, base+"/lastruns", nil)
+	if !strings.Contains(body, "\"recent\"") {
+		t.Errorf("/lastruns with nil flight = %q", body)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("127.0.0.1:1", nil, nil); err == nil {
+		t.Skip("binding port 1 unexpectedly allowed (running as root)")
+	}
+	var nilS *Server
+	if nilS.Addr() != "" || nilS.Close() != nil {
+		t.Error("nil server methods not safe")
+	}
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+
+	"beyondiv/internal/obs"
+)
+
+// SpanNode is one node of a condensed span tree: the per-run
+// recorder's span stripped to what post-hoc diagnosis needs (name,
+// offsets, allocation count, children), cheap enough to keep for the
+// last N runs of a loaded process.
+type SpanNode struct {
+	Name    string     `json:"name"`
+	StartUS int64      `json:"start_us"`
+	DurUS   int64      `json:"dur_us"`
+	Allocs  uint64     `json:"allocs,omitempty"`
+	Kids    []SpanNode `json:"children,omitempty"`
+}
+
+// Condense converts recorder spans into SpanNodes, keeping at most
+// maxDepth levels (<= 0 means unlimited). Offsets stay relative to
+// the recorder epoch the spans were recorded against.
+func Condense(spans []*obs.Span, maxDepth int) []SpanNode {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanNode, 0, len(spans))
+	for _, s := range spans {
+		n := SpanNode{
+			Name:    s.Name,
+			StartUS: s.Start.Microseconds(),
+			DurUS:   s.Dur.Microseconds(),
+			Allocs:  s.Allocs,
+		}
+		if maxDepth != 1 {
+			n.Kids = Condense(s.Children, maxDepth-1)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Run is one analysis captured by the flight recorder.
+type Run struct {
+	Seq    uint64    `json:"seq"`
+	Start  time.Time `json:"start"`
+	DurUS  int64     `json:"dur_us"`
+	Source string    `json:"source"` // truncated to sourcePreview bytes
+	Bytes  int       `json:"source_bytes"`
+	Cached bool      `json:"cached,omitempty"`
+	// Spans is the condensed span tree of the run: the recorder's
+	// tree when the run recorded telemetry, otherwise the engine's
+	// flat per-pass timings.
+	Spans []SpanNode `json:"spans,omitempty"`
+	// Err/Phase/Fault/Stack describe a failed run: the rendered
+	// error, the pipeline phase it is attributed to, whether it was a
+	// contained panic, and in that case the (truncated) stack.
+	Err   string `json:"err,omitempty"`
+	Phase string `json:"phase,omitempty"`
+	Fault bool   `json:"fault,omitempty"`
+	Stack string `json:"stack,omitempty"`
+}
+
+const (
+	sourcePreview = 240
+	stackPreview  = 4096
+)
+
+// Flight is a flight recorder: a ring buffer of the last N analyses
+// plus a separate ring of the last M failed ones, so a burst of
+// healthy traffic cannot evict the one faulted run that needs
+// diagnosing. Safe for concurrent use; a nil *Flight is the valid
+// "off" value.
+type Flight struct {
+	mu     sync.Mutex
+	seq    uint64
+	recent ring
+	errs   ring
+}
+
+// NewFlight returns a flight recorder keeping the last n runs and the
+// last errCap failed runs (errCap <= 0 defaults to n). n <= 0 returns
+// nil — the off value.
+func NewFlight(n, errCap int) *Flight {
+	if n <= 0 {
+		return nil
+	}
+	if errCap <= 0 {
+		errCap = n
+	}
+	return &Flight{recent: ring{cap: n}, errs: ring{cap: errCap}}
+}
+
+// Record captures one run. The source is truncated to a preview; the
+// stack, when present, to stackPreview bytes. Failed runs land in
+// both rings.
+func (f *Flight) Record(run Run) {
+	if f == nil {
+		return
+	}
+	if len(run.Source) > sourcePreview {
+		run.Source = run.Source[:sourcePreview] + "…"
+	}
+	if len(run.Stack) > stackPreview {
+		run.Stack = run.Stack[:stackPreview] + "…"
+	}
+	f.mu.Lock()
+	f.seq++
+	run.Seq = f.seq
+	f.recent.push(run)
+	if run.Err != "" {
+		f.errs.push(run)
+	}
+	f.mu.Unlock()
+}
+
+// Len returns the number of runs currently held in the recent ring.
+func (f *Flight) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.recent.buf)
+}
+
+// Snapshot returns the recent and failed runs, oldest first.
+func (f *Flight) Snapshot() (recent, failed []Run) {
+	if f == nil {
+		return nil, nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.recent.ordered(), f.errs.ordered()
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer.
+type ring struct {
+	cap  int
+	buf  []Run
+	next int // insertion index once len(buf) == cap
+}
+
+func (r *ring) push(run Run) {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, run)
+		return
+	}
+	r.buf[r.next] = run
+	r.next = (r.next + 1) % r.cap
+}
+
+func (r *ring) ordered() []Run {
+	out := make([]Run, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

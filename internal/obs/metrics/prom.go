@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4), deterministically ordered.
+// Metric names are prefixed with "biv_" and sanitized ('.' and every
+// other non-identifier byte become '_'); histograms render the full
+// cumulative _bucket/_sum/_count series plus conservative _p50 / _p90
+// / _p99 gauges for humans reading the endpoint with curl.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	ew := &promWriter{w: w}
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		ew.printf("# TYPE %s counter\n%s %d\n", n, n, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		ew.printf("# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[k])
+	}
+	names = names[:0]
+	for k := range s.Hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Hists[k]
+		n := promName(k)
+		ew.printf("# TYPE %s histogram\n", n)
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			ew.printf("%s_bucket{le=\"%d\"} %d\n", n, b, cum)
+		}
+		ew.printf("%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		ew.printf("%s_sum %d\n", n, h.Sum)
+		ew.printf("%s_count %d\n", n, h.Count)
+		ew.printf("# TYPE %s_p50 gauge\n%s_p50 %d\n", n, n, h.P50)
+		ew.printf("# TYPE %s_p90 gauge\n%s_p90 %d\n", n, n, h.P90)
+		ew.printf("# TYPE %s_p99 gauge\n%s_p99 %d\n", n, n, h.P99)
+	}
+	return ew.err
+}
+
+// promName sanitizes a dotted metric name into a Prometheus
+// identifier with the biv_ namespace prefix.
+func promName(name string) string {
+	b := []byte("biv_" + name)
+	for i := 4; i < len(b); i++ {
+		c := b[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// Sanitize maps an arbitrary label (a guard resource, a phase name)
+// to a dotted-metric-safe token: spaces and other non-identifier
+// bytes become '_'. Dots are kept — they are the metric namespace
+// separator.
+func Sanitize(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '.', c == '-':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}

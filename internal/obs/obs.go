@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -36,6 +37,13 @@ type Recorder struct {
 	cur       *Span
 	counters  map[string]int64
 	decisions []Decision
+
+	// tid is the Chrome-trace thread id stamped on every span this
+	// recorder opens; forks draw distinct ids from the shared sequence,
+	// so batch-worker spans render as parallel tracks instead of
+	// interleaving on one row.
+	tid    int
+	tidSeq *atomic.Int64
 }
 
 // Span is one timed phase. Spans nest: a Phase call while another span
@@ -45,6 +53,7 @@ type Span struct {
 	Start    time.Duration // offset from the recorder's epoch
 	Dur      time.Duration
 	Allocs   uint64 // heap objects allocated while the span was open
+	TID      int    // trace track: 1 for the root recorder, per-fork otherwise
 	Children []*Span
 
 	rec         *Recorder
@@ -76,11 +85,15 @@ func NewWithClock(now func() time.Time, mallocs func() uint64) *Recorder {
 	if mallocs == nil {
 		mallocs = func() uint64 { return 0 }
 	}
+	seq := &atomic.Int64{}
+	seq.Store(1)
 	return &Recorder{
 		epoch:    now(),
 		now:      now,
 		mallocs:  mallocs,
 		counters: map[string]int64{},
+		tid:      1,
+		tidSeq:   seq,
 	}
 }
 
@@ -101,6 +114,7 @@ func (r *Recorder) Phase(name string) *Span {
 	defer r.mu.Unlock()
 	s := &Span{
 		Name:        name,
+		TID:         r.tid,
 		rec:         r,
 		parent:      r.cur,
 		startT:      r.now(),
@@ -136,8 +150,10 @@ func (s *Span) End() {
 // provenance log. Batch workers record into forks concurrently — one
 // recorder's span nesting is a single stack, so concurrent Phase calls
 // on a shared recorder would interleave — and the parent merges each
-// fork back with Absorb once the worker is done. Fork of a nil
-// recorder is nil (telemetry stays off).
+// fork back with Absorb once the worker is done. Each fork draws a
+// distinct Chrome-trace thread id from the shared sequence, so its
+// spans render as their own parallel track after the merge. Fork of a
+// nil recorder is nil (telemetry stays off).
 func (r *Recorder) Fork() *Recorder {
 	if r == nil {
 		return nil
@@ -149,14 +165,20 @@ func (r *Recorder) Fork() *Recorder {
 		now:      r.now,
 		mallocs:  r.mallocs,
 		counters: map[string]int64{},
+		tid:      int(r.tidSeq.Add(1)),
+		tidSeq:   r.tidSeq,
 	}
 }
 
 // Absorb merges a quiescent forked recorder into r: the fork's root
 // spans attach under r's currently open span (or become roots), its
-// counters add into r's registry, and its provenance events append.
-// The fork must not record concurrently with, or after, the merge.
-// No-op when either recorder is nil.
+// counters add into r's registry — iterated in sorted name order, so
+// the merge performs the identical operation sequence on every run —
+// and its provenance events append. The fork must not record
+// concurrently with, or after, the merge. Absorbing forks in a fixed
+// order therefore yields a byte-identical WriteText rendering however
+// the forks themselves were scheduled. No-op when either recorder is
+// nil.
 func (r *Recorder) Absorb(fork *Recorder) {
 	if r == nil || fork == nil {
 		return
@@ -170,8 +192,13 @@ func (r *Recorder) Absorb(fork *Recorder) {
 	} else {
 		r.roots = append(r.roots, fork.roots...)
 	}
-	for k, v := range fork.counters {
-		r.counters[k] += v
+	names := make([]string, 0, len(fork.counters))
+	for k := range fork.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		r.counters[k] += fork.counters[k]
 	}
 	r.decisions = append(r.decisions, fork.decisions...)
 	fork.roots, fork.decisions = nil, nil

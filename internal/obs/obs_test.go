@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -248,15 +250,21 @@ func TestWriteChromeTrace(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
 		t.Fatalf("trace is not a JSON array: %v", err)
 	}
-	if len(events) != 3 {
-		t.Fatalf("got %d events, want 3 (2 spans + counters)", len(events))
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4 (thread_name + 2 spans + counters)", len(events))
 	}
-	for _, ev := range events[:2] {
+	if events[0]["ph"] != "M" || events[0]["name"] != "thread_name" {
+		t.Errorf("first event = %v, want thread_name metadata", events[0])
+	}
+	for _, ev := range events[1:3] {
 		if ev["ph"] != "X" {
 			t.Errorf("span event ph = %v, want X", ev["ph"])
 		}
+		if ev["tid"] != float64(1) {
+			t.Errorf("root-recorder span tid = %v, want 1", ev["tid"])
+		}
 	}
-	last := events[2]
+	last := events[3]
 	if last["ph"] != "i" || last["name"] != "counters" {
 		t.Errorf("final event = %v, want instant counters marker", last)
 	}
@@ -424,5 +432,102 @@ func TestForkConcurrentRecording(t *testing.T) {
 	}
 	if got := len(r.Spans()[0].Children); got != workers {
 		t.Errorf("%d worker spans, want %d", got, workers)
+	}
+}
+
+// TestForkTIDs: forks draw distinct Chrome-trace thread ids from the
+// shared sequence, spans keep the id of the recorder that opened them,
+// and the trace labels each track with a thread_name metadata event.
+func TestForkTIDs(t *testing.T) {
+	r := NewWithClock(fakeClock(time.Millisecond), nil)
+	root := r.Phase("analyze-all")
+	f1, f2 := r.Fork(), r.Fork()
+	f1.Phase("worker 0").End()
+	f2.Phase("worker 1").End()
+	r.Absorb(f1)
+	r.Absorb(f2)
+	root.End()
+
+	spans := r.Spans()
+	if got := spans[0].TID; got != 1 {
+		t.Errorf("root span TID = %d, want 1", got)
+	}
+	kids := spans[0].Children
+	if len(kids) != 2 || kids[0].TID == kids[1].TID || kids[0].TID < 2 || kids[1].TID < 2 {
+		t.Fatalf("worker span TIDs = %d, %d; want two distinct ids >= 2", kids[0].TID, kids[1].TID)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	threadNames := map[float64]string{}
+	spanTIDs := map[float64]bool{}
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			threadNames[ev["tid"].(float64)] = ev["args"].(map[string]any)["name"].(string)
+		case "X":
+			spanTIDs[ev["tid"].(float64)] = true
+		}
+	}
+	if len(spanTIDs) != 3 {
+		t.Errorf("span events span %d distinct tids, want 3 (main + 2 forks)", len(spanTIDs))
+	}
+	if threadNames[1] != "main" {
+		t.Errorf("thread_name[1] = %q, want main", threadNames[1])
+	}
+	for tid := range spanTIDs {
+		if _, ok := threadNames[tid]; !ok {
+			t.Errorf("tid %v has span events but no thread_name metadata", tid)
+		}
+	}
+}
+
+// TestForkAbsorbDeterministic: a worker pool recording into forks and
+// merging in a fixed order yields a byte-identical WriteText rendering
+// on every run, however the goroutines were scheduled (run with -race:
+// it also proves the concurrent record/merge cycle is race-free).
+func TestForkAbsorbDeterministic(t *testing.T) {
+	render := func() string {
+		r := New()
+		root := r.Phase("analyze-all")
+		const workers = 4
+		forks := make([]*Recorder, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			forks[w] = r.Fork()
+			wg.Add(1)
+			go func(w int, f *Recorder) {
+				defer wg.Done()
+				s := f.Phase(fmt.Sprintf("worker %d", w))
+				for i := 0; i < 64; i++ {
+					f.Phase(fmt.Sprintf("analyze %d.%d", w, i%4)).End()
+					f.Count(fmt.Sprintf("worker.%d.done", w))
+					f.Add("batch.total", 1)
+				}
+				s.End()
+			}(w, forks[w])
+		}
+		wg.Wait()
+		for _, f := range forks {
+			r.Absorb(f)
+		}
+		root.End()
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf, false); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := render()
+	for i := 0; i < 4; i++ {
+		if got := render(); got != want {
+			t.Fatalf("run %d diverged:\n%s\nfirst run:\n%s", i+1, got, want)
+		}
 	}
 }

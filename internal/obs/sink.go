@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -119,18 +120,27 @@ type chromeEvent struct {
 
 // WriteChromeTrace renders spans in the Chrome trace-event JSON array
 // format (load the file in chrome://tracing or https://ui.perfetto.dev).
-// Counters are attached as args of a final zero-length marker event.
+// Spans keep the thread id of the recorder that opened them, so spans
+// absorbed from batch-worker forks render as parallel tracks; each
+// track is labeled with a thread_name metadata event. Counters are
+// attached as args of a final zero-length marker event.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	var events []chromeEvent
+	tids := map[int]bool{}
 	var walk func(s *Span)
 	walk = func(s *Span) {
+		tid := s.TID
+		if tid == 0 {
+			tid = 1
+		}
+		tids[tid] = true
 		events = append(events, chromeEvent{
 			Name: s.Name, Ph: "X",
 			TS: s.Start.Microseconds(), Dur: s.Dur.Microseconds(),
-			PID: 1, TID: 1,
+			PID: 1, TID: tid,
 			Args: map[string]string{"allocs": fmt.Sprintf("%d", s.Allocs)},
 		})
 		for _, c := range s.Children {
@@ -144,6 +154,19 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			end = e
 		}
 	}
+	meta := make([]chromeEvent, 0, len(tids))
+	for tid := range tids {
+		name := "main"
+		if tid != 1 {
+			name = fmt.Sprintf("fork %d", tid)
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]string{"name": name},
+		})
+	}
+	sort.Slice(meta, func(i, j int) bool { return meta[i].TID < meta[j].TID })
+	events = append(meta, events...)
 	if names := r.CounterNames(); len(names) > 0 {
 		args := make(map[string]string, len(names))
 		for _, name := range names {
