@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test test-race bench bench-smoke repro fuzz-smoke clean
+.PHONY: check build fmt vet test test-race bench bench-serve bench-smoke repro fuzz-smoke clean
 
 # The full gate: what CI (and every PR) must pass.
 check: build fmt vet test-race
@@ -31,12 +31,19 @@ test-race:
 # and the process-metrics tier's cost (identical analysis loops with
 # and without a registry and flight recorder, plus a snapshot of what
 # the instrumented loop recorded) into BENCH_obs.json.
-bench:
+bench: bench-serve
 	$(GO) test -bench=. -benchmem .
 	BENCH_JSON=BENCH_engine.json $(GO) test -run '^TestEngineBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_hotpath.json $(GO) test -run '^TestHotpathBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_xform.json $(GO) test -run '^TestXformBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_obs.json $(GO) test -count=1 -run '^TestObsBenchArtifact$$' -v .
+
+# Chaos run against an in-process bivd-shaped server: the hostile
+# traffic mix (injected faults, guard trips, slow-loris, mid-request
+# hangups) with latency percentiles, shed rate and the error taxonomy
+# written to BENCH_serve.json.
+bench-serve:
+	BENCH_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -count=1 -run '^TestChaosLoadBenchArtifact$$' -v ./internal/serve/
 
 # One short iteration of every benchmark, no JSON artifacts: keeps the
 # benchmark code compiling and running in CI without timing assertions.

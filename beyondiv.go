@@ -37,6 +37,7 @@
 package beyondiv
 
 import (
+	"context"
 	"fmt"
 
 	"beyondiv/internal/depend"
@@ -221,6 +222,22 @@ func (a *Analyzer) Analyze(source string) (*Program, error) {
 	return programOf(st), nil
 }
 
+// AnalyzeContext is Analyze under a caller's context: when ctx is
+// cancelled or its deadline expires, the pipeline stops cooperatively
+// (between passes, and inside step-metered phases via an amortized
+// poll) and returns a *Error whose Phase names the pass the run was
+// cancelled in and whose cause unwraps to context.Canceled or
+// context.DeadlineExceeded. Cache hits are served even under a dead
+// context — they cost nothing. This is the entry point a server uses
+// to stop burning CPU for clients that timed out or disconnected.
+func (a *Analyzer) AnalyzeContext(ctx context.Context, source string) (*Program, error) {
+	st, err := a.eng.AnalyzeContext(ctx, source)
+	if err != nil {
+		return nil, err
+	}
+	return programOf(st), nil
+}
+
 // BatchResult is one source's outcome in a batch, in input order. Err,
 // when non-nil, is the source's own *Error; other sources of the batch
 // are unaffected by it.
@@ -237,7 +254,17 @@ type BatchResult struct {
 // whatever the worker count; per-worker telemetry merges back into
 // Options.Obs when the batch completes.
 func (a *Analyzer) AnalyzeAll(sources []string) []BatchResult {
-	items := a.eng.AnalyzeAll(sources)
+	return a.AnalyzeAllContext(context.Background(), sources)
+}
+
+// AnalyzeAllContext is AnalyzeAll under a caller's context: a
+// cancelled batch stops scheduling queued sources (they come back with
+// batch-attributed cancellation errors instead of running), and
+// in-flight sources stop cooperatively with the phase they were
+// cancelled in. Every input source still gets exactly one result, in
+// input order.
+func (a *Analyzer) AnalyzeAllContext(ctx context.Context, sources []string) []BatchResult {
+	items := a.eng.AnalyzeAllContext(ctx, sources)
 	out := make([]BatchResult, len(items))
 	for i, it := range items {
 		out[i] = BatchResult{Index: it.Index, Source: it.Source, Err: it.Err}
@@ -283,6 +310,20 @@ func (a *Analyzer) Optimize(source string) (*OptimizeResult, error) {
 		return nil, a.passErr
 	}
 	res, err := a.eng.Optimize(source)
+	if err != nil {
+		return nil, err
+	}
+	return optimizeResultOf(res), nil
+}
+
+// OptimizeContext is Optimize under a caller's context, with
+// AnalyzeContext's cancellation contract extended over the transform
+// and validation passes.
+func (a *Analyzer) OptimizeContext(ctx context.Context, source string) (*OptimizeResult, error) {
+	if a.passErr != nil {
+		return nil, a.passErr
+	}
+	res, err := a.eng.OptimizeContext(ctx, source)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,18 @@
 //
 //	bivload [-d duration] [-jobs n] [-cache n] [-inject phase] [-hold]
 //	        [-debug-addr addr] [-stats] [-trace file] [file|dir ...]
+//	bivload -addr host:port [-d duration] [-conc n] [-seed n]
+//	        [-inject phase] [-bench-json file]
+//
+// With -addr, bivload becomes the chaos client for a running bivd
+// instead of driving the pipeline in-process: -conc workers send a
+// mixed stream of hot (cacheable) and cold programs, parse errors,
+// guard-tripping inputs, 1ms-deadline requests, slow-loris bodies,
+// mid-request hangups and — with -inject — server-side contained
+// faults, then report latency percentiles, throughput, shed rate and
+// the full error taxonomy (optionally as JSON to -bench-json). The
+// run fails (exit 1) if the server became unreachable or returned any
+// unexplained 5xx — a 500 whose body does not attribute the failure.
 //
 // With no arguments, one program is read from standard input; each
 // argument may be a program file, an examples-style .go file (the
@@ -36,6 +48,7 @@ import (
 	"beyondiv/internal/cliutil"
 	"beyondiv/internal/guard"
 	"beyondiv/internal/obs/metrics"
+	"beyondiv/internal/serve"
 )
 
 var (
@@ -44,12 +57,20 @@ var (
 	cacheN   = flag.Int("cache", 0, "result-cache capacity (0 = no cache)")
 	inject   = flag.String("inject", "", "fault one extra run per iteration in `phase` (e.g. sccp), exercising contained-fault capture")
 	hold     = flag.Bool("hold", false, "keep serving -debug-addr after the load finishes, until interrupted")
+	addr     = flag.String("addr", "", "chaos-test a running bivd at `host:port` over HTTP instead of loading in-process")
+	conc     = flag.Int("conc", 8, "client workers in -addr mode")
+	seed     = flag.Int64("seed", 1, "traffic-mix seed in -addr mode")
+	benchOut = flag.String("bench-json", "", "write the -addr mode report as JSON to `file` (e.g. BENCH_serve.json)")
 	tel      cliutil.Telemetry
 )
 
 func main() {
 	tel.RegisterObsFlags()
-	flag.Parse()
+	cliutil.ParseFlags("bivload")
+	if *addr != "" {
+		chaos()
+		return
+	}
 	srcs, err := cliutil.ReadPrograms(flag.Args())
 	if err != nil {
 		fatal(err)
@@ -125,3 +146,38 @@ func main() {
 }
 
 func fatal(err error) { cliutil.Fatal("bivload", err) }
+
+// chaos is -addr mode: drive a running bivd with the serve package's
+// chaos mix and report how it held up.
+func chaos() {
+	if args := flag.Args(); len(args) != 0 {
+		fmt.Fprintf(os.Stderr, "bivload: -addr mode takes no positional arguments (got %q)\n", args)
+		os.Exit(1)
+	}
+	report, err := serve.RunLoad(serve.LoadConfig{
+		Addr:        *addr,
+		Duration:    *duration,
+		Concurrency: *conc,
+		Inject:      *inject,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d requests in %dms (%.0f/s): %d ok, %d shed (%.1f%%), %d client errors\n",
+		report.Requests, report.DurationMS, report.Throughput,
+		report.OK, report.Shed, 100*report.ShedRate, report.ClientErrs)
+	fmt.Printf("latency p50 %dus  p99 %dus\n", report.P50US, report.P99US)
+	fmt.Printf("by status: %v\nby kind:   %v\nby class:  %v\n",
+		report.ByStatus, report.ByKind, report.ByClass)
+	if *benchOut != "" {
+		if err := report.WriteFile(*benchOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bivload: report written to %s\n", *benchOut)
+	}
+	if report.Unexplained > 0 {
+		fmt.Fprintf(os.Stderr, "bivload: %d unexplained 5xx responses (no error kind attributed)\n", report.Unexplained)
+		os.Exit(1)
+	}
+}

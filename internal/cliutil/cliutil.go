@@ -40,6 +40,22 @@ func ExitCode(err error) int {
 	return 1
 }
 
+// ParseFlags parses the command line under the commands' exit-code
+// contract. The default flag set's ExitOnError exits 2 on a bad flag,
+// but 2 is reserved for contained internal faults (see ExitCode) — a
+// mistyped flag is an input error and must exit 1, while -h/-help is
+// not an error at all and exits 0. Call instead of flag.Parse, after
+// all flags are registered.
+func ParseFlags(tool string) {
+	flag.CommandLine.Init(tool, flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(1) // flag package already printed the error and usage
+	}
+}
+
 // Report prints err prefixed with the tool name (and a contained
 // fault's stack) without exiting, for batch tools that keep going
 // after one input fails; it returns ExitCode(err).

@@ -1,10 +1,15 @@
 package cliutil
 
 import (
+	"errors"
+	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"beyondiv"
 )
 
 func TestReadProgramPlainFile(t *testing.T) {
@@ -82,5 +87,62 @@ func TestRecorderLazy(t *testing.T) {
 	}
 	if on.Recorder() != rec {
 		t.Error("Recorder must be stable across calls")
+	}
+}
+
+// TestExitCodeContract pins the exit-status taxonomy the commands
+// share: 0 ok, 1 input/limit/IO, 2 contained internal fault.
+func TestExitCodeContract(t *testing.T) {
+	if ExitCode(nil) != 0 {
+		t.Error("nil error must exit 0")
+	}
+	if ExitCode(errors.New("file not found")) != 1 {
+		t.Error("plain error must exit 1")
+	}
+	if ExitCode(&beyondiv.Error{Phase: "parse", Err: errors.New("bad token")}) != 1 {
+		t.Error("input diagnostic (no stack) must exit 1")
+	}
+	if ExitCode(&beyondiv.Error{Phase: "iv", Err: errors.New("boom"), Stack: []byte("goroutine 1")}) != 2 {
+		t.Error("contained fault (stack captured) must exit 2")
+	}
+}
+
+// TestParseFlagsExitCodes re-executes the test binary to observe
+// ParseFlags' process exits: a bad flag is an input error (1, not the
+// flag package's default 2 — that code is reserved for contained
+// faults), and -h is not an error at all (0).
+func TestParseFlagsExitCodes(t *testing.T) {
+	if args := os.Getenv("CLIUTIL_PARSEFLAGS_CHILD"); args != "" {
+		os.Args = append([]string{"testtool"}, strings.Fields(args)...)
+		ParseFlags("testtool")
+		fmt.Println("PARSED_OK")
+		os.Exit(0)
+	}
+	cases := []struct {
+		args string
+		exit int
+		ok   bool // the child reached the post-parse marker
+	}{
+		{"-h", 0, false},
+		{"-no-such-flag", 1, false},
+		{"-test.v=false", 0, true}, // a registered flag parses clean
+	}
+	for _, tc := range cases {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestParseFlagsExitCodes")
+		cmd.Env = append(os.Environ(), "CLIUTIL_PARSEFLAGS_CHILD="+tc.args)
+		out, err := cmd.CombinedOutput()
+		exit := 0
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("%q: %v", tc.args, err)
+		}
+		if exit != tc.exit {
+			t.Errorf("args %q: exit %d, want %d\n%s", tc.args, exit, tc.exit, out)
+		}
+		if got := strings.Contains(string(out), "PARSED_OK"); got != tc.ok {
+			t.Errorf("args %q: parsed marker %v, want %v\n%s", tc.args, got, tc.ok, out)
+		}
 	}
 }

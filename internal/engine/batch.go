@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -33,36 +34,76 @@ type Item struct {
 // the engine's per-source limits, plus — when Config.BatchSteps is set
 // — a pool of steps shared by the whole batch.
 func (e *Engine) AnalyzeAll(sources []string) []Item {
+	return e.AnalyzeAllContext(context.Background(), sources)
+}
+
+// AnalyzeAllContext is AnalyzeAll under a caller's context. When ctx
+// is cancelled mid-batch, no further sources are scheduled: in-flight
+// sources stop cooperatively (returning a *Error wrapping
+// *guard.CancelError that names the phase they were cancelled in), and
+// every source that never reached a worker carries a batch-attributed
+// cancellation error instead of an analysis. The result slice always
+// has one entry per input, in input order.
+func (e *Engine) AnalyzeAllContext(ctx context.Context, sources []string) []Item {
 	rec := e.cfg.Obs
 	span := rec.Phase("analyze-all")
 	defer span.End()
 
 	lim := e.cfg.Limits
 	lim.Pool = guard.NewPool(e.cfg.BatchSteps)
+	lim.Ctx = ctx
+	defer e.poolGauges(lim.Pool)
 
 	items := make([]Item, len(sources))
+	e.fanOut(ctx, len(sources), rec, func(i int, wrec *obs.Recorder) {
+		st, err := e.analyze(sources[i], wrec, lim)
+		items[i] = Item{Index: i, Source: sources[i], State: st, Err: err}
+	}, func(i int, ce *guard.CancelError) {
+		items[i] = Item{Index: i, Source: sources[i], Err: &Error{Phase: ce.Phase, Err: ce}}
+	})
+	return items
+}
+
+// fanOut runs n indexed work items over the engine's bounded worker
+// pool, the shared scheduling core of AnalyzeAll and OptimizeAll: the
+// inline single-worker path keeps the caller's recorder and span shape,
+// the concurrent path forks one recorder per worker and absorbs them
+// back in worker order. A cancelled ctx stops the dispatcher; every
+// index that was never handed to a worker is reported through
+// cancelled (with a batch-attributed *guard.CancelError) instead of
+// work, so callers always produce one result per input.
+func (e *Engine) fanOut(ctx context.Context, n int, rec *obs.Recorder,
+	work func(i int, wrec *obs.Recorder), cancelled func(i int, ce *guard.CancelError)) {
 	jobs := e.cfg.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	if jobs > len(sources) {
-		jobs = len(sources)
+	if jobs > n {
+		jobs = n
 	}
 	if e.ins != nil {
 		e.ins.count("engine.batch")
-		e.ins.reg.Add("engine.batch.sources", int64(len(sources)))
+		e.ins.reg.Add("engine.batch.sources", int64(n))
 		e.ins.reg.SetGauge("engine.batch.workers", int64(jobs))
 	}
-	defer e.poolGauges(lim.Pool)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 
 	if jobs <= 1 {
 		// Inline: same goroutine, same recorder, same span shape as
 		// repeated Analyze calls.
-		for i, src := range sources {
-			st, err := e.analyze(src, rec, lim)
-			items[i] = Item{Index: i, Source: src, State: st, Err: err}
+		for i := 0; i < n; i++ {
+			if done != nil {
+				if ce := (guard.Limits{Ctx: ctx}).Cancelled("batch"); ce != nil {
+					cancelled(i, ce)
+					continue
+				}
+			}
+			work(i, rec)
 		}
-		return items
+		return
 	}
 
 	idx := make(chan int)
@@ -76,20 +117,31 @@ func (e *Engine) AnalyzeAll(sources []string) []Item {
 			wspan := wrec.Phase(fmt.Sprintf("worker %d", w))
 			defer wspan.End()
 			for i := range idx {
-				st, err := e.analyze(sources[i], wrec, lim)
-				items[i] = Item{Index: i, Source: sources[i], State: st, Err: err}
+				work(i, wrec)
 			}
 		}(w, recs[w])
 	}
-	for i := range sources {
-		idx <- i
+dispatch:
+	for i := 0; i < n; i++ {
+		if done == nil {
+			idx <- i
+			continue
+		}
+		select {
+		case idx <- i:
+		case <-done:
+			ce := &guard.CancelError{Phase: "batch", Cause: ctx.Err()}
+			for j := i; j < n; j++ {
+				cancelled(j, ce)
+			}
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
 	for _, wrec := range recs {
 		rec.Absorb(wrec)
 	}
-	return items
 }
 
 // poolGauges publishes a finished batch's shared-step-pool state —

@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"beyondiv/internal/guard"
+	"beyondiv/internal/obs/metrics"
+)
+
+const cancelSrc = `j = 0
+L1: for i = 1 to n {
+    j = j + i
+    a[j] = a[j - 1]
+}`
+
+// TestAnalyzeContextCancelled: a context cancelled before the run
+// starts must stop the pipeline at the first pass boundary with a
+// structured, phase-attributed cancellation error.
+func TestAnalyzeContextCancelled(t *testing.T) {
+	e := New(Config{Passes: Frontend()})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := e.AnalyzeContext(ctx, cancelSrc)
+	if st != nil || err == nil {
+		t.Fatalf("cancelled analyze must fail, got st=%v err=%v", st, err)
+	}
+	var ee *Error
+	if !errors.As(err, &ee) {
+		t.Fatalf("want *Error, got %T: %v", err, err)
+	}
+	var ce *guard.CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want wrapped *guard.CancelError, got %v", err)
+	}
+	if ee.Phase == "" || ee.Phase != ce.Phase {
+		t.Fatalf("phase attribution lost: error %q, cancel %q", ee.Phase, ce.Phase)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cause must unwrap to context.Canceled: %v", err)
+	}
+}
+
+// TestAnalyzeContextDeadlineMidPhase: a deadline expiring while a
+// phase is running must surface as a cancellation attributed to that
+// phase (the engine's boundary check after the pass the context died
+// under). The inject hook stands in for a phase that burns wall-clock
+// without consuming budget steps.
+func TestAnalyzeContextDeadlineMidPhase(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	reg := metrics.NewRegistry()
+	e := New(Config{
+		Passes:  Frontend(),
+		Metrics: reg,
+		Limits: guard.Limits{Inject: func(phase string) {
+			if phase == "sccp" {
+				<-ctx.Done() // sleep past the deadline inside sccp
+			}
+		}},
+	})
+	_, err := e.AnalyzeContext(ctx, cancelSrc)
+	var ee *Error
+	if !errors.As(err, &ee) {
+		t.Fatalf("want *Error, got %v", err)
+	}
+	if ee.Phase != "sccp" {
+		t.Fatalf("cancellation must be attributed to the phase it happened in, got %q (%v)", ee.Phase, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cause must unwrap to DeadlineExceeded: %v", err)
+	}
+	if got := reg.Counter("engine.cancel.sccp"); got != 1 {
+		t.Fatalf("engine.cancel.sccp counter = %d, want 1", got)
+	}
+}
+
+// TestAnalyzeContextLive: a live context must not change results.
+func TestAnalyzeContextLive(t *testing.T) {
+	e := New(Config{Passes: Frontend()})
+	st, err := e.AnalyzeContext(context.Background(), cancelSrc)
+	if err != nil || st == nil {
+		t.Fatalf("live-context analyze failed: %v", err)
+	}
+	st2, err := e.Analyze(cancelSrc)
+	if err != nil {
+		t.Fatalf("plain analyze failed: %v", err)
+	}
+	if len(st.SSA.Func.Blocks) != len(st2.SSA.Func.Blocks) {
+		t.Fatalf("context and plain analyze diverge")
+	}
+}
+
+// TestAnalyzeContextCacheHitSurvivesCancel: a cache hit costs nothing,
+// so it is served even when the context is already done — shedding
+// cheap work helps nobody.
+func TestAnalyzeContextCacheHitSurvivesCancel(t *testing.T) {
+	e := New(Config{Passes: Frontend(), CacheEntries: 4})
+	if _, err := e.Analyze(cancelSrc); err != nil {
+		t.Fatalf("warm-up analyze failed: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := e.AnalyzeContext(ctx, cancelSrc)
+	if err != nil || st == nil {
+		t.Fatalf("cache hit must be served under a dead context, got %v", err)
+	}
+}
+
+// TestAnalyzeAllContextStopsScheduling: cancelling a batch mid-flight
+// must stop the dispatcher — queued sources are reported as cancelled
+// ("batch" phase) without ever running, while the in-flight sources
+// stop cooperatively with their own phase attribution. Every input
+// still gets exactly one result.
+func TestAnalyzeAllContextStopsScheduling(t *testing.T) {
+	const n = 40
+	sources := make([]string, n)
+	for i := range sources {
+		sources[i] = cancelSrc
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{}, n)
+	e := New(Config{
+		Passes: Frontend(),
+		Jobs:   2,
+		Limits: guard.Limits{Inject: func(phase string) {
+			if phase == "sccp" {
+				started <- struct{}{}
+				<-ctx.Done() // hold both workers in-phase until the test cancels
+			}
+		}},
+	})
+	go func() {
+		<-started
+		<-started // both workers are inside sccp; the dispatcher is blocked
+		cancel()
+	}()
+	items := e.AnalyzeAllContext(ctx, sources)
+	if len(items) != n {
+		t.Fatalf("want %d items, got %d", n, len(items))
+	}
+	batchCancelled := 0
+	for i, it := range items {
+		if it.Err == nil {
+			t.Fatalf("item %d: cancelled batch must not complete analyses", i)
+		}
+		var ee *Error
+		if !errors.As(it.Err, &ee) {
+			t.Fatalf("item %d: want *Error, got %T", i, it.Err)
+		}
+		if !errors.Is(it.Err, context.Canceled) {
+			t.Fatalf("item %d: want context.Canceled cause, got %v", i, it.Err)
+		}
+		switch ee.Phase {
+		case "batch":
+			batchCancelled++
+		case "sccp":
+			// an in-flight source, cancelled inside the phase
+		default:
+			t.Fatalf("item %d: unexpected phase %q", i, ee.Phase)
+		}
+	}
+	// Two workers were in flight; everything else must have been shed by
+	// the dispatcher without running.
+	if batchCancelled < n-3 {
+		t.Fatalf("want >= %d batch-cancelled items, got %d", n-3, batchCancelled)
+	}
+}
+
+// TestOptimizeAllContextCancelled: the optimize batch path shares the
+// dispatcher, so a pre-cancelled context sheds every source.
+func TestOptimizeAllContextCancelled(t *testing.T) {
+	e := New(Config{Passes: Frontend(), Jobs: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := e.OptimizeAllContext(ctx, []string{cancelSrc, cancelSrc, cancelSrc})
+	if len(items) != 3 {
+		t.Fatalf("want 3 items, got %d", len(items))
+	}
+	for i, it := range items {
+		if it.Err == nil || !errors.Is(it.Err, context.Canceled) {
+			t.Fatalf("item %d: want cancellation error, got %v", i, it.Err)
+		}
+	}
+}
+
+// TestOptimizeContextCancelled: cancellation threads through the
+// transform pipeline's boundary checks too.
+func TestOptimizeContextCancelled(t *testing.T) {
+	e := New(Config{Passes: Frontend()})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.OptimizeContext(ctx, cancelSrc); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want cancellation error, got %v", err)
+	}
+}

@@ -29,6 +29,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -249,6 +250,18 @@ func (e *Engine) Analyze(source string) (*State, error) {
 	return e.analyze(source, e.cfg.Obs, e.cfg.Limits)
 }
 
+// AnalyzeContext is Analyze under a caller's context: when ctx is
+// cancelled or its deadline expires, the run stops cooperatively —
+// between passes at the pass boundary, and inside the step-metered
+// phases via the guard budget's amortized poll — and returns a *Error
+// wrapping a *guard.CancelError that names the phase the run was
+// cancelled in. A nil or Background context behaves like Analyze.
+func (e *Engine) AnalyzeContext(ctx context.Context, source string) (*State, error) {
+	lim := e.cfg.Limits
+	lim.Ctx = ctx
+	return e.analyze(source, e.cfg.Obs, lim)
+}
+
 // analyze is Analyze against an explicit recorder and limits (batch
 // workers substitute their forked recorder and the shared-pool
 // limits).
@@ -293,6 +306,15 @@ func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits) (*S
 	}
 	for _, p := range e.cfg.Passes {
 		err := runPass(lim, p, st)
+		if err == nil {
+			// Pass-boundary cancellation check: phases that sleep or do
+			// unmetered work (no budget steps) still stop at the next
+			// boundary, attributed to the pass that was running when the
+			// context died. The in-phase poll lives in guard.Budget.
+			if ce := lim.Cancelled(p.Name); ce != nil {
+				err = &Error{Phase: ce.Phase, Err: ce}
+			}
+		}
 		if e.ins != nil {
 			d := time.Since(start)
 			e.ins.pass(p.Name, d-mark)
@@ -385,6 +407,11 @@ func contained(phase string, p any) *Error {
 			phase = v.Phase
 		}
 		return &Error{Phase: phase, Err: v}
+	case *guard.CancelError:
+		if v.Phase != "" {
+			phase = v.Phase
+		}
+		return &Error{Phase: phase, Err: v}
 	case *guard.Fault:
 		if v.Phase != "" {
 			phase = v.Phase
@@ -404,6 +431,10 @@ func wrapError(phase string, err error) *Error {
 	var le *guard.LimitError
 	if errors.As(err, &le) && le.Phase != "" {
 		phase = le.Phase
+	}
+	var ce *guard.CancelError
+	if errors.As(err, &ce) && ce.Phase != "" {
+		phase = ce.Phase
 	}
 	e := &Error{Phase: phase, Err: err}
 	var pe *token.PosError

@@ -113,9 +113,12 @@ func (in *instr) fail(err error) {
 		return
 	}
 	var le *guard.LimitError
+	var ce *guard.CancelError
 	switch {
 	case errors.As(ee.Err, &le):
 		in.reg.Inc("guard.trip." + metrics.Sanitize(ee.Phase) + "." + metrics.Sanitize(le.Resource))
+	case errors.As(ee.Err, &ce):
+		in.reg.Inc("engine.cancel." + metrics.Sanitize(ee.Phase))
 	case ee.Stack != nil:
 		in.reg.Inc("engine.fault." + metrics.Sanitize(ee.Phase))
 	}

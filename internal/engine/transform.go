@@ -22,10 +22,8 @@
 package engine
 
 import (
+	"context"
 	"errors"
-	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"beyondiv/internal/ast"
@@ -111,6 +109,18 @@ type Optimized struct {
 // over the validation grid.
 func (e *Engine) Optimize(source string) (*Optimized, error) {
 	return e.optimize(source, e.cfg.Obs, e.cfg.Limits)
+}
+
+// OptimizeContext is Optimize under a caller's context, with
+// AnalyzeContext's cancellation contract extended over the transform
+// pipeline: a cancelled run stops at the next pass boundary or
+// in-phase budget poll and returns a *Error naming the phase (analysis
+// pass, "xform.<name>", "reanalyze" or "validate") it was cancelled
+// in.
+func (e *Engine) OptimizeContext(ctx context.Context, source string) (*Optimized, error) {
+	lim := e.cfg.Limits
+	lim.Ctx = ctx
+	return e.optimize(source, e.cfg.Obs, lim)
 }
 
 func (e *Engine) optimize(source string, rec *obs.Recorder, lim guard.Limits) (*Optimized, error) {
@@ -199,6 +209,11 @@ func (r *optimizer) run() (*Optimized, error) {
 		}
 		changed := false
 		for _, p := range r.e.cfg.Transforms {
+			// Boundary cancellation check between transform passes; the
+			// passes' own budget charges cover cancellation mid-rewrite.
+			if ce := r.st.lim.Cancelled("xform." + p.Name); ce != nil {
+				return nil, &Error{Phase: ce.Phase, Err: ce}
+			}
 			if err := r.prepare(p.Tier); err != nil {
 				return nil, err
 			}
@@ -317,6 +332,9 @@ func (r *optimizer) reanalyze(t Tier) error {
 		if err := runPass(r.st.lim, p, r.st); err != nil {
 			return err
 		}
+		if ce := r.st.lim.Cancelled(p.Name); ce != nil {
+			return &Error{Phase: ce.Phase, Err: ce}
+		}
 	}
 	return nil
 }
@@ -385,59 +403,30 @@ type OptItem struct {
 // failure isolation as AnalyzeAll, applied to the full
 // analyze-transform-validate pipeline.
 func (e *Engine) OptimizeAll(sources []string) []OptItem {
+	return e.OptimizeAllContext(context.Background(), sources)
+}
+
+// OptimizeAllContext is OptimizeAll under a caller's context, with
+// AnalyzeAllContext's batch-cancellation contract: a cancelled batch
+// stops scheduling queued sources, in-flight sources stop
+// cooperatively, and unscheduled sources carry batch-attributed
+// cancellation errors.
+func (e *Engine) OptimizeAllContext(ctx context.Context, sources []string) []OptItem {
 	rec := e.cfg.Obs
 	span := rec.Phase("optimize-all")
 	defer span.End()
 
 	lim := e.cfg.Limits
 	lim.Pool = guard.NewPool(e.cfg.BatchSteps)
-
-	items := make([]OptItem, len(sources))
-	jobs := e.cfg.Jobs
-	if jobs <= 0 {
-		jobs = runtime.GOMAXPROCS(0)
-	}
-	if jobs > len(sources) {
-		jobs = len(sources)
-	}
-	if e.ins != nil {
-		e.ins.count("engine.batch")
-		e.ins.reg.Add("engine.batch.sources", int64(len(sources)))
-		e.ins.reg.SetGauge("engine.batch.workers", int64(jobs))
-	}
+	lim.Ctx = ctx
 	defer e.poolGauges(lim.Pool)
 
-	if jobs <= 1 {
-		for i, src := range sources {
-			res, err := e.optimize(src, rec, lim)
-			items[i] = OptItem{Index: i, Source: src, Result: res, Err: err}
-		}
-		return items
-	}
-
-	idx := make(chan int)
-	recs := make([]*obs.Recorder, jobs)
-	var wg sync.WaitGroup
-	for w := 0; w < jobs; w++ {
-		recs[w] = rec.Fork()
-		wg.Add(1)
-		go func(w int, wrec *obs.Recorder) {
-			defer wg.Done()
-			wspan := wrec.Phase(fmt.Sprintf("worker %d", w))
-			defer wspan.End()
-			for i := range idx {
-				res, err := e.optimize(sources[i], wrec, lim)
-				items[i] = OptItem{Index: i, Source: sources[i], Result: res, Err: err}
-			}
-		}(w, recs[w])
-	}
-	for i := range sources {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, wrec := range recs {
-		rec.Absorb(wrec)
-	}
+	items := make([]OptItem, len(sources))
+	e.fanOut(ctx, len(sources), rec, func(i int, wrec *obs.Recorder) {
+		res, err := e.optimize(sources[i], wrec, lim)
+		items[i] = OptItem{Index: i, Source: sources[i], Result: res, Err: err}
+	}, func(i int, ce *guard.CancelError) {
+		items[i] = OptItem{Index: i, Source: sources[i], Err: &Error{Phase: ce.Phase, Err: ce}}
+	})
 	return items
 }

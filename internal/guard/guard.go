@@ -25,6 +25,7 @@
 package guard
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 )
@@ -56,6 +57,20 @@ type Limits struct {
 	// sources of a batch so the whole batch — not just each source —
 	// has a work ceiling. Nil means no shared ceiling.
 	Pool *Pool
+
+	// Ctx, when non-nil, carries a caller's cancellation into the
+	// pipeline: every Budget built from these Limits polls it (amortized
+	// — one non-blocking check per cancelPollEvery steps), so a
+	// timed-out or disconnected request stops burning CPU mid-phase
+	// instead of running the analysis to completion. A cancellation
+	// surfaces as a panicked *CancelError, contained by the engine into
+	// a structured error naming the phase that was cancelled. Nil (or a
+	// context that cannot be cancelled) costs nothing at enforcement
+	// points. Like Inject, the field rides on Limits because the
+	// enforcement points sit deep inside phases that only receive
+	// Limits; it is per-run plumbing, not configuration, and stays out
+	// of every fingerprint.
+	Ctx context.Context
 
 	// Inject, when non-nil, is called with the phase name on entry to
 	// every guarded phase. It exists for fault-injection tests: the
@@ -125,6 +140,45 @@ func (e *LimitError) Error() string {
 	return fmt.Sprintf("%s: %s limit exceeded (limit %d)", e.Phase, e.Resource, e.Limit)
 }
 
+// CancelError reports a run stopped by its caller's context — a
+// deadline expiring or a client disconnecting mid-analysis. Like
+// *LimitError it travels as a panic from the enforcement point (the
+// amortized poll in Budget.Steps, or the engine's per-pass boundary
+// check) and is contained by the engine into a structured error; Phase
+// names the pipeline phase the run was cancelled in.
+type CancelError struct {
+	Phase string // pipeline phase that observed the cancellation
+	Cause error  // context.Canceled or context.DeadlineExceeded
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("%s: analysis cancelled: %v", e.Phase, e.Cause)
+}
+
+// Unwrap exposes the context error, so errors.Is(err,
+// context.DeadlineExceeded) distinguishes timeouts from disconnects
+// through every wrapping layer.
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// Cancelled returns a *CancelError attributed to phase when the
+// limits' context is done, nil otherwise. The engine calls it at pass
+// boundaries; Budget.Steps polls the same context inside passes.
+func (l Limits) Cancelled(phase string) *CancelError {
+	if l.Ctx == nil {
+		return nil
+	}
+	if err := l.Ctx.Err(); err != nil {
+		return &CancelError{Phase: phase, Cause: err}
+	}
+	return nil
+}
+
+// cancelPollEvery is the amortization grain of the in-phase
+// cancellation check: Budget.Steps consults the context's done channel
+// once per this many steps, keeping the per-step cost of cancellation
+// support to a counter decrement.
+const cancelPollEvery = 1 << 10
+
 // Check panics with a *LimitError when n exceeds the ceiling. A
 // ceiling of zero or less is unchecked.
 func Check(phase, resource string, n, limit int64) {
@@ -141,12 +195,26 @@ type Budget struct {
 	limit int64
 	left  int64
 	pool  *Pool
+
+	// Cooperative cancellation: done is the context's done channel
+	// (nil when the context cannot be cancelled), polled non-blocking
+	// every cancelPollEvery steps via the pollIn countdown.
+	ctx    context.Context
+	done   <-chan struct{}
+	pollIn int64
 }
 
 // Budget returns a step budget for the named phase from MaxPhaseSteps,
-// also drawing down the shared Pool when one is set.
+// also drawing down the shared Pool when one is set and polling the
+// limits' context for cancellation when it has one.
 func (l Limits) Budget(phase string) *Budget {
-	return &Budget{phase: phase, limit: l.MaxPhaseSteps, left: l.MaxPhaseSteps, pool: l.Pool}
+	b := &Budget{phase: phase, limit: l.MaxPhaseSteps, left: l.MaxPhaseSteps, pool: l.Pool}
+	if l.Ctx != nil {
+		if done := l.Ctx.Done(); done != nil {
+			b.ctx, b.done, b.pollIn = l.Ctx, done, cancelPollEvery
+		}
+	}
+	return b
 }
 
 // Step consumes one unit of work, panicking with a *LimitError once
@@ -155,7 +223,9 @@ func (b *Budget) Step() {
 	b.Steps(1)
 }
 
-// Steps consumes n units of work at once.
+// Steps consumes n units of work at once, panicking with a
+// *CancelError when the budget's context has been cancelled (checked
+// once per cancelPollEvery steps).
 func (b *Budget) Steps(n int64) {
 	if b == nil {
 		return
@@ -167,6 +237,16 @@ func (b *Budget) Steps(n int64) {
 		}
 	}
 	b.pool.Take(b.phase, n)
+	if b.done != nil {
+		if b.pollIn -= n; b.pollIn <= 0 {
+			b.pollIn = cancelPollEvery
+			select {
+			case <-b.done:
+				panic(&CancelError{Phase: b.phase, Cause: b.ctx.Err()})
+			default:
+			}
+		}
+	}
 }
 
 // Pool is a concurrency-safe shared work budget: a batch of analyses

@@ -1,9 +1,11 @@
 package guard
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestNormalizeFillsDefaults(t *testing.T) {
@@ -169,4 +171,73 @@ func TestPoolConcurrentTake(t *testing.T) {
 	if granted > total {
 		t.Errorf("pool granted %d steps, ceiling %d", granted, total)
 	}
+}
+
+func TestBudgetCancellationPoll(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := Limits{MaxPhaseSteps: Unlimited, Ctx: ctx}.Normalize().Budget("sccp")
+	// Live context: arbitrarily many steps pass.
+	b.Steps(10 * cancelPollEvery)
+	cancel()
+	// A cancelled context must surface within one poll interval.
+	defer func() {
+		ce, ok := recover().(*CancelError)
+		if !ok {
+			t.Fatalf("want *CancelError panic")
+		}
+		if ce.Phase != "sccp" {
+			t.Fatalf("phase attribution lost: %q", ce.Phase)
+		}
+		if !errors.Is(ce, context.Canceled) {
+			t.Fatalf("cause must unwrap to context.Canceled, got %v", ce.Cause)
+		}
+	}()
+	for i := 0; i <= cancelPollEvery; i++ {
+		b.Step()
+	}
+	t.Fatalf("cancelled budget must panic within cancelPollEvery steps")
+}
+
+func TestBudgetWithoutContextIsUnchecked(t *testing.T) {
+	b := Limits{MaxPhaseSteps: Unlimited}.Normalize().Budget("iv")
+	b.Steps(100 * cancelPollEvery) // must not panic
+	// A Background context has no done channel; the poll must stay off.
+	b = Limits{MaxPhaseSteps: Unlimited, Ctx: context.Background()}.Normalize().Budget("iv")
+	if b.done != nil {
+		t.Fatalf("Background context must not arm the cancellation poll")
+	}
+}
+
+func TestLimitsCancelled(t *testing.T) {
+	if ce := (Limits{}).Cancelled("parse"); ce != nil {
+		t.Fatalf("nil ctx must report not cancelled, got %v", ce)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := Limits{Ctx: ctx}
+	if ce := l.Cancelled("parse"); ce != nil {
+		t.Fatalf("live ctx must report not cancelled, got %v", ce)
+	}
+	cancel()
+	ce := l.Cancelled("parse")
+	if ce == nil || ce.Phase != "parse" || !errors.Is(ce, context.Canceled) {
+		t.Fatalf("cancelled ctx must yield an attributed *CancelError, got %v", ce)
+	}
+	if !strings.Contains(ce.Error(), "cancelled") {
+		t.Fatalf("error text: %q", ce.Error())
+	}
+}
+
+func TestBudgetDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	b := Limits{MaxPhaseSteps: Unlimited, Ctx: ctx}.Normalize().Budget("depend")
+	defer func() {
+		ce, ok := recover().(*CancelError)
+		if !ok || !errors.Is(ce, context.DeadlineExceeded) {
+			t.Fatalf("want deadline-exceeded *CancelError, got %v", ce)
+		}
+	}()
+	b.Steps(cancelPollEvery)
+	t.Fatalf("expired deadline must panic at the first poll")
 }

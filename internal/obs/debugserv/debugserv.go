@@ -10,13 +10,22 @@
 //	/metrics   registry snapshot — Prometheus text 0.0.4 by default,
 //	           JSON with ?format=json (or an Accept: application/json
 //	           header)
-//	/healthz   liveness: "ok" plus uptime
+//	/healthz   real process state, JSON: ok/draining, uptime, and —
+//	           when the owner supplies a Health callback — admission
+//	           counts; draining answers 503 so load balancers stop
+//	           routing to a process that is shutting down
 //	/lastruns  flight-recorder contents — the last N analyses and the
 //	           last M failed ones, JSON
 //	/debug/pprof/...  net/http/pprof as usual
+//
+// A process that serves its own API (cmd/bivd) mounts it on this same
+// mux via Options.Routes, so one port carries both the service and its
+// debug surface — there is never a second listener to firewall or
+// forget.
 package debugserv
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -35,11 +44,48 @@ type Server struct {
 	start time.Time
 }
 
+// Health is the process state /healthz reports. State is "ok" while
+// the process admits work and "draining" once shutdown has begun (the
+// endpoint then answers 503, telling load balancers to stop routing
+// here). The remaining fields describe the admission pipeline of the
+// process embedding the server; a plain debug endpoint leaves them
+// zero.
+type Health struct {
+	State    string `json:"state"`
+	UptimeMS int64  `json:"uptime_ms"`
+	InFlight int64  `json:"in_flight"`
+	Queued   int64  `json:"queued"`
+}
+
+// Options extends Serve for processes that embed the debug server.
+type Options struct {
+	// Health, when non-nil, supplies the live process state behind
+	// /healthz: draining vs ok, in-flight and queued request counts.
+	// Nil reports a static "ok" — right for short-lived commands.
+	Health func() Health
+	// Routes, when non-nil, registers additional handlers on the
+	// server's mux before it starts serving. cmd/bivd mounts its /v1
+	// API here, so the service and its debug surface share one port
+	// (and one lifecycle) instead of binding a second listener.
+	Routes func(mux *http.ServeMux)
+	// ReadTimeout bounds how long one request may take to arrive in
+	// full, headers and body: a slow-loris client is cut off at this
+	// deadline instead of holding a connection (and, once admitted, a
+	// worker slot) open indefinitely. Zero means no limit.
+	ReadTimeout time.Duration
+}
+
 // Serve starts the debug server on addr (":0" picks a free port).
 // reg and fl may be nil; the corresponding endpoints then serve empty
 // documents rather than erroring, so the server is always safe to
 // point tooling at.
 func Serve(addr string, reg *metrics.Registry, fl *metrics.Flight) (*Server, error) {
+	return ServeWith(addr, reg, fl, Options{})
+}
+
+// ServeWith is Serve with embedding options: a live health callback,
+// extra routes on the shared mux, and a read deadline.
+func ServeWith(addr string, reg *metrics.Registry, fl *metrics.Flight, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("debugserv: listen %s: %w", addr, err)
@@ -58,8 +104,21 @@ func Serve(addr string, reg *metrics.Registry, fl *metrics.Flight) (*Server, err
 		_ = snap.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "ok\nuptime %s\n", time.Since(s.start).Round(time.Millisecond))
+		h := Health{State: "ok"}
+		if opts.Health != nil {
+			h = opts.Health()
+			if h.State == "" {
+				h.State = "ok"
+			}
+		}
+		h.UptimeMS = time.Since(s.start).Milliseconds()
+		w.Header().Set("Content-Type", "application/json")
+		if h.State != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
 	})
 	mux.HandleFunc("/lastruns", func(w http.ResponseWriter, _ *http.Request) {
 		recent, failed := fl.Snapshot()
@@ -76,7 +135,14 @@ func Serve(addr string, reg *metrics.Registry, fl *metrics.Flight) (*Server, err
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	if opts.Routes != nil {
+		opts.Routes(mux)
+	}
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       opts.ReadTimeout,
+	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
@@ -90,10 +156,21 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server. Safe on nil.
+// Close stops the server immediately, cutting active connections.
+// Safe on nil.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes at once
+// (no new connections), and established connections get until ctx's
+// deadline to finish their in-flight responses. Safe on nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -75,9 +76,16 @@ func TestServeEndpoints(t *testing.T) {
 		t.Errorf("Accept: application/json did not switch to JSON: %q", body[:40])
 	}
 
-	body, _ = get(t, base+"/healthz", nil)
-	if !strings.HasPrefix(body, "ok\n") {
-		t.Errorf("/healthz = %q", body)
+	body, ctype = get(t, base+"/healthz", nil)
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("/healthz content-type = %q", ctype)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz json: %v", err)
+	}
+	if h.State != "ok" || h.UptimeMS < 0 {
+		t.Errorf("/healthz = %+v", h)
 	}
 
 	body, _ = get(t, base+"/lastruns", nil)
@@ -125,5 +133,57 @@ func TestServeBadAddr(t *testing.T) {
 	var nilS *Server
 	if nilS.Addr() != "" || nilS.Close() != nil {
 		t.Error("nil server methods not safe")
+	}
+}
+
+// TestServeWithHealthAndRoutes: a Health callback drives /healthz's
+// real state (draining answers 503), and Options.Routes shares the mux
+// with the embedding process's own handlers.
+func TestServeWithHealthAndRoutes(t *testing.T) {
+	var draining atomic.Bool
+	s, err := ServeWith("127.0.0.1:0", nil, nil, Options{
+		Health: func() Health {
+			st := "ok"
+			if draining.Load() {
+				st = "draining"
+			}
+			return Health{State: st, InFlight: 2, Queued: 1}
+		},
+		Routes: func(mux *http.ServeMux) {
+			mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, _ *http.Request) {
+				io.WriteString(w, "pong")
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	body, _ := get(t, base+"/healthz", nil)
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.State != "ok" || h.InFlight != 2 || h.Queued != 1 {
+		t.Errorf("/healthz = %+v", h)
+	}
+	if body, _ = get(t, base+"/v1/ping", nil); body != "pong" {
+		t.Errorf("mounted route /v1/ping = %q", body)
+	}
+
+	draining.Store(true)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining /healthz status = %d, want 503", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(b, &h); err != nil || h.State != "draining" {
+		t.Errorf("draining /healthz = %q (%v)", b, err)
 	}
 }

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// verdict is the outcome of one admission attempt.
+type verdict int
+
+const (
+	// admitted: the request holds a worker slot; it must release().
+	admitted verdict = iota
+	// shed: worker slots and the wait queue are both full — the caller
+	// answers 429 with a Retry-After hint and does no work.
+	shed
+	// cancelled: the request's context died while it waited in the
+	// queue (deadline expired, or the client hung up) — the caller
+	// answers 503 without running the analysis.
+	cancelled
+	// draining: the server began shutting down while the request
+	// waited — the caller answers 503 so the client retries elsewhere.
+	draining
+)
+
+// admission is the server's concurrency gate: a semaphore of worker
+// slots plus a bounded wait queue in front of it. A request first
+// tries to take a slot outright; if none is free it joins the queue —
+// unless the queue is full, in which case it is shed immediately
+// (admission control fails fast rather than building an unbounded
+// backlog of doomed waiters). Queued requests leave early when their
+// context dies or the server starts draining, so the queue never holds
+// work nobody is waiting for.
+type admission struct {
+	slots    chan struct{} // buffered; one token per concurrent request
+	queueCap int64
+	queued   atomic.Int64 // current waiters (includes the fast path briefly)
+	inflight atomic.Int64 // requests holding a slot
+}
+
+func newAdmission(workers, queue int) *admission {
+	return &admission{slots: make(chan struct{}, workers), queueCap: int64(queue)}
+}
+
+// acquire attempts to admit one request. drain is closed when the
+// server stops admitting; ctx is the request's own deadline/cancel.
+func (a *admission) acquire(ctx context.Context, drain <-chan struct{}) verdict {
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return admitted
+	default:
+	}
+	// Queue, bounded: the Add is the reservation, so concurrent
+	// arrivals over the cap shed without ever blocking.
+	if a.queued.Add(1) > a.queueCap {
+		a.queued.Add(-1)
+		return shed
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return admitted
+	case <-ctx.Done():
+		return cancelled
+	case <-drain:
+		return draining
+	}
+}
+
+// release returns the caller's slot. Must be called exactly once per
+// admitted verdict.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.slots
+}
+
+// idle reports whether no request holds a slot and nobody waits.
+func (a *admission) idle() bool {
+	return a.inflight.Load() == 0 && a.queued.Load() == 0
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+	"time"
+)
+
+// poisonKey is the content address of a source text.
+type poisonKey [sha256.Size]byte
+
+func keyOf(source string) poisonKey { return sha256.Sum256([]byte(source)) }
+
+// poisonEntry remembers one source that made the engine fault (a
+// contained panic — an analyzer bug, not an input diagnostic).
+type poisonEntry struct {
+	key   poisonKey
+	phase string
+	msg   string
+	at    time.Time
+}
+
+// poison is the circuit-style cache of recently-faulting inputs: a
+// source whose analysis panicked (contained) is remembered by hash, so
+// an adversary replaying the same crasher gets a cheap cached 500
+// instead of a fresh panic-unwind through the pipeline each time. It
+// deliberately stores only contained faults — input diagnostics and
+// limit hits are already cheap to re-produce and may be fixed by a
+// changed limit, and cancellations are the client's own doing. A
+// bounded LRU: new faults evict the least-recently-hit entry, so the
+// cache cannot grow without bound however many distinct crashers an
+// adversary finds.
+type poison struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently hit
+	entries map[poisonKey]*list.Element
+}
+
+// newPoison returns a poison cache of the given capacity; cap <= 0
+// returns nil, the valid "off" value (every method no-ops).
+func newPoison(capacity int) *poison {
+	if capacity <= 0 {
+		return nil
+	}
+	return &poison{cap: capacity, order: list.New(), entries: make(map[poisonKey]*list.Element)}
+}
+
+// lookup reports whether the source is poisoned, bumping its recency.
+func (p *poison) lookup(key poisonKey) (poisonEntry, bool) {
+	if p == nil {
+		return poisonEntry{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	el, ok := p.entries[key]
+	if !ok {
+		return poisonEntry{}, false
+	}
+	p.order.MoveToFront(el)
+	return el.Value.(poisonEntry), true
+}
+
+// add records a faulting source, evicting the least-recently-hit entry
+// when the cache is full.
+func (p *poison) add(key poisonKey, phase, msg string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.entries[key]; ok {
+		el.Value = poisonEntry{key: key, phase: phase, msg: msg, at: time.Now()}
+		p.order.MoveToFront(el)
+		return
+	}
+	for p.order.Len() >= p.cap {
+		oldest := p.order.Back()
+		p.order.Remove(oldest)
+		delete(p.entries, oldest.Value.(poisonEntry).key)
+	}
+	p.entries[key] = p.order.PushFront(poisonEntry{key: key, phase: phase, msg: msg, at: time.Now()})
+}
+
+// len returns the number of poisoned sources currently remembered.
+func (p *poison) len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.order.Len()
+}

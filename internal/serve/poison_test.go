@@ -1,0 +1,41 @@
+package serve
+
+import "testing"
+
+func TestPoisonLRUEviction(t *testing.T) {
+	p := newPoison(2)
+	a, b, c := keyOf("A"), keyOf("B"), keyOf("C")
+	p.add(a, "iv", "boom")
+	p.add(b, "iv", "boom")
+	if _, ok := p.lookup(b); !ok { // bump B
+		t.Fatal("B missing")
+	}
+	p.add(c, "iv", "boom") // must evict A, the least recently hit
+	if p.len() != 2 {
+		t.Fatalf("len = %d, want 2", p.len())
+	}
+	if _, ok := p.lookup(a); ok {
+		t.Error("A survived eviction")
+	}
+	for name, k := range map[string]poisonKey{"B": b, "C": c} {
+		if _, ok := p.lookup(k); !ok {
+			t.Errorf("%s evicted, want kept", name)
+		}
+	}
+}
+
+func TestPoisonRefreshAndOff(t *testing.T) {
+	p := newPoison(1)
+	k := keyOf("X")
+	p.add(k, "iv", "first")
+	p.add(k, "sccp", "second") // refresh in place, no growth
+	if e, ok := p.lookup(k); !ok || e.phase != "sccp" || p.len() != 1 {
+		t.Fatalf("refresh: %+v ok=%v len=%d", e, ok, p.len())
+	}
+
+	var off *poison = newPoison(0) // off-value: every method no-ops
+	off.add(k, "iv", "boom")
+	if _, ok := off.lookup(k); ok || off.len() != 0 {
+		t.Error("disabled poison cache stored something")
+	}
+}
