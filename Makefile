@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test test-race bench bench-serve bench-smoke repro fuzz-smoke clean
+.PHONY: check build fmt vet test test-race bench bench-serve bench-incremental bench-smoke repro fuzz-smoke clean
 
 # The full gate: what CI (and every PR) must pass.
 check: build fmt vet test-race
@@ -31,12 +31,19 @@ test-race:
 # and the process-metrics tier's cost (identical analysis loops with
 # and without a registry and flight recorder, plus a snapshot of what
 # the instrumented loop recorded) into BENCH_obs.json.
-bench: bench-serve
+bench: bench-serve bench-incremental
 	$(GO) test -bench=. -benchmem .
 	BENCH_JSON=BENCH_engine.json $(GO) test -run '^TestEngineBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_hotpath.json $(GO) test -run '^TestHotpathBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_xform.json $(GO) test -run '^TestXformBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_obs.json $(GO) test -count=1 -run '^TestObsBenchArtifact$$' -v .
+
+# Persistent-store scenarios across simulated process restarts: cold
+# corpus analysis vs a 1-of-N-file edit vs a fully warm restart, with
+# the store-counter invariants (one re-analysis on edit, zero on warm)
+# asserted and the timings written to BENCH_incremental.json.
+bench-incremental:
+	BENCH_JSON=BENCH_incremental.json $(GO) test -count=1 -run '^TestIncrementalBenchArtifact$$' -v .
 
 # Chaos run against an in-process bivd-shaped server: the hostile
 # traffic mix (injected faults, guard trips, slow-loris, mid-request
@@ -60,6 +67,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzAnalyze -fuzztime $(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz FuzzInterpreters -fuzztime $(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz FuzzRun -fuzztime $(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz FuzzArtifactCodec -fuzztime $(FUZZTIME) -run '^$$' ./internal/codec/
 
 clean:
 	$(GO) clean ./...

@@ -38,8 +38,11 @@ package beyondiv
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 
+	"beyondiv/internal/codec"
 	"beyondiv/internal/depend"
 	"beyondiv/internal/engine"
 	"beyondiv/internal/guard"
@@ -49,10 +52,18 @@ import (
 	"beyondiv/internal/obs"
 	"beyondiv/internal/obs/metrics"
 	"beyondiv/internal/ssa"
+	"beyondiv/internal/store"
 	"beyondiv/internal/xform"
 )
 
 // Program is a fully analyzed program.
+//
+// A program normally carries the live analysis (IV, Deps, SSA, Loops).
+// When it was served from the persistent disk cache (Options.CacheDir)
+// those fields are nil — only the rendered artifacts survive
+// serialization — and Decoded reports true; the report and explain
+// methods answer identically either way, while Run, RunSteps and
+// ExplainDep need the live form.
 type Program struct {
 	// IV is the induction-variable classification (the paper's core
 	// algorithm); see its ClassOf, TripCount, IterFormOf and
@@ -64,7 +75,15 @@ type Program struct {
 	SSA *ssa.Info
 	// Loops is the loop nest.
 	Loops *loops.Forest
+
+	// art is the decoded artifact backing a program served from the
+	// persistent cache; nil for live analyses.
+	art *codec.Artifact
 }
+
+// Decoded reports whether this program was served from the persistent
+// disk cache, carrying rendered artifacts instead of a live analysis.
+func (p *Program) Decoded() bool { return p.art != nil }
 
 // Options configure Analyze, NewAnalyzer and AnalyzeBatch.
 type Options struct {
@@ -116,6 +135,30 @@ type Options struct {
 	// cache, which may be shared across analyzers with different
 	// options; the fingerprint in each key keeps their entries apart.
 	Cache *Cache
+	// CacheDir, when non-empty, adds a persistent second cache tier: a
+	// disk-backed content-addressed store of serialized analysis
+	// artifacts (reports, structured report data, provenance chains)
+	// layered under the in-memory cache. Entries are keyed by a
+	// canonical structural hash of the parsed program — whitespace and
+	// comment edits, and α-renamed duplicates, hit the same entry — and
+	// survive process restarts: a warm store answers without running a
+	// single analysis pass beyond parsing. Programs served from disk
+	// carry rendered artifacts only (Program.Decoded reports this); the
+	// SSA graph, interpreter and Optimize need a live analysis. The
+	// directory is created if needed; an unusable directory surfaces as
+	// an error from every entry point rather than silently analyzing
+	// uncached.
+	CacheDir string
+	// CacheMaxBytes bounds the disk store's total size (<= 0 means
+	// store.DefaultMaxBytes, 256 MiB); least-recently-used entries are
+	// evicted past the budget, with recency shared across processes.
+	CacheMaxBytes int64
+	// CacheDirWriteOnly keeps CacheDir populated but never serves from
+	// it: every run is a live analysis that still persists its artifact.
+	// Set by consumers that need the SSA graph or transform pipeline
+	// (so a decoded artifact could not serve them) but want their work
+	// to warm the store for readers that can use it.
+	CacheDirWriteOnly bool
 	// BatchSteps, when positive, is a shared guard budget for each
 	// AnalyzeAll/AnalyzeBatch call: every phase step of every source
 	// in the batch draws from one pool of this size, on top of the
@@ -154,13 +197,14 @@ type Cache = engine.Cache
 // NewCache returns a result cache holding up to capacity analyses.
 func NewCache(capacity int) *Cache { return engine.NewCache(capacity) }
 
-// fingerprint identifies the option fields that change analysis
-// results, for the content-addressed cache. Obs, Metrics, Flight,
+// Fingerprint identifies the option fields that change analysis
+// results, for the content-addressed caches (in-memory, on-disk, and
+// the analysis server's fault-poisoning keys). Obs, Metrics, Flight,
 // Limits, Jobs and the cache fields are excluded: they change how the
 // pipeline runs (or what it reports about itself), not what it
 // computes (Limits are fingerprinted by the engine itself, since a
 // ceiling changes which sources fail).
-func (o Options) fingerprint() string {
+func (o Options) Fingerprint() string {
 	return fmt.Sprintf("skipdeps:%t|iv:%s|dep:%s",
 		o.SkipDependences, o.IV.Fingerprint(), o.Dependences.Fingerprint())
 }
@@ -187,6 +231,10 @@ type Analyzer struct {
 	// passErr records an unresolvable Options.Passes name; surfaced by
 	// the Optimize entry points (Analyze does not need the pipeline).
 	passErr error
+	// storeErr records a CacheDir that could not be opened; surfaced by
+	// every entry point — a caller who asked for persistence should not
+	// silently run without it.
+	storeErr error
 }
 
 // NewAnalyzer builds an analyzer from opts.
@@ -196,7 +244,7 @@ func NewAnalyzer(opts Options) *Analyzer {
 		names = xform.PassNames()
 	}
 	transforms, passErr := xform.Passes(names)
-	return &Analyzer{eng: engine.New(engine.Config{
+	cfg := engine.Config{
 		Passes:         opts.passes(),
 		Obs:            opts.Obs,
 		Metrics:        opts.Metrics,
@@ -205,16 +253,42 @@ func NewAnalyzer(opts Options) *Analyzer {
 		Jobs:           opts.Jobs,
 		Cache:          opts.Cache,
 		CacheEntries:   opts.CacheEntries,
-		Fingerprint:    opts.fingerprint(),
+		Fingerprint:    opts.Fingerprint(),
 		BatchSteps:     opts.BatchSteps,
 		Transforms:     transforms,
 		MaxRounds:      opts.MaxRounds,
 		SkipValidation: opts.SkipValidation,
-	}), passErr: passErr}
+	}
+	var storeErr error
+	if opts.CacheDir != "" {
+		disk, err := store.Open(opts.CacheDir, opts.CacheMaxBytes)
+		if err != nil {
+			storeErr = fmt.Errorf("beyondiv: cache dir: %w", err)
+		} else {
+			// The differential rename check re-analyzes an α-renamed twin
+			// of every program whose artifact is persisted. The twin runs
+			// on a bare engine: same passes and ceilings, but no caches,
+			// no store (no recursion), no telemetry, and no fault
+			// injection — an injected fault belongs to the original run,
+			// not to its shadow.
+			lim := opts.Limits
+			lim.Inject = nil
+			bare := engine.New(engine.Config{Passes: opts.passes(), Limits: lim})
+			cfg.Store = disk
+			cfg.StoreWriteOnly = opts.CacheDirWriteOnly
+			cfg.BuildArtifact = func(st *engine.State) ([]byte, error) {
+				return buildArtifact(st, bare)
+			}
+		}
+	}
+	return &Analyzer{eng: engine.New(cfg), passErr: passErr, storeErr: storeErr}
 }
 
 // Analyze parses and analyzes one program.
 func (a *Analyzer) Analyze(source string) (*Program, error) {
+	if a.storeErr != nil {
+		return nil, a.storeErr
+	}
 	st, err := a.eng.Analyze(source)
 	if err != nil {
 		return nil, err
@@ -231,6 +305,9 @@ func (a *Analyzer) Analyze(source string) (*Program, error) {
 // context — they cost nothing. This is the entry point a server uses
 // to stop burning CPU for clients that timed out or disconnected.
 func (a *Analyzer) AnalyzeContext(ctx context.Context, source string) (*Program, error) {
+	if a.storeErr != nil {
+		return nil, a.storeErr
+	}
 	st, err := a.eng.AnalyzeContext(ctx, source)
 	if err != nil {
 		return nil, err
@@ -264,6 +341,13 @@ func (a *Analyzer) AnalyzeAll(sources []string) []BatchResult {
 // cancelled in. Every input source still gets exactly one result, in
 // input order.
 func (a *Analyzer) AnalyzeAllContext(ctx context.Context, sources []string) []BatchResult {
+	if a.storeErr != nil {
+		out := make([]BatchResult, len(sources))
+		for i, src := range sources {
+			out[i] = BatchResult{Index: i, Source: src, Err: a.storeErr}
+		}
+		return out
+	}
 	items := a.eng.AnalyzeAllContext(ctx, sources)
 	out := make([]BatchResult, len(items))
 	for i, it := range items {
@@ -309,6 +393,9 @@ func (a *Analyzer) Optimize(source string) (*OptimizeResult, error) {
 	if a.passErr != nil {
 		return nil, a.passErr
 	}
+	if a.storeErr != nil {
+		return nil, a.storeErr
+	}
 	res, err := a.eng.Optimize(source)
 	if err != nil {
 		return nil, err
@@ -322,6 +409,9 @@ func (a *Analyzer) Optimize(source string) (*OptimizeResult, error) {
 func (a *Analyzer) OptimizeContext(ctx context.Context, source string) (*OptimizeResult, error) {
 	if a.passErr != nil {
 		return nil, a.passErr
+	}
+	if a.storeErr != nil {
+		return nil, a.storeErr
 	}
 	res, err := a.eng.OptimizeContext(ctx, source)
 	if err != nil {
@@ -343,9 +433,12 @@ type OptimizeBatchResult struct {
 // guarantees as AnalyzeAll.
 func (a *Analyzer) OptimizeAll(sources []string) []OptimizeBatchResult {
 	out := make([]OptimizeBatchResult, len(sources))
-	if a.passErr != nil {
+	if err := a.passErr; err != nil || a.storeErr != nil {
+		if err == nil {
+			err = a.storeErr
+		}
 		for i, src := range sources {
-			out[i] = OptimizeBatchResult{Index: i, Source: src, Err: a.passErr}
+			out[i] = OptimizeBatchResult{Index: i, Source: src, Err: err}
 		}
 		return out
 	}
@@ -371,6 +464,9 @@ func optimizeResultOf(res *engine.Optimized) *OptimizeResult {
 
 // programOf wraps an analyzed engine state as the public Program.
 func programOf(st *engine.State) *Program {
+	if a := st.Decoded(); a != nil {
+		return &Program{art: a}
+	}
 	return &Program{
 		IV:    iv.AnalysisOf(st),
 		Deps:  depend.ResultOf(st),
@@ -422,15 +518,37 @@ func OptimizeBatch(sources []string, opts Options) []OptimizeBatchResult {
 
 // ClassificationReport renders every loop's classifications, innermost
 // first, in the paper's tuple notation.
-func (p *Program) ClassificationReport() string { return p.IV.Report() }
+func (p *Program) ClassificationReport() string {
+	if p.art != nil {
+		return p.art.Classification
+	}
+	return p.IV.Report()
+}
 
 // DependenceReport renders the dependences found (empty when analysis
 // was skipped).
 func (p *Program) DependenceReport() string {
+	if p.art != nil {
+		return p.art.Dependences
+	}
 	if p.Deps == nil {
 		return ""
 	}
 	return p.Deps.Report()
+}
+
+// ReportData returns the structured per-loop report — what the JSON
+// renderers consume — from the live analysis or, byte-identically, the
+// decoded artifact.
+func (p *Program) ReportData() []iv.LoopReport {
+	if p.art != nil {
+		var reps []iv.LoopReport
+		if json.Unmarshal([]byte(p.art.ReportJSON), &reps) != nil {
+			return nil
+		}
+		return reps
+	}
+	return p.IV.ReportData()
 }
 
 // Explain renders the provenance chain of every classified SSA version
@@ -438,7 +556,13 @@ func (p *Program) DependenceReport() string {
 // rule classified it, the strongly connected region it belongs to, and
 // the feeding classifications, recursively. Empty when no loop defines
 // such a variable.
-func (p *Program) Explain(name string) string { return p.IV.ExplainVar(name) }
+func (p *Program) Explain(name string) string {
+	if p.art != nil {
+		text, _ := p.art.Explain(name)
+		return text
+	}
+	return p.IV.ExplainVar(name)
+}
 
 // ExplainDep renders the provenance of one dependence edge: the paper
 // rule behind the decision procedure, the dependence equation, and both
@@ -454,6 +578,9 @@ func (p *Program) ExplainDep(d *depend.Dependence) string {
 // ExplainAllDeps renders ExplainDep for every dependence found, in
 // report order.
 func (p *Program) ExplainAllDeps() string {
+	if p.art != nil {
+		return p.art.ExplainDeps
+	}
 	if p.Deps == nil {
 		return ""
 	}
@@ -471,6 +598,9 @@ func (p *Program) ExplainAllDeps() string {
 // returning final scalar values and the array-write trace. Useful for
 // experimenting with the examples.
 func (p *Program) Run(params map[string]int64) (*interp.Result, error) {
+	if p.SSA == nil {
+		return nil, errDecodedRun
+	}
 	return interp.RunSSA(p.SSA, interp.Config{Params: params})
 }
 
@@ -478,5 +608,13 @@ func (p *Program) Run(params map[string]int64) (*interp.Result, error) {
 // untrusted programs: execution stops with an error once maxSteps
 // instructions have run (0 means the interpreter's default budget).
 func (p *Program) RunSteps(params map[string]int64, maxSteps int) (*interp.Result, error) {
+	if p.SSA == nil {
+		return nil, errDecodedRun
+	}
 	return interp.RunSSA(p.SSA, interp.Config{Params: params, MaxSteps: maxSteps})
 }
+
+// errDecodedRun rejects execution of a program served from the
+// persistent cache: artifacts carry rendered reports, not the SSA graph
+// the interpreter needs.
+var errDecodedRun = errors.New("beyondiv: program was served from the persistent cache without live SSA; analyze with CacheDirWriteOnly (or no CacheDir) to execute it")

@@ -6,8 +6,9 @@
 // Usage:
 //
 //	bivd [-addr host:port] [-workers n] [-queue n] [-jobs n] [-cache n]
-//	     [-timeout d] [-max-timeout d] [-read-timeout d]
-//	     [-drain-timeout d] [-poison n] [-inject]
+//	     [-cache-dir dir] [-cache-max-bytes n] [-timeout d]
+//	     [-max-timeout d] [-read-timeout d] [-drain-timeout d]
+//	     [-poison n] [-inject]
 //
 // Endpoints (all POST, JSON bodies):
 //
@@ -21,7 +22,11 @@
 // Retry-After. Every request runs under a deadline (-timeout unless the
 // body asks, capped at -max-timeout) threaded into the engine's
 // cooperative cancellation, so a hung client or an expensive input
-// cannot pin a worker. Analyzer panics are contained per-request into
+// cannot pin a worker. -cache-dir adds a persistent artifact store
+// under the in-memory cache: a restarted daemon answers repeat (or
+// reformatted, or α-renamed) sources from disk without re-analysis,
+// and the engine.store.* counters on /metrics show the tier working.
+// Analyzer panics are contained per-request into
 // structured 500s with phase attribution, and the faulting source's
 // hash is poisoned (-poison entries) so replayed crashers are refused
 // from cache. SIGTERM/SIGINT flips /healthz to draining, stops
@@ -56,6 +61,8 @@ var (
 	queue        = flag.Int("queue", 0, "requests allowed to wait for a slot (0 = 4x workers); beyond this, shed with 429")
 	jobs         = flag.Int("jobs", 2, "worker pool size inside one /v1/batch request")
 	cacheN       = flag.Int("cache", 1024, "result-cache capacity shared by all requests (0 = no cache)")
+	cacheDir     = flag.String("cache-dir", "", "persist analysis artifacts in a content-addressed store under `dir`, surviving restarts")
+	cacheMax     = flag.Int64("cache-max-bytes", 0, "size budget of -cache-dir in `bytes` (0 = 256 MiB)")
 	timeout      = flag.Duration("timeout", 10*time.Second, "per-request deadline when the body names none")
 	maxTimeout   = flag.Duration("max-timeout", 60*time.Second, "cap on body-requested timeout_ms")
 	readTimeout  = flag.Duration("read-timeout", 10*time.Second, "deadline for one request to arrive in full (slow-loris defense)")
@@ -75,10 +82,12 @@ func main() {
 	fl := metrics.NewFlight(64, 16)
 	srv := serve.New(serve.Config{
 		Options: beyondiv.Options{
-			Jobs:         *jobs,
-			CacheEntries: *cacheN,
-			Metrics:      reg,
-			Flight:       fl,
+			Jobs:          *jobs,
+			CacheEntries:  *cacheN,
+			CacheDir:      *cacheDir,
+			CacheMaxBytes: *cacheMax,
+			Metrics:       reg,
+			Flight:        fl,
 		},
 		MaxInFlight:    *workers,
 		MaxQueue:       *queue,

@@ -9,8 +9,9 @@
 //
 // Usage:
 //
-//	bivload [-d duration] [-jobs n] [-cache n] [-inject phase] [-hold]
-//	        [-debug-addr addr] [-stats] [-trace file] [file|dir ...]
+//	bivload [-d duration] [-jobs n] [-cache n] [-cache-dir dir]
+//	        [-inject phase] [-hold] [-debug-addr addr] [-stats]
+//	        [-trace file] [file|dir ...]
 //	bivload -addr host:port [-d duration] [-conc n] [-seed n]
 //	        [-inject phase] [-bench-json file]
 //
@@ -62,10 +63,12 @@ var (
 	seed     = flag.Int64("seed", 1, "traffic-mix seed in -addr mode")
 	benchOut = flag.String("bench-json", "", "write the -addr mode report as JSON to `file` (e.g. BENCH_serve.json)")
 	tel      cliutil.Telemetry
+	cache    cliutil.CacheFlags
 )
 
 func main() {
 	tel.RegisterObsFlags()
+	cache.Register()
 	cliutil.ParseFlags("bivload")
 	if *addr != "" {
 		chaos()
@@ -81,6 +84,7 @@ func main() {
 
 	opts := beyondiv.Options{Jobs: *jobs, CacheEntries: *cacheN}
 	tel.Apply(&opts)
+	cache.Apply(&opts, false)
 	// The summary below reads the registry, so run with one even when
 	// no debug server asked for it.
 	reg := opts.Metrics
@@ -93,7 +97,9 @@ func main() {
 	var faulty *beyondiv.Analyzer
 	if *inject != "" {
 		fopts := opts
-		fopts.CacheEntries, fopts.Cache = 0, nil // faults must not be masked by the cache
+		// Faults must not be masked by the in-memory cache or the disk
+		// store (a decoded hit would never reach the injected phase).
+		fopts.CacheEntries, fopts.Cache, fopts.CacheDir = 0, nil, ""
 		fopts.Limits.Inject = guard.PanicIn(*inject)
 		faulty = beyondiv.NewAnalyzer(fopts)
 	}

@@ -15,9 +15,10 @@
 //
 // Usage:
 //
-//	bivopt [-apply] [-passes list] [-jobs n] [-no-validate] [-stats]
-//	       [-trace file] [-jsonl file] [-explain var] [-debug-addr addr]
-//	       [-cpuprofile file] [-memprofile file] [file|dir ...]
+//	bivopt [-apply] [-passes list] [-jobs n] [-no-validate]
+//	       [-cache-dir dir] [-stats] [-trace file] [-jsonl file]
+//	       [-explain var] [-debug-addr addr] [-cpuprofile file]
+//	       [-memprofile file] [file|dir ...]
 //
 // With no arguments, one program is read from standard input; each
 // argument may be a mini-language program, an examples-style .go file
@@ -54,10 +55,12 @@ var (
 	jobs       = flag.Int("jobs", 1, "process inputs concurrently on `n` workers (0 = one per CPU)")
 	noValidate = flag.Bool("no-validate", false, "skip interpreter translation validation of -apply rewrites")
 	tel        cliutil.Telemetry
+	cache      cliutil.CacheFlags
 )
 
 func main() {
 	tel.RegisterObsFlags()
+	cache.Register()
 	flag.Parse()
 	srcs, err := cliutil.ReadPrograms(flag.Args())
 	if err != nil {
@@ -72,6 +75,11 @@ func main() {
 		SkipValidation: *noValidate,
 	}
 	tel.Apply(&opts)
+	// Every bivopt view walks live analysis objects (loop nest, SSA,
+	// dependence graph), which a decoded disk artifact does not carry:
+	// the store is write-only here, warming it for readers that render
+	// reports.
+	cache.Apply(&opts, true)
 
 	exit := 0
 	report := func(i int, prog *beyondiv.Program, err error) bool {

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	depclass [-input] [-classes] [-dot] [-pi] [-why] [-jobs n] [-stats]
-//	         [-trace file] [-jsonl file] [-explain var] [-debug-addr addr]
+//	depclass [-input] [-classes] [-dot] [-pi] [-why] [-jobs n]
+//	         [-cache-dir dir] [-watch] [-stats] [-trace file]
+//	         [-jsonl file] [-explain var] [-debug-addr addr]
 //	         [file|dir ...]
 //
 // With no arguments, one program is read from standard input; each
@@ -16,6 +17,13 @@
 // per-file headers; one failing input does not stop the rest. -why
 // prints each dependence's provenance: the paper rule behind its
 // decision procedure and the classification chains of both subscripts.
+//
+// -cache-dir persists analysis artifacts in a content-addressed store:
+// re-running over an unchanged (or merely reformatted, or α-renamed)
+// corpus answers from disk without re-analyzing, even across
+// processes. -watch keeps the command running, polling the inputs and
+// re-analyzing only programs whose content changed — with -cache-dir,
+// a restarted watch starts warm.
 package main
 
 import (
@@ -36,15 +44,15 @@ var (
 	why         = flag.Bool("why", false, "print the provenance of every dependence edge")
 	jobs        = flag.Int("jobs", 1, "analyze inputs concurrently on `n` workers (0 = one per CPU)")
 	tel         cliutil.Telemetry
+	cache       cliutil.CacheFlags
+	watch       cliutil.WatchFlags
 )
 
 func main() {
 	tel.RegisterObsFlags()
+	cache.Register()
+	watch.Register()
 	flag.Parse()
-	srcs, err := cliutil.ReadPrograms(flag.Args())
-	if err != nil {
-		fatal(err)
-	}
 	if err := tel.Start(); err != nil {
 		fatal(err)
 	}
@@ -53,6 +61,23 @@ func main() {
 		Jobs:        *jobs,
 	}
 	tel.Apply(&opts)
+	// -dot and -pi walk the live dependence graph objects, which a
+	// decoded disk artifact does not carry: keep the store warm but
+	// analyze live.
+	cache.Apply(&opts, *asDOT || *piBlocks)
+	if watch.Watch {
+		if err := watchLoop(opts); err != nil {
+			fatal(err)
+		}
+		if err := tel.Finish(os.Stderr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	srcs, err := cliutil.ReadPrograms(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
 	results := cliutil.AnalyzeSources(srcs, opts)
 	exit := 0
 	for i, r := range results {
@@ -76,6 +101,20 @@ func main() {
 	if exit != 0 {
 		os.Exit(exit)
 	}
+}
+
+// watchLoop re-analyzes the argument corpus as it changes, rendering
+// each changed program under its file header.
+func watchLoop(opts beyondiv.Options) error {
+	return cliutil.Watch(flag.Args(), opts, cliutil.WatchConfig{Interval: watch.Interval},
+		func(src cliutil.Source, prog *beyondiv.Program, err error) {
+			fmt.Printf("==== %s ====\n", src.Path)
+			if err != nil {
+				cliutil.Report("depclass", fmt.Errorf("%s: %w", src.Path, err))
+				return
+			}
+			render(prog)
+		})
 }
 
 func render(prog *beyondiv.Program) {

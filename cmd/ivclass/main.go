@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	ivclass [-ssa] [-nested] [-json] [-jobs n] [-stats] [-trace file]
-//	        [-jsonl file] [-explain var] [-debug-addr addr] [file|dir ...]
+//	ivclass [-ssa] [-nested] [-json] [-jobs n] [-cache-dir dir] [-watch]
+//	        [-stats] [-trace file] [-jsonl file] [-explain var]
+//	        [-debug-addr addr] [file|dir ...]
 //
 // With no arguments, one program is read from standard input; each
 // argument may be a program file, an examples-style .go file (the
@@ -15,6 +16,13 @@
 // per-file headers; one failing input does not stop the rest.
 // -explain prints the provenance chain (paper rule, SCR, feeding
 // classifications) that classified the named variable.
+//
+// -cache-dir persists analysis artifacts in a content-addressed store:
+// re-running over an unchanged (or merely reformatted, or α-renamed)
+// corpus answers from disk without re-analyzing, even across
+// processes. -watch keeps the command running, polling the inputs and
+// re-analyzing only programs whose content changed — with -cache-dir,
+// a restarted watch starts warm.
 package main
 
 import (
@@ -35,15 +43,15 @@ var (
 	asJSON  = flag.Bool("json", false, "emit the report as JSON")
 	jobs    = flag.Int("jobs", 1, "analyze inputs concurrently on `n` workers (0 = one per CPU)")
 	tel     cliutil.Telemetry
+	cache   cliutil.CacheFlags
+	watch   cliutil.WatchFlags
 )
 
 func main() {
 	tel.RegisterObsFlags()
+	cache.Register()
+	watch.Register()
 	flag.Parse()
-	srcs, err := cliutil.ReadPrograms(flag.Args())
-	if err != nil {
-		fatal(err)
-	}
 	if err := tel.Start(); err != nil {
 		fatal(err)
 	}
@@ -52,6 +60,22 @@ func main() {
 		Jobs:            *jobs,
 	}
 	tel.Apply(&opts)
+	// -ssa and -nested walk the live SSA graph, which a decoded disk
+	// artifact does not carry: keep the store warm but analyze live.
+	cache.Apply(&opts, *dumpSSA || *nested)
+	if watch.Watch {
+		if err := watchLoop(opts); err != nil {
+			fatal(err)
+		}
+		if err := tel.Finish(os.Stderr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	srcs, err := cliutil.ReadPrograms(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
 	results := cliutil.AnalyzeSources(srcs, opts)
 	exit := 0
 	for i, r := range results {
@@ -77,6 +101,20 @@ func main() {
 	}
 }
 
+// watchLoop re-analyzes the argument corpus as it changes, rendering
+// each changed program under its file header.
+func watchLoop(opts beyondiv.Options) error {
+	return cliutil.Watch(flag.Args(), opts, cliutil.WatchConfig{Interval: watch.Interval},
+		func(src cliutil.Source, prog *beyondiv.Program, err error) {
+			fmt.Printf("==== %s ====\n", src.Path)
+			if err != nil {
+				cliutil.Report("ivclass", fmt.Errorf("%s: %w", src.Path, err))
+				return
+			}
+			render(prog)
+		})
+}
+
 func render(prog *beyondiv.Program) {
 	if *dumpSSA {
 		fmt.Print(prog.SSA.Func)
@@ -86,7 +124,7 @@ func render(prog *beyondiv.Program) {
 	case *asJSON:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(prog.IV.ReportData()); err != nil {
+		if err := enc.Encode(prog.ReportData()); err != nil {
 			fatal(err)
 		}
 	case *nested:

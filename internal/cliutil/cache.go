@@ -1,0 +1,36 @@
+package cliutil
+
+import (
+	"flag"
+
+	"beyondiv"
+)
+
+// CacheFlags is the persistent-cache flag pair shared by the commands:
+// -cache-dir points the analyzer at an on-disk artifact store (shared
+// across runs and processes; see beyondiv.Options.CacheDir),
+// -cache-max-bytes bounds it. Register the flags before flag.Parse and
+// thread them into the analysis with Apply.
+type CacheFlags struct {
+	Dir      string
+	MaxBytes int64
+}
+
+// Register installs -cache-dir and -cache-max-bytes on the default
+// flag set.
+func (c *CacheFlags) Register() {
+	flag.StringVar(&c.Dir, "cache-dir", "",
+		"persist analysis results in a content-addressed store under `dir`, shared across runs and processes")
+	flag.Int64Var(&c.MaxBytes, "cache-max-bytes", 0,
+		"size budget of -cache-dir in `bytes`; oldest entries evicted beyond it (0 = 256 MiB)")
+}
+
+// Apply threads the flags into opts. writeOnly disables disk reads
+// while keeping writes — for invocations that need the live SSA form
+// (dumps, transforms, interpretation), which a decoded artifact cannot
+// provide; their fresh runs still warm the store.
+func (c *CacheFlags) Apply(opts *beyondiv.Options, writeOnly bool) {
+	opts.CacheDir = c.Dir
+	opts.CacheMaxBytes = c.MaxBytes
+	opts.CacheDirWriteOnly = writeOnly
+}

@@ -1,0 +1,156 @@
+package cliutil
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"beyondiv"
+)
+
+const watchProg = `j = 0
+L1: for i = 1 to n {
+    j = j + i
+}`
+
+const watchProgEdited = `j = 0
+L1: for i = 1 to n {
+    j = j + 2 * i
+}`
+
+// write rewinds mtime afterwards so each round's stat comparison sees
+// a strictly newer timestamp on real edits regardless of filesystem
+// timestamp granularity.
+func writeProg(t *testing.T, path, text string, stamp time.Time) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchReanalyzesOnlyChanged: the first round analyzes the whole
+// corpus; later rounds re-analyze exactly the files whose content
+// changed — a touch with identical bytes does not re-analyze, a real
+// edit does.
+func TestWatchReanalyzesOnlyChanged(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour)
+	a := filepath.Join(dir, "a.biv")
+	b := filepath.Join(dir, "b.biv")
+	writeProg(t, a, watchProg, base)
+	writeProg(t, b, watchProg+"\n// b\n", base)
+
+	var analyzed []string
+	rounds := 0
+	err := Watch([]string{a, b}, beyondiv.Options{SkipDependences: true},
+		WatchConfig{
+			Interval: time.Millisecond,
+			Out:      io.Discard,
+			AfterRound: func(round, changed int) bool {
+				rounds = round
+				switch round {
+				case 1:
+					if changed != 2 {
+						t.Fatalf("round 1 analyzed %d, want the full corpus (2)", changed)
+					}
+					// Touch a (same bytes, new mtime); edit b.
+					writeProg(t, a, watchProg, base.Add(time.Minute))
+					writeProg(t, b, watchProgEdited, base.Add(time.Minute))
+				case 2:
+					if changed != 1 {
+						t.Fatalf("round 2 analyzed %d, want 1 (only the edited file)", changed)
+					}
+				case 3:
+					if changed != 0 {
+						t.Fatalf("round 3 analyzed %d, want 0 (nothing changed)", changed)
+					}
+					return false
+				}
+				return true
+			},
+		},
+		func(src Source, prog *beyondiv.Program, err error) {
+			if err != nil {
+				t.Fatalf("%s: %v", src.Path, err)
+			}
+			if prog.ClassificationReport() == "" {
+				t.Fatalf("%s: empty report", src.Path)
+			}
+			analyzed = append(analyzed, filepath.Base(src.Path))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 3 {
+		t.Fatalf("stopped after round %d, want 3", rounds)
+	}
+	want := []string{"a.biv", "b.biv", "b.biv"}
+	if len(analyzed) != len(want) {
+		t.Fatalf("analyzed %v, want %v", analyzed, want)
+	}
+	for i := range want {
+		if analyzed[i] != want[i] {
+			t.Fatalf("analyzed %v, want %v", analyzed, want)
+		}
+	}
+}
+
+// TestWatchDiscoversNewFiles: a .go file appearing in a watched
+// directory is picked up and analyzed on the next round.
+func TestWatchDiscoversNewFiles(t *testing.T) {
+	dir := t.TempDir()
+	base := time.Now().Add(-time.Hour)
+	first := filepath.Join(dir, "first.go")
+	late := filepath.Join(dir, "late.go")
+	wrap := func(prog string) string {
+		return "package examples\n\nvar Prog = `" + prog + "`\n"
+	}
+	writeProg(t, first, wrap(watchProg), base)
+
+	var analyzed []string
+	err := Watch([]string{dir}, beyondiv.Options{SkipDependences: true},
+		WatchConfig{
+			Interval: time.Millisecond,
+			Out:      io.Discard,
+			AfterRound: func(round, changed int) bool {
+				switch round {
+				case 1:
+					if changed != 1 {
+						t.Fatalf("round 1 analyzed %d, want 1", changed)
+					}
+					writeProg(t, late, wrap(watchProgEdited), base)
+				case 2:
+					if changed != 1 {
+						t.Fatalf("round 2 analyzed %d, want 1 (the new file)", changed)
+					}
+					return false
+				}
+				return true
+			},
+		},
+		func(src Source, prog *beyondiv.Program, err error) {
+			if err != nil {
+				t.Fatalf("%s: %v", src.Path, err)
+			}
+			analyzed = append(analyzed, filepath.Base(src.Path))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(analyzed) != 2 || analyzed[1] != "late.go" {
+		t.Fatalf("analyzed %v, want [first.go late.go]", analyzed)
+	}
+}
+
+// TestWatchNeedsArgs: stdin cannot be watched.
+func TestWatchNeedsArgs(t *testing.T) {
+	err := Watch(nil, beyondiv.Options{}, WatchConfig{}, func(Source, *beyondiv.Program, error) {})
+	if err == nil {
+		t.Fatal("watch with no arguments must fail")
+	}
+}

@@ -1,0 +1,352 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"beyondiv/internal/parse"
+)
+
+const prog = `
+s = 0
+L1: for i = 1 to n {
+    a[i] = a[i] + s
+    s = s + 2 * i
+}
+`
+
+// Same program, reformatted and commented: the structural hash must not
+// move and the name table must come out identical.
+const progNoisy = `s=0
+// running sum
+L1: for i = 1 to n { a[i] = a[i] + s; s = s + 2*i }  // body
+`
+
+// Same shape, every variable renamed in first-occurrence order
+// (s->t, i->j, n->m, a->b). The label stays: labels are part of the
+// structure, not the name table.
+const progRenamed = `
+t = 0
+L1: for j = 1 to m {
+    b[j] = b[j] + t
+    t = t + 2 * j
+}
+`
+
+func TestStructuralHashIgnoresFormatting(t *testing.T) {
+	h1, n1 := StructuralHash(parse.MustParse(prog))
+	h2, n2 := StructuralHash(parse.MustParse(progNoisy))
+	if h1 != h2 {
+		t.Fatalf("formatting changed the structural hash")
+	}
+	if !sameTable(n1, n2) {
+		t.Fatalf("name tables differ: %v vs %v", n1, n2)
+	}
+	if len(n1) == 0 {
+		t.Fatalf("empty name table for %q", prog)
+	}
+}
+
+func TestStructuralHashAlphaRename(t *testing.T) {
+	h1, n1 := StructuralHash(parse.MustParse(prog))
+	h2, n2 := StructuralHash(parse.MustParse(progRenamed))
+	if h1 != h2 {
+		t.Fatalf("alpha-renaming changed the structural hash")
+	}
+	if sameTable(n1, n2) {
+		t.Fatalf("renamed program produced the same name table %v", n1)
+	}
+	if len(n1) != len(n2) {
+		t.Fatalf("table lengths differ: %v vs %v", n1, n2)
+	}
+}
+
+func TestStructuralHashDistinguishes(t *testing.T) {
+	base := parse.MustParse(prog)
+	variants := []string{
+		"s = 0\nL1: for i = 1 to n {\n a[i] = a[i] + s\n s = s + 3 * i\n}\n",      // literal 2 -> 3
+		"s = 0\nL1: for i = 1 to n {\n a[i] = a[i] - s\n s = s + 2 * i\n}\n",      // + -> -
+		"s = 0\nL1: for i = 1 to n {\n a[i] = a[i] + s\n}\n",                      // dropped stmt
+		"s = 0\nL1: for i = 1 to n by 1 {\n a[i] = a[i] + s\n s = s + 2 * i\n}\n", // explicit step
+		"s = 0\nL1: for i = 1 to n {\n a[s] = a[i] + s\n s = s + 2 * i\n}\n",      // different name use
+		"s = 0\nL7: for i = 1 to n {\n a[i] = a[i] + s\n s = s + 2 * i\n}\n",      // relabeled loop
+	}
+	h0, _ := StructuralHash(base)
+	for _, v := range variants {
+		h, _ := StructuralHash(parse.MustParse(v))
+		if h == h0 {
+			t.Errorf("variant hashed identically to base:\n%s", v)
+		}
+	}
+}
+
+func TestRenameTable(t *testing.T) {
+	names := []string{"s", "L1", "i", "n", "a"}
+	twin := RenameTable(names)
+	if len(twin) != len(names) {
+		t.Fatalf("twin table length %d, want %d", len(twin), len(names))
+	}
+	seen := map[string]bool{}
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if (names[i] < names[j]) != (twin[i] < twin[j]) {
+				t.Errorf("sort order not preserved: %q/%q vs %q/%q",
+					names[i], names[j], twin[i], twin[j])
+			}
+		}
+		if seen[twin[i]] {
+			t.Errorf("duplicate twin name %q", twin[i])
+		}
+		seen[twin[i]] = true
+		if len(twin[i]) != len(twin[0]) {
+			t.Errorf("twin names not fixed-width: %v", twin)
+		}
+	}
+	// A table already using the default prefix forces a longer one.
+	twin2 := RenameTable([]string{"zqaaa", "x"})
+	for _, n := range twin2 {
+		if !strings.HasPrefix(n, "zqq") {
+			t.Errorf("prefix did not grow past clash: %v", twin2)
+		}
+	}
+}
+
+func TestRewriteSource(t *testing.T) {
+	f := parse.MustParse(prog)
+	_, names := StructuralHash(f)
+	twin := RenameTable(names)
+	src := RewriteSource(f.String(), names, twin)
+	for _, n := range names {
+		// No original name survives as a whole token.
+		found := false
+		forEachChunk(src, func(tok string, isIdent bool) {
+			if isIdent && tok == n {
+				found = true
+			}
+		})
+		if found {
+			t.Errorf("name %q survived rewriting:\n%s", n, src)
+		}
+	}
+	if _, err := parse.File(src); err != nil {
+		t.Fatalf("rewritten source does not parse: %v\n%s", err, src)
+	}
+	h1, _ := StructuralHash(f)
+	h2, _ := StructuralHash(parse.MustParse(src))
+	if h1 != h2 {
+		t.Fatalf("rewriting changed the structural hash")
+	}
+}
+
+// fixture builds a hand-rolled renameable artifact pair the way the
+// facade would: names {i, n}, twin {zqaaa, zqaab}, texts mentioning i
+// and its SSA instance i1.
+func fixture() (a *Artifact, names []string, tw *Artifact, twin []string) {
+	names = []string{"i", "n"}
+	twin = RenameTable(names)
+	a = &Artifact{
+		Classification: "loop L (depth 1) trip=n\n  i1 = (1, +1, n)\n",
+		HasDeps:        true,
+		Dependences:    "no dependences involving i\n",
+		ExplainDeps:    "i1 strides by 1 up to n\n",
+		ReportJSON:     `[{"values":[{"name":"i1"}]}]`,
+		Explains: []ExplainEntry{
+			{Name: "i", Text: "i1: basic IV\n"},
+			{Name: "i1", Text: "i1: basic IV\n"},
+		},
+	}
+	tw = &Artifact{
+		Classification: "loop L (depth 1) trip=zqaab\n  zqaaa1 = (1, +1, zqaab)\n",
+		HasDeps:        true,
+		Dependences:    "no dependences involving zqaaa\n",
+		ExplainDeps:    "zqaaa1 strides by 1 up to zqaab\n",
+		ReportJSON:     `[{"values":[{"name":"zqaaa1"}]}]`,
+		Explains: []ExplainEntry{
+			{Name: "zqaaa", Text: "zqaaa1: basic IV\n"},
+			{Name: "zqaaa1", Text: "zqaaa1: basic IV\n"},
+		},
+	}
+	return a, names, tw, twin
+}
+
+func artifactsEqual(a, b *Artifact) bool {
+	if a.Classification != b.Classification || a.HasDeps != b.HasDeps ||
+		a.Dependences != b.Dependences || a.ExplainDeps != b.ExplainDeps ||
+		a.ReportJSON != b.ReportJSON || len(a.Explains) != len(b.Explains) {
+		return false
+	}
+	for i := range a.Explains {
+		if a.Explains[i] != b.Explains[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	a, names, tw, twin := fixture()
+	data := Encode(a, names, tw, twin)
+	got, err := Decode(data, names)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !got.Renameable {
+		t.Fatalf("differential check should have passed for the fixture")
+	}
+	if !artifactsEqual(a, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, a)
+	}
+}
+
+func TestDecodeRemap(t *testing.T) {
+	a, names, tw, twin := fixture()
+	data := Encode(a, names, tw, twin)
+	// Order-preserving remap {i,n} -> {j,p}.
+	got, err := Decode(data, []string{"j", "p"})
+	if err != nil {
+		t.Fatalf("Decode remap: %v", err)
+	}
+	if want := "loop L (depth 1) trip=p\n  j1 = (1, +1, p)\n"; got.Classification != want {
+		t.Fatalf("remapped classification:\n got %q\nwant %q", got.Classification, want)
+	}
+	if txt, ok := got.Explain("j1"); !ok || txt != "j1: basic IV\n" {
+		t.Fatalf("remapped explain lookup: %q, %v", txt, ok)
+	}
+	if _, ok := got.Explain("i1"); ok {
+		t.Fatalf("old name still resolves after remap")
+	}
+
+	// Order-violating table: {i,n} -> {z,p} flips the relative order.
+	if _, err := Decode(data, []string{"z", "p"}); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("order-violating remap: got %v, want ErrIncompatible", err)
+	}
+	// Digit-ending name: base-key derivation would shift.
+	if _, err := Decode(data, []string{"j", "p1"}); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("digit-ending remap: got %v, want ErrIncompatible", err)
+	}
+	// Wrong arity.
+	if _, err := Decode(data, []string{"j"}); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("short table: got %v, want ErrIncompatible", err)
+	}
+}
+
+func TestDecodeNonRenameable(t *testing.T) {
+	a, names, _, _ := fixture()
+	data := Encode(a, names, nil, nil) // no twin: literal-only
+	got, err := Decode(data, names)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Renameable {
+		t.Fatalf("twinless encode must not be renameable")
+	}
+	if !artifactsEqual(a, got) {
+		t.Fatalf("literal round trip mismatch")
+	}
+	if _, err := Decode(data, []string{"j", "p"}); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("remap of non-renameable entry: got %v, want ErrIncompatible", err)
+	}
+}
+
+func TestEncodeDivergentTwinFallsBack(t *testing.T) {
+	a, names, tw, twin := fixture()
+	// Sabotage the twin: prose differs in a way that is not a rename.
+	tw.Dependences = "completely different text\n"
+	data := Encode(a, names, tw, twin)
+	got, err := Decode(data, names)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Renameable {
+		t.Fatalf("divergent twin must disable renaming")
+	}
+	if !artifactsEqual(a, got) {
+		t.Fatalf("fallback must still store the original texts exactly")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	a, names, tw, twin := fixture()
+	data := Encode(a, names, tw, twin)
+
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bitflip", func(b []byte) []byte { b[len(b)/3] ^= 0x40; return b }},
+		{"badmagic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"trailing", func(b []byte) []byte { return append(b, 0) }},
+		{"version", func(b []byte) []byte {
+			b[4] ^= 0xff // version field; checksum now also mismatches
+			return b
+		}},
+	} {
+		b := tc.mut(bytes.Clone(data))
+		if _, err := Decode(b, names); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", tc.name, err)
+		}
+	}
+}
+
+func TestAliasRoundTrip(t *testing.T) {
+	var key [32]byte
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	names := []string{"i", "n", "a"}
+	data := EncodeAlias(key, names)
+	gotKey, gotNames, err := DecodeAlias(data)
+	if err != nil {
+		t.Fatalf("DecodeAlias: %v", err)
+	}
+	if gotKey != key || !sameTable(gotNames, names) {
+		t.Fatalf("alias round trip mismatch: %x %v", gotKey, gotNames)
+	}
+	data[10] ^= 0x01
+	if _, _, err := DecodeAlias(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted alias: got %v, want ErrCorrupt", err)
+	}
+	if _, _, err := DecodeAlias(data[:8]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated alias: got %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzArtifactCodec exercises both directions: arbitrary artifacts must
+// round-trip exactly through Encode/Decode, and arbitrary bytes must
+// decode to an error, never a panic or a fabricated artifact.
+func FuzzArtifactCodec(f *testing.F) {
+	a, names, tw, twin := fixture()
+	f.Add(a.Classification, a.Dependences, a.ExplainDeps, a.ReportJSON,
+		"i", "i1: basic IV\n", true, Encode(a, names, tw, twin))
+	f.Add("", "", "", "", "", "", false, []byte("BIVC junk"))
+	f.Fuzz(func(t *testing.T, cls, deps, expl, repJSON, exName, exText string, hasDeps bool, raw []byte) {
+		art := &Artifact{
+			Classification: cls,
+			HasDeps:        hasDeps,
+			Dependences:    deps,
+			ExplainDeps:    expl,
+			ReportJSON:     repJSON,
+			Explains:       []ExplainEntry{{Name: exName, Text: exText}},
+		}
+		data := Encode(art, names, nil, nil)
+		got, err := Decode(data, names)
+		if err != nil {
+			t.Fatalf("decode of fresh encode failed: %v", err)
+		}
+		if !artifactsEqual(art, got) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, art)
+		}
+		// Arbitrary bytes: must error or produce a valid artifact,
+		// never panic.
+		if a2, err := Decode(raw, names); err == nil && a2 == nil {
+			t.Fatalf("nil artifact with nil error")
+		}
+		if _, _, err := DecodeAlias(raw); err == nil && len(raw) == 0 {
+			t.Fatalf("empty alias decoded")
+		}
+	})
+}

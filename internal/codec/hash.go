@@ -1,0 +1,192 @@
+// Package codec gives analysis results a durable form: a stable,
+// versioned binary encoding of the cacheable subset of an engine run
+// (the rendered classification and dependence reports, the structured
+// per-loop report data, and the per-variable provenance chains),
+// together with the canonical structural hash that content-addresses
+// them on disk.
+//
+// Two properties carry the whole design:
+//
+//   - StructuralHash hashes the parsed AST with interned identifiers,
+//     so whitespace and comment edits — and α-renamings that intern to
+//     the same shape — produce the same key.
+//   - Every stored text is segmented into name references and literal
+//     prose, so an entry written for one source can be served,
+//     byte-identically, for an α-renamed duplicate by substituting its
+//     name table. Segmentation is derived by a differential rename
+//     check (see Encode), never by guessing which tokens are names; an
+//     entry that fails the check is simply marked non-renameable and
+//     serves only sources with an identical name table.
+//
+// Decoding validates a schema version and a checksum: any mismatch —
+// truncation, corruption, a codec from another release — surfaces as an
+// error the engine answers with re-analysis, never a wrong result.
+package codec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+
+	"beyondiv/internal/ast"
+)
+
+// structHasher accumulates the canonical structure stream: node tags,
+// operators and literal values verbatim, identifiers as intern indices.
+type structHasher struct {
+	h     hash.Hash
+	idx   map[string]int
+	names []string
+	buf   [binary.MaxVarintLen64]byte
+}
+
+// StructuralHash content-addresses the program's shape: a SHA-256 over
+// the AST with every identifier (scalar or array) replaced by its
+// first-occurrence intern index, plus the ordered name table those
+// indices refer to. Formatting never reaches the hash, and two
+// α-renamed programs hash identically — their difference is exactly
+// the returned table.
+//
+// Loop labels are deliberately hashed literally and kept out of the
+// table: a label is the loop's name in every rendered report (the
+// paper's "(L1, base, step)" tuples), so programs differing only in
+// labels render differently and must not share an entry — and label
+// remaps would end in digits, which the suffix-segmented text encoding
+// cannot express (see remapOK).
+func StructuralHash(f *ast.File) ([32]byte, []string) {
+	s := &structHasher{h: sha256.New(), idx: map[string]int{}}
+	s.varint(int64(len(f.Stmts)))
+	for _, st := range f.Stmts {
+		s.stmt(st)
+	}
+	var sum [32]byte
+	s.h.Sum(sum[:0])
+	return sum, s.names
+}
+
+// Structure-stream tags. These are part of the on-disk key derivation:
+// renumbering them orphans every existing store entry (harmlessly — the
+// entries just stop being found), so new node kinds must append.
+const (
+	tagAssign = iota + 1
+	tagFor
+	tagLoop
+	tagWhile
+	tagIf
+	tagExit
+	tagIdent
+	tagNum
+	tagBin
+	tagUnary
+	tagIndex
+	tagNoLabel
+	tagLabel
+	tagNoStep
+	tagStep
+	tagNoElse
+	tagElse
+)
+
+func (s *structHasher) tag(t byte) { s.h.Write([]byte{t}) }
+
+func (s *structHasher) varint(v int64) {
+	n := binary.PutVarint(s.buf[:], v)
+	s.h.Write(s.buf[:n])
+}
+
+// name interns an identifier and hashes its index.
+func (s *structHasher) name(n string) {
+	i, ok := s.idx[n]
+	if !ok {
+		i = len(s.names)
+		s.idx[n] = i
+		s.names = append(s.names, n)
+	}
+	s.varint(int64(i))
+}
+
+func (s *structHasher) label(l string) {
+	if l == "" {
+		s.tag(tagNoLabel)
+		return
+	}
+	s.tag(tagLabel)
+	s.varint(int64(len(l)))
+	s.h.Write([]byte(l))
+}
+
+func (s *structHasher) stmt(st ast.Stmt) {
+	switch v := st.(type) {
+	case *ast.Assign:
+		s.tag(tagAssign)
+		s.expr(v.LHS)
+		s.expr(v.RHS)
+	case *ast.For:
+		s.tag(tagFor)
+		s.label(v.Label)
+		s.name(v.Var.Name)
+		s.expr(v.Lo)
+		s.expr(v.Hi)
+		if v.Step == nil {
+			s.tag(tagNoStep)
+		} else {
+			s.tag(tagStep)
+			s.expr(v.Step)
+		}
+		s.block(v.Body)
+	case *ast.Loop:
+		s.tag(tagLoop)
+		s.label(v.Label)
+		s.block(v.Body)
+	case *ast.While:
+		s.tag(tagWhile)
+		s.label(v.Label)
+		s.expr(v.Cond)
+		s.block(v.Body)
+	case *ast.If:
+		s.tag(tagIf)
+		s.expr(v.Cond)
+		s.block(v.Then)
+		if v.Else == nil {
+			s.tag(tagNoElse)
+		} else {
+			s.tag(tagElse)
+			s.block(v.Else)
+		}
+	case *ast.Exit:
+		s.tag(tagExit)
+	case *ast.Block:
+		s.block(v)
+	}
+}
+
+func (s *structHasher) block(b *ast.Block) {
+	s.varint(int64(len(b.Stmts)))
+	for _, st := range b.Stmts {
+		s.stmt(st)
+	}
+}
+
+func (s *structHasher) expr(e ast.Expr) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		s.tag(tagIdent)
+		s.name(v.Name)
+	case *ast.Num:
+		s.tag(tagNum)
+		s.varint(v.Value)
+	case *ast.Bin:
+		s.tag(tagBin)
+		s.varint(int64(v.Op))
+		s.expr(v.X)
+		s.expr(v.Y)
+	case *ast.Unary:
+		s.tag(tagUnary)
+		s.varint(int64(v.Op))
+		s.expr(v.X)
+	case *ast.Index:
+		s.tag(tagIndex)
+		s.name(v.Name)
+		s.expr(v.Sub)
+	}
+}

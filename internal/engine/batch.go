@@ -56,7 +56,7 @@ func (e *Engine) AnalyzeAllContext(ctx context.Context, sources []string) []Item
 
 	items := make([]Item, len(sources))
 	e.fanOut(ctx, len(sources), rec, func(i int, wrec *obs.Recorder) {
-		st, err := e.analyze(sources[i], wrec, lim)
+		st, err := e.analyze(sources[i], wrec, lim, false)
 		items[i] = Item{Index: i, Source: sources[i], State: st, Err: err}
 	}, func(i int, ce *guard.CancelError) {
 		items[i] = Item{Index: i, Source: sources[i], Err: &Error{Phase: ce.Phase, Err: ce}}

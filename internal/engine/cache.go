@@ -90,8 +90,16 @@ func (c *Cache) put(key cacheKey, st *State) (evicted int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		// A concurrent worker won the race to analyze the same source;
-		// keep the incumbent so later hits stay pointer-stable.
+		ent := el.Value.(*cacheEntry)
+		if ent.st.art != nil && st.art == nil {
+			// A live result upgrades a decoded disk placeholder: callers
+			// that need the object graphs (the optimizer) bypass decoded
+			// entries, and without the swap they would re-run the
+			// pipeline on every request for this source.
+			ent.st = st
+		}
+		// Otherwise a concurrent worker won the race to analyze the same
+		// source; keep the incumbent so later hits stay pointer-stable.
 		c.order.MoveToFront(el)
 		return 0
 	}

@@ -38,6 +38,7 @@ import (
 
 	"beyondiv/internal/ast"
 	"beyondiv/internal/cfgbuild"
+	"beyondiv/internal/codec"
 	"beyondiv/internal/guard"
 	"beyondiv/internal/ir"
 	"beyondiv/internal/loops"
@@ -47,6 +48,7 @@ import (
 	"beyondiv/internal/sccp"
 	"beyondiv/internal/scratch"
 	"beyondiv/internal/ssa"
+	"beyondiv/internal/store"
 	"beyondiv/internal/token"
 	"beyondiv/internal/validate"
 )
@@ -70,7 +72,15 @@ type State struct {
 	lim     guard.Limits
 	extra   map[string]any
 	scratch *scratch.Arena
+	art     *codec.Artifact
 }
+
+// Decoded returns the serialized artifact this state was reconstituted
+// from, when the run was answered by the disk store instead of the
+// pipeline. Such states carry the rendered results (reports, provenance)
+// but no live object graphs: SSA, Forest, Consts and the contributed
+// pass artifacts are nil. Fresh runs return nil here.
+func (s *State) Decoded() *codec.Artifact { return s.art }
 
 // Obs returns the recorder of the run this state belongs to; passes
 // thread it into the stages they call. Nil when telemetry is off.
@@ -190,6 +200,26 @@ type Config struct {
 	// AnalyzeAll call: every phase step of every source draws from
 	// this pool on top of the per-phase budgets.
 	BatchSteps int64
+	// Store, when non-nil, is the persistent second tier under the
+	// in-memory cache: a disk-backed content-addressed store shared
+	// across processes. Lookups try an alias record keyed by the exact
+	// source first (zero passes on a hit), then — after parsing — the
+	// structural entry keyed by the canonical AST hash, so whitespace
+	// and comment edits and α-renamed duplicates still hit. Every entry
+	// is decoded through the codec's checksum and version gate; a bad
+	// blob is deleted and the source re-analyzed.
+	Store *store.Store
+	// BuildArtifact serializes a fresh successful state into a codec
+	// blob for the disk store. The engine cannot build it itself — the
+	// artifact includes texts rendered by the classifier and dependence
+	// packages, which import engine — so the facade supplies the hook.
+	// A nil hook (or an error return) makes the store read-only.
+	BuildArtifact func(*State) ([]byte, error)
+	// StoreWriteOnly disables disk *reads* while keeping writes: set by
+	// callers whose consumers need the live object graphs (SSA dumps,
+	// DOT output, the optimizer) and cannot accept a decoded state.
+	// Their fresh runs still warm the store for everyone else.
+	StoreWriteOnly bool
 	// Transforms is the mutating pipeline Optimize runs after analysis,
 	// in execution order (AST-tier passes should precede SSA-tier ones;
 	// see Tier). Empty makes Optimize equivalent to Analyze. Transform
@@ -233,10 +263,14 @@ func New(cfg Config) *Engine {
 		e.cache = NewCache(cfg.CacheEntries)
 	}
 	l := cfg.Limits
-	e.fp = fmt.Sprintf("%s|limits:%d,%d,%d,%d,%d|passes:", cfg.Fingerprint,
-		l.MaxSourceBytes, l.MaxNestDepth, l.MaxSSAValues, l.MaxLoopDepth, l.MaxPhaseSteps)
+	// Every variable-length component is length-prefixed so no crafted
+	// fingerprint or pass name can make two distinct configurations
+	// serialize to the same key prefix (e.g. a fingerprint ending in
+	// "|limits:..." used to be indistinguishable from the limits field).
+	e.fp = fmt.Sprintf("%d:%s|limits:%d,%d,%d,%d,%d|passes:%d", len(cfg.Fingerprint), cfg.Fingerprint,
+		l.MaxSourceBytes, l.MaxNestDepth, l.MaxSSAValues, l.MaxLoopDepth, l.MaxPhaseSteps, len(cfg.Passes))
 	for _, p := range cfg.Passes {
-		e.fp += p.Name + ","
+		e.fp += fmt.Sprintf("|%d:%s", len(p.Name), p.Name)
 	}
 	return e
 }
@@ -247,7 +281,7 @@ func New(cfg Config) *Engine {
 // error, resource-ceiling hit, or contained internal fault — returns
 // as a *Error identifying the pass.
 func (e *Engine) Analyze(source string) (*State, error) {
-	return e.analyze(source, e.cfg.Obs, e.cfg.Limits)
+	return e.analyze(source, e.cfg.Obs, e.cfg.Limits, false)
 }
 
 // AnalyzeContext is Analyze under a caller's context: when ctx is
@@ -259,13 +293,15 @@ func (e *Engine) Analyze(source string) (*State, error) {
 func (e *Engine) AnalyzeContext(ctx context.Context, source string) (*State, error) {
 	lim := e.cfg.Limits
 	lim.Ctx = ctx
-	return e.analyze(source, e.cfg.Obs, lim)
+	return e.analyze(source, e.cfg.Obs, lim, false)
 }
 
 // analyze is Analyze against an explicit recorder and limits (batch
 // workers substitute their forked recorder and the shared-pool
-// limits).
-func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits) (*State, error) {
+// limits). needLive marks callers that go on to mutate or inspect the
+// object graphs (the optimizer): they must not be answered with a
+// decoded disk artifact or a decoded in-memory entry.
+func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits, needLive bool) (*State, error) {
 	span := rec.Phase("analyze")
 	defer span.End()
 	var start time.Time
@@ -276,7 +312,7 @@ func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits) (*S
 	var key cacheKey
 	if e.cache != nil {
 		key = e.key(source)
-		if st := e.cache.get(key); st != nil {
+		if st := e.cache.get(key); st != nil && !(needLive && st.art != nil) {
 			rec.Count("engine.cache.hit")
 			if e.ins != nil {
 				e.ins.count("engine.cache.hit")
@@ -287,6 +323,22 @@ func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits) (*S
 		rec.Count("engine.cache.miss")
 		if e.ins != nil {
 			e.ins.count("engine.cache.miss")
+		}
+	}
+
+	// Disk tier, fast path: an alias record for this exact source and
+	// fingerprint resolves straight to an artifact — zero passes run.
+	diskRead := e.cfg.Store != nil && !e.cfg.StoreWriteOnly && !needLive
+	if diskRead {
+		if art := e.aliasGet(source, rec); art != nil {
+			st := &State{Source: source, rec: rec, lim: lim, extra: map[string]any{}, art: art}
+			if e.cache != nil {
+				e.cache.put(key, st)
+			}
+			if e.ins != nil {
+				e.ins.record(source, start, time.Since(start), span, nil, true)
+			}
+			return st, nil
 		}
 	}
 
@@ -304,7 +356,10 @@ func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits) (*S
 	if e.ins != nil {
 		mark = time.Since(start)
 	}
-	for _, p := range e.cfg.Passes {
+	var structSum [32]byte
+	var structNames []string
+	haveStruct := false
+	for i, p := range e.cfg.Passes {
 		err := runPass(lim, p, st)
 		if err == nil {
 			// Pass-boundary cancellation check: phases that sleep or do
@@ -333,11 +388,44 @@ func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits) (*S
 			}
 			return nil, err
 		}
+		// Disk tier, structural path: once the source is parsed its
+		// canonical AST hash is known; an entry written for a
+		// formatting- or α-variant of this program answers the run at
+		// the cost of the parse alone. The hash is computed whenever a
+		// store is configured — the write path needs it too.
+		if i == 0 && p.Name == "parse" && e.cfg.Store != nil && st.File != nil {
+			structSum, structNames = codec.StructuralHash(st.File)
+			haveStruct = true
+			if diskRead {
+				if art := e.entryGet(structSum, structNames, rec, "engine.store.hit.struct"); art != nil {
+					// Leave an alias so this exact source skips even the
+					// parse from now on.
+					e.cfg.Store.Put(e.aliasKey(source), codec.EncodeAlias(structSum, structNames))
+					st.art = art
+					st.scratch = nil
+					e.arenas.Put(ar)
+					if e.cache != nil {
+						e.cache.put(key, st)
+					}
+					if e.ins != nil {
+						e.ins.record(source, start, mark, span, nil, true)
+					}
+					return st, nil
+				}
+				rec.Count("engine.store.miss")
+				if e.ins != nil {
+					e.ins.count("engine.store.miss")
+				}
+			}
+		}
 	}
 	// Detach before the state escapes: cached states are shared across
 	// goroutines and must not alias a recycled arena.
 	st.scratch = nil
 	e.arenas.Put(ar)
+	if haveStruct && e.cfg.BuildArtifact != nil {
+		e.diskWrite(st, structSum, structNames, rec)
+	}
 	if e.cache != nil {
 		if evicted := e.cache.put(key, st); evicted > 0 {
 			rec.Add("engine.cache.evict", evicted)
@@ -348,7 +436,8 @@ func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits) (*S
 	}
 	if e.ins != nil {
 		// mark, read at the last pass boundary, doubles as the run's
-		// duration; the cache put between there and here is noise.
+		// duration; the cache put and disk write between there and here
+		// are noise.
 		e.ins.pass("analyze", mark)
 		e.ins.allocs(span)
 		e.ins.record(source, start, mark, span, nil, false)

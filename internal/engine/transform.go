@@ -131,7 +131,7 @@ func (e *Engine) optimize(source string, rec *obs.Recorder, lim guard.Limits) (*
 		start = time.Now()
 	}
 
-	orig, err := e.analyze(source, rec, lim)
+	orig, err := e.analyze(source, rec, lim, true)
 	if err != nil {
 		return nil, err
 	}

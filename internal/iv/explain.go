@@ -246,6 +246,43 @@ func (a *Analysis) ExplainVar(name string) string {
 	return sb.String()
 }
 
+// ExplainKeys enumerates every name ExplainVar has an answer for: for
+// each classified value (loops innermost first, values by SSA id) its
+// SSA name, that name with the version suffix stripped, and the
+// renamer's source-variable record — exactly the names varMatches
+// accepts, first occurrence only. The order is structural: two
+// α-renamed programs yield tables of the same length whose entries
+// correspond position by position, which is what lets the codec align
+// per-key provenance texts between a program and its rename twin.
+func (a *Analysis) ExplainKeys() []string {
+	var keys []string
+	seen := map[string]bool{}
+	add := func(k string) {
+		if k != "" && !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for _, l := range a.Forest.InnerToOuter() {
+		m := a.byLoop[l]
+		vals := make([]*ir.Value, 0, len(m))
+		for v := range m {
+			if v.Name != "" {
+				vals = append(vals, v)
+			}
+		}
+		slices.SortFunc(vals, ir.ByID)
+		for _, v := range vals {
+			add(v.Name)
+			add(strings.TrimRight(v.Name, "0123456789"))
+			if a.SSA != nil {
+				add(a.SSA.VarOf(v))
+			}
+		}
+	}
+	return keys
+}
+
 // varMatches reports whether v is a version of the named variable: an
 // exact SSA-name match ("j2"), the renamer's source-variable record, or
 // the SSA name with its version suffix stripped ("j").

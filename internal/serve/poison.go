@@ -7,10 +7,25 @@ import (
 	"time"
 )
 
-// poisonKey is the content address of a source text.
+// poisonKey is the content address of one poisonable unit of work: the
+// endpoint, the analyzer's options fingerprint, and the source text,
+// all length-separated. The source alone is not enough — a source that
+// faults only under the transform pipeline must poison /v1/optimize
+// without also condemning /v1/analyze for the same text, and two
+// servers with different analysis options do not share faults.
 type poisonKey [sha256.Size]byte
 
-func keyOf(source string) poisonKey { return sha256.Sum256([]byte(source)) }
+func keyOf(endpoint, optFP, source string) poisonKey {
+	h := sha256.New()
+	h.Write([]byte(endpoint))
+	h.Write([]byte{0})
+	h.Write([]byte(optFP))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	var k poisonKey
+	h.Sum(k[:0])
+	return k
+}
 
 // poisonEntry remembers one source that made the engine fault (a
 // contained panic — an analyzer bug, not an input diagnostic).

@@ -4,7 +4,7 @@ import "testing"
 
 func TestPoisonLRUEviction(t *testing.T) {
 	p := newPoison(2)
-	a, b, c := keyOf("A"), keyOf("B"), keyOf("C")
+	a, b, c := keyOf("analyze", "fp", "A"), keyOf("analyze", "fp", "B"), keyOf("analyze", "fp", "C")
 	p.add(a, "iv", "boom")
 	p.add(b, "iv", "boom")
 	if _, ok := p.lookup(b); !ok { // bump B
@@ -26,7 +26,7 @@ func TestPoisonLRUEviction(t *testing.T) {
 
 func TestPoisonRefreshAndOff(t *testing.T) {
 	p := newPoison(1)
-	k := keyOf("X")
+	k := keyOf("analyze", "fp", "X")
 	p.add(k, "iv", "first")
 	p.add(k, "sccp", "second") // refresh in place, no growth
 	if e, ok := p.lookup(k); !ok || e.phase != "sccp" || p.len() != 1 {

@@ -90,6 +90,10 @@ type Server struct {
 	reg    *metrics.Registry
 	adm    *admission
 	poison *poison
+	// optFP is the analyzer options' fingerprint, part of every poison
+	// key: faults are remembered per endpoint and option set, never
+	// shared across them.
+	optFP string
 
 	draining atomic.Bool
 	drainCh  chan struct{} // closed when draining starts
@@ -124,6 +128,7 @@ func New(cfg Config) *Server {
 		reg:     cfg.Options.Metrics,
 		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		poison:  newPoison(cfg.PoisonCapacity),
+		optFP:   cfg.Options.Fingerprint(),
 		drainCh: make(chan struct{}),
 	}
 	return s
@@ -254,7 +259,7 @@ func (s *Server) handle(endpoint string, w http.ResponseWriter, r *http.Request,
 	// work. Injected test faults bypass the cache in both directions
 	// (they would poison legitimate sources).
 	if req.Inject == "" && req.Source != "" {
-		if entry, ok := s.poison.lookup(keyOf(req.Source)); ok {
+		if entry, ok := s.poison.lookup(keyOf(endpoint, s.optFP, req.Source)); ok {
 			s.reg.Inc("serve.poison.hit")
 			s.reply(w, endpoint, start, http.StatusInternalServerError,
 				errorBody{Error: entry.msg, Kind: "fault", Phase: entry.phase, Poisoned: true})
@@ -284,7 +289,7 @@ func (s *Server) handle(endpoint string, w http.ResponseWriter, r *http.Request,
 
 	out, err := fn(ctx, req)
 	if err != nil {
-		status, body := s.classify(req, err)
+		status, body := s.classify(endpoint, req, err)
 		s.reply(w, endpoint, start, status, body)
 		return
 	}
@@ -321,8 +326,9 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request) (*request, *erro
 }
 
 // classify maps an analysis error to its HTTP status and body, and
-// feeds the poison cache on contained faults.
-func (s *Server) classify(req *request, err error) (int, errorBody) {
+// feeds the poison cache on contained faults, keyed by the endpoint
+// the fault happened on.
+func (s *Server) classify(endpoint string, req *request, err error) (int, errorBody) {
 	var ee *beyondiv.Error
 	phase := ""
 	if errors.As(err, &ee) {
@@ -339,7 +345,7 @@ func (s *Server) classify(req *request, err error) (int, errorBody) {
 		// Remember the source so replays are rejected from the cache.
 		s.reg.Inc("serve.err.fault")
 		if req.Inject == "" && req.Source != "" {
-			s.poison.add(keyOf(req.Source), ee.Phase, err.Error())
+			s.poison.add(keyOf(endpoint, s.optFP, req.Source), ee.Phase, err.Error())
 			s.reg.Inc("serve.poison.add")
 		}
 		return http.StatusInternalServerError, errorBody{Error: err.Error(), Kind: "fault", Phase: phase}
@@ -391,7 +397,10 @@ func (s *Server) analyzer(req *request) *beyondiv.Analyzer {
 		return s.an
 	}
 	opts := s.cfg.Options
-	opts.Cache, opts.CacheEntries = nil, 0 // faults must not be masked (or cached)
+	// Faults must not be masked (or cached) — by the in-memory cache or
+	// by the persistent store, either of which could serve a decoded
+	// result without ever reaching the injected phase.
+	opts.Cache, opts.CacheEntries, opts.CacheDir = nil, 0, ""
 	opts.Limits.Inject = guard.PanicIn(req.Inject)
 	return beyondiv.NewAnalyzer(opts)
 }
@@ -502,19 +511,35 @@ type batchEntry struct {
 }
 
 func (s *Server) doBatch(ctx context.Context, req *request) (any, error) {
-	results := s.analyzer(req).AnalyzeAllContext(ctx, req.Sources)
-	out := &batchResponse{Results: make([]batchEntry, len(results))}
-	for i, r := range results {
-		entry := batchEntry{Index: r.Index}
+	out := &batchResponse{Results: make([]batchEntry, len(req.Sources))}
+	// Per-source poison gate: the handle-level gate only sees "source",
+	// so remembered batch crashers are filtered here — answered from the
+	// cache without re-entering the pipeline or failing their batch.
+	run := make([]string, 0, len(req.Sources))
+	runIdx := make([]int, 0, len(req.Sources))
+	for i, src := range req.Sources {
+		if req.Inject == "" {
+			if entry, ok := s.poison.lookup(keyOf("batch", s.optFP, src)); ok {
+				s.reg.Inc("serve.poison.hit")
+				out.Errors++
+				out.Results[i] = batchEntry{Index: i, Error: entry.msg, Kind: "fault", Phase: entry.phase}
+				continue
+			}
+		}
+		run = append(run, src)
+		runIdx = append(runIdx, i)
+	}
+	for j, r := range s.analyzer(req).AnalyzeAllContext(ctx, run) {
+		entry := batchEntry{Index: runIdx[j]}
 		if r.Err != nil {
 			out.Errors++
-			_, body := s.classify(&request{Source: r.Source, Inject: req.Inject}, r.Err)
+			_, body := s.classify("batch", &request{Source: r.Source, Inject: req.Inject}, r.Err)
 			entry.Error, entry.Kind, entry.Phase = body.Error, body.Kind, body.Phase
 		} else {
 			entry.Classification = r.Program.ClassificationReport()
 			entry.Dependences = r.Program.DependenceReport()
 		}
-		out.Results[i] = entry
+		out.Results[runIdx[j]] = entry
 	}
 	return out, nil
 }

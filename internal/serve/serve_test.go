@@ -220,9 +220,47 @@ func TestPoisonCacheAndEviction(t *testing.T) {
 		t.Fatalf("poison len after re-fault = %d, want 2", srv.poison.len())
 	}
 	for _, src := range []string{srcs[0], srcs[2]} {
-		if _, ok := srv.poison.lookup(keyOf(src)); !ok {
+		if _, ok := srv.poison.lookup(keyOf("analyze", srv.optFP, src)); !ok {
 			t.Errorf("source %q fell out of the poison cache", src[len(src)-1:])
 		}
+	}
+}
+
+// TestPoisonScopedToEndpoint: poison keys bind the endpoint (and the
+// analyzer options fingerprint), so a source that faults only under
+// the transform pipeline poisons /v1/optimize without condemning
+// /v1/analyze for the same text. Regression test: keys used to be
+// sha256(source) alone, and one optimize fault made every endpoint
+// serve the source a cached 500.
+func TestPoisonScopedToEndpoint(t *testing.T) {
+	// Shared limits fault in the dce transform pass: optimize crashes,
+	// plain analysis never reaches the phase.
+	srv, base := startServer(t, Config{
+		Options: beyondiv.Options{Limits: guard.Limits{Inject: guard.PanicIn("xform.dce")}},
+	})
+
+	var eb errorBody
+	code, _ := post(t, base, "/v1/optimize", &request{Source: testSrc}, &eb)
+	if code != 500 || eb.Kind != "fault" || eb.Poisoned {
+		t.Fatalf("optimize fault = %d %+v, want fresh 500 fault", code, eb)
+	}
+	// The same source must still analyze: the fault belongs to the
+	// optimize key, not to the source text.
+	var ar analyzeResponse
+	if code, _ := post(t, base, "/v1/analyze", &request{Source: testSrc}, &ar); code != 200 {
+		t.Fatalf("analyze after optimize fault = %d, want 200", code)
+	}
+	if ar.Classification == "" {
+		t.Fatal("analyze after optimize fault returned no classification")
+	}
+	// Replayed optimize is served from the poison cache.
+	var replay errorBody
+	code, _ = post(t, base, "/v1/optimize", &request{Source: testSrc}, &replay)
+	if code != 500 || !replay.Poisoned || replay.Phase != "xform.dce" {
+		t.Fatalf("optimize replay = %d %+v, want poisoned 500 in xform.dce", code, replay)
+	}
+	if got := srv.Registry().Counter("serve.poison.hit"); got != 1 {
+		t.Errorf("serve.poison.hit = %d, want 1", got)
 	}
 }
 
