@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test test-race bench bench-serve bench-incremental bench-smoke repro fuzz-smoke clean
+.PHONY: check build fmt vet test test-race bench bench-par bench-serve bench-incremental bench-smoke repro fuzz-smoke clean
 
 # The full gate: what CI (and every PR) must pass.
 check: build fmt vet test-race
@@ -31,12 +31,19 @@ test-race:
 # and the process-metrics tier's cost (identical analysis loops with
 # and without a registry and flight recorder, plus a snapshot of what
 # the instrumented loop recorded) into BENCH_obs.json.
-bench: bench-serve bench-incremental
+bench: bench-serve bench-incremental bench-par
 	$(GO) test -bench=. -benchmem .
 	BENCH_JSON=BENCH_engine.json $(GO) test -run '^TestEngineBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_hotpath.json $(GO) test -run '^TestHotpathBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_xform.json $(GO) test -run '^TestXformBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_obs.json $(GO) test -count=1 -run '^TestObsBenchArtifact$$' -v .
+
+# Intra-run parallel tier: one large analysis sequential vs Parallel=4,
+# plus the small-program no-regression guard, with gomaxprocs/num_cpu
+# recorded into BENCH_par.json. Speedup assertions only bind on
+# multi-CPU hosts; the artifact is honest either way.
+bench-par:
+	BENCH_JSON=BENCH_par.json $(GO) test -count=1 -run '^TestParBenchArtifact$$' -v .
 
 # Persistent-store scenarios across simulated process restarts: cold
 # corpus analysis vs a 1-of-N-file edit vs a fully warm restart, with

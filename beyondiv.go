@@ -123,6 +123,17 @@ type Options struct {
 	// at most this many sources analyze concurrently (<= 0 means one
 	// worker per available CPU). Single-source Analyze ignores it.
 	Jobs int
+	// Parallel is the intra-run fan-out width: when a single analysis
+	// has enough independent work (sibling loop subtrees for the
+	// classifier, array-reference pairs for the dependence tester), up
+	// to this many workers share it. 0 means one worker per available
+	// CPU; 1 disables the fan-out. Results are bit-identical to the
+	// sequential pipeline either way, so the field stays out of
+	// Fingerprint and parallel and sequential runs share cache entries.
+	// In batch mode the width is divided by the number of concurrent
+	// batch workers (floor 1) unless set explicitly, so batch × intra-run
+	// parallelism does not oversubscribe the machine.
+	Parallel int
 	// CacheEntries, when positive, gives the analyzer a private LRU
 	// result cache of that capacity, keyed by source hash + options
 	// fingerprint: re-analyzing an unchanged source returns the cached
@@ -200,7 +211,8 @@ func NewCache(capacity int) *Cache { return engine.NewCache(capacity) }
 // Fingerprint identifies the option fields that change analysis
 // results, for the content-addressed caches (in-memory, on-disk, and
 // the analysis server's fault-poisoning keys). Obs, Metrics, Flight,
-// Limits, Jobs and the cache fields are excluded: they change how the
+// Limits, Jobs, Parallel and the cache fields are excluded: they
+// change how the
 // pipeline runs (or what it reports about itself), not what it
 // computes (Limits are fingerprinted by the engine itself, since a
 // ceiling changes which sources fail).
@@ -251,6 +263,7 @@ func NewAnalyzer(opts Options) *Analyzer {
 		Flight:         opts.Flight,
 		Limits:         opts.Limits,
 		Jobs:           opts.Jobs,
+		Parallel:       opts.Parallel,
 		Cache:          opts.Cache,
 		CacheEntries:   opts.CacheEntries,
 		Fingerprint:    opts.Fingerprint(),

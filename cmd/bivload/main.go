@@ -9,9 +9,9 @@
 //
 // Usage:
 //
-//	bivload [-d duration] [-jobs n] [-cache n] [-cache-dir dir]
-//	        [-inject phase] [-hold] [-debug-addr addr] [-stats]
-//	        [-trace file] [file|dir ...]
+//	bivload [-d duration] [-jobs n] [-parallel n] [-cache n]
+//	        [-cache-dir dir] [-inject phase] [-hold] [-debug-addr addr]
+//	        [-stats] [-trace file] [file|dir ...]
 //	bivload -addr host:port [-d duration] [-conc n] [-seed n]
 //	        [-inject phase] [-bench-json file]
 //
@@ -29,7 +29,10 @@
 // argument may be a program file, an examples-style .go file (the
 // embedded program is extracted), or a directory walked recursively
 // for such files. Every iteration analyzes the whole corpus as one
-// batch over -jobs workers. -cache gives the analyzer a result cache
+// batch over -jobs workers; -parallel additionally splits each
+// analysis across workers (0, the default, uses one per CPU, divided
+// across the -jobs workers so the two tiers compose instead of
+// oversubscribing). -cache gives the analyzer a result cache
 // of that capacity, turning steady state into cache hits (useful for
 // watching the hit counters move). -inject makes one extra analysis
 // per iteration fail with a contained fault in the named phase, so
@@ -64,11 +67,13 @@ var (
 	benchOut = flag.String("bench-json", "", "write the -addr mode report as JSON to `file` (e.g. BENCH_serve.json)")
 	tel      cliutil.Telemetry
 	cache    cliutil.CacheFlags
+	par      cliutil.ParallelFlag
 )
 
 func main() {
 	tel.RegisterObsFlags()
 	cache.Register()
+	par.Register()
 	cliutil.ParseFlags("bivload")
 	if *addr != "" {
 		chaos()
@@ -84,6 +89,7 @@ func main() {
 
 	opts := beyondiv.Options{Jobs: *jobs, CacheEntries: *cacheN}
 	tel.Apply(&opts)
+	par.Apply(&opts)
 	cache.Apply(&opts, false)
 	// The summary below reads the registry, so run with one even when
 	// no debug server asked for it.

@@ -15,17 +15,20 @@
 //
 // Usage:
 //
-//	bivopt [-apply] [-passes list] [-jobs n] [-no-validate]
-//	       [-cache-dir dir] [-stats] [-trace file] [-jsonl file]
-//	       [-explain var] [-debug-addr addr] [-cpuprofile file]
-//	       [-memprofile file] [file|dir ...]
+//	bivopt [-apply] [-passes list] [-jobs n] [-parallel n]
+//	       [-no-validate] [-cache-dir dir] [-stats] [-trace file]
+//	       [-jsonl file] [-explain var] [-debug-addr addr]
+//	       [-cpuprofile file] [-memprofile file] [file|dir ...]
 //
 // With no arguments, one program is read from standard input; each
 // argument may be a mini-language program, an examples-style .go file
 // (the embedded program is extracted), or a directory walked
 // recursively for such files. Multiple programs run as one batch —
 // concurrently with -jobs > 1 — and report in input order under
-// per-file headers; one failing input does not stop the rest. -passes
+// per-file headers; one failing input does not stop the rest.
+// -parallel additionally splits each analysis across workers (0, the
+// default, uses one per CPU, divided across the -jobs workers when
+// batching); results are identical at every width. -passes
 // selects and orders the -apply pipeline (comma-separated; default
 // "normalize,peel,strength,ivsub,dce"). -stats prints phase timings and
 // pipeline counters to standard error; -trace writes a Chrome
@@ -56,11 +59,13 @@ var (
 	noValidate = flag.Bool("no-validate", false, "skip interpreter translation validation of -apply rewrites")
 	tel        cliutil.Telemetry
 	cache      cliutil.CacheFlags
+	par        cliutil.ParallelFlag
 )
 
 func main() {
 	tel.RegisterObsFlags()
 	cache.Register()
+	par.Register()
 	flag.Parse()
 	srcs, err := cliutil.ReadPrograms(flag.Args())
 	if err != nil {
@@ -75,6 +80,7 @@ func main() {
 		SkipValidation: *noValidate,
 	}
 	tel.Apply(&opts)
+	par.Apply(&opts)
 	// Every bivopt view walks live analysis objects (loop nest, SSA,
 	// dependence graph), which a decoded disk artifact does not carry:
 	// the store is write-only here, warming it for readers that render

@@ -5,16 +5,19 @@
 // Usage:
 //
 //	depclass [-input] [-classes] [-dot] [-pi] [-why] [-jobs n]
-//	         [-cache-dir dir] [-watch] [-stats] [-trace file]
-//	         [-jsonl file] [-explain var] [-debug-addr addr]
-//	         [file|dir ...]
+//	         [-parallel n] [-cache-dir dir] [-watch] [-stats]
+//	         [-trace file] [-jsonl file] [-explain var]
+//	         [-debug-addr addr] [file|dir ...]
 //
 // With no arguments, one program is read from standard input; each
 // argument may be a program file, an examples-style .go file (the
 // embedded program is extracted), or a directory walked recursively
 // for such .go files. Multiple programs are analyzed as one batch —
 // concurrently with -jobs > 1 — and reported in input order under
-// per-file headers; one failing input does not stop the rest. -why
+// per-file headers; one failing input does not stop the rest.
+// -parallel additionally splits each analysis across workers (0, the
+// default, uses one per CPU, divided across the -jobs workers when
+// batching); results are identical at every width. -why
 // prints each dependence's provenance: the paper rule behind its
 // decision procedure and the classification chains of both subscripts.
 //
@@ -46,12 +49,14 @@ var (
 	tel         cliutil.Telemetry
 	cache       cliutil.CacheFlags
 	watch       cliutil.WatchFlags
+	par         cliutil.ParallelFlag
 )
 
 func main() {
 	tel.RegisterObsFlags()
 	cache.Register()
 	watch.Register()
+	par.Register()
 	flag.Parse()
 	if err := tel.Start(); err != nil {
 		fatal(err)
@@ -61,6 +66,7 @@ func main() {
 		Jobs:        *jobs,
 	}
 	tel.Apply(&opts)
+	par.Apply(&opts)
 	// -dot and -pi walk the live dependence graph objects, which a
 	// decoded disk artifact does not carry: keep the store warm but
 	// analyze live.

@@ -29,6 +29,7 @@ import (
 	"beyondiv/internal/iv"
 	"beyondiv/internal/loops"
 	"beyondiv/internal/obs"
+	"beyondiv/internal/obs/metrics"
 	"beyondiv/internal/scratch"
 )
 
@@ -211,6 +212,15 @@ type Options struct {
 	// table reuse never changes results — and never retained by the
 	// returned Result, so a cached Result cannot pin or share an arena.
 	Scratch *scratch.Arena
+	// Workers is the intra-run fan-out width for pair testing: when
+	// above 1 and the pair count clears the work-size threshold, pairs
+	// are tested concurrently and merged back in (a.Order, b.Order)
+	// order, bit-identical to the sequential sweep. Excluded from
+	// Fingerprint.
+	Workers int
+	// Metrics, when non-nil, receives the engine.par.* fan-out
+	// counters. Nil-off; excluded from Fingerprint.
+	Metrics *metrics.Registry
 }
 
 // Fingerprint identifies the option fields that change analysis
@@ -257,14 +267,14 @@ func Analyze(a *iv.Analysis, opts Options) *Result {
 	} else {
 		tester.scr = &dependScratch{}
 	}
+	if testParallel(r, tester, byArray, arrays) {
+		return r
+	}
 	for _, name := range arrays {
 		list := byArray[name]
 		for i := 0; i < len(list); i++ {
 			for j := i; j < len(list); j++ {
-				if i == j && !list[i].Write {
-					continue
-				}
-				if !list[i].Write && !list[j].Write && !opts.IncludeInput {
+				if skipPair(list[i], list[j], i == j, opts) {
 					continue
 				}
 				deps, independent := tester.testPair(list[i], list[j])
@@ -276,6 +286,16 @@ func Analyze(a *iv.Analysis, opts Options) *Result {
 		}
 	}
 	return r
+}
+
+// skipPair is the pair-sweep admission rule shared by the sequential
+// and parallel paths: a read is never paired with itself, and
+// read-read pairs are tested only on request.
+func skipPair(a, b *Access, same bool, opts Options) bool {
+	if same && !a.Write {
+		return true
+	}
+	return !a.Write && !b.Write && !opts.IncludeInput
 }
 
 func (r *Result) collectAccesses() {

@@ -1,0 +1,141 @@
+package depend
+
+import (
+	"beyondiv/internal/obs"
+	"beyondiv/internal/par"
+	"beyondiv/internal/scratch"
+)
+
+// parMinPairs is the work-size threshold of the parallel pair sweep:
+// below this many pairs the fan-out setup (pair materialization,
+// worker testers, recorder forks) outweighs the tests themselves, so
+// small programs always take the allocation-free sequential sweep.
+const parMinPairs = 32
+
+// parChunkPairs is the dispatch grain: workers claim pairs this many
+// at a time, polling cancellation at each chunk boundary.
+const parChunkPairs = 16
+
+// testParallel runs the pair sweep concurrently, returning false
+// (nothing done) when the fan-out is off or under the threshold.
+//
+// Determinism: the coordinator first prewarms, sequentially, every
+// per-access memo the tests share — the postdominator tree, subscript
+// classifications (with wrap-around unwrapping) and iteration forms.
+// Those derivations are the only writes pair testing ever makes to
+// the iv.Analysis (lazy exit-value caching) and to the accesses
+// themselves, and they are observationally silent: no budget steps,
+// no counters, no provenance events, in both paths. After the
+// prewarm, workers only read shared state; each worker owns its own
+// gen-stamped equation scratch (from a pooled arena), its own budget
+// drawing the shared phase sub-pool, and a recorder fork. Per-pair
+// results land in a slot indexed by the canonical pair enumeration —
+// array name, then (a.Order, b.Order) — and merge back in that order,
+// so Deps and Independent come out byte-identical to the sequential
+// sweep.
+func testParallel(r *Result, t *tester, byArray map[string][]*Access, arrays []string) bool {
+	workers := t.opts.Workers
+	if workers <= 1 {
+		return false
+	}
+	n := 0
+	for _, name := range arrays {
+		list := byArray[name]
+		for i := 0; i < len(list); i++ {
+			for j := i; j < len(list); j++ {
+				if !skipPair(list[i], list[j], i == j, t.opts) {
+					n++
+				}
+			}
+		}
+	}
+	if n < parMinPairs {
+		return false
+	}
+
+	type pairJob struct{ a, b *Access }
+	pairs := make([]pairJob, 0, n)
+	for _, name := range arrays {
+		list := byArray[name]
+		for i := 0; i < len(list); i++ {
+			for j := i; j < len(list); j++ {
+				if !skipPair(list[i], list[j], i == j, t.opts) {
+					pairs = append(pairs, pairJob{list[i], list[j]})
+				}
+			}
+		}
+	}
+
+	// Sequential prewarm of everything lazily shared.
+	t.postDom()
+	for _, ac := range r.Accesses {
+		t.subscriptClass(ac)
+		t.formOf(ac, ac.unwrapped)
+	}
+
+	chunks := (n + parChunkPairs - 1) / parChunkPairs
+	if workers > chunks {
+		workers = chunks
+	}
+
+	// Per-worker testers: shared analysis, postdominators and options;
+	// private budget, equation scratch and recorder. Worker 0 reuses
+	// the run's own scratch (idle during the fan-out); the rest draw
+	// arenas from the engine pool and return them when the sweep joins.
+	lim := t.opts.Limits.ShareSteps()
+	pool := t.opts.Scratch.Owner()
+	wts := make([]*tester, workers)
+	extra := make([]*scratch.Arena, workers)
+	defer func() {
+		for _, ar := range extra {
+			pool.Put(ar)
+		}
+	}()
+	for w := range wts {
+		wopts := t.opts
+		wopts.Limits = lim
+		wopts.Scratch = nil
+		wt := &tester{a: t.a, opts: wopts, budget: lim.Budget("depend"), pdom: t.pdom}
+		if w == 0 {
+			wt.scr = t.scr
+		} else {
+			ar := pool.Get() // nil pool yields a free-standing arena
+			if pool != nil {
+				extra[w] = ar
+			}
+			wt.scr = scratch.Get[dependScratch](&ar.Depend)
+		}
+		wts[w] = wt
+	}
+
+	reg := t.opts.Metrics
+	reg.Inc("engine.par.depend.runs")
+	reg.Add("engine.par.depend.pairs", int64(n))
+	reg.SetGauge("engine.par.workers", int64(workers))
+
+	deps := make([][]*Dependence, n)
+	indep := make([]bool, n)
+	par.Run("depend", workers, chunks, t.opts.Obs, func(w int, wrec *obs.Recorder, c int) {
+		wt := wts[w]
+		wt.opts.Obs = wrec
+		if ce := lim.Cancelled("depend"); ce != nil {
+			panic(ce)
+		}
+		lo := c * parChunkPairs
+		hi := lo + parChunkPairs
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			deps[i], indep[i] = wt.testPair(pairs[i].a, pairs[i].b)
+		}
+	})
+
+	for i := range pairs {
+		r.Deps = append(r.Deps, deps[i]...)
+		if indep[i] {
+			r.Independent++
+		}
+	}
+	return true
+}

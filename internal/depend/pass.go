@@ -19,6 +19,8 @@ func Pass(opts Options) engine.Pass {
 		o.Obs = st.Obs()
 		o.Limits = st.Lim()
 		o.Scratch = st.Scratch()
+		o.Workers = st.Par()
+		o.Metrics = st.Metrics()
 		st.Put(ArtifactKey, Analyze(iv.AnalysisOf(st), o))
 		return nil
 	}}

@@ -54,14 +54,42 @@ func (e *Engine) AnalyzeAllContext(ctx context.Context, sources []string) []Item
 	lim.Ctx = ctx
 	defer e.poolGauges(lim.Pool)
 
+	par := e.batchPar(len(sources))
 	items := make([]Item, len(sources))
 	e.fanOut(ctx, len(sources), rec, func(i int, wrec *obs.Recorder) {
-		st, err := e.analyze(sources[i], wrec, lim, false)
+		st, err := e.analyze(sources[i], wrec, lim, par, false)
 		items[i] = Item{Index: i, Source: sources[i], State: st, Err: err}
 	}, func(i int, ce *guard.CancelError) {
 		items[i] = Item{Index: i, Source: sources[i], Err: &Error{Phase: ce.Phase, Err: ce}}
 	})
 	return items
+}
+
+// batchPar is the oversubscription guard between the two concurrency
+// tiers: a batch of n sources runs on up to Config.Jobs workers, and
+// each source may itself fan out over Config.Parallel workers, so the
+// tiers multiply. An auto (Parallel = 0) width is divided by the
+// effective batch worker count — GOMAXPROCS split evenly, never below
+// one — while an explicitly configured width is honored as given.
+func (e *Engine) batchPar(n int) int {
+	if e.cfg.Parallel != 0 {
+		return e.par
+	}
+	jobs := e.cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		return e.par
+	}
+	par := runtime.GOMAXPROCS(0) / jobs
+	if par < 1 {
+		par = 1
+	}
+	return par
 }
 
 // fanOut runs n indexed work items over the engine's bounded worker

@@ -32,8 +32,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/debug"
-	"sync"
 	"time"
 
 	"beyondiv/internal/ast"
@@ -73,6 +73,8 @@ type State struct {
 	extra   map[string]any
 	scratch *scratch.Arena
 	art     *codec.Artifact
+	par     int
+	reg     *metrics.Registry
 }
 
 // Decoded returns the serialized artifact this state was reconstituted
@@ -94,6 +96,19 @@ func (s *State) Lim() guard.Limits { return s.lim }
 // returned, so passes must never stash it in an artifact. Nil on entry
 // paths that run without an engine-owned arena.
 func (s *State) Scratch() *scratch.Arena { return s.scratch }
+
+// Par returns the run's intra-run fan-out width: how many workers a
+// pass may spread its independent work units over. 1 (or 0, on entry
+// paths that never resolved it) means sequential. The engine resolves
+// Config.Parallel once per run — dividing it down in batch mode so
+// batch workers times intra-run workers never oversubscribes the
+// machine.
+func (s *State) Par() int { return s.par }
+
+// Metrics returns the engine's process-lifetime registry (nil when no
+// metrics backend is configured); parallel passes publish their
+// engine.par.* fan-out counters into it.
+func (s *State) Metrics() *metrics.Registry { return s.reg }
 
 // Put stores a contributed pass's artifact under key.
 func (s *State) Put(key string, artifact any) { s.extra[key] = artifact }
@@ -124,7 +139,7 @@ type Pass struct {
 func Frontend() []Pass {
 	return []Pass{
 		{Name: "parse", OwnInject: true, Run: func(st *State) error {
-			file, err := parse.FileGuarded(st.Source, st.rec, st.lim)
+			file, err := parse.FileScratch(st.Source, st.rec, st.lim, st.scratch)
 			if err != nil {
 				return err
 			}
@@ -185,6 +200,15 @@ type Config struct {
 	// Jobs is AnalyzeAll's worker count; <= 0 means one worker per
 	// available CPU, and the pool never exceeds the batch size.
 	Jobs int
+	// Parallel is the intra-run fan-out width: how many workers one
+	// Analyze may spread its per-loop classification and per-pair
+	// dependence tests over. 0 means one worker per available CPU, 1
+	// is the sequential path; either way results are bit-identical.
+	// In batch mode an auto (0) width is divided by the batch worker
+	// count so the two tiers multiply to at most GOMAXPROCS; an
+	// explicit width is honored as given. Parallel deliberately stays
+	// out of the cache fingerprint.
+	Parallel int
 	// Cache, when non-nil, memoizes successful runs content-addressed
 	// by source hash + fingerprint. A cache may be shared by several
 	// engines; differing fingerprints keep their entries apart.
@@ -247,18 +271,25 @@ type Engine struct {
 	cache *Cache
 	fp    string // full cache-key prefix: caller fingerprint + limits + passes
 	ins   *instr // nil unless Metrics or Flight is configured
+	par   int    // resolved Config.Parallel: 0 mapped to GOMAXPROCS
 
-	// arenas recycles scratch arenas across runs: each analyze call
-	// checks one out for the duration of its pass list, so a batch
-	// worker reuses a single arena across its whole source stream.
-	arenas sync.Pool
+	// arenas recycles scratch arenas across runs and workers: each
+	// analyze call checks one out for the duration of its pass list
+	// (so a batch worker reuses a single arena across its whole source
+	// stream), and parallel passes draw extra worker arenas from the
+	// same pool via the run arena's Owner backpointer.
+	arenas *scratch.Pool
 }
 
 // New builds an engine. The configured limits are normalized here —
 // engine entry points never run unguarded.
 func New(cfg Config) *Engine {
 	cfg.Limits = cfg.Limits.Normalize()
-	e := &Engine{cfg: cfg, cache: cfg.Cache, ins: newInstr(&cfg)}
+	e := &Engine{cfg: cfg, cache: cfg.Cache, ins: newInstr(&cfg), arenas: scratch.NewPool()}
+	e.par = cfg.Parallel
+	if e.par <= 0 {
+		e.par = runtime.GOMAXPROCS(0)
+	}
 	if e.cache == nil && cfg.CacheEntries > 0 {
 		e.cache = NewCache(cfg.CacheEntries)
 	}
@@ -281,7 +312,7 @@ func New(cfg Config) *Engine {
 // error, resource-ceiling hit, or contained internal fault — returns
 // as a *Error identifying the pass.
 func (e *Engine) Analyze(source string) (*State, error) {
-	return e.analyze(source, e.cfg.Obs, e.cfg.Limits, false)
+	return e.analyze(source, e.cfg.Obs, e.cfg.Limits, e.par, false)
 }
 
 // AnalyzeContext is Analyze under a caller's context: when ctx is
@@ -293,15 +324,16 @@ func (e *Engine) Analyze(source string) (*State, error) {
 func (e *Engine) AnalyzeContext(ctx context.Context, source string) (*State, error) {
 	lim := e.cfg.Limits
 	lim.Ctx = ctx
-	return e.analyze(source, e.cfg.Obs, lim, false)
+	return e.analyze(source, e.cfg.Obs, lim, e.par, false)
 }
 
 // analyze is Analyze against an explicit recorder and limits (batch
-// workers substitute their forked recorder and the shared-pool
-// limits). needLive marks callers that go on to mutate or inspect the
-// object graphs (the optimizer): they must not be answered with a
-// decoded disk artifact or a decoded in-memory entry.
-func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits, needLive bool) (*State, error) {
+// workers substitute their forked recorder, the shared-pool limits,
+// and a divided-down intra-run width par). needLive marks callers that
+// go on to mutate or inspect the object graphs (the optimizer): they
+// must not be answered with a decoded disk artifact or a decoded
+// in-memory entry.
+func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits, par int, needLive bool) (*State, error) {
 	span := rec.Phase("analyze")
 	defer span.End()
 	var start time.Time
@@ -342,11 +374,11 @@ func (e *Engine) analyze(source string, rec *obs.Recorder, lim guard.Limits, nee
 		}
 	}
 
-	ar, _ := e.arenas.Get().(*scratch.Arena)
-	if ar == nil {
-		ar = &scratch.Arena{}
+	ar := e.arenas.Get()
+	st := &State{Source: source, rec: rec, lim: lim, extra: map[string]any{}, scratch: ar, par: par}
+	if e.ins != nil {
+		st.reg = e.ins.reg
 	}
-	st := &State{Source: source, rec: rec, lim: lim, extra: map[string]any{}, scratch: ar}
 	// Chain cumulative time.Since(start) readings across pass
 	// boundaries: each pass's duration is the delta to the previous
 	// boundary. Since only reads the monotonic clock — measurably

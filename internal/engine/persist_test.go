@@ -247,7 +247,7 @@ func TestDecodedMemEntryUpgraded(t *testing.T) {
 		t.Fatal("expected a decoded state")
 	}
 	// A live-needing analyze bypasses it and re-runs the pipeline...
-	live, err := e.analyze(persistSrc, nil, e.cfg.Limits, true)
+	live, err := e.analyze(persistSrc, nil, e.cfg.Limits, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestDecodedMemEntryUpgraded(t *testing.T) {
 	}
 	// ...and its result replaces the placeholder: the next live call is
 	// a cache hit (same pointer), not another cold run.
-	live2, err := e.analyze(persistSrc, nil, e.cfg.Limits, true)
+	live2, err := e.analyze(persistSrc, nil, e.cfg.Limits, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -131,7 +131,7 @@ func (e *Engine) optimize(source string, rec *obs.Recorder, lim guard.Limits) (*
 		start = time.Now()
 	}
 
-	orig, err := e.analyze(source, rec, lim, true)
+	orig, err := e.analyze(source, rec, lim, e.par, true)
 	if err != nil {
 		return nil, err
 	}
@@ -139,10 +139,7 @@ func (e *Engine) optimize(source string, rec *obs.Recorder, lim guard.Limits) (*
 		return &Optimized{Original: orig, State: orig, Rounds: 0}, nil
 	}
 
-	ar, _ := e.arenas.Get().(*scratch.Arena)
-	if ar == nil {
-		ar = &scratch.Arena{}
-	}
+	ar := e.arenas.Get()
 	extra := make(map[string]any, len(orig.extra))
 	for k, v := range orig.extra {
 		extra[k] = v
@@ -158,6 +155,10 @@ func (e *Engine) optimize(source string, rec *obs.Recorder, lim guard.Limits) (*
 		lim:     lim,
 		extra:   extra,
 		scratch: ar,
+		par:     e.par,
+	}
+	if e.ins != nil {
+		st.reg = e.ins.reg
 	}
 	r := &optimizer{e: e, orig: orig, st: st}
 	out, err := r.run()

@@ -252,9 +252,17 @@ func (b *Budget) Steps(n int64) {
 // Pool is a concurrency-safe shared work budget: a batch of analyses
 // draws every phase step from one pool in addition to the per-phase
 // countdowns, bounding the batch's total work. A nil Pool is unlimited.
+//
+// A pool may chain to a parent pool (NewSubPool): every Take drains
+// both, so a phase that fans out across workers can convert its
+// sequential per-phase countdown into one concurrency-safe sub-pool
+// (see Limits.ShareSteps) while the batch-wide parent ceiling keeps
+// holding.
 type Pool struct {
-	limit int64
-	left  atomic.Int64
+	limit    int64
+	left     atomic.Int64
+	parent   *Pool
+	resource string // LimitError resource label; "" = "shared step pool"
 }
 
 // NewPool returns a pool of total steps. total <= 0 returns nil (no
@@ -268,6 +276,19 @@ func NewPool(total int64) *Pool {
 	return p
 }
 
+// NewSubPool returns a pool of total steps chained to parent: Take
+// drains both, and exhaustion panics with the given resource label so
+// the error text matches whatever sequential countdown the sub-pool
+// replaces. total <= 0 returns the parent unchanged.
+func NewSubPool(parent *Pool, total int64, resource string) *Pool {
+	if total <= 0 {
+		return parent
+	}
+	p := &Pool{limit: total, parent: parent, resource: resource}
+	p.left.Store(total)
+	return p
+}
+
 // Take consumes n steps, panicking with a *LimitError attributed to
 // phase once the pool is exhausted. Safe on a nil pool and for
 // concurrent use.
@@ -276,8 +297,28 @@ func (p *Pool) Take(phase string, n int64) {
 		return
 	}
 	if p.left.Add(-n) < 0 {
-		panic(&LimitError{Phase: phase, Resource: "shared step pool", Limit: p.limit})
+		res := p.resource
+		if res == "" {
+			res = "shared step pool"
+		}
+		panic(&LimitError{Phase: phase, Resource: res, Limit: p.limit})
 	}
+	p.parent.Take(phase, n)
+}
+
+// ShareSteps converts the per-phase step countdown into a
+// concurrency-safe shared ceiling: the returned Limits carry a
+// sub-pool of MaxPhaseSteps steps (chained to any existing Pool, with
+// the "phase steps" resource label so limit errors read the same as
+// the sequential path's) and MaxPhaseSteps zeroed. Budgets built from
+// the result on separate workers then enforce one phase-wide ceiling
+// together instead of giving each worker the full budget.
+func (l Limits) ShareSteps() Limits {
+	if l.MaxPhaseSteps > 0 {
+		l.Pool = NewSubPool(l.Pool, l.MaxPhaseSteps, "phase steps")
+		l.MaxPhaseSteps = 0
+	}
+	return l
 }
 
 // Remaining returns the steps left in the pool, never negative (an

@@ -212,6 +212,15 @@ type Func struct {
 
 	nextValueID int
 	nextBlockID int
+
+	// Slab chunks NewValue/NewBlock carve from: one allocation per
+	// chunk instead of one per node. A full chunk is abandoned for a
+	// larger empty one — never copied, since carved pointers into the
+	// old backing array stay live through Blocks and Values. The slabs
+	// are owned by this Func alone (Clone builds a fresh Func), so they
+	// are never shared or recycled across programs.
+	vslab []Value
+	bslab []Block
 }
 
 // NewFunc returns an empty function.
@@ -219,7 +228,11 @@ func NewFunc() *Func { return &Func{} }
 
 // NewBlock appends a fresh block of the given kind.
 func (f *Func) NewBlock(kind BlockKind) *Block {
-	b := &Block{ID: f.nextBlockID, Kind: kind}
+	if len(f.bslab) == cap(f.bslab) {
+		f.bslab = make([]Block, 0, max(16, 2*cap(f.bslab)))
+	}
+	f.bslab = append(f.bslab, Block{ID: f.nextBlockID, Kind: kind})
+	b := &f.bslab[len(f.bslab)-1]
 	f.nextBlockID++
 	f.Blocks = append(f.Blocks, b)
 	return b
@@ -227,7 +240,11 @@ func (f *Func) NewBlock(kind BlockKind) *Block {
 
 // NewValue appends a fresh value to block b.
 func (f *Func) NewValue(b *Block, op Op, args ...*Value) *Value {
-	v := &Value{ID: f.nextValueID, Op: op, Args: args, Block: b}
+	if len(f.vslab) == cap(f.vslab) {
+		f.vslab = make([]Value, 0, max(64, 2*cap(f.vslab)))
+	}
+	f.vslab = append(f.vslab, Value{ID: f.nextValueID, Op: op, Args: args, Block: b})
+	v := &f.vslab[len(f.vslab)-1]
 	f.nextValueID++
 	b.Values = append(b.Values, v)
 	return v

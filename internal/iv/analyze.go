@@ -66,10 +66,19 @@ type Options struct {
 	// backends of the engine AnalyzeProgramWith builds: per-phase
 	// latency histograms, guard and fault counters, and the
 	// flight-recorder capture of recent runs. Both are nil-off and,
-	// like Obs, excluded from Fingerprint. The classifier itself does
-	// not touch them; they configure the engine.
+	// like Obs, excluded from Fingerprint. The classifier publishes its
+	// engine.par.* fan-out counters into Metrics; otherwise they
+	// configure the engine.
 	Metrics *metrics.Registry
 	Flight  *metrics.Flight
+	// Workers is the intra-run fan-out width for per-loop
+	// classification: sibling subtrees of the loop forest classify
+	// concurrently when Workers > 1 and the program is large enough
+	// (see classifyParallel). 0 or 1 keeps the sequential path. Like
+	// Obs it is excluded from Fingerprint: the parallel path merges
+	// per-subtree results back in deterministic order, so results are
+	// bit-identical whatever the width.
+	Workers int
 }
 
 // Fingerprint identifies the option fields that change analysis
@@ -124,20 +133,11 @@ func AnalyzeWithOptions(info *ssa.Info, forest *loops.Forest, consts *sccp.Resul
 	} else {
 		a.scr = &classifyScratch{}
 	}
-	rec := opts.Obs
-	span := rec.Phase("iv")
-	for _, l := range forest.InnerToOuter() {
-		guard.Check("iv", "loop depth", int64(l.Depth), int64(opts.Limits.MaxLoopDepth))
-		var ls *obs.Span
-		if rec != nil {
-			ls = rec.Phase("loop " + l.Label)
+	span := opts.Obs.Phase("iv")
+	if !a.classifyParallel() {
+		for _, l := range forest.InnerToOuter() {
+			a.classifyLoop(l)
 		}
-		a.analyzeLoop(l)
-		a.trips[l] = a.computeTripCount(l)
-		if a.trips[l] != nil {
-			rec.Count("iv.tripcounts.derived")
-		}
-		ls.End()
 	}
 	span.End()
 	// Detach the arena: the Analysis outlives the run (it is cached and
@@ -145,6 +145,25 @@ func AnalyzeWithOptions(info *ssa.Info, forest *loops.Forest, consts *sccp.Resul
 	a.scr = nil
 	a.opts.Scratch = nil
 	return a
+}
+
+// classifyLoop runs the full per-loop step — depth check,
+// classification, trip count — recording into the analysis's own
+// recorder, so the same body serves the sequential walk and each
+// parallel worker's shard.
+func (a *Analysis) classifyLoop(l *loops.Loop) {
+	guard.Check("iv", "loop depth", int64(l.Depth), int64(a.opts.Limits.MaxLoopDepth))
+	rec := a.opts.Obs
+	var ls *obs.Span
+	if rec != nil {
+		ls = rec.Phase("loop " + l.Label)
+	}
+	a.analyzeLoop(l)
+	a.trips[l] = a.computeTripCount(l)
+	if a.trips[l] != nil {
+		rec.Count("iv.tripcounts.derived")
+	}
+	ls.End()
 }
 
 // Obs returns the recorder the analysis was configured with (nil when

@@ -1,0 +1,147 @@
+package iv
+
+import (
+	"beyondiv/internal/ir"
+	"beyondiv/internal/loops"
+	"beyondiv/internal/obs"
+	"beyondiv/internal/par"
+	"beyondiv/internal/scratch"
+)
+
+// parMinLoops is the work-size threshold of the parallel classifier:
+// below this many loops the per-worker setup (arenas, recorder forks,
+// goroutines) costs more than the classification itself, so small
+// programs always take the sequential path.
+const parMinLoops = 4
+
+// classifyParallel classifies sibling root subtrees of the loop forest
+// concurrently, returning false (nothing done) when the fan-out is off
+// or not worth it. The unit of work is one root subtree: every fact a
+// loop's classification reads lives in its own subtree (inner loops'
+// classifications, trip counts and exit values) or in shared immutable
+// state (SSA, the forest, SCCP constants, the name indexes), so
+// subtrees never observe each other and per-worker result maps merge
+// back disjointly — making the outcome bit-identical to the
+// sequential inner-to-outer walk.
+//
+// Machinery threaded through: each worker draws a scratch arena from
+// the run arena's pool, charges a shared step sub-pool (ShareSteps)
+// so the phase ceiling holds across workers, records into a recorder
+// fork merged back in worker order, and polls cancellation at subtree
+// boundaries.
+func (a *Analysis) classifyParallel() bool {
+	workers := a.opts.Workers
+	roots := a.Forest.Roots
+	if workers <= 1 || len(roots) < 2 || len(a.Forest.Loops) < parMinLoops {
+		return false
+	}
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+
+	// Bucket the classification order by root subtree, keeping each
+	// bucket's internal inner-to-outer order: one flat slice carved by
+	// counted offsets, so bucketing stays O(workers) allocations.
+	order := a.Forest.InnerToOuter()
+	rootIdx := func(l *loops.Loop) int {
+		for l.Parent != nil {
+			l = l.Parent
+		}
+		for i, r := range roots {
+			if r == l {
+				return i
+			}
+		}
+		return 0
+	}
+	offs := make([]int, len(roots)+1)
+	for _, l := range order {
+		offs[rootIdx(l)+1]++
+	}
+	for i := 1; i <= len(roots); i++ {
+		offs[i] += offs[i-1]
+	}
+	flat := make([]*loops.Loop, len(order))
+	fill := make([]int, len(roots))
+	copy(fill, offs[:len(roots)])
+	for _, l := range order {
+		r := rootIdx(l)
+		flat[fill[r]] = l
+		fill[r]++
+	}
+
+	// Per-worker shims: shared immutable inputs and indexes, private
+	// result maps, a budget drawing the shared phase sub-pool, and a
+	// private classifier scratch. Worker 0 reuses the run's own arena
+	// (idle while the fan-out runs); the rest check extra arenas out of
+	// the engine pool and return them, in worker order, when the
+	// fan-out joins — panic or not.
+	lim := a.opts.Limits.ShareSteps()
+	pool := a.opts.Scratch.Owner()
+	was := make([]*Analysis, workers)
+	extra := make([]*scratch.Arena, workers)
+	defer func() {
+		for _, ar := range extra {
+			pool.Put(ar)
+		}
+	}()
+	for w := range was {
+		ar := a.opts.Scratch
+		if w > 0 || ar == nil {
+			ar = pool.Get() // nil pool yields a free-standing arena
+			if pool != nil {
+				extra[w] = ar
+			}
+		}
+		wopts := a.opts
+		wopts.Limits = lim
+		wopts.Scratch = nil
+		wa := &Analysis{
+			SSA:     a.SSA,
+			Forest:  a.Forest,
+			Consts:  a.Consts,
+			opts:    wopts,
+			byLoop:  map[*loops.Loop]map[*ir.Value]*Classification{},
+			trips:   map[*loops.Loop]*TripCount{},
+			exits:   map[*ir.Value]exitInfo{},
+			byName:  a.byName,
+			byLabel: a.byLabel,
+		}
+		wa.budget = lim.Budget("iv")
+		wa.scr = scratch.Get[classifyScratch](&ar.IV)
+		was[w] = wa
+	}
+
+	reg := a.opts.Metrics
+	reg.Inc("engine.par.classify.runs")
+	reg.Add("engine.par.classify.units", int64(len(roots)))
+	reg.SetGauge("engine.par.workers", int64(workers))
+
+	par.Run("iv", workers, len(roots), a.opts.Obs, func(w int, wrec *obs.Recorder, i int) {
+		wa := was[w]
+		wa.opts.Obs = wrec
+		if ce := lim.Cancelled("iv"); ce != nil {
+			panic(ce)
+		}
+		for _, l := range flat[offs[i]:offs[i+1]] {
+			wa.classifyLoop(l)
+		}
+	})
+
+	// Merge the per-worker maps back. Subtrees are disjoint, so this
+	// is a pure union; worker order makes the merge deterministic even
+	// though it could never conflict.
+	for _, wa := range was {
+		wa.scr = nil
+		for l, m := range wa.byLoop {
+			a.byLoop[l] = m
+		}
+		for l, tc := range wa.trips {
+			a.trips[l] = tc
+		}
+		for v, e := range wa.exits {
+			a.exits[v] = e
+		}
+	}
+	return true
+}

@@ -2,6 +2,7 @@ package iv
 
 import (
 	"beyondiv/internal/ir"
+	"beyondiv/internal/matrix"
 	"beyondiv/internal/rational"
 	"beyondiv/internal/scc"
 	"beyondiv/internal/scratch"
@@ -55,6 +56,40 @@ type classifyScratch struct {
 	rngState []uint8
 	growths  []growth
 	grState  []uint8
+
+	// inverses memoizes the solved Vandermonde-style systems of
+	// solveClosedForm, keyed by their full shape. The inverse of a given
+	// system is a pure function of the key, so entries never need
+	// invalidation and persist across loops and runs on the same arena;
+	// a nil entry remembers a singular system. Closed-form fits repeat
+	// the same few shapes constantly, so this turns the per-member
+	// build-invert cycle (~6 allocations) into one vector multiply.
+	inverses map[invKey]*matrix.Matrix
+}
+
+// invKey identifies one closed-form system: sample count, geometric
+// base (0 for pure polynomial fits), and which family builds it.
+type invKey struct {
+	n    int
+	base int64
+	geo  bool
+}
+
+// inverseOf returns the memoized inverse for key, computing it with
+// build on first use. Singular systems memoize as nil.
+func (s *classifyScratch) inverseOf(key invKey, build func() *matrix.Matrix) *matrix.Matrix {
+	if inv, ok := s.inverses[key]; ok {
+		return inv
+	}
+	inv, err := build().Inverse()
+	if err != nil {
+		inv = nil
+	}
+	if s.inverses == nil {
+		s.inverses = make(map[invKey]*matrix.Matrix)
+	}
+	s.inverses[key] = inv
+	return inv
 }
 
 // sizeValueTables readies the value-id-indexed lookup for one loop:

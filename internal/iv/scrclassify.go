@@ -717,22 +717,26 @@ func (ctx *loopCtx) solveClosedForm(head *Classification, series []rational.Rat)
 		return nil
 	}
 	n := len(series)
-	var m *matrix.Matrix
+	var build func() *matrix.Matrix
 	geoBase := int64(0)
 	switch head.Kind {
 	case Polynomial, Linear:
-		m = matrix.Vandermonde(n - 1)
+		build = func() *matrix.Matrix { return matrix.Vandermonde(n - 1) }
 	case Geometric:
 		geoBase = head.Base
-		m = matrix.GeometricVandermonde(n, geoBase)
+		build = func() *matrix.Matrix { return matrix.GeometricVandermonde(n, geoBase) }
 	case Periodic: // flip-flop: base -1 closed form
 		geoBase = -1
-		m = matrix.GeometricVandermonde(n, -1)
+		build = func() *matrix.Matrix { return matrix.GeometricVandermonde(n, -1) }
 	default:
 		return nil
 	}
 	ctx.a.opts.Obs.Count("iv.matrix.solves")
-	coeffs, err := m.Solve(series)
+	inv := ctx.scr.inverseOf(invKey{n: n, base: geoBase, geo: geoBase != 0}, build)
+	if inv == nil {
+		return nil
+	}
+	coeffs, err := inv.MulVec(series)
 	if err != nil {
 		return nil
 	}

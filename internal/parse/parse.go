@@ -28,6 +28,7 @@ import (
 	"beyondiv/internal/guard"
 	"beyondiv/internal/obs"
 	"beyondiv/internal/scan"
+	"beyondiv/internal/scratch"
 	"beyondiv/internal/token"
 )
 
@@ -45,6 +46,11 @@ type parser struct {
 	// limitErr records a hit nesting ceiling; parsing then fast-forwards
 	// to EOF and the error is surfaced once.
 	limitErr *guard.LimitError
+	// slab allocates AST nodes in per-kind chunks; stmtBuf is the
+	// statement stack nested blocks share (each block records its mark,
+	// appends, then carves its statements off the top). See slab.go.
+	slab    nodeSlab
+	stmtBuf []ast.Stmt
 }
 
 // File parses a whole program.
@@ -63,29 +69,48 @@ func FileWithObs(src string, rec *obs.Recorder) (*ast.File, error) {
 // are unchecked. lim.Inject fires on entry to the "scan" and "parse"
 // phases.
 func FileGuarded(src string, rec *obs.Recorder, lim guard.Limits) (*ast.File, error) {
+	return FileScratch(src, rec, lim, nil)
+}
+
+// FileScratch is FileGuarded drawing its reusable buffers — the scan
+// token buffer and the block statement stack — from the run's scratch
+// arena, so a hot caller (the engine) pays for them once instead of
+// per parse. The AST itself is slab-allocated from fresh per-run
+// chunks, never from the arena: it escapes into the cached State. A
+// nil arena allocates locally.
+func FileScratch(src string, rec *obs.Recorder, lim guard.Limits, ar *scratch.Arena) (*ast.File, error) {
 	if lim.MaxSourceBytes > 0 && len(src) > lim.MaxSourceBytes {
 		return nil, &guard.LimitError{Phase: "scan", Resource: "source bytes", Limit: int64(lim.MaxSourceBytes)}
 	}
+	var ps *parseScratch
+	if ar != nil {
+		ps = scratch.Get[parseScratch](&ar.Parse)
+	} else {
+		ps = &parseScratch{}
+	}
 	lim.Inject.Fire("scan")
 	span := rec.Phase("scan")
-	toks, scanErrs := scan.All(src)
+	toks, scanErrs := scan.AllInto(src, ps.toks)
+	ps.toks = toks[:0] // keep the grown capacity for the next run
 	rec.Add("scan.tokens", int64(len(toks)))
 	span.End()
 
 	lim.Inject.Fire("parse")
 	span = rec.Phase("parse")
 	defer span.End()
-	p := &parser{toks: toks, maxDepth: lim.MaxNestDepth}
+	p := &parser{toks: toks, maxDepth: lim.MaxNestDepth, stmtBuf: ps.stmtBuf[:0]}
 	p.errs = append(p.errs, scanErrs...)
 	f := &ast.File{}
 	p.skipSemis()
 	for !p.at(token.EOF) && len(p.errs) < maxErrors && p.limitErr == nil {
 		s := p.stmt()
 		if s != nil {
-			f.Stmts = append(f.Stmts, s)
+			p.stmtBuf = append(p.stmtBuf, s)
 		}
 		p.terminator()
 	}
+	f.Stmts = p.slab.stmtSlice(p.stmtBuf)
+	ps.stmtBuf = p.stmtBuf[:0]
 	rec.Add("parse.stmts", int64(len(f.Stmts)))
 	if p.limitErr != nil {
 		return f, errors.Join(append([]error{p.limitErr}, p.errs...)...)
@@ -163,6 +188,27 @@ func (p *parser) errorf(format string, args ...any) {
 	p.errs = append(p.errs, &token.PosError{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)})
 }
 
+// Slab-backed node constructors for the three expression kinds built
+// all over the grammar; the statement kinds carve inline at their
+// single construction site.
+func (p *parser) newBin(op token.Kind, x, y ast.Expr) *ast.Bin {
+	b := carve(&p.slab.bin)
+	*b = ast.Bin{Op: op, X: x, Y: y}
+	return b
+}
+
+func (p *parser) newIdent(name string, pos token.Pos) *ast.Ident {
+	id := carve(&p.slab.ident)
+	*id = ast.Ident{Name: name, NamePos: pos}
+	return id
+}
+
+func (p *parser) newNum(v int64, pos token.Pos) *ast.Num {
+	n := carve(&p.slab.num)
+	*n = ast.Num{Value: v, ValPos: pos}
+	return n
+}
+
 func (p *parser) skipSemis() {
 	for p.at(token.SEMI) {
 		p.next()
@@ -207,7 +253,9 @@ func (p *parser) stmt() ast.Stmt {
 		return p.ifStmt()
 	case token.EXIT:
 		kw := p.next()
-		return &ast.Exit{KwPos: kw.Pos}
+		e := carve(&p.slab.exit)
+		*e = ast.Exit{KwPos: kw.Pos}
+		return e
 	case token.IDENT:
 		// Either `label: loop-stmt` or an assignment.
 		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == token.COLON {
@@ -241,13 +289,17 @@ func (p *parser) assign() ast.Stmt {
 		p.next()
 		sub := p.expr()
 		p.expect(token.RBRACK)
-		lhs = &ast.Index{Name: id.Lit, NamePos: id.Pos, Sub: sub}
+		ix := carve(&p.slab.index)
+		*ix = ast.Index{Name: id.Lit, NamePos: id.Pos, Sub: sub}
+		lhs = ix
 	} else {
-		lhs = &ast.Ident{Name: id.Lit, NamePos: id.Pos}
+		lhs = p.newIdent(id.Lit, id.Pos)
 	}
 	p.expect(token.ASSIGN)
 	rhs := p.expr()
-	return &ast.Assign{LHS: lhs, RHS: rhs}
+	a := carve(&p.slab.assign)
+	*a = ast.Assign{LHS: lhs, RHS: rhs}
+	return a
 }
 
 func (p *parser) forStmt(label string) ast.Stmt {
@@ -263,26 +315,32 @@ func (p *parser) forStmt(label string) ast.Stmt {
 		step = p.expr()
 	}
 	body := p.block()
-	return &ast.For{
+	f := carve(&p.slab.forS)
+	*f = ast.For{
 		Label: label,
-		Var:   &ast.Ident{Name: id.Lit, NamePos: id.Pos},
+		Var:   p.newIdent(id.Lit, id.Pos),
 		Lo:    lo, Hi: hi, Step: step,
 		Body:  body,
 		KwPos: kw.Pos,
 	}
+	return f
 }
 
 func (p *parser) loopStmt(label string) ast.Stmt {
 	kw := p.expect(token.LOOP)
 	body := p.block()
-	return &ast.Loop{Label: label, Body: body, KwPos: kw.Pos}
+	l := carve(&p.slab.loop)
+	*l = ast.Loop{Label: label, Body: body, KwPos: kw.Pos}
+	return l
 }
 
 func (p *parser) whileStmt(label string) ast.Stmt {
 	kw := p.expect(token.WHILE)
 	cond := p.cond()
 	body := p.block()
-	return &ast.While{Label: label, Cond: cond, Body: body, KwPos: kw.Pos}
+	w := carve(&p.slab.while)
+	*w = ast.While{Label: label, Cond: cond, Body: body, KwPos: kw.Pos}
+	return w
 }
 
 func (p *parser) ifStmt() ast.Stmt {
@@ -294,26 +352,36 @@ func (p *parser) ifStmt() ast.Stmt {
 		p.next()
 		if p.at(token.IF) {
 			nested := p.ifStmt()
-			els = &ast.Block{Stmts: []ast.Stmt{nested}, LPos: nested.Pos()}
+			mark := len(p.stmtBuf)
+			p.stmtBuf = append(p.stmtBuf, nested)
+			els = carve(&p.slab.block)
+			*els = ast.Block{Stmts: p.slab.stmtSlice(p.stmtBuf[mark:]), LPos: nested.Pos()}
+			p.stmtBuf = p.stmtBuf[:mark]
 		} else {
 			els = p.block()
 		}
 	}
-	return &ast.If{Cond: cond, Then: then, Else: els, KwPos: kw.Pos}
+	i := carve(&p.slab.ifS)
+	*i = ast.If{Cond: cond, Then: then, Else: els, KwPos: kw.Pos}
+	return i
 }
 
 func (p *parser) block() *ast.Block {
 	lb := p.expect(token.LBRACE)
-	b := &ast.Block{LPos: lb.Pos}
+	b := carve(&p.slab.block)
+	*b = ast.Block{LPos: lb.Pos}
 	p.skipSemis()
+	mark := len(p.stmtBuf)
 	for !p.at(token.RBRACE) && !p.at(token.EOF) && len(p.errs) < maxErrors {
 		s := p.stmt()
 		if s != nil {
-			b.Stmts = append(b.Stmts, s)
+			p.stmtBuf = append(p.stmtBuf, s)
 		}
 		p.terminator()
 	}
 	p.expect(token.RBRACE)
+	b.Stmts = p.slab.stmtSlice(p.stmtBuf[mark:])
+	p.stmtBuf = p.stmtBuf[:mark]
 	return b
 }
 
@@ -326,7 +394,7 @@ func (p *parser) cond() ast.Expr {
 	}
 	op := p.next().Kind
 	y := p.expr()
-	return &ast.Bin{Op: op, X: x, Y: y}
+	return p.newBin(op, x, y)
 }
 
 func (p *parser) expr() ast.Expr {
@@ -334,7 +402,7 @@ func (p *parser) expr() ast.Expr {
 	for p.at(token.PLUS) || p.at(token.MINUS) {
 		op := p.next().Kind
 		y := p.term()
-		x = &ast.Bin{Op: op, X: x, Y: y}
+		x = p.newBin(op, x, y)
 	}
 	return x
 }
@@ -344,7 +412,7 @@ func (p *parser) term() ast.Expr {
 	for p.at(token.STAR) || p.at(token.SLASH) {
 		op := p.next().Kind
 		y := p.factor()
-		x = &ast.Bin{Op: op, X: x, Y: y}
+		x = p.newBin(op, x, y)
 	}
 	return x
 }
@@ -355,14 +423,14 @@ func (p *parser) factor() ast.Expr {
 	if p.at(token.POW) {
 		p.next()
 		y := p.factor()
-		return &ast.Bin{Op: token.POW, X: x, Y: y}
+		return p.newBin(token.POW, x, y)
 	}
 	return x
 }
 
 func (p *parser) primary() ast.Expr {
 	if !p.enter() {
-		return &ast.Num{Value: 0, ValPos: p.cur().Pos}
+		return p.newNum(0, p.cur().Pos)
 	}
 	defer p.leave()
 	switch p.cur().Kind {
@@ -372,16 +440,18 @@ func (p *parser) primary() ast.Expr {
 		if err != nil && len(p.errs) < maxErrors {
 			p.errs = append(p.errs, &token.PosError{Pos: t.Pos, Msg: err.Error()})
 		}
-		return &ast.Num{Value: v, ValPos: t.Pos}
+		return p.newNum(v, t.Pos)
 	case token.IDENT:
 		t := p.next()
 		if p.at(token.LBRACK) {
 			p.next()
 			sub := p.expr()
 			p.expect(token.RBRACK)
-			return &ast.Index{Name: t.Lit, NamePos: t.Pos, Sub: sub}
+			ix := carve(&p.slab.index)
+			*ix = ast.Index{Name: t.Lit, NamePos: t.Pos, Sub: sub}
+			return ix
 		}
-		return &ast.Ident{Name: t.Lit, NamePos: t.Pos}
+		return p.newIdent(t.Lit, t.Pos)
 	case token.LPAREN:
 		p.next()
 		e := p.expr()
@@ -389,11 +459,13 @@ func (p *parser) primary() ast.Expr {
 		return e
 	case token.MINUS:
 		t := p.next()
-		return &ast.Unary{Op: token.MINUS, X: p.primary(), OpPos: t.Pos}
+		u := carve(&p.slab.unary)
+		*u = ast.Unary{Op: token.MINUS, X: p.primary(), OpPos: t.Pos}
+		return u
 	default:
 		p.errorf("unexpected %s in expression", p.cur())
 		t := p.cur()
 		p.next()
-		return &ast.Num{Value: 0, ValPos: t.Pos}
+		return p.newNum(0, t.Pos)
 	}
 }

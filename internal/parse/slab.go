@@ -1,0 +1,83 @@
+package parse
+
+import (
+	"beyondiv/internal/ast"
+	"beyondiv/internal/token"
+)
+
+// parseScratch is the front end's per-run reusable state, pooled on
+// the engine arena: the scan token buffer and the statement stack that
+// nested blocks share. Both only live for the duration of one parse —
+// tokens alias the source text and statements are carved into the
+// run's own slab before the buffer is popped — so recycling their
+// capacity across runs is safe.
+type parseScratch struct {
+	toks    []token.Token
+	stmtBuf []ast.Stmt
+}
+
+// nodeSlab is the parser's AST node allocator: one chunk per node
+// kind, carved sequentially, with chunks doubled by abandonment (never
+// copied) so previously carved pointers stay valid. The slab is fresh
+// per run — the AST escapes into the cached, shared State, so its
+// backing memory can never be recycled — but it turns one heap
+// allocation per node into one per chunk.
+type nodeSlab struct {
+	bin    []ast.Bin
+	unary  []ast.Unary
+	ident  []ast.Ident
+	num    []ast.Num
+	index  []ast.Index
+	assign []ast.Assign
+	forS   []ast.For
+	loop   []ast.Loop
+	while  []ast.While
+	ifS    []ast.If
+	exit   []ast.Exit
+	block  []ast.Block
+
+	// stmts backs every Block.Stmts (and File.Stmts) slice. Carved
+	// slices are capacity-clamped so an append through one can never
+	// overwrite its neighbor.
+	stmts []ast.Stmt
+}
+
+// carve returns a pointer to a fresh zero-valued node from the chunk,
+// growing by replacing a full chunk with a larger empty one (the full
+// chunk stays alive through the pointers already carved from it).
+func carve[T any](chunk *[]T) *T {
+	s := *chunk
+	if len(s) == cap(s) {
+		n := 2 * cap(s)
+		if n < 8 {
+			n = 8
+		}
+		s = make([]T, 0, n)
+	}
+	s = s[:len(s)+1]
+	*chunk = s
+	return &s[len(s)-1]
+}
+
+// stmtSlice copies one block's statements (the top of the shared
+// statement stack) into the stmts chunk and returns a full-slice-
+// expression-clamped view of them; nil for an empty block.
+func (sl *nodeSlab) stmtSlice(src []ast.Stmt) []ast.Stmt {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	if cap(sl.stmts)-len(sl.stmts) < n {
+		c := 2 * cap(sl.stmts)
+		if c < 16 {
+			c = 16
+		}
+		if c < n {
+			c = n
+		}
+		sl.stmts = make([]ast.Stmt, 0, c)
+	}
+	start := len(sl.stmts)
+	sl.stmts = append(sl.stmts, src...)
+	return sl.stmts[start : start+n : start+n]
+}

@@ -199,6 +199,30 @@ func DerivedChain(k int) string {
 	return sb.String()
 }
 
+// Large returns a program with n independent top-level loops — the
+// parallel tier's benchmark shape. Each loop carries its own linear,
+// derived and polynomial induction variables plus eight affine
+// subscripted accesses to a loop-private array (~26 testable pairs per
+// loop), so both fan-out axes scale with n: the classifier sees n
+// sibling root subtrees and the dependence tester ~26·n pairs, with no
+// work shared between loops.
+func Large(n int) string {
+	var sb strings.Builder
+	for r := 0; r < n; r++ {
+		fmt.Fprintf(&sb, "s%d = 0\nq%d = 1\n", r, r)
+		fmt.Fprintf(&sb, "L%d: for i%d = 1 to 100 {\n", r, r)
+		fmt.Fprintf(&sb, "    s%d = s%d + 2\n", r, r)           // linear
+		fmt.Fprintf(&sb, "    d%d = 3 * i%d + %d\n", r, r, r%5) // derived linear
+		fmt.Fprintf(&sb, "    q%d = q%d + i%d\n", r, r, r)      // quadratic
+		fmt.Fprintf(&sb, "    a%d[i%d] = a%d[i%d + 1] + 1\n", r, r, r, r)
+		fmt.Fprintf(&sb, "    a%d[2 * i%d] = a%d[2 * i%d + 3] + 1\n", r, r, r, r)
+		fmt.Fprintf(&sb, "    a%d[d%d] = a%d[s%d] + 1\n", r, r, r, r)
+		fmt.Fprintf(&sb, "    a%d[3 * i%d + 1] = a%d[q%d] + 1\n", r, r, r, r)
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
 // DepWorkload generates a loop nest whose subscripts exercise the
 // dependence tester's decision paths: affine strides and offsets,
 // wrap-around indices, periodic selectors, monotonic pack indices, and

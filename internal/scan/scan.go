@@ -229,8 +229,16 @@ func (s *Scanner) Next() token.Token {
 
 // All tokenizes the whole input, excluding the trailing EOF.
 func All(src string) ([]token.Token, []error) {
+	return AllInto(src, nil)
+}
+
+// AllInto is All appending into buf (reset to length zero), so a
+// caller that parses many programs can recycle one token buffer
+// instead of regrowing it per run. The returned slice aliases buf's
+// backing array when it fits; token literals alias src either way.
+func AllInto(src string, buf []token.Token) ([]token.Token, []error) {
 	s := New(src)
-	var out []token.Token
+	out := buf[:0]
 	for {
 		t := s.Next()
 		if t.Kind == token.EOF {

@@ -1,0 +1,179 @@
+// Parallel-tier regression tests: the intra-run fan-out must be
+// invisible in results — byte-identical reports and provenance at
+// every width — and near-invisible in allocations (per-worker
+// overhead, not per-loop). CI additionally runs these under -race
+// with GOMAXPROCS=4, turning any cross-worker write into a failure.
+package beyondiv
+
+import (
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"beyondiv/internal/paper"
+	"beyondiv/internal/progen"
+)
+
+// parCorpus is every program the parallel paths are validated on: the
+// full paper corpus plus generated shapes exercising both fan-out axes
+// (many sibling loops for the classifier, many array pairs for the
+// dependence tester) and the work-size thresholds below which the
+// sequential paths must be taken.
+func parCorpus() []string {
+	srcs := []string{
+		progen.Large(2),
+		progen.Large(12),
+		progen.Large(33),
+		progen.MixedClasses(8),
+		progen.NestedLoops(4),
+		progen.StraightLineLoop(64),
+		progen.DepWorkload(3),
+		progen.DepWorkload(11),
+	}
+	for _, p := range paper.Corpus {
+		srcs = append(srcs, p.Source)
+	}
+	return srcs
+}
+
+// explainProbes are variable names whose provenance chains the
+// determinism test compares across widths; names a program does not
+// define explain to the same empty answer on both sides.
+var explainProbes = []string{"i", "j", "k", "s0", "q1", "d11", "w000", "acc"}
+
+// TestParallelMatchesSequential: a Parallel=4 analyzer must produce
+// byte-identical classification reports, dependence reports and
+// provenance renderings to a sequential one on every corpus program —
+// the parallel tier's core contract (DESIGN.md §14).
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := NewAnalyzer(Options{Parallel: 1})
+	par := NewAnalyzer(Options{Parallel: 4})
+	for i, src := range parCorpus() {
+		want, err := seq.Analyze(src)
+		if err != nil {
+			t.Fatalf("src %d: sequential: %v", i, err)
+		}
+		got, err := par.Analyze(src)
+		if err != nil {
+			t.Fatalf("src %d: parallel: %v", i, err)
+		}
+		if g, w := got.ClassificationReport(), want.ClassificationReport(); g != w {
+			t.Errorf("src %d: classification diverges at Parallel=4\n--- sequential ---\n%s\n--- parallel ---\n%s", i, w, g)
+		}
+		if g, w := got.DependenceReport(), want.DependenceReport(); g != w {
+			t.Errorf("src %d: dependences diverge at Parallel=4\n--- sequential ---\n%s\n--- parallel ---\n%s", i, w, g)
+		}
+		if g, w := got.ExplainAllDeps(), want.ExplainAllDeps(); g != w {
+			t.Errorf("src %d: dependence provenance diverges at Parallel=4", i)
+		}
+		for _, name := range explainProbes {
+			if g, w := got.Explain(name), want.Explain(name); g != w {
+				t.Errorf("src %d: Explain(%q) diverges at Parallel=4\n--- sequential ---\n%s\n--- parallel ---\n%s", i, name, w, g)
+			}
+		}
+	}
+}
+
+// TestParallelAllocOverhead pins the parallel path's allocation
+// overhead: per-worker setup (testers, forked recorders, budgets,
+// arenas) plus the materialized pair list and result slots, with a
+// small per-loop term from the worker-local result maps the merge
+// unions back (duplicated map buckets, never duplicated results). The
+// measured overhead is ~440 allocs at Large(16) and ~990 at Large(48)
+// — about 1.5% of the run — and the ~2× bound fails loudly if per-pair
+// or per-value heap churn creeps into the fan-out.
+func TestParallelAllocOverhead(t *testing.T) {
+	// A GC cycle mid-measurement drops the engine's pooled worker
+	// arenas (sync.Pool), and the refilled arenas re-grow their scratch
+	// tables — noise proportional to program size that has nothing to
+	// do with the fan-out's own behavior. Measure steady state instead.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for _, n := range []int{12, 36} {
+		src := progen.Large(n)
+		seqAn := NewAnalyzer(Options{Parallel: 1})
+		parAn := NewAnalyzer(Options{Parallel: 4})
+		run := func(an *Analyzer) float64 {
+			if _, err := an.Analyze(src); err != nil { // warm the arena
+				t.Fatal(err)
+			}
+			return testing.AllocsPerRun(5, func() {
+				if _, err := an.Analyze(src); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+		seq, par := run(seqAn), run(parAn)
+		overhead := par - seq
+		bound := float64(800 + 25*n)
+		if raceEnabled {
+			// The race detector allocates shadow state on the parallel
+			// path (goroutine launches, sync on the fan-out's channels
+			// and atomics) roughly in proportion to the fanned-out work,
+			// so the tight production bound triples under -race; the run
+			// still referees that overhead stays O(workers + loops), not
+			// O(pairs) or O(values).
+			bound *= 3
+		}
+		if overhead > bound {
+			t.Errorf("Large(%d): parallel overhead %.0f allocs (seq %.0f, par %.0f), want ≤ %.0f",
+				n, overhead, seq, par, bound)
+		}
+		t.Logf("Large(%d): seq %.0f, par %.0f allocs per run (overhead %.0f, bound %.0f)", n, seq, par, overhead, bound)
+	}
+}
+
+// TestColdAnalyzeBudget pins the post-squeeze cold-analysis cost on the
+// paper's E6: the full uncached pipeline must stay within 400
+// allocations, and — timing being load-sensitive, checked only without
+// the race detector — within 100µs per run at its best.
+func TestColdAnalyzeBudget(t *testing.T) {
+	src := paper.ByID("E6").Source
+	an := NewAnalyzer(Options{})
+	if _, err := an.Analyze(src); err != nil { // warm the arena
+		t.Fatal(err)
+	}
+	// Steady state: a GC mid-measurement drops the pooled arena and the
+	// refill's table growth would be charged to one unlucky run.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := an.Analyze(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	allocBound := 400.0
+	if raceEnabled {
+		// Race-detector shadow allocations inflate the count by ~20%;
+		// the production bound is the non-race number.
+		allocBound *= 1.5
+	}
+	if allocs > allocBound {
+		t.Errorf("cold Analyze(E6) = %.0f allocs per run, want ≤ %.0f", allocs, allocBound)
+	}
+
+	if raceEnabled {
+		t.Logf("%.0f allocs per run (bound %.0f); timing check skipped under -race", allocs, allocBound)
+		return
+	}
+	const nsBound = 100_000
+	best := time.Duration(1 << 62)
+	for attempt := 0; attempt < 5; attempt++ {
+		const iters = 50
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := an.Analyze(src); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := time.Since(start) / iters; d < best {
+			best = d
+		}
+		if best.Nanoseconds() <= nsBound {
+			break
+		}
+	}
+	if best.Nanoseconds() > nsBound {
+		t.Errorf("cold Analyze(E6) best of 5 = %v per run, want ≤ %v", best, time.Duration(nsBound))
+	}
+	t.Logf("%.0f allocs per run (bound %.0f), best %v per run (bound %v)",
+		allocs, allocBound, best, time.Duration(nsBound))
+}

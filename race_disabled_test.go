@@ -1,0 +1,7 @@
+//go:build !race
+
+package beyondiv
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose 5–20× slowdown makes wall-clock budgets meaningless.
+const raceEnabled = false
