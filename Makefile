@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test test-race bench bench-par bench-serve bench-incremental bench-smoke repro fuzz-smoke clean
+.PHONY: check build fmt vet test test-race bench bench-par bench-restructure bench-serve bench-incremental bench-smoke repro fuzz-smoke clean
 
 # The full gate: what CI (and every PR) must pass.
 check: build fmt vet test-race
@@ -31,7 +31,7 @@ test-race:
 # and the process-metrics tier's cost (identical analysis loops with
 # and without a registry and flight recorder, plus a snapshot of what
 # the instrumented loop recorded) into BENCH_obs.json.
-bench: bench-serve bench-incremental bench-par
+bench: bench-serve bench-incremental bench-par bench-restructure
 	$(GO) test -bench=. -benchmem .
 	BENCH_JSON=BENCH_engine.json $(GO) test -run '^TestEngineBenchArtifact$$' -v .
 	BENCH_JSON=BENCH_hotpath.json $(GO) test -run '^TestHotpathBenchArtifact$$' -v .
@@ -44,6 +44,14 @@ bench: bench-serve bench-incremental bench-par
 # multi-CPU hosts; the artifact is honest either way.
 bench-par:
 	BENCH_JSON=BENCH_par.json $(GO) test -count=1 -run '^TestParBenchArtifact$$' -v .
+
+# Restructuring payoff: the relaxation stencil and the interchanged
+# column stencil executed sequentially vs chunked across 4 workers,
+# with the pipeline first asserted to prove the marks being exploited.
+# Timings and speedups land in BENCH_restructure.json; the speedup
+# floor only binds on 4+ CPU hosts (skipped, never faked, on fewer).
+bench-restructure:
+	BENCH_JSON=BENCH_restructure.json $(GO) test -count=1 -run '^TestRestructureBenchArtifact$$' -v .
 
 # Persistent-store scenarios across simulated process restarts: cold
 # corpus analysis vs a 1-of-N-file edit vs a fully warm restart, with

@@ -408,10 +408,11 @@ L1: for i = 1 to 40 {
 	}
 	r := depend.Analyze(a, depend.Options{})
 	l := a.LoopByLabel("L1")
+	var scr depend.PiScratch
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		depend.PiBlocks(r, l)
+		depend.PiBlocksScratch(r, l, &scr)
 	}
 }
 

@@ -394,6 +394,10 @@ type OptimizeResult struct {
 	// Validations counts the interpreter replays that checked the
 	// transformed program against the original.
 	Validations int
+	// ParallelLoops lists the effective labels of loops the parmark pass
+	// proved parallel (sorted). Each survived a chunked-vs-sequential
+	// execution check; interp.RunASTParallel honors the marks.
+	ParallelLoops []string
 }
 
 // Optimize analyzes one source (through the cache, when configured) and
@@ -466,12 +470,13 @@ func (a *Analyzer) OptimizeAll(sources []string) []OptimizeBatchResult {
 
 func optimizeResultOf(res *engine.Optimized) *OptimizeResult {
 	return &OptimizeResult{
-		Program:     programOf(res.State),
-		Original:    programOf(res.Original),
-		Stats:       res.Stats,
-		Rounds:      res.Rounds,
-		Rewrites:    res.Rewrites,
-		Validations: res.Validations,
+		Program:       programOf(res.State),
+		Original:      programOf(res.Original),
+		Stats:         res.Stats,
+		Rounds:        res.Rounds,
+		Rewrites:      res.Rewrites,
+		Validations:   res.Validations,
+		ParallelLoops: res.ParallelLoops,
 	}
 }
 

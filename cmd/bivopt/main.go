@@ -216,10 +216,17 @@ func renderApplied(r *beyondiv.OptimizeResult) {
 		return
 	}
 	for _, s := range r.Stats {
-		fmt.Printf("round %d: %-9s %d rewrites\n", s.Round, s.Name, s.Rewrites)
+		fmt.Printf("round %d: %-11s %d rewrites\n", s.Round, s.Name, s.Rewrites)
 	}
 	fmt.Printf("%d rewrites in %d rounds; %d translation validations passed\n",
 		r.Rewrites, r.Rounds, r.Validations)
+	if len(r.ParallelLoops) > 0 {
+		how := "chunked execution validated against sequential"
+		if r.Validations == 0 {
+			how = "validation skipped: marks trusted"
+		}
+		fmt.Printf("marked parallel: %s (%s)\n", strings.Join(r.ParallelLoops, ", "), how)
+	}
 
 	before := countMuls(r.Original.SSA)
 	after := countMuls(r.Program.SSA)

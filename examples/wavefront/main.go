@@ -70,7 +70,7 @@ func main() {
 	}
 	fmt.Printf("unimodular transformation (skew, then interchange): %s\n", tm)
 	for _, d := range dists {
-		td := tm.Apply(d)
+		td, _ := tm.Apply(d)
 		fmt.Printf("  %v -> %v", d, td)
 		if td[0] > 0 {
 			fmt.Printf("   carried by the new outer loop only\n")

@@ -1,0 +1,51 @@
+package cfgbuild
+
+import (
+	"fmt"
+
+	"beyondiv/internal/ast"
+)
+
+// ForLabels returns the effective label of every counted for-loop in the
+// file: the explicit source label, or the "L<n>" the builder synthesizes.
+// The numbering replicates builder.label exactly — every loop statement
+// (for, loop, while) bumps the counter, in build (pre-order) order — so
+// analysis results keyed by loop label map back onto AST nodes even for
+// unlabeled loops. This is the single definition of that correspondence;
+// the transform passes and the parallel interpreter both rely on it.
+func ForLabels(file *ast.File) map[*ast.For]string {
+	byNode := map[*ast.For]string{}
+	nextLabel := 0
+	assign := func(explicit string) string {
+		nextLabel++
+		if explicit != "" {
+			return explicit
+		}
+		return fmt.Sprintf("L%d", nextLabel)
+	}
+	var number func(list []ast.Stmt)
+	number = func(list []ast.Stmt) {
+		for _, s := range list {
+			switch v := s.(type) {
+			case *ast.For:
+				byNode[v] = assign(v.Label)
+				number(v.Body.Stmts)
+			case *ast.Loop:
+				assign(v.Label)
+				number(v.Body.Stmts)
+			case *ast.While:
+				assign(v.Label)
+				number(v.Body.Stmts)
+			case *ast.If:
+				number(v.Then.Stmts)
+				if v.Else != nil {
+					number(v.Else.Stmts)
+				}
+			case *ast.Block:
+				number(v.Stmts)
+			}
+		}
+	}
+	number(file.Stmts)
+	return byNode
+}

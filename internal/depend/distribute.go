@@ -1,7 +1,7 @@
 package depend
 
 import (
-	"sort"
+	"slices"
 
 	"beyondiv/internal/ir"
 	"beyondiv/internal/loops"
@@ -35,75 +35,135 @@ type PiBlock struct {
 	Cyclic bool
 }
 
+// PiScratch is caller-owned working storage for PiBlocksScratch. The
+// value-indexed tables are gen-stamped: entries are live only while
+// their stamp matches, so reuse across calls is a counter bump, not a
+// clear, and a table recycled from another function's run can never
+// leak slice membership.
+type PiScratch struct {
+	// memberGen stamps members[id] as valid for the current call;
+	// members[id] lists the units whose backward slice contains value
+	// id, appended in unit order (so it is always sorted).
+	memberGen []uint32
+	members   [][]int32
+	callGen   uint32
+
+	// visitGen stamps one backward-slice walk (bumped per unit).
+	visitGen []uint32
+	walkGen  uint32
+
+	stores  []*ir.Value
+	edges   []bool // n×n adjacency matrix, rebuilt per call
+	succOff []int32
+	succBuf []int // flat successor lists; frames alias subslices, so one buffer
+	scc     scc.Scratch
+}
+
+func (s *PiScratch) grow(n int) {
+	if n <= len(s.memberGen) {
+		return
+	}
+	if n < 2*len(s.memberGen) {
+		n = 2 * len(s.memberGen)
+	}
+	memberGen := make([]uint32, n)
+	members := make([][]int32, n)
+	visitGen := make([]uint32, n)
+	copy(memberGen, s.memberGen)
+	copy(members, s.members)
+	copy(visitGen, s.visitGen)
+	s.memberGen, s.members, s.visitGen = memberGen, members, visitGen
+}
+
+// unitsOf returns the units whose slice contains v, valid for this call.
+func (s *PiScratch) unitsOf(v *ir.Value) []int32 {
+	if v.ID >= len(s.memberGen) || s.memberGen[v.ID] != s.callGen {
+		return nil
+	}
+	return s.members[v.ID]
+}
+
 // PiBlocks partitions loop l's stores into π-blocks, returned in a
 // legal execution order (every dependence points forward or stays
 // within a block).
 func PiBlocks(r *Result, l *loops.Loop) []PiBlock {
+	return PiBlocksScratch(r, l, &PiScratch{})
+}
+
+// PiBlocksScratch is PiBlocks with caller-owned working storage, for
+// hot paths that partition many loops (the reporting layer walks every
+// loop of every corpus program). The returned PiBlock.Stores slices are
+// freshly allocated and remain valid; only s's internals are recycled.
+func PiBlocksScratch(r *Result, l *loops.Loop, s *PiScratch) []PiBlock {
 	f := r.Analysis.SSA.Func
 
-	// Units: the stores inside l, in program order.
-	var stores []*ir.Value
-	for _, b := range f.Blocks {
-		if !l.Contains(b) {
-			continue
-		}
+	// Units: the stores inside l, in program order (value IDs are minted
+	// in program order, so sorting by ID restores it regardless of the
+	// block iteration order).
+	stores := s.stores[:0]
+	for _, b := range l.Blocks {
 		for _, v := range b.Values {
 			if v.Op == ir.OpStoreElem {
 				stores = append(stores, v)
 			}
 		}
 	}
+	s.stores = stores
 	if len(stores) == 0 {
 		return nil
 	}
-	unitOf := map[*ir.Value]int{}
-	for i, st := range stores {
-		unitOf[st] = i
-	}
+	slices.SortFunc(stores, ir.ByID)
 
-	// Backward slices, restricted to values inside l.
-	slices := make([]map[*ir.Value]bool, len(stores))
+	s.grow(f.NumValues())
+	s.callGen++
+
+	// Backward slices, restricted to values inside l. Walk iteratively
+	// with the touched-stack doubling as the DFS stack.
 	for i, st := range stores {
-		slices[i] = map[*ir.Value]bool{}
-		var walk func(v *ir.Value)
-		walk = func(v *ir.Value) {
-			if slices[i][v] || !l.ContainsValue(v) {
-				return
+		s.walkGen++
+		stack := []*ir.Value{st}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v.ID < len(s.visitGen) && s.visitGen[v.ID] == s.walkGen {
+				continue
 			}
-			slices[i][v] = true
+			if !l.ContainsValue(v) {
+				continue
+			}
+			if v.ID >= len(s.visitGen) {
+				s.grow(v.ID + 1)
+			}
+			s.visitGen[v.ID] = s.walkGen
+			if s.memberGen[v.ID] != s.callGen {
+				s.memberGen[v.ID] = s.callGen
+				s.members[v.ID] = s.members[v.ID][:0]
+			}
+			s.members[v.ID] = append(s.members[v.ID], int32(i))
 			// A header φ is what the unit *reads this iteration*; its
 			// carried argument belongs to whoever computes it (the
 			// producer/consumer edges below), not to this slice —
 			// walking through it would drag the whole recurrence,
 			// including the loop counter's latch, into every unit.
 			if v.Op == ir.OpPhi && v.Block == l.Header {
-				return
+				continue
 			}
-			for _, a := range v.Args {
-				walk(a)
-			}
+			stack = append(stack, v.Args...)
 		}
-		walk(st)
 	}
-	inSlice := func(unit int, v *ir.Value) bool { return slices[unit][v] }
 
-	// Edges.
-	edges := make([]map[int]bool, len(stores))
-	for i := range edges {
-		edges[i] = map[int]bool{}
+	// Edges, as a dense n×n matrix.
+	n := len(stores)
+	if cap(s.edges) < n*n {
+		s.edges = make([]bool, n*n)
 	}
-	addEdge := func(a, b int) { edges[a][b] = true }
+	edges := s.edges[:n*n]
+	for i := range edges {
+		edges[i] = false
+	}
+	addEdge := func(a, b int32) { edges[int(a)*n+int(b)] = true }
 
 	// Memory dependences: src unit(s) -> dst unit(s).
-	unitsTouching := func(v *ir.Value) []int {
-		var out []int
-		for i := range stores {
-			if inSlice(i, v) {
-				out = append(out, i)
-			}
-		}
-		return out
-	}
 	for _, d := range r.Deps {
 		if d.Kind == Input {
 			continue
@@ -111,8 +171,8 @@ func PiBlocks(r *Result, l *loops.Loop) []PiBlock {
 		if !insideLoop(l, d.Src) || !insideLoop(l, d.Dst) {
 			continue
 		}
-		for _, a := range unitsTouching(d.Src.Value) {
-			for _, b := range unitsTouching(d.Dst.Value) {
+		for _, a := range s.unitsOf(d.Src.Value) {
+			for _, b := range s.unitsOf(d.Dst.Value) {
 				addEdge(a, b)
 			}
 		}
@@ -124,44 +184,50 @@ func PiBlocks(r *Result, l *loops.Loop) []PiBlock {
 			continue
 		}
 		_, carried := headerPhiSplit(l, v)
-		var producers, consumers []int
-		for i := range stores {
-			if inSlice(i, v) {
-				consumers = append(consumers, i)
-			}
-			for _, c := range carried {
-				if inSlice(i, c) {
-					producers = append(producers, i)
-					break
+		consumers := s.unitsOf(v)
+		for _, c := range carried {
+			for _, p := range s.unitsOf(c) {
+				for _, q := range consumers {
+					addEdge(p, q)
 				}
-			}
-		}
-		for _, p := range producers {
-			for _, c := range consumers {
-				addEdge(p, c)
 			}
 		}
 	}
 
+	// Flatten the matrix into offset-indexed successor lists (rows scan
+	// ascending, so each list is already sorted and duplicate-free).
+	// Tarjan's frames hold succ results live across nested descents, so
+	// the lists must be stable subslices of one buffer, not a reused row.
+	if cap(s.succOff) < n+1 {
+		s.succOff = make([]int32, n+1)
+	}
+	succOff := s.succOff[:n+1]
+	succBuf := s.succBuf[:0]
+	for i := 0; i < n; i++ {
+		succOff[i] = int32(len(succBuf))
+		for j := 0; j < n; j++ {
+			if edges[i*n+j] {
+				succBuf = append(succBuf, j)
+			}
+		}
+	}
+	succOff[n] = int32(len(succBuf))
+	s.succBuf = succBuf
+
 	// π-blocks: SCCs, popped successors-first; reverse for execution
 	// order (sources before sinks).
-	comps := scc.Components(len(stores), func(i int) []int {
-		out := make([]int, 0, len(edges[i]))
-		for j := range edges[i] {
-			out = append(out, j)
-		}
-		sort.Ints(out)
-		return out
-	})
+	comps := scc.ComponentsScratch(n, func(i int) []int {
+		return succBuf[succOff[i]:succOff[i+1]]
+	}, &s.scc)
 	var blocks []PiBlock
 	for i := len(comps) - 1; i >= 0; i-- {
 		comp := comps[i]
-		sort.Ints(comp)
-		pb := PiBlock{}
+		slices.Sort(comp)
+		pb := PiBlock{Stores: make([]*ir.Value, 0, len(comp))}
 		for _, u := range comp {
 			pb.Stores = append(pb.Stores, stores[u])
 		}
-		pb.Cyclic = len(comp) > 1 || edges[comp[0]][comp[0]]
+		pb.Cyclic = len(comp) > 1 || edges[comp[0]*n+comp[0]]
 		blocks = append(blocks, pb)
 	}
 	return blocks

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"beyondiv/internal/loops"
+	"beyondiv/internal/safemath"
 )
 
 // This file implements the transformation legality questions §6 says the
@@ -106,12 +107,20 @@ func (t Unimodular2) Mul(u Unimodular2) Unimodular2 {
 // Det returns the determinant; ±1 for a unimodular matrix.
 func (t Unimodular2) Det() int64 { return t[0][0]*t[1][1] - t[0][1]*t[1][0] }
 
-// Apply transforms a distance vector.
-func (t Unimodular2) Apply(d [2]int64) [2]int64 {
-	return [2]int64{
-		t[0][0]*d[0] + t[0][1]*d[1],
-		t[1][0]*d[0] + t[1][1]*d[1],
+// Apply transforms a distance vector. ok is false when a product or sum
+// overflows int64; legality judged from a wrapped vector would be
+// meaningless, so callers must treat overflow as "cannot prove legal".
+func (t Unimodular2) Apply(d [2]int64) (out [2]int64, ok bool) {
+	for i := 0; i < 2; i++ {
+		a, okA := safemath.Mul(t[i][0], d[0])
+		b, okB := safemath.Mul(t[i][1], d[1])
+		s, okS := safemath.Add(a, b)
+		if !okA || !okB || !okS {
+			return [2]int64{}, false
+		}
+		out[i] = s
 	}
+	return out, true
 }
 
 // String renders the matrix on one line.
@@ -158,10 +167,12 @@ func DistanceVectors2(r *Result, outer, inner *loops.Loop) (out [][2]int64, ok b
 }
 
 // UnimodularLegal reports whether T keeps every distance vector
-// lexicographically nonnegative.
+// lexicographically nonnegative. A transformed vector that overflows
+// int64 is conservatively illegal.
 func UnimodularLegal(t Unimodular2, dists [][2]int64) bool {
 	for _, d := range dists {
-		if !lexPositive(t.Apply(d)) {
+		td, ok := t.Apply(d)
+		if !ok || !lexPositive(td) {
 			return false
 		}
 	}

@@ -1,0 +1,126 @@
+// Edge cases of the unimodular legality machinery: empty distance
+// lists, int64 overflow at the safemath boundaries, and the §6.1
+// regression where loop normalization manufactures an
+// interchange-illegal (<,>) dependence out of a legal nest.
+package depend
+
+import (
+	"math"
+	"testing"
+)
+
+// TestUnimodularLegalEmptyDistances: no dependences constrain nothing —
+// every transformation of an empty list is legal, and the skew search
+// returns the identity-cost f=0 interchange immediately.
+func TestUnimodularLegalEmptyDistances(t *testing.T) {
+	if !UnimodularLegal(Interchange, nil) {
+		t.Error("interchange of a dependence-free nest must be legal")
+	}
+	if !UnimodularLegal(Skew(3), [][2]int64{}) {
+		t.Error("skew of a dependence-free nest must be legal")
+	}
+	tm, ok := FindSkewedInterchange(nil, 8)
+	if !ok || tm != Interchange {
+		t.Errorf("skew search on no constraints = %v (%v), want plain interchange", tm, ok)
+	}
+}
+
+// TestApplyOverflowBoundaries: products and sums that cross the int64
+// range must report !ok, and values that just fit must not.
+func TestApplyOverflowBoundaries(t *testing.T) {
+	// Sum overflow: both components at MaxInt64 under a skew that adds
+	// them.
+	if _, ok := Skew(1).Apply([2]int64{math.MaxInt64, math.MaxInt64}); ok {
+		t.Error("MaxInt64 + MaxInt64 must overflow")
+	}
+	// Product overflow: a large skew factor times a large distance.
+	if _, ok := Skew(math.MaxInt64).Apply([2]int64{2, 0}); ok {
+		t.Error("MaxInt64 * 2 must overflow")
+	}
+	// Exactly representable: MaxInt64 * 1 + 0.
+	got, ok := Skew(1).Apply([2]int64{math.MaxInt64, 0})
+	if !ok || got != [2]int64{math.MaxInt64, math.MaxInt64} {
+		t.Errorf("Apply at the boundary = %v (%v), want exact (MaxInt64, MaxInt64)", got, ok)
+	}
+	// MinInt64 negation path: interchange just permutes, so it stays
+	// representable...
+	got, ok = Interchange.Apply([2]int64{math.MinInt64, 1})
+	if !ok || got != [2]int64{1, math.MinInt64} {
+		t.Errorf("interchange of MinInt64 = %v (%v)", got, ok)
+	}
+	// ...but a skew adding to it overflows downward.
+	if _, ok := Skew(-1).Apply([2]int64{math.MaxInt64, math.MinInt64}); ok {
+		t.Error("MinInt64 - MaxInt64 must overflow")
+	}
+}
+
+// TestUnimodularLegalOverflowConservative: a wrapped transformed vector
+// could look lexicographically positive; legality must reject instead
+// of trusting it.
+func TestUnimodularLegalOverflowConservative(t *testing.T) {
+	dists := [][2]int64{{math.MaxInt64, math.MaxInt64}}
+	if UnimodularLegal(Skew(1), dists) {
+		t.Error("overflowing transformation must be conservatively illegal")
+	}
+	// The same matrix stays legal for ordinary distances.
+	if !UnimodularLegal(Skew(1), [][2]int64{{1, -1}}) {
+		t.Error("skew-by-1 of (1,-1) is (1,0): legal")
+	}
+	// And the search must skip overflowing factors, not crash on them:
+	// for (MaxInt64, MinInt64), f=0 flips to lex-negative, f=1 sums to
+	// -1, and every f ≥ 2 overflows the product — no legal repair.
+	if tm, ok := FindSkewedInterchange([][2]int64{{math.MaxInt64, math.MinInt64}}, 8); ok {
+		t.Errorf("search accepted %v; every factor is illegal or overflows", tm)
+	}
+}
+
+// TestManufacturedInterchangeIllegal is the §6.1 regression: the
+// distance-(1,-1) nest — a[i+1][j-1] read shape, the pattern loop
+// normalization manufactures out of the paper's L23/L24 example — has
+// directions (<,>), so plain interchange is illegal, but skewing by one
+// then interchanging is the legal single transformation the section
+// closes with.
+func TestManufacturedInterchangeIllegal(t *testing.T) {
+	r := analyze(t, `
+L23: for i = 0 to 9 {
+    L24: for j = 1 to 9 {
+        a[i * 100 + j + 99] = a[i * 100 + j]
+    }
+}
+`)
+	outer := r.Analysis.LoopByLabel("L23")
+	inner := r.Analysis.LoopByLabel("L24")
+
+	ok, blocking := InterchangeLegal(r, outer, inner)
+	if ok || len(blocking) == 0 {
+		t.Fatalf("interchange of a (<,>) dependence must be illegal (blocking: %v)", blocking)
+	}
+	dists, okD := DistanceVectors2(r, outer, inner)
+	if !okD || len(dists) == 0 {
+		t.Fatalf("expected exact distances, got %v (%v)", dists, okD)
+	}
+	for _, d := range dists {
+		if d != [2]int64{1, -1} {
+			t.Errorf("distance %v, want (1,-1)", d)
+		}
+	}
+	if UnimodularLegal(Interchange, dists) {
+		t.Error("unimodular check must agree interchange is illegal")
+	}
+	tm, okT := FindSkewedInterchange(dists, 4)
+	if !okT {
+		t.Fatal("skew+interchange must repair (1,-1)")
+	}
+	if want := Skew(1).Mul(Interchange); tm != want {
+		t.Errorf("repair = %v, want skew-by-1 then interchange %v", tm, want)
+	}
+	if d := tm.Det(); d != 1 && d != -1 {
+		t.Errorf("repair determinant %d not unimodular", d)
+	}
+	for _, d := range dists {
+		td, okA := tm.Apply(d)
+		if !okA || !(td[0] > 0 || (td[0] == 0 && td[1] >= 0)) {
+			t.Errorf("repaired distance %v -> %v not lex nonnegative", d, td)
+		}
+	}
+}

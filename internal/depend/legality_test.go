@@ -103,7 +103,7 @@ func TestUnimodularSkewedInterchange(t *testing.T) {
 	if !ok {
 		t.Fatal("no legal skew found")
 	}
-	if got := tm.Apply([2]int64{1, -1}); !(got[0] > 0 || (got[0] == 0 && got[1] >= 0)) {
+	if got, ok := tm.Apply([2]int64{1, -1}); !ok || !(got[0] > 0 || (got[0] == 0 && got[1] >= 0)) {
 		t.Errorf("transformed distance %v not lex positive", got)
 	}
 	if tm.Det() != -1 && tm.Det() != 1 {
@@ -154,7 +154,7 @@ func TestMatrixOps(t *testing.T) {
 	}
 	// Skew then interchange: rows swapped after adding 3i to j.
 	tm := Skew(3).Mul(Interchange)
-	if got := tm.Apply([2]int64{1, 0}); got != [2]int64{3, 1} {
+	if got, ok := tm.Apply([2]int64{1, 0}); !ok || got != [2]int64{3, 1} {
 		t.Errorf("composite apply = %v", got)
 	}
 	if tm.String() == "" {

@@ -1,0 +1,105 @@
+// Mark-tier contract tests: a TierMark pass annotates without cloning,
+// its marks ride on a state that still aliases the original program,
+// the analyzed original never sees them, and the final marks are
+// validated against the sequential interpreter — a bogus mark is a
+// validation failure, not a silent wrong answer.
+package engine_test
+
+import (
+	"errors"
+	"testing"
+
+	"beyondiv/internal/engine"
+)
+
+// markPass marks the given label once and then quiesces, the minimal
+// well-behaved TierMark citizen.
+func markPass(label string) engine.TransformPass {
+	return engine.TransformPass{Name: "mark", Tier: engine.TierMark,
+		Run: func(st *engine.State) (int, error) {
+			if engine.ParMarksOf(st) != nil {
+				return 0, nil
+			}
+			st.Put(engine.ParMarksKey, engine.ParMarks{label: true})
+			return 1, nil
+		}}
+}
+
+const parallelSrc = `
+L1: for i = 1 to 8 {
+    a[i] = i * 2
+}
+`
+
+// sequentialSrc carries a scalar recurrence: chunked execution of L1
+// would give each chunk a stale copy of s, so marking it parallel is a
+// lie the parallel-vs-sequential validation must catch.
+const sequentialSrc = `
+s = 0
+L1: for i = 1 to 8 {
+    s = s + i
+    a[i] = s
+}
+`
+
+func TestMarkTierAnnotatesWithoutClone(t *testing.T) {
+	e := optEngine(engine.Config{}, markPass("L1"))
+	res, err := e.Optimize(parallelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The contract: a distinct state (it carries the marks), but no
+	// clone — File and SSA still alias the analyzed original.
+	if res.State == res.Original {
+		t.Fatal("annotated run handed back the original state; the marks would be lost or leak into the cache")
+	}
+	if res.State.File != res.Original.File || res.State.SSA != res.Original.SSA {
+		t.Error("mark tier cloned the program; its invalidation contract is empty")
+	}
+	if m := engine.ParMarksOf(res.State); !m["L1"] {
+		t.Errorf("marks missing from result state: %v", m)
+	}
+	if m := engine.ParMarksOf(res.Original); m != nil {
+		t.Errorf("marks leaked into the analyzed original: %v", m)
+	}
+	if len(res.ParallelLoops) != 1 || res.ParallelLoops[0] != "L1" {
+		t.Errorf("ParallelLoops = %v, want [L1]", res.ParallelLoops)
+	}
+	// One rewrite in round 1 (the annotation delta), quiescent round 2,
+	// and exactly one validation: the post-fixed-point marks check (no
+	// per-pass translation validation for an annotation).
+	if res.Rounds != 2 || res.Rewrites != 1 {
+		t.Errorf("rounds/rewrites = %d/%d, want 2/1", res.Rounds, res.Rewrites)
+	}
+	if res.Validations != 1 {
+		t.Errorf("validations = %d, want exactly the marks check", res.Validations)
+	}
+}
+
+func TestMarkTierBogusMarkFailsValidation(t *testing.T) {
+	e := optEngine(engine.Config{}, markPass("L1"))
+	_, err := e.Optimize(sequentialSrc)
+	if err == nil {
+		t.Fatal("marking a scalar recurrence parallel must fail parallel-vs-sequential validation")
+	}
+	var ee *engine.Error
+	if !errors.As(err, &ee) || ee.Phase != "xform.parmark.validate" {
+		t.Errorf("error = %v, want phase xform.parmark.validate", err)
+	}
+}
+
+func TestMarkTierSkipValidationTrustsMarks(t *testing.T) {
+	// With validation off the engine reports the marks as requested —
+	// the same trust it extends every other pass under SkipValidation.
+	e := optEngine(engine.Config{SkipValidation: true}, markPass("L1"))
+	res, err := e.Optimize(sequentialSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ParallelLoops) != 1 || res.ParallelLoops[0] != "L1" {
+		t.Errorf("ParallelLoops = %v, want [L1]", res.ParallelLoops)
+	}
+	if res.Validations != 0 {
+		t.Errorf("validations = %d, want 0 under SkipValidation", res.Validations)
+	}
+}

@@ -24,6 +24,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"slices"
 	"time"
 
 	"beyondiv/internal/ast"
@@ -52,6 +53,16 @@ const (
 	// engine refreshes dominators, reverifies SSA and reruns the loop,
 	// constant and contributed analysis passes afterwards.
 	TierSSA
+	// TierMark passes rewrite nothing: they attach annotation artifacts
+	// to the state (State.Put) derived from the analyses — the parallel
+	// loop marking. Their invalidation contract is empty: no clone, no
+	// re-analysis, no per-pass translation validation (there is no new
+	// program to validate). Their rewrite count is the annotation delta
+	// against the previous round, so the fixed point still converges;
+	// annotation-dependent validation (sequential vs parallel execution)
+	// runs once, after the fixed point, against the final marks. List
+	// them last: marks describe the final program of the round.
+	TierMark
 )
 
 // TransformPass is one mutating pipeline phase. Run rewrites the
@@ -67,7 +78,36 @@ type TransformPass struct {
 	Name string
 	Tier Tier
 	Run  func(st *State) (rewrites int, err error)
+	// Reorders declares that the pass may legally permute the global
+	// store trace (loop interchange, loop distribution) while preserving
+	// per-cell write order. Once such a pass has changed the program,
+	// translation validation compares traces in validate.PerCellOrder
+	// for the rest of the run — exact global order is no longer an
+	// invariant the pipeline maintains against the original.
+	Reorders bool
 }
+
+// ParMarks is the parallel-loop annotation artifact: effective loop
+// label (cfgbuild's numbering, see cfgbuild.ForLabels) → provably
+// parallel. It is contributed by an annotation pass (xform's parmark)
+// under ParMarksKey and consumed by the parallel execution backend and
+// the surface layers' reports.
+type ParMarks map[string]bool
+
+// ParMarksKey is the State artifact slot ParMarks lives in.
+const ParMarksKey = "parmarks"
+
+// ParMarksOf returns the state's parallel-loop marks, or nil.
+func ParMarksOf(st *State) ParMarks {
+	m, _ := st.Artifact(ParMarksKey).(ParMarks)
+	return m
+}
+
+// parValidateWorkers is the chunk fan-out width the post-fixed-point
+// parallel-execution validation runs at. Fixed above 1 so the chunked
+// merge is exercised even on single-CPU hosts (goroutines still
+// interleave, and the -race corpus runs catch unsynchronized access).
+const parValidateWorkers = 4
 
 // PassStat records one transform pass execution that changed the
 // program: which pass, in which fixed-point round, and how many
@@ -97,6 +137,12 @@ type Optimized struct {
 	// guarded this result (0 when validation is disabled or nothing
 	// changed).
 	Validations int
+	// ParallelLoops lists the effective labels of loops the annotation
+	// pass proved parallel (sorted; nil when the pipeline has no parmark
+	// or nothing was provable). Unless validation was disabled, the
+	// parallel execution of exactly these loops was checked
+	// byte-identical to sequential execution over the grid.
+	ParallelLoops []string
 }
 
 // Optimize analyzes one source (through the cache, when configured) and
@@ -188,6 +234,8 @@ type optimizer struct {
 
 	astPrivate bool // st.File no longer aliases orig's
 	irPrivate  bool // st.SSA (and CFG/analyses) no longer alias orig's
+	annotated  bool // a TierMark pass attached marks (st.extra differs from orig's)
+	reordered  bool // a Reorders pass fired; trace validation is per-cell now
 
 	stats       []PassStat
 	rewrites    int
@@ -239,6 +287,16 @@ func (r *optimizer) run() (*Optimized, error) {
 			changed = true
 			r.stats = append(r.stats, PassStat{Name: p.Name, Round: round, Rewrites: n})
 			r.rewrites += n
+			if p.Tier == TierMark {
+				// Annotation-only contract: the program did not change,
+				// so there is nothing to re-analyze or validate; the
+				// marks themselves are validated after the fixed point.
+				r.annotated = true
+				continue
+			}
+			if p.Reorders {
+				r.reordered = true
+			}
 			if err := r.reanalyze(p.Tier); err != nil {
 				return nil, err
 			}
@@ -251,19 +309,69 @@ func (r *optimizer) run() (*Optimized, error) {
 		}
 	}
 	out := r.st
-	if !r.irPrivate {
-		// Nothing rewrote the IR; hand back the analyzed original so
-		// callers see pointer-identical artifacts on a no-op pipeline.
+	if !r.irPrivate && !r.annotated {
+		// Nothing rewrote the IR or annotated the state; hand back the
+		// analyzed original so callers see pointer-identical artifacts on
+		// a no-op pipeline. (An annotated state still aliases the
+		// original's File/SSA — the marks live in its artifact map.)
 		out = r.orig
 	}
+	parallel, err := r.validateMarks(out)
+	if err != nil {
+		return nil, err
+	}
 	return &Optimized{
-		Original:    r.orig,
-		State:       out,
-		Stats:       r.stats,
-		Rounds:      rounds,
-		Rewrites:    r.rewrites,
-		Validations: r.validations,
+		Original:      r.orig,
+		State:         out,
+		Stats:         r.stats,
+		Rounds:        rounds,
+		Rewrites:      r.rewrites,
+		Validations:   r.validations,
+		ParallelLoops: parallel,
 	}, nil
+}
+
+// validateMarks checks the final parallel-loop marks by executing the
+// transformed program's marked loops chunked across goroutines and
+// comparing the outcome byte-for-byte against the sequential
+// interpreter over the validation grid. Returns the sorted marked
+// labels.
+func (r *optimizer) validateMarks(out *State) ([]string, error) {
+	marks := ParMarksOf(out)
+	if len(marks) == 0 {
+		return nil, nil
+	}
+	labels := make([]string, 0, len(marks))
+	for lbl := range marks {
+		labels = append(labels, lbl)
+	}
+	slices.Sort(labels)
+	if r.e.cfg.SkipValidation {
+		return labels, nil
+	}
+	span := r.st.rec.Phase("validate")
+	defer span.End()
+	r.validations++
+	r.st.rec.Count("engine.opt.validations")
+	ins := r.e.ins
+	var t0 time.Time
+	if ins != nil {
+		t0 = time.Now()
+	}
+	err := validate.Parallel(out.SSA, out.File, marks, parValidateWorkers, r.e.cfg.Validate)
+	if ins != nil {
+		ins.pass("validate", time.Since(t0))
+		ins.count("engine.opt.validations")
+		if err != nil {
+			ins.count("xform.parmark.validate.fail")
+		} else {
+			ins.count("xform.parmark.validate.pass")
+		}
+	}
+	if err != nil {
+		return nil, &Error{Phase: "xform.parmark.validate", Err: err}
+	}
+	return labels, nil
 }
 
 // prepare gives the working state a private copy of the representation
@@ -273,6 +381,9 @@ func (r *optimizer) run() (*Optimized, error) {
 // into the original's values and loops.
 func (r *optimizer) prepare(t Tier) error {
 	switch t {
+	case TierMark:
+		// Annotation passes touch only the state's artifact map, which
+		// optimize already copied; nothing to clone.
 	case TierAST:
 		if !r.astPrivate {
 			r.st.File = ast.CloneFile(r.st.File)
@@ -356,7 +467,11 @@ func (r *optimizer) validate(pass string) error {
 	if ins != nil {
 		t0 = time.Now()
 	}
-	err := validate.Funcs(r.orig.SSA, r.st.SSA, r.e.cfg.Validate)
+	opts := r.e.cfg.Validate
+	if r.reordered {
+		opts.Order = validate.PerCellOrder
+	}
+	err := validate.Funcs(r.orig.SSA, r.st.SSA, opts)
 	if ins != nil {
 		ins.pass("validate", time.Since(t0))
 		ins.count("engine.opt.validations")

@@ -37,6 +37,19 @@ type astInterp struct {
 	mem   *memory
 	steps int
 	limit int
+
+	// parFor marks for-loops the parallel backend may chunk across
+	// goroutines; nil (the RunAST configuration) keeps execution purely
+	// sequential. workers is the chunk fan-out width; a chunk interpreter
+	// runs with workers == 1 so nested marked loops stay sequential
+	// inside their chunk.
+	parFor  map[*ast.For]bool
+	workers int
+	// written records every scalar this interpreter assigned, when
+	// non-nil; chunk runs use it so the deterministic merge applies
+	// exactly the scalars a chunk wrote (not every key its inherited
+	// environment carried).
+	written map[string]bool
 }
 
 func (in *astInterp) tick() error {
@@ -47,6 +60,15 @@ func (in *astInterp) tick() error {
 	return nil
 }
 
+// setScalar is the single scalar write point, so chunk runs can track
+// their write set for the parallel merge.
+func (in *astInterp) setScalar(name string, v int64) {
+	in.env[name] = v
+	if in.written != nil {
+		in.written[name] = true
+	}
+}
+
 func (in *astInterp) readScalar(name string) int64 {
 	if v, ok := in.env[name]; ok {
 		return v
@@ -54,7 +76,7 @@ func (in *astInterp) readScalar(name string) int64 {
 	v := in.cfg.Params[name]
 	// Materialize so the final environment lists referenced params,
 	// mirroring SSA Param values.
-	in.env[name] = v
+	in.setScalar(name, v)
 	return v
 }
 
@@ -79,7 +101,7 @@ func (in *astInterp) stmt(s ast.Stmt) error {
 		}
 		switch lhs := v.LHS.(type) {
 		case *ast.Ident:
-			in.env[lhs.Name] = val
+			in.setScalar(lhs.Name, val)
 		case *ast.Index:
 			idx, err := in.expr(lhs.Sub)
 			if err != nil {
@@ -90,11 +112,19 @@ func (in *astInterp) stmt(s ast.Stmt) error {
 		return nil
 
 	case *ast.For:
+		if in.parFor[v] && in.workers > 1 {
+			done, err := in.runChunked(v)
+			if done || err != nil {
+				return err
+			}
+			// Runtime shape ineligible (step sign mismatch, zero step):
+			// fall through to the sequential semantics.
+		}
 		lo, err := in.expr(v.Lo)
 		if err != nil {
 			return err
 		}
-		in.env[v.Var.Name] = lo
+		in.setScalar(v.Var.Name, lo)
 		stayGeq := v.Step != nil && cfgbuild.ConstStepSign(v.Step) < 0
 		for {
 			if err := in.tick(); err != nil {
@@ -125,7 +155,7 @@ func (in *astInterp) stmt(s ast.Stmt) error {
 					return err
 				}
 			}
-			in.env[v.Var.Name] = in.readScalar(v.Var.Name) + step
+			in.setScalar(v.Var.Name, in.readScalar(v.Var.Name)+step)
 		}
 
 	case *ast.Loop:

@@ -1,0 +1,341 @@
+package interp
+
+import (
+	"fmt"
+	"maps"
+	"runtime"
+	"sync"
+
+	"beyondiv/internal/ast"
+	"beyondiv/internal/cfgbuild"
+)
+
+// Parallel execution backend: marked for-loops run goroutine-per-chunk.
+//
+// The dependence analysis proves which loops have no loop-carried
+// dependence (depend.Parallelizable, surfaced as the engine's parmark
+// annotation); this file is the executor that cashes that proof in. A
+// marked loop's iteration space [lo, hi] is split into contiguous
+// chunks, one goroutine each. Every chunk runs the unmodified loop body
+// under a private interpreter whose memory reads fall through to a
+// snapshot of the pre-loop state and whose scalar environment starts as
+// a copy of the pre-loop environment — chunks never observe each
+// other's effects, which is exactly the independence the marking
+// proved.
+//
+// Determinism invariants (what makes the result bit-identical to the
+// sequential interpreter, asserted by internal/validate and the -race
+// corpus tests):
+//
+//   - chunks partition the iteration space in order: chunk c executes a
+//     contiguous run of iterations, all earlier than chunk c+1's;
+//   - the merge is sequential and ordered: chunk store traces append to
+//     the shared memory in chunk order, so the global write trace is the
+//     concatenation of per-iteration traces in iteration order — the
+//     same trace the sequential loop produces;
+//   - scalar merges apply each chunk's *written set* in chunk order, so
+//     a scalar's final value comes from the last iteration that assigned
+//     it, matching sequential last-writer semantics;
+//   - the loop counter is set analytically to its sequential exit value
+//     (lo + trips·step, wrapping);
+//   - step accounting merges as the sum of chunk step counts, checked
+//     against the budget after the merge, so budget exhaustion is a
+//     deterministic function of the work, not of goroutine scheduling.
+//
+// The backend is conservative: a marked loop whose runtime shape falls
+// outside the chunkable form (ParChunkable, plus a runtime step-sign
+// check) silently runs sequentially — never wrong results, just no
+// speedup.
+
+// RunASTParallel executes the program like RunAST, but runs every
+// marked, chunkable for-loop (marked maps effective loop labels — see
+// cfgbuild.ForLabels — to true) across up to workers goroutines.
+// workers <= 0 means one per CPU; workers == 1 is exactly RunAST.
+func RunASTParallel(file *ast.File, cfg Config, marked map[string]bool, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	par := map[*ast.For]bool{}
+	if workers > 1 && len(marked) > 0 {
+		labels := cfgbuild.ForLabels(file)
+		// Duplicate effective labels make a mark ambiguous; skip them.
+		seen := map[string]int{}
+		for _, lbl := range labels {
+			seen[lbl]++
+		}
+		for f, lbl := range labels {
+			if marked[lbl] && seen[lbl] == 1 && ParChunkable(f) {
+				par[f] = true
+			}
+		}
+	}
+	in := &astInterp{
+		cfg:     cfg,
+		env:     map[string]int64{},
+		mem:     newMemory(cfg.arrays()),
+		limit:   cfg.maxSteps(),
+		parFor:  par,
+		workers: workers,
+	}
+	err := in.stmts(file.Stmts)
+	if err == errLoopExit {
+		err = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Scalars: in.env, Writes: in.mem.trace}, nil
+}
+
+// ParChunkable reports whether a for-loop has the syntactic shape the
+// chunked executor handles: bounds and step free of array reads, of the
+// loop counter, and of any scalar the body assigns (so they are
+// invariant and evaluate once); no assignment to the counter inside the
+// body; and no exit at the loop's own level (an exit inside a nested
+// loop binds to that loop and is fine). Everything else — nested loops,
+// conditionals, scalar temporaries — is allowed; whether running the
+// chunks concurrently is *legal* is the dependence analysis's call, not
+// this predicate's.
+func ParChunkable(f *ast.For) bool {
+	if f.Var == nil {
+		return false
+	}
+	assigned := map[string]bool{}
+	collectAssigned(f.Body.Stmts, assigned)
+	if assigned[f.Var.Name] {
+		return false
+	}
+	for _, e := range []ast.Expr{f.Lo, f.Hi, f.Step} {
+		if e == nil {
+			continue
+		}
+		if exprReadsArray(e) {
+			return false
+		}
+		for _, name := range identsIn(e, nil) {
+			if name == f.Var.Name || assigned[name] {
+				return false
+			}
+		}
+	}
+	return !exitsAtLevel(f.Body.Stmts)
+}
+
+// collectAssigned records every scalar name assigned anywhere under
+// list (including inside nested loops and conditionals, and nested loop
+// counters).
+func collectAssigned(list []ast.Stmt, out map[string]bool) {
+	for _, s := range list {
+		switch v := s.(type) {
+		case *ast.Assign:
+			if id, ok := v.LHS.(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+		case *ast.For:
+			out[v.Var.Name] = true
+			collectAssigned(v.Body.Stmts, out)
+		case *ast.Loop:
+			collectAssigned(v.Body.Stmts, out)
+		case *ast.While:
+			collectAssigned(v.Body.Stmts, out)
+		case *ast.If:
+			collectAssigned(v.Then.Stmts, out)
+			if v.Else != nil {
+				collectAssigned(v.Else.Stmts, out)
+			}
+		case *ast.Block:
+			collectAssigned(v.Stmts, out)
+		}
+	}
+}
+
+// exprReadsArray reports whether e contains an array element read.
+func exprReadsArray(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Index:
+		return true
+	case *ast.Unary:
+		return exprReadsArray(v.X)
+	case *ast.Bin:
+		return exprReadsArray(v.X) || exprReadsArray(v.Y)
+	}
+	return false
+}
+
+// identsIn appends every scalar name referenced in e.
+func identsIn(e ast.Expr, out []string) []string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		out = append(out, v.Name)
+	case *ast.Index:
+		out = identsIn(v.Sub, out)
+	case *ast.Unary:
+		out = identsIn(v.X, out)
+	case *ast.Bin:
+		out = identsIn(v.X, out)
+		out = identsIn(v.Y, out)
+	}
+	return out
+}
+
+// exitsAtLevel reports whether list contains an exit that would unwind
+// the *enclosing* loop (exits inside nested loops bind to those).
+func exitsAtLevel(list []ast.Stmt) bool {
+	for _, s := range list {
+		switch v := s.(type) {
+		case *ast.Exit:
+			return true
+		case *ast.If:
+			if exitsAtLevel(v.Then.Stmts) {
+				return true
+			}
+			if v.Else != nil && exitsAtLevel(v.Else.Stmts) {
+				return true
+			}
+		case *ast.Block:
+			if exitsAtLevel(v.Stmts) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// runChunked executes one marked for-loop across chunks. done reports
+// whether the loop was handled (on false, with a nil error, the caller
+// falls back to the sequential path without any state having changed
+// beyond evaluation ticks).
+func (in *astInterp) runChunked(v *ast.For) (done bool, err error) {
+	lo, err := in.expr(v.Lo)
+	if err != nil {
+		return true, err
+	}
+	if err := in.tick(); err != nil {
+		return true, err
+	}
+	hi, err := in.expr(v.Hi)
+	if err != nil {
+		return true, err
+	}
+	stayGeq := v.Step != nil && cfgbuild.ConstStepSign(v.Step) < 0
+
+	// Zero-trip exit before the step is ever evaluated, mirroring the
+	// sequential interpreter (which only evaluates the step at the end of
+	// an executed iteration).
+	if (!stayGeq && lo > hi) || (stayGeq && lo < hi) {
+		in.setScalar(v.Var.Name, lo)
+		return true, nil
+	}
+
+	step := int64(1)
+	if v.Step != nil {
+		step, err = in.expr(v.Step)
+		if err != nil {
+			return true, err
+		}
+	}
+	// The termination test direction is fixed syntactically
+	// (ConstStepSign); a runtime step disagreeing with it walks away from
+	// the bound — sequential semantics (wraparound, step-limit) owns that.
+	if step == 0 || (stayGeq && step > 0) || (!stayGeq && step < 0) {
+		return false, nil
+	}
+
+	// Trip count, exact in uint64 (|hi-lo| and |step| both fit).
+	var diff, stepMag uint64
+	if stayGeq {
+		diff, stepMag = uint64(lo)-uint64(hi), uint64(-step)
+	} else {
+		diff, stepMag = uint64(hi)-uint64(lo), uint64(step)
+	}
+	trips := diff/stepMag + 1
+	remaining := uint64(0)
+	if in.limit > in.steps {
+		remaining = uint64(in.limit - in.steps)
+	}
+	if diff/stepMag >= remaining {
+		// Each iteration costs at least one tick in every interpreter;
+		// this loop cannot complete within the budget.
+		return true, ErrStepLimit
+	}
+
+	nchunks := uint64(in.workers)
+	if nchunks > trips {
+		nchunks = trips
+	}
+	base, rem := trips/nchunks, trips%nchunks
+	chunks := make([]*astInterp, nchunks)
+	errs := make([]error, nchunks)
+	parentMem := in.mem
+	var wg sync.WaitGroup
+	start := uint64(0)
+	for c := uint64(0); c < nchunks; c++ {
+		size := base
+		if c < rem {
+			size++
+		}
+		ci := &astInterp{
+			cfg:     in.cfg,
+			env:     maps.Clone(in.env),
+			mem:     newMemory(parentMem.load),
+			limit:   in.limit - in.steps,
+			parFor:  in.parFor,
+			workers: 1, // nested marked loops stay sequential in a chunk
+			written: map[string]bool{},
+		}
+		chunks[c] = ci
+		wg.Add(1)
+		go func(c, start, size uint64) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[c] = fmt.Errorf("interp: parallel chunk panic: %v", r)
+				}
+			}()
+			for k := start; k < start+size; k++ {
+				if err := ci.tick(); err != nil {
+					errs[c] = err
+					return
+				}
+				ci.setScalar(v.Var.Name, iterValue(lo, k, step))
+				if err := ci.stmts(v.Body.Stmts); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c, start, size)
+		start += size
+	}
+	wg.Wait()
+
+	// Deterministic merge, in chunk (= iteration) order. An error from
+	// the lowest-numbered failing chunk wins: it is the error the
+	// sequential run would have reached first.
+	for c := range chunks {
+		if errs[c] != nil {
+			return true, errs[c]
+		}
+	}
+	total := in.steps
+	for _, ci := range chunks {
+		for _, w := range ci.mem.trace {
+			in.mem.store(w.Array, w.Index, w.Value)
+		}
+		for name := range ci.written {
+			in.setScalar(name, ci.env[name])
+		}
+		total += ci.steps
+	}
+	in.setScalar(v.Var.Name, iterValue(lo, trips, step))
+	in.steps = total
+	if in.steps > in.limit {
+		return true, ErrStepLimit
+	}
+	return true, nil
+}
+
+// iterValue is the counter's value on (0-based) iteration k, with
+// int64 wrapping: lo + k·step mod 2^64.
+func iterValue(lo int64, k uint64, step int64) int64 {
+	return int64(uint64(lo) + k*uint64(step))
+}

@@ -491,6 +491,9 @@ type optimizeResponse struct {
 	Rewrites    int        `json:"rewrites"`
 	Validations int        `json:"validations"`
 	Passes      []passStat `json:"passes,omitempty"`
+	// ParallelLoops lists the loops parmark proved parallel, by
+	// effective label, after chunked-vs-sequential validation.
+	ParallelLoops []string `json:"parallel_loops,omitempty"`
 }
 
 type passStat struct {
@@ -511,9 +514,10 @@ func (s *Server) doOptimize(ctx context.Context, req *request) (any, error) {
 			Dependences:    res.Program.DependenceReport(),
 			ElapsedUS:      time.Since(start).Microseconds(),
 		},
-		Rounds:      res.Rounds,
-		Rewrites:    res.Rewrites,
-		Validations: res.Validations,
+		Rounds:        res.Rounds,
+		Rewrites:      res.Rewrites,
+		Validations:   res.Validations,
+		ParallelLoops: res.ParallelLoops,
 	}
 	for _, st := range res.Stats {
 		out.Passes = append(out.Passes, passStat{Name: st.Name, Round: st.Round, Rewrites: st.Rewrites})

@@ -1,0 +1,58 @@
+// Trace-order comparison semantics: ExactOrder is the byte-identical
+// global trace; PerCellOrder admits the legal reorderings interchange
+// and distribution perform (global permutation) while still pinning
+// every cell's write sequence (output dependences are ordered by
+// legality, so a per-cell swap is always a bug).
+package validate
+
+import (
+	"testing"
+
+	"beyondiv/internal/interp"
+)
+
+func w(arr string, idx, val int64) interp.ArrayWrite {
+	return interp.ArrayWrite{Array: arr, Index: idx, Value: val}
+}
+
+func TestCompareWritesExactOrder(t *testing.T) {
+	want := []interp.ArrayWrite{w("a", 0, 1), w("a", 1, 2)}
+	if err := compareWrites(want, []interp.ArrayWrite{w("a", 0, 1), w("a", 1, 2)}, ExactOrder); err != nil {
+		t.Errorf("identical traces: %v", err)
+	}
+	if err := compareWrites(want, []interp.ArrayWrite{w("a", 1, 2), w("a", 0, 1)}, ExactOrder); err == nil {
+		t.Error("globally permuted trace must fail ExactOrder")
+	}
+	if err := compareWrites(want, want[:1], ExactOrder); err == nil {
+		t.Error("shorter trace must fail")
+	}
+}
+
+func TestCompareWritesPerCellOrder(t *testing.T) {
+	// Interchange-style permutation: different cells swap globally, each
+	// cell's own sequence intact.
+	want := []interp.ArrayWrite{w("a", 0, 1), w("b", 0, 10), w("a", 0, 2), w("b", 0, 20)}
+	got := []interp.ArrayWrite{w("b", 0, 10), w("b", 0, 20), w("a", 0, 1), w("a", 0, 2)}
+	if err := compareWrites(want, got, PerCellOrder); err != nil {
+		t.Errorf("legal per-cell reordering rejected: %v", err)
+	}
+	// The same trace must fail the exact comparison — the two modes are
+	// really different.
+	if err := compareWrites(want, got, ExactOrder); err == nil {
+		t.Error("global permutation must still fail ExactOrder")
+	}
+	// A swap within one cell is an output-dependence violation.
+	bad := []interp.ArrayWrite{w("a", 0, 2), w("b", 0, 10), w("a", 0, 1), w("b", 0, 20)}
+	if err := compareWrites(want, bad, PerCellOrder); err == nil {
+		t.Error("per-cell order violation must fail")
+	}
+	// A write moved to a different cell fails even with equal lengths.
+	moved := []interp.ArrayWrite{w("a", 1, 1), w("b", 0, 10), w("a", 0, 2), w("b", 0, 20)}
+	if err := compareWrites(want, moved, PerCellOrder); err == nil {
+		t.Error("write against a cell the original never touched must fail")
+	}
+	// Extra writes fail in either mode.
+	if err := compareWrites(want, append(append([]interp.ArrayWrite{}, got...), w("c", 0, 1)), PerCellOrder); err == nil {
+		t.Error("longer trace must fail")
+	}
+}

@@ -23,6 +23,25 @@ import (
 	"beyondiv/internal/ssa"
 )
 
+// TraceOrder selects how two store traces are compared.
+type TraceOrder int
+
+const (
+	// ExactOrder requires the global write traces to be identical
+	// element for element — the strongest check, right for transforms
+	// that preserve execution order (peeling, strength reduction, the
+	// parallel backend's deterministic merge).
+	ExactOrder TraceOrder = iota
+	// PerCellOrder requires the same total number of writes and, for
+	// every individual array cell, the identical sequence of values
+	// written to it. Loop restructuring (interchange, distribution)
+	// legally permutes the *global* interleaving of writes to different
+	// cells, but legality — every dependence preserved, output
+	// dependences included — guarantees the per-cell sequences survive;
+	// this mode checks exactly that invariant.
+	PerCellOrder
+)
+
 // Options configure the grid.
 type Options struct {
 	// Grid is the candidate value set each parameter draws from; the
@@ -36,6 +55,10 @@ type Options struct {
 	// rewrites legitimately change the executed instruction count.
 	// Default 200000.
 	MaxSteps int
+	// Order is how store traces are compared (default ExactOrder; the
+	// engine switches to PerCellOrder once a trace-reordering transform
+	// has fired).
+	Order TraceOrder
 }
 
 func (o Options) grid() []int64 {
@@ -98,7 +121,7 @@ func Funcs(orig, xf *ssa.Info, opts Options) error {
 			params[n] = grid[x%len(grid)]
 			x /= len(grid)
 		}
-		if err := compareOnce(orig, xf, params, opts.maxSteps()); err != nil {
+		if err := compareOnce(orig, xf, params, opts.maxSteps(), opts.Order); err != nil {
 			return fmt.Errorf("validate: params %v: %w", fmtParams(names, params), err)
 		}
 	}
@@ -106,7 +129,7 @@ func Funcs(orig, xf *ssa.Info, opts Options) error {
 }
 
 // compareOnce runs both programs under one parameter assignment.
-func compareOnce(orig, xf *ssa.Info, params map[string]int64, maxSteps int) error {
+func compareOnce(orig, xf *ssa.Info, params map[string]int64, maxSteps int, order TraceOrder) error {
 	want, err := interp.RunSSA(orig, interp.Config{Params: params, MaxSteps: maxSteps})
 	if errors.Is(err, interp.ErrStepLimit) {
 		return nil // no ground truth under this assignment
@@ -121,16 +144,8 @@ func compareOnce(orig, xf *ssa.Info, params map[string]int64, maxSteps int) erro
 	if err != nil {
 		return fmt.Errorf("transformed program failed: %w", err)
 	}
-	if len(want.Writes) != len(got.Writes) {
-		return fmt.Errorf("store trace length differs: %d writes originally, %d transformed",
-			len(want.Writes), len(got.Writes))
-	}
-	for i := range want.Writes {
-		if want.Writes[i] != got.Writes[i] {
-			return fmt.Errorf("store %d differs: %s[%d]=%d originally, %s[%d]=%d transformed",
-				i, want.Writes[i].Array, want.Writes[i].Index, want.Writes[i].Value,
-				got.Writes[i].Array, got.Writes[i].Index, got.Writes[i].Value)
-		}
+	if err := compareWrites(want.Writes, got.Writes, order); err != nil {
+		return err
 	}
 	for name, w := range want.Scalars {
 		g, ok := got.Scalars[name]
@@ -139,6 +154,47 @@ func compareOnce(orig, xf *ssa.Info, params map[string]int64, maxSteps int) erro
 		}
 		if g != w {
 			return fmt.Errorf("scalar %s differs: %d originally, %d transformed", name, w, g)
+		}
+	}
+	return nil
+}
+
+// compareWrites checks two store traces under the selected order.
+func compareWrites(want, got []interp.ArrayWrite, order TraceOrder) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("store trace length differs: %d writes originally, %d transformed",
+			len(want), len(got))
+	}
+	if order == PerCellOrder {
+		type cell struct {
+			array string
+			index int64
+		}
+		seq := map[cell][]int64{}
+		for _, w := range want {
+			c := cell{w.Array, w.Index}
+			seq[c] = append(seq[c], w.Value)
+		}
+		for i, w := range got {
+			c := cell{w.Array, w.Index}
+			s := seq[c]
+			if len(s) == 0 {
+				return fmt.Errorf("store %d unexpected: %s[%d]=%d has no matching original write",
+					i, w.Array, w.Index, w.Value)
+			}
+			if s[0] != w.Value {
+				return fmt.Errorf("cell %s[%d] write sequence differs: next original value %d, transformed wrote %d",
+					w.Array, w.Index, s[0], w.Value)
+			}
+			seq[c] = s[1:]
+		}
+		return nil
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("store %d differs: %s[%d]=%d originally, %s[%d]=%d transformed",
+				i, want[i].Array, want[i].Index, want[i].Value,
+				got[i].Array, got[i].Index, got[i].Value)
 		}
 	}
 	return nil

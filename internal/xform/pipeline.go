@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"beyondiv/internal/ast"
+	"beyondiv/internal/cfgbuild"
 	"beyondiv/internal/engine"
 	"beyondiv/internal/iv"
 	"beyondiv/internal/scratch"
@@ -15,19 +16,30 @@ import (
 // re-analysis, verification and translation validation. The pass names
 // (in canonical order) are:
 //
-//	normalize  AST  §6.1 loop normalization (index from 0, step 1)
-//	peel       AST  §4.1 first-iteration peeling, classification-driven:
-//	                only loops in which some value classified WrapAround
-//	strength   SSA  §1 classical strength reduction of const·linear
-//	ivsub      SSA  §5 induction-variable substitution of any Linear
-//	                multiplicative value (symbolic init/step allowed)
-//	dce        SSA  sweep of values no observable outcome depends on
+//	normalize    AST   §6.1 loop normalization (index from 0, step 1)
+//	peel         AST   §4.1 first-iteration peeling, classification-driven:
+//	                   only loops in which some value classified WrapAround
+//	interchange  AST   §6.1 loop interchanging of perfect 2-nests, gated on
+//	                   direction vectors (and the unimodular check when
+//	                   exact distances exist); reorders the store trace
+//	distribute   AST   loop distribution along statement-level π-blocks in
+//	                   topological order; reorders the store trace
+//	strength     SSA   §1 classical strength reduction of const·linear
+//	ivsub        SSA   §5 induction-variable substitution of any Linear
+//	                   multiplicative value (symbolic init/step allowed)
+//	dce          SSA   sweep of values no observable outcome depends on
+//	parmark      MARK  annotate provably parallel loops for the chunked
+//	                   execution backend (no rewrite; validated once after
+//	                   the fixed point against the sequential interpreter)
 //
 // AST-tier passes precede SSA-tier ones so a round never discards SSA
-// rewrites (see engine.Tier).
+// rewrites, and mark-tier passes come last so annotations always describe
+// the final loop structure (see engine.Tier).
 
 // PassNames returns the canonical pipeline order.
-func PassNames() []string { return []string{"normalize", "peel", "strength", "ivsub", "dce"} }
+func PassNames() []string {
+	return []string{"normalize", "peel", "interchange", "distribute", "strength", "ivsub", "dce", "parmark"}
+}
 
 // DefaultPasses returns the full pipeline in canonical order.
 func DefaultPasses() []engine.TransformPass {
@@ -61,6 +73,12 @@ func passByName(name string) (engine.TransformPass, bool) {
 		}}, true
 	case "peel":
 		return engine.TransformPass{Name: "peel", Tier: engine.TierAST, Run: runPeel}, true
+	case "interchange":
+		return engine.TransformPass{Name: "interchange", Tier: engine.TierAST, Reorders: true, Run: runInterchange}, true
+	case "distribute":
+		return engine.TransformPass{Name: "distribute", Tier: engine.TierAST, Reorders: true, Run: runDistribute}, true
+	case "parmark":
+		return engine.TransformPass{Name: "parmark", Tier: engine.TierMark, Run: runParmark}, true
 	case "strength":
 		return engine.TransformPass{Name: "strength", Tier: engine.TierSSA, Run: func(st *engine.State) (int, error) {
 			a, err := analysisOf(st, "strength")
@@ -121,46 +139,11 @@ func runPeel(st *engine.State) (int, error) {
 	return n, nil
 }
 
-// peelByEffectiveLabel peels every for-loop whose *effective* label —
-// the explicit source label, or the "L<n>" cfgbuild synthesizes,
-// counting every loop statement in build (pre-order) order — is in
-// labels. The numbering is recomputed the same way cfgbuild.label does,
-// so classification results keyed by loop label map back onto the AST
-// even for unlabeled loops.
+// peelByEffectiveLabel peels every for-loop whose *effective* label (see
+// cfgbuild.ForLabels) is in labels, so classification results keyed by
+// loop label map back onto the AST even for unlabeled loops.
 func peelByEffectiveLabel(file *ast.File, labels map[string]bool) int {
-	byNode := map[*ast.For]string{}
-	nextLabel := 0
-	assign := func(explicit string) string {
-		nextLabel++
-		if explicit != "" {
-			return explicit
-		}
-		return fmt.Sprintf("L%d", nextLabel)
-	}
-	var number func(list []ast.Stmt)
-	number = func(list []ast.Stmt) {
-		for _, s := range list {
-			switch v := s.(type) {
-			case *ast.For:
-				byNode[v] = assign(v.Label)
-				number(v.Body.Stmts)
-			case *ast.Loop:
-				assign(v.Label)
-				number(v.Body.Stmts)
-			case *ast.While:
-				assign(v.Label)
-				number(v.Body.Stmts)
-			case *ast.If:
-				number(v.Then.Stmts)
-				if v.Else != nil {
-					number(v.Else.Stmts)
-				}
-			case *ast.Block:
-				number(v.Stmts)
-			}
-		}
-	}
-	number(file.Stmts)
+	byNode := cfgbuild.ForLabels(file)
 
 	count := 0
 	var rewrite func(list []ast.Stmt) []ast.Stmt
